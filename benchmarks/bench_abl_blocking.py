@@ -1,0 +1,8 @@
+"""A1: ablation — stencil 2.5D block-size sweep."""
+
+
+def test_abl_blocking(artifact):
+    result = artifact("abl_blocking")
+    traffic = [row[2] for row in result.rows]
+    best = traffic.index(min(traffic))
+    assert 0 < best < len(traffic) - 1  # interior optimum (U-shape)

@@ -1,0 +1,8 @@
+"""A2: ablation — analytic vs trace-driven cache-model agreement."""
+
+
+def test_abl_cache_models(artifact):
+    result = artifact("abl_cache")
+    for row in result.rows:
+        ratio = row[3]
+        assert 0.4 <= ratio <= 2.5    # analytic tracks ground truth

@@ -1,0 +1,7 @@
+"""A6: ablation — NBody j-tiling at 1M bodies."""
+
+
+def test_abl_nbody_tile(artifact):
+    result = artifact("abl_nbody_tile")
+    untiled = result.rows[0][1]
+    assert min(row[1] for row in result.rows[1:]) < untiled / 2

@@ -1,0 +1,7 @@
+"""A7: ablation — BlackScholes f32 vs f64 (SIMD budget halves)."""
+
+
+def test_abl_precision(artifact):
+    result = artifact("abl_precision")
+    f32_time, f64_time = result.rows[0][2], result.rows[1][2]
+    assert 1.5 <= f64_time / f32_time <= 3.0

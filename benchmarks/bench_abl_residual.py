@@ -1,0 +1,10 @@
+"""A5: ablation — residual-gap decomposition into Ninja extras."""
+
+
+def test_abl_residual(artifact):
+    result = artifact("abl_residual")
+    import pytest
+
+    assert all(
+        value == pytest.approx(1.0, abs=0.05) for value in result.rows[-1][1:]
+    )

@@ -1,0 +1,8 @@
+"""A3: ablation — thread scaling of the optimized variants."""
+
+
+def test_abl_scaling(artifact):
+    result = artifact("abl_scaling")
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["blackscholes"][2] >= 5.0  # compute scales to 6 cores
+    assert by_name["lbm"][2] <= 4.0           # bandwidth saturates early

@@ -1,0 +1,7 @@
+"""A4: ablation — TreeSearch across tree sizes (cache regimes)."""
+
+
+def test_abl_treesize(artifact):
+    result = artifact("abl_treesize")
+    per_probe = [row[3] for row in result.rows]
+    assert per_probe == sorted(per_probe)

@@ -1,0 +1,7 @@
+"""A8: ablation — speedup vs problem size (fork/join cliff)."""
+
+
+def test_abl_worksize(artifact):
+    result = artifact("abl_worksize")
+    speedups = [row[3] for row in result.rows]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,12 @@
+"""F1: regenerate paper Figure 1 — the Ninja gap on Core i7 X980.
+
+Paper: average 24X, up to 53X.
+"""
+
+
+def test_fig1_ninja_gap(artifact):
+    result = artifact("fig1")
+    mean = result.rows[-1][1]
+    gaps = [row[1] for row in result.rows[:-1]]
+    assert 18.0 <= mean <= 32.0       # paper: 24X
+    assert 45.0 <= max(gaps) <= 65.0  # paper: up to 53X

@@ -1,0 +1,8 @@
+"""F2: regenerate paper Figure 2 — gap growth across CPU generations."""
+
+
+def test_fig2_gap_trend(artifact):
+    result = artifact("fig2")
+    means = [row[5] for row in result.rows]
+    assert means == sorted(means)     # the unaddressed gap only grows
+    assert means[-1] / means[0] > 1.8

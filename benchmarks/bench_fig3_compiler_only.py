@@ -1,0 +1,7 @@
+"""F3: regenerate paper Figure 3 — compiler flags alone on naive code."""
+
+
+def test_fig3_compiler_only(artifact):
+    result = artifact("fig3")
+    geomean = result.rows[-1][3]
+    assert 2.0 <= geomean <= 8.0      # a significant gap remains

@@ -1,0 +1,11 @@
+"""F4: regenerate paper Figure 4 — residual gap after algorithmic changes.
+
+Paper: the gap comes down to an average of just 1.3X.
+"""
+
+
+def test_fig4_algorithmic(artifact):
+    result = artifact("fig4")
+    geomean = result.rows[-1][2]
+    assert 1.05 <= geomean <= 1.45    # paper: 1.3X
+    assert all(row[2] <= 2.0 for row in result.rows[:-1])

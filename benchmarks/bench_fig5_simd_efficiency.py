@@ -1,0 +1,11 @@
+"""F5: regenerate paper Figure 5 — vectorization effectiveness."""
+
+
+def test_fig5_simd_efficiency(artifact):
+    result = artifact("fig5")
+    # Every optimized variant vectorizes at the full SSE width, except
+    # mergesort's merge network (modelled as branch-free scalar code).
+    assert sum(1 for row in result.rows if row[3] >= 2) >= len(result.rows) - 1
+    # At least half the naive variants are refused by the auto-vectorizer.
+    refused = sum(1 for row in result.rows if row[1] == "no")
+    assert refused >= len(result.rows) // 2

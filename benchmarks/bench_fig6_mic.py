@@ -1,0 +1,12 @@
+"""F6: regenerate paper Figure 6 — Intel MIC (Knights Ferry) results.
+
+Paper: equally encouraging results on MIC.
+"""
+
+
+def test_fig6_mic(artifact):
+    result = artifact("fig6")
+    geomean = result.rows[-1][1]
+    assert geomean <= 1.6             # paper: ~1.2X on MIC
+    speedups = [row[3] for row in result.rows[:-1]]
+    assert all(ratio > 1.0 for ratio in speedups)  # MIC wins everywhere

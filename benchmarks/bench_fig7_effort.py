@@ -1,0 +1,8 @@
+"""F7: regenerate paper Figure 7 — performance vs programming effort."""
+
+
+def test_fig7_effort(artifact):
+    result = artifact("fig7")
+    for row in result.rows:
+        productivity = row[5]
+        assert productivity > 1.5     # low effort wins per line, everywhere

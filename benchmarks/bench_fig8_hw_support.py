@@ -1,0 +1,8 @@
+"""F8: regenerate paper §6 — hardware gather support ablation."""
+
+
+def test_fig8_hw_support(artifact):
+    result = artifact("fig8")
+    by_name = {row[0]: row for row in result.rows}
+    for name in ("nbody", "blackscholes", "lbm", "backprojection"):
+        assert by_name[name][2] > by_name[name][1]  # gather unlocks auto-vec

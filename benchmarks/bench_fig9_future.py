@@ -1,0 +1,7 @@
+"""F9 (extension): one ISA generation ahead — Sandy Bridge AVX."""
+
+
+def test_fig9_future(artifact):
+    result = artifact("fig9_future")
+    assert result.rows[-1][4] <= 1.5  # residual stays small on AVX
+    assert result.rows[-1][5] <= 1.5  # ... and on AVX2

@@ -1,0 +1,8 @@
+"""S0: the headline reproduction summary (README banner table)."""
+
+
+def test_summary(artifact):
+    result = artifact("summary")
+    by_claim = {row[0]: row for row in result.rows}
+    mean = float(by_claim["mean Ninja gap (Core i7 X980)"][2].rstrip("X"))
+    assert 18.0 <= mean <= 32.0

@@ -1,0 +1,8 @@
+"""T1: regenerate paper Table 1 — the benchmark suite."""
+
+
+def test_table1_suite(artifact):
+    result = artifact("table1")
+    assert len(result.rows) == 11
+    categories = {row[1] for row in result.rows}
+    assert categories == {"compute", "bandwidth", "irregular"}

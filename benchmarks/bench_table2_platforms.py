@@ -1,0 +1,8 @@
+"""T2: regenerate paper Table 2 — the evaluation platforms."""
+
+
+def test_table2_platforms(artifact):
+    result = artifact("table2")
+    names = [row[0] for row in result.rows]
+    assert "Core i7 X980" in names
+    assert "Knights Ferry (MIC)" in names

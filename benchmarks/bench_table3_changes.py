@@ -1,0 +1,8 @@
+"""T3: regenerate paper Table 3 — algorithmic changes and their effort."""
+
+
+def test_table3_changes(artifact):
+    result = artifact("table3")
+    for row in result.rows:
+        loc_change, loc_ninja = row[2], row[3]
+        assert loc_ninja >= 3 * loc_change  # ninja effort dwarfs the changes

@@ -1,0 +1,29 @@
+"""Shared helper for the per-artifact benchmark targets.
+
+Each ``bench_*`` file regenerates one paper table or figure: the harness
+times the regeneration once (these are simulations, not microbenchmarks)
+and prints the artifact's rows so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the paper's evaluation verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def artifact(benchmark):
+    """Run one experiment under pytest-benchmark and print its rows."""
+
+    def runner(experiment_id: str) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

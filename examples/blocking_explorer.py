@@ -1,0 +1,89 @@
+"""Scenario: explore cache blocking for the 7-point stencil.
+
+The stencil is the paper's bandwidth-bound poster child: once vectorized
+it saturates DRAM, and the only remaining lever is *traffic*.  This script
+sweeps the 2.5D block edge and shows time, DRAM traffic, and the
+bottleneck flip from DRAM back to compute once the block column fits in
+cache — then compares against the naive sweep and the Ninja version with
+streaming stores.
+
+Run with::
+
+    python examples/blocking_explorer.py
+"""
+
+from repro import CORE_I7_X980, CompilerOptions, compile_kernel, simulate
+from repro.analysis import format_table
+from repro.kernels import Stencil
+
+
+def main() -> None:
+    bench = Stencil()
+    n = bench.paper_params()["n"]
+    array_mb = n**3 * 4 / 1e6
+    print(
+        f"7-point stencil, {n}^3 grid ({array_mb:.0f} MB per array) on "
+        f"{CORE_I7_X980.name}\n"
+    )
+
+    options = CompilerOptions.best_traditional()
+    rows = []
+
+    naive = simulate(
+        compile_kernel(bench.kernel("naive"), options, CORE_I7_X980),
+        CORE_I7_X980,
+        {"n": n},
+    )
+    rows.append(
+        (
+            "naive sweep",
+            round(naive.time_s * 1e3, 1),
+            round(naive.traffic_bytes[-1] / (n**3 * 4), 2),
+            naive.bottleneck,
+        )
+    )
+
+    blocked = compile_kernel(bench.kernel("optimized"), options, CORE_I7_X980)
+    for block in (16, 32, 64, 128, 256):
+        result = simulate(
+            blocked, CORE_I7_X980, {"n": n, "by": block, "bx": block}
+        )
+        rows.append(
+            (
+                f"blocked {block}x{block}",
+                round(result.time_s * 1e3, 1),
+                round(result.traffic_bytes[-1] / (n**3 * 4), 2),
+                result.bottleneck,
+            )
+        )
+
+    ninja = simulate(
+        compile_kernel(
+            bench.kernel("ninja"), CompilerOptions.ninja_options(), CORE_I7_X980
+        ),
+        CORE_I7_X980,
+        {"n": n, "by": bench.BLOCK, "bx": bench.BLOCK},
+    )
+    rows.append(
+        (
+            "ninja (NT stores)",
+            round(ninja.time_s * 1e3, 1),
+            round(ninja.traffic_bytes[-1] / (n**3 * 4), 2),
+            ninja.bottleneck,
+        )
+    )
+
+    print(
+        format_table(
+            ("version", "time (ms)", "DRAM traffic (arrays)", "bound by"),
+            rows,
+        )
+    )
+    print(
+        "\nNaive re-reads each plane ~3x; blocking drops traffic to the "
+        "compulsory 1 read + 2 writes (RFO); streaming stores kill the RFO."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Scenario: the Ninja gap across machines — why it 'inevitably grows'.
+
+Takes three benchmarks with very different characters and measures their
+gap on every modelled platform, from the 2-core Core 2 to the 32-core MIC.
+The punchline is the paper's: machines keep adding cores and lanes, naive
+serial code uses neither, so doing nothing gets relatively worse every
+generation — while the *same* low-effort changes keep you within ~1.3X.
+
+Run with::
+
+    python examples/compare_machines.py
+"""
+
+from repro import GENERATIONS, MIC_KNF, get_benchmark, measure_ladder
+from repro.analysis import format_table
+
+BENCHES = ("blackscholes", "stencil", "treesearch")
+
+
+def main() -> None:
+    machines = list(GENERATIONS) + [MIC_KNF]
+    rows = []
+    for machine in machines:
+        row = [
+            machine.name,
+            machine.num_cores * machine.simd_lanes(4),
+        ]
+        for name in BENCHES:
+            ladder = measure_ladder(get_benchmark(name), machine)
+            row.append(round(ladder.ninja_gap, 1))
+            row.append(round(ladder.residual_gap, 2))
+        rows.append(tuple(row))
+
+    headers = ["machine", "cores x lanes"]
+    for name in BENCHES:
+        headers += [f"{name} gap", f"{name} resid"]
+    print(format_table(headers, rows))
+
+    print(
+        "\nThe naive-code gap scales with cores x lanes; the residual gap "
+        "after the paper's low-effort changes stays flat — traditional "
+        "programming keeps up with the hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

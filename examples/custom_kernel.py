@@ -1,0 +1,123 @@
+"""Scenario: bring your own kernel through the whole pipeline.
+
+Defines a new kernel with the builder DSL (a Horner-scheme polynomial
+evaluator), then walks it through everything the library offers:
+
+1. functional execution against numpy (is the kernel right?),
+2. the vectorization report at each compiler rung (what did icc say?),
+3. analytic simulation on two machines (how fast, bound by what?),
+4. a ground-truth cache trace (does the analytic model agree?).
+
+Run with::
+
+    python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import (
+    CORE_I7_X980,
+    F32,
+    KernelBuilder,
+    MIC_KNF,
+    CompilerOptions,
+    compile_kernel,
+    run_kernel,
+    simulate,
+    trace_kernel,
+)
+from repro.analysis import format_table
+from repro.ir import format_kernel
+
+COEFFS = (0.5, -1.25, 0.75, 2.0)  # highest degree first
+
+
+def build_polyval():
+    """y[i] = polyval(COEFFS, x[i]) via Horner's scheme."""
+    b = KernelBuilder("polyval", doc="Horner-scheme polynomial evaluation")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    y = b.array("y", F32, (n,))
+    with b.loop("i", n, parallel=True) as i:
+        xi = b.let("xi", x[i], F32)
+        acc = b.let("acc", COEFFS[0], F32)
+        for coeff in COEFFS[1:]:
+            b.assign(acc, acc * xi + coeff)
+        b.assign(y[i], acc)
+    return b.build()
+
+
+def main() -> None:
+    kernel = build_polyval()
+    print(format_kernel(kernel))
+
+    # 1. functional check against numpy
+    rng = np.random.default_rng(42)
+    xs = rng.standard_normal(1000).astype(np.float32)
+    ys = np.zeros_like(xs)
+    run_kernel(kernel, {"n": 1000}, {"x": xs, "y": ys})
+    np.testing.assert_allclose(ys, np.polyval(COEFFS, xs), rtol=1e-3, atol=1e-6)
+    print("\nfunctional check vs numpy.polyval: OK")
+
+    # 2. + 3. compile at every rung and simulate
+    rows = []
+    for options in (
+        CompilerOptions.naive_serial(),
+        CompilerOptions.parallel_only(),
+        CompilerOptions.best_traditional(),
+        CompilerOptions.ninja_options(),
+    ):
+        compiled = compile_kernel(kernel, options, CORE_I7_X980)
+        result = simulate(compiled, CORE_I7_X980, {"n": 8_000_000})
+        rows.append(
+            (
+                options.label,
+                compiled.report.decision_for("i").vectorized,
+                round(result.time_s * 1e3, 2),
+                round(result.gflops, 1),
+                result.bottleneck,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("options", "vectorized", "time (ms)", "GFLOP/s", "bound by"),
+            rows,
+            title=f"polyval on {CORE_I7_X980.name} (n=8M)",
+        )
+    )
+    best = compile_kernel(
+        kernel, CompilerOptions.best_traditional(), CORE_I7_X980
+    )
+    print("\nvectorization report:")
+    print(best.report.render())
+
+    mic = simulate(
+        compile_kernel(kernel, CompilerOptions.best_traditional(), MIC_KNF),
+        MIC_KNF,
+        {"n": 8_000_000},
+    )
+    print(f"\nsame source on {MIC_KNF.name}: {mic.describe()}")
+
+    # 4. ground-truth cache trace on a small instance
+    n_small = 20_000
+    storage = {
+        "x": rng.standard_normal(n_small).astype(np.float32),
+        "y": np.zeros(n_small, np.float32),
+    }
+    traced = trace_kernel(kernel, {"n": n_small}, storage, CORE_I7_X980)
+    analytic = simulate(
+        compile_kernel(kernel, CompilerOptions.naive_serial(), CORE_I7_X980),
+        CORE_I7_X980,
+        {"n": n_small},
+        threads=1,
+    )
+    print(
+        f"\nDRAM bytes, n={n_small}: traced "
+        f"{traced.hierarchy.total_dram_bytes() / 1e3:.0f} KB vs analytic "
+        f"{analytic.traffic_bytes[-1] / 1e3:.0f} KB"
+    )
+
+
+if __name__ == "__main__":
+    main()

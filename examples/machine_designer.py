@@ -1,0 +1,93 @@
+"""Scenario: design a hypothetical machine and predict its Ninja gap.
+
+The machine models are plain dataclasses, so "what if" questions are one
+`with_overrides` away. This script asks three the paper's conclusion
+invites:
+
+1. What if Westmere had 16 cores?       (the gap keeps growing)
+2. What if DRAM bandwidth doubled too?  (bandwidth kernels come back)
+3. What if SSE had hardware gather?     (§6's programmability hardware)
+
+Run with::
+
+    python examples/machine_designer.py
+"""
+
+import dataclasses
+
+from repro import CORE_I7_X980, get_benchmark, measure_ladder
+from repro.analysis import format_table
+from repro.machines.ops import OpClass, OpCost, OpCostTable
+
+BENCHES = ("blackscholes", "stencil", "treesearch")
+
+
+def westmere_16c():
+    return CORE_I7_X980.with_overrides(
+        name="hypothetical 16-core Westmere", num_cores=16
+    )
+
+
+def westmere_16c_fat_memory():
+    return CORE_I7_X980.with_overrides(
+        name="16-core + 2x DRAM",
+        num_cores=16,
+        dram_bandwidth_bytes_per_s=2 * CORE_I7_X980.dram_bandwidth_bytes_per_s,
+    )
+
+
+def westmere_with_gather():
+    table = CORE_I7_X980.isa.cost_table
+    vector = dict(table.vector)
+    vector[OpClass.GATHER_LANE] = OpCost(0.75, 0.0, "load")
+    vector[OpClass.SCATTER_LANE] = OpCost(0.75, 0.0, "store")
+    isa = dataclasses.replace(
+        CORE_I7_X980.isa,
+        name="SSE4.2+gather",
+        cost_table=OpCostTable("SSE4.2+gather", dict(table.scalar), vector),
+        has_hw_gather=True,
+        has_hw_scatter=True,
+    )
+    core = dataclasses.replace(CORE_I7_X980.core, isa=isa)
+    return CORE_I7_X980.with_overrides(
+        name="Westmere + HW gather", core=core
+    )
+
+
+def main() -> None:
+    machines = (
+        CORE_I7_X980,
+        westmere_16c(),
+        westmere_16c_fat_memory(),
+        westmere_with_gather(),
+    )
+    rows = []
+    for machine in machines:
+        row = [machine.name]
+        for name in BENCHES:
+            ladder = measure_ladder(get_benchmark(name), machine)
+            row.append(round(ladder.ninja_gap, 1))
+            row.append(round(ladder.residual_gap, 2))
+        rows.append(tuple(row))
+
+    headers = ["machine"]
+    for name in BENCHES:
+        headers += [f"{name} gap", f"{name} resid"]
+    print(format_table(headers, rows))
+
+    print("\nWhat compiler flags alone achieve on naive BlackScholes:")
+    for machine in (CORE_I7_X980, westmere_with_gather()):
+        ladder = measure_ladder(get_benchmark("blackscholes"), machine)
+        print(
+            f"  {machine.name:28s} compiler-only gap "
+            f"{ladder.compiler_only_gap:5.1f}X"
+        )
+    print(
+        "\nMore cores widen the naive gap; more bandwidth rescues the "
+        "bandwidth-bound kernels; gather hardware lets the compiler act "
+        "on unchanged code — all without touching a single kernel."
+    )
+
+
+if __name__ == "__main__":
+    main()

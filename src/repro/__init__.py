@@ -1,0 +1,99 @@
+"""Ninja-gap reproduction: Satish et al., ISCA 2012.
+
+"Can traditional programming bridge the Ninja performance gap for parallel
+computing applications?" asked whether naively written C code can approach
+hand-tuned ("Ninja") performance with only low-effort algorithmic changes
+plus a traditional compiler.  This library reproduces that study end to
+end on *simulated* hardware:
+
+* :mod:`repro.machines`  — parameterised models of the paper's platforms
+  (Core i7 X980, Knights Ferry MIC, earlier generations);
+* :mod:`repro.ir`        — a typed loop-nest IR with a builder DSL and a
+  functional interpreter;
+* :mod:`repro.compiler`  — a traditional-compiler model: dependence
+  analysis, auto-vectorization with a profitability cost model,
+  ``pragma simd``/OpenMP support, unrolling, vec-reports;
+* :mod:`repro.simulator` — an analytic performance model (issue ports,
+  reuse-distance cache model, bandwidth/threading) plus a trace-driven
+  set-associative cache simulator for validation;
+* :mod:`repro.kernels`   — the 11 throughput-computing benchmarks in
+  naive / optimized / ninja source variants, checked against numpy
+  references;
+* :mod:`repro.analysis`  — Ninja-gap ladders, breakdowns, roofline,
+  effort model;
+* :mod:`repro.experiments` — every paper table and figure as a runnable
+  artifact (also via the ``ninja-gap`` CLI).
+
+Quickstart::
+
+    from repro import CORE_I7_X980, get_benchmark, measure_ladder
+
+    ladder = measure_ladder(get_benchmark("blackscholes"), CORE_I7_X980)
+    print(f"Ninja gap: {ladder.ninja_gap:.1f}X, "
+          f"residual after changes: {ladder.residual_gap:.2f}X")
+"""
+
+from repro.analysis import (
+    Ladder,
+    RungResult,
+    SuiteGaps,
+    breakdown,
+    measure_ladder,
+    measure_suite,
+)
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.errors import ReproError
+from repro.experiments import experiment_ids, run_experiment
+from repro.ir import F32, F64, I32, I64, Kernel, KernelBuilder, run_kernel
+from repro.kernels import Benchmark, all_benchmarks, get_benchmark
+from repro.machines import (
+    CORE2_E6600,
+    CORE_I7_960,
+    CORE_I7_2600,
+    CORE_I7_4770,
+    CORE_I7_X980,
+    GENERATIONS,
+    MIC_KNF,
+    MachineSpec,
+    get_machine,
+)
+from repro.simulator import SimResult, simulate, trace_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Benchmark",
+    "CORE2_E6600",
+    "CORE_I7_960",
+    "CORE_I7_2600",
+    "CORE_I7_4770",
+    "CORE_I7_X980",
+    "CompilerOptions",
+    "F32",
+    "F64",
+    "GENERATIONS",
+    "I32",
+    "I64",
+    "Kernel",
+    "KernelBuilder",
+    "Ladder",
+    "MIC_KNF",
+    "MachineSpec",
+    "ReproError",
+    "RungResult",
+    "SimResult",
+    "SuiteGaps",
+    "all_benchmarks",
+    "breakdown",
+    "compile_kernel",
+    "experiment_ids",
+    "get_benchmark",
+    "get_machine",
+    "measure_ladder",
+    "measure_suite",
+    "run_experiment",
+    "run_kernel",
+    "simulate",
+    "trace_kernel",
+    "__version__",
+]

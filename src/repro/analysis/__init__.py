@@ -1,0 +1,55 @@
+"""Analysis layer: gap measurement, breakdowns, roofline, effort model."""
+
+from repro.analysis.breakdown import COMPONENTS, GapBreakdown, breakdown
+from repro.analysis.effort import EffortPoint, effort_curve, productivity_ratio
+from repro.analysis.gap import (
+    LADDER_RUNGS,
+    clear_ladder_cache,
+    Ladder,
+    RUNG_LABELS,
+    RungResult,
+    SuiteGaps,
+    geometric_mean,
+    measure_ladder,
+    measure_suite,
+    run_rung,
+)
+from repro.analysis.scaling import (
+    ScalingPoint,
+    saturation_threads,
+    thread_scaling,
+)
+from repro.analysis.roofline import (
+    RooflinePoint,
+    attainable_gflops,
+    place,
+    ridge_point,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "COMPONENTS",
+    "EffortPoint",
+    "GapBreakdown",
+    "LADDER_RUNGS",
+    "Ladder",
+    "RUNG_LABELS",
+    "RooflinePoint",
+    "RungResult",
+    "ScalingPoint",
+    "SuiteGaps",
+    "attainable_gflops",
+    "breakdown",
+    "clear_ladder_cache",
+    "effort_curve",
+    "format_table",
+    "geometric_mean",
+    "measure_ladder",
+    "measure_suite",
+    "place",
+    "productivity_ratio",
+    "ridge_point",
+    "run_rung",
+    "saturation_threads",
+    "thread_scaling",
+]

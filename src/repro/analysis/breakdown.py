@@ -1,0 +1,63 @@
+"""Gap attribution: where each benchmark's Ninja gap comes from.
+
+Decomposes the serial→ninja speedup into the multiplicative contributions
+of the effort ladder's steps (paper Figs. 3/4 present exactly this):
+
+* ``threading``      — serial → parallel (cores + SMT),
+* ``vectorization``  — parallel → autovec (compiler on unchanged source),
+* ``algorithmic``    — autovec → traditional (layout/blocking + pragmas),
+* ``ninja_extras``   — traditional → ninja (alignment, prefetch, tuning).
+
+The product of the four factors is the total Ninja gap by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gap import Ladder
+
+COMPONENTS = ("threading", "vectorization", "algorithmic", "ninja_extras")
+
+
+@dataclass(frozen=True)
+class GapBreakdown:
+    """Multiplicative gap components for one benchmark."""
+
+    benchmark: str
+    threading: float
+    vectorization: float
+    algorithmic: float
+    ninja_extras: float
+
+    @property
+    def total(self) -> float:
+        """Product of all components (= the Ninja gap)."""
+        return (
+            self.threading
+            * self.vectorization
+            * self.algorithmic
+            * self.ninja_extras
+        )
+
+    def component(self, name: str) -> float:
+        """Look up one component by name."""
+        if name not in COMPONENTS:
+            raise KeyError(f"unknown component {name!r}; known: {COMPONENTS}")
+        return getattr(self, name)
+
+    @property
+    def dominant(self) -> str:
+        """The largest single contributor."""
+        return max(COMPONENTS, key=self.component)
+
+
+def breakdown(ladder: Ladder) -> GapBreakdown:
+    """Attribute one ladder's Ninja gap to its ladder steps."""
+    return GapBreakdown(
+        benchmark=ladder.benchmark,
+        threading=ladder.speedup("serial", "parallel"),
+        vectorization=ladder.speedup("parallel", "autovec"),
+        algorithmic=ladder.speedup("autovec", "traditional"),
+        ninja_extras=ladder.speedup("traditional", "ninja"),
+    )

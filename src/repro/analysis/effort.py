@@ -1,0 +1,65 @@
+"""Programming effort vs performance (paper Fig. 7 / Table 3).
+
+Effort is proxied by source lines touched relative to the naive code —
+the paper's qualitative argument made quantitative: the algorithmic
+changes cost tens of lines, Ninja code costs hundreds, and almost all the
+performance arrives with the former.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gap import Ladder
+from repro.kernels.base import Benchmark
+
+#: Lines attributed to rungs that only change build flags or add a pragma.
+_PRAGMA_LINES = 2
+
+
+@dataclass(frozen=True)
+class EffortPoint:
+    """One rung on the performance-vs-effort plane."""
+
+    benchmark: str
+    label: str
+    loc_delta: int
+    speedup_over_serial: float
+
+    @property
+    def speedup_per_line(self) -> float:
+        """Marginal productivity of this rung's source changes."""
+        lines = max(1, self.loc_delta)
+        return self.speedup_over_serial / lines
+
+
+def effort_curve(benchmark: Benchmark, ladder: Ladder) -> tuple[EffortPoint, ...]:
+    """Performance-vs-effort points up the ladder for one benchmark."""
+    loc = {
+        "serial": 0,
+        "parallel": _PRAGMA_LINES,
+        "autovec": _PRAGMA_LINES,
+        "traditional": benchmark.loc_delta("optimized") + _PRAGMA_LINES,
+        "ninja": benchmark.loc_delta("ninja"),
+    }
+    points = []
+    serial_time = ladder.time("serial")
+    for label in ("serial", "parallel", "autovec", "traditional", "ninja"):
+        points.append(
+            EffortPoint(
+                benchmark=benchmark.name,
+                label=label,
+                loc_delta=loc[label],
+                speedup_over_serial=serial_time / ladder.time(label),
+            )
+        )
+    return tuple(points)
+
+
+def productivity_ratio(points: tuple[EffortPoint, ...]) -> float:
+    """Performance-per-line of the traditional rung over the ninja rung —
+    the paper's 'low effort captures nearly all of it' claim as a number."""
+    by_label = {point.label: point for point in points}
+    traditional = by_label["traditional"]
+    ninja = by_label["ninja"]
+    return traditional.speedup_per_line / ninja.speedup_per_line

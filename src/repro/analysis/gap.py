@@ -1,0 +1,238 @@
+"""Ninja-gap measurement: run a benchmark up the programming-effort ladder.
+
+The ladder is the paper's methodology (§3):
+
+====== ============ ===================== =======================
+rung   source       compiler options      what the programmer did
+====== ============ ===================== =======================
+serial naive        ``-O2``               nothing (the baseline)
+parallel naive      ``-O2 -fopenmp``      added ``omp parallel for``
+autovec naive       ``-O2 -fopenmp -vec`` recompiled, nothing more
+traditional optimized best_traditional    layout/blocking change + pragmas
+ninja  ninja        hand-tuned            weeks of intrinsics work
+====== ============ ===================== =======================
+
+``ninja_gap`` is serial/ninja (paper Fig. 1, avg 24X); ``residual_gap`` is
+traditional/ninja (paper Fig. 4, avg 1.3X).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.compiler.compiled import CompiledKernel
+from repro.errors import ExperimentError
+from repro.kernels.base import Benchmark
+from repro.machines.spec import MachineSpec
+from repro.simulator import SimResult, simulate
+
+#: (rung label, source variant, compiler options) in evaluation order.
+LADDER_RUNGS: tuple[tuple[str, str, CompilerOptions], ...] = (
+    ("serial", "naive", CompilerOptions.naive_serial()),
+    ("parallel", "naive", CompilerOptions.parallel_only()),
+    ("autovec", "naive", CompilerOptions.auto_vec()),
+    ("traditional", "optimized", CompilerOptions.best_traditional()),
+    ("ninja", "ninja", CompilerOptions.ninja_options()),
+)
+
+RUNG_LABELS = tuple(label for label, _v, _o in LADDER_RUNGS)
+
+
+@dataclass(frozen=True)
+class RungResult:
+    """One benchmark at one rung on one machine."""
+
+    label: str
+    variant: str
+    time_s: float
+    flops: float
+    elements: float
+    dram_bytes: float
+    bottleneck: str
+    threads: int
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s at this rung."""
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+    @property
+    def elements_per_s(self) -> float:
+        """Throughput in benchmark-defined work units."""
+        return self.elements / self.time_s if self.time_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class Ladder:
+    """All rungs of one benchmark on one machine."""
+
+    benchmark: str
+    machine: str
+    rungs: Mapping[str, RungResult]
+
+    def time(self, label: str) -> float:
+        """Seconds at one rung."""
+        return self.rungs[label].time_s
+
+    def speedup(self, frm: str, to: str) -> float:
+        """How much faster rung *to* is than rung *frm*."""
+        return self.time(frm) / self.time(to)
+
+    @property
+    def ninja_gap(self) -> float:
+        """Naive serial vs best-optimized (paper Fig. 1)."""
+        return self.speedup("serial", "ninja")
+
+    @property
+    def residual_gap(self) -> float:
+        """Traditional (changes + compiler) vs ninja (paper Fig. 4)."""
+        return self.speedup("traditional", "ninja")
+
+    @property
+    def compiler_only_gap(self) -> float:
+        """Best compiled *naive* code vs ninja (paper Fig. 3)."""
+        best_naive = min(
+            self.time(label) for label in ("serial", "parallel", "autovec")
+        )
+        return best_naive / self.time("ninja")
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Threading benefit on unchanged source."""
+        return self.speedup("serial", "parallel")
+
+
+def run_rung(
+    benchmark: Benchmark,
+    variant: str,
+    options: CompilerOptions,
+    machine: MachineSpec,
+    label: str | None = None,
+    params: Mapping[str, int] | None = None,
+    threads: int | None = None,
+    _cache: dict | None = None,
+) -> RungResult:
+    """Compile and simulate one benchmark variant (all phases)."""
+    params = dict(params or benchmark.paper_params())
+    compiled: dict[str, CompiledKernel] = _cache if _cache is not None else {}
+    total_time = 0.0
+    total_flops = 0.0
+    total_dram = 0.0
+    used_threads = 0
+    bottleneck_time = -1.0
+    bottleneck = "compute"
+    for phase in benchmark.phases(variant, params):
+        key = f"{phase.kernel.name}|{options.label}|{machine.name}"
+        if key not in compiled:
+            compiled[key] = compile_kernel(phase.kernel, options, machine)
+        result: SimResult = simulate(compiled[key], machine, phase.params, threads)
+        total_time += result.time_s * phase.count
+        total_flops += result.flops * phase.count
+        total_dram += result.traffic_bytes[-1] * phase.count
+        used_threads = max(used_threads, result.threads)
+        if result.time_s * phase.count > bottleneck_time:
+            bottleneck_time = result.time_s * phase.count
+            bottleneck = result.bottleneck
+    return RungResult(
+        label=label or options.label,
+        variant=variant,
+        time_s=total_time,
+        flops=total_flops,
+        elements=float(benchmark.elements(params)),
+        dram_bytes=total_dram,
+        bottleneck=bottleneck,
+        threads=used_threads,
+    )
+
+
+#: Memoized ladders: the experiment harness re-derives many figures from
+#: the same (benchmark, machine, default-params) runs.
+_LADDER_CACHE: dict[tuple[str, str], Ladder] = {}
+
+
+def clear_ladder_cache() -> None:
+    """Drop memoized ladders (call after changing models mid-session)."""
+    _LADDER_CACHE.clear()
+
+
+def measure_ladder(
+    benchmark: Benchmark,
+    machine: MachineSpec,
+    params: Mapping[str, int] | None = None,
+) -> Ladder:
+    """Run the full effort ladder for one benchmark on one machine.
+
+    Default-workload ladders are memoized per (benchmark, machine) —
+    simulations are deterministic, so the figures sharing them do not pay
+    twice.  Explicit ``params`` bypass the cache.
+    """
+    cache_key = None
+    if params is None:
+        cache_key = (benchmark.name, machine.name)
+        if cache_key in _LADDER_CACHE:
+            return _LADDER_CACHE[cache_key]
+    compiled: dict[str, CompiledKernel] = {}
+    rungs = {}
+    for label, variant, options in LADDER_RUNGS:
+        rungs[label] = run_rung(
+            benchmark, variant, options, machine,
+            label=label, params=params, _cache=compiled,
+        )
+    ladder = Ladder(benchmark=benchmark.name, machine=machine.name, rungs=rungs)
+    if cache_key is not None:
+        _LADDER_CACHE[cache_key] = ladder
+    return ladder
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the paper-style average for speedup ratios)."""
+    if not values:
+        raise ExperimentError("geometric mean of an empty list")
+    return statistics.geometric_mean(values)
+
+
+@dataclass(frozen=True)
+class SuiteGaps:
+    """Ninja-gap summary across the whole suite on one machine."""
+
+    machine: str
+    ladders: tuple[Ladder, ...]
+
+    @property
+    def mean_ninja_gap(self) -> float:
+        """The paper's headline 24X figure."""
+        return geometric_mean([ladder.ninja_gap for ladder in self.ladders])
+
+    @property
+    def max_ninja_gap(self) -> float:
+        """The paper's 'up to 53X'."""
+        return max(ladder.ninja_gap for ladder in self.ladders)
+
+    @property
+    def mean_residual_gap(self) -> float:
+        """The paper's headline 1.3X figure."""
+        return geometric_mean([ladder.residual_gap for ladder in self.ladders])
+
+    def ladder_for(self, benchmark: str) -> Ladder:
+        """Look up one benchmark's ladder."""
+        for ladder in self.ladders:
+            if ladder.benchmark == benchmark:
+                return ladder
+        raise ExperimentError(f"no ladder for benchmark {benchmark!r}")
+
+
+def measure_suite(
+    benchmarks,
+    machine: MachineSpec,
+    params_overrides: Mapping[str, Mapping[str, int]] | None = None,
+) -> SuiteGaps:
+    """Run the ladder for a collection of benchmarks."""
+    overrides = params_overrides or {}
+    ladders = tuple(
+        measure_ladder(bench, machine, overrides.get(bench.name))
+        for bench in benchmarks
+    )
+    return SuiteGaps(machine=machine.name, ladders=ladders)

@@ -1,0 +1,65 @@
+"""Roofline analysis: attainable-performance bounds per machine.
+
+Used both as a sanity invariant (no simulated result may beat its roof)
+and to classify kernels as compute- vs bandwidth-bound the way the paper's
+Table 1 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gap import RungResult
+from repro.machines.spec import MachineSpec
+
+
+def ridge_point(machine: MachineSpec) -> float:
+    """Arithmetic intensity (FLOP/byte) where compute and bandwidth roofs
+    meet on this machine."""
+    return machine.peak_flops_sp() / machine.dram_bandwidth_bytes_per_s
+
+
+def attainable_gflops(machine: MachineSpec, intensity: float) -> float:
+    """min(compute roof, bandwidth roof at this intensity), in GFLOP/s."""
+    compute = machine.peak_flops_sp()
+    bandwidth = machine.dram_bandwidth_bytes_per_s * intensity
+    return min(compute, bandwidth) / 1e9
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured run placed on a machine's roofline."""
+
+    benchmark: str
+    label: str
+    arithmetic_intensity: float   # FLOPs per DRAM byte
+    gflops: float
+    roof_gflops: float
+    ridge: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the attainable roof achieved."""
+        return self.gflops / self.roof_gflops if self.roof_gflops > 0 else 0.0
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the bandwidth roof is the binding one."""
+        return self.arithmetic_intensity < self.ridge
+
+
+def place(
+    benchmark: str, rung: RungResult, machine: MachineSpec
+) -> RooflinePoint:
+    """Place one rung result on the machine's roofline."""
+    intensity = (
+        rung.flops / rung.dram_bytes if rung.dram_bytes > 0 else float("inf")
+    )
+    return RooflinePoint(
+        benchmark=benchmark,
+        label=rung.label,
+        arithmetic_intensity=intensity,
+        gflops=rung.gflops,
+        roof_gflops=attainable_gflops(machine, intensity),
+        ridge=ridge_point(machine),
+    )

@@ -1,0 +1,80 @@
+"""Thread-scaling measurement: how each kernel uses added cores/threads.
+
+Compute-bound kernels scale to the core count (plus a little SMT);
+bandwidth-bound kernels saturate once enough cores pull the full DRAM
+bandwidth; latency-bound kernels keep gaining from SMT.  The scaling curve
+is the standard way to show *why* a kernel's Ninja gap has the threading
+component it has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.gap import run_rung
+from repro.compiler import CompilerOptions
+from repro.kernels.base import Benchmark
+from repro.machines.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One thread count on the scaling curve."""
+
+    threads: int
+    time_s: float
+    speedup: float          # over the 1-thread run of the same binary
+    efficiency: float       # speedup / threads
+    bottleneck: str
+
+
+def thread_scaling(
+    benchmark: Benchmark,
+    machine: MachineSpec,
+    variant: str = "optimized",
+    options: CompilerOptions | None = None,
+    thread_counts: Sequence[int] | None = None,
+    params: Mapping[str, int] | None = None,
+) -> tuple[ScalingPoint, ...]:
+    """Measure one variant at several thread counts on one machine."""
+    options = options or CompilerOptions.best_traditional()
+    if thread_counts is None:
+        counts = [1]
+        while counts[-1] * 2 <= machine.total_threads:
+            counts.append(counts[-1] * 2)
+        if machine.num_cores not in counts and machine.num_cores <= machine.total_threads:
+            counts.append(machine.num_cores)
+        if machine.total_threads not in counts:
+            counts.append(machine.total_threads)
+        thread_counts = sorted(set(counts))
+    base_time = None
+    points = []
+    cache: dict = {}
+    for threads in thread_counts:
+        rung = run_rung(
+            benchmark, variant, options, machine,
+            params=params, threads=threads, _cache=cache,
+        )
+        if base_time is None:
+            base_time = rung.time_s
+        speedup = base_time / rung.time_s
+        points.append(
+            ScalingPoint(
+                threads=threads,
+                time_s=rung.time_s,
+                speedup=speedup,
+                efficiency=speedup / threads,
+                bottleneck=rung.bottleneck,
+            )
+        )
+    return tuple(points)
+
+
+def saturation_threads(points: Sequence[ScalingPoint]) -> int:
+    """The smallest thread count achieving >=95% of the best speedup."""
+    best = max(point.speedup for point in points)
+    for point in points:
+        if point.speedup >= 0.95 * best:
+            return point.threads
+    return points[-1].threads

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned and formatted compactly; everything else is
+    left-aligned.  This is the output format of every ``bench_*`` target,
+    mirroring the rows of the paper's tables and figures.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    columns = [list(col) for col in zip(*( [list(headers)] + rendered_rows ))]
+    widths = [max(len(value) for value in col) for col in columns]
+    numeric = [
+        all(_is_numeric(row[i]) for row in rows) if rows else False
+        for i in range(len(headers))
+    ]
+
+    def render_line(cells: Sequence[str], align_numeric: bool) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if align_numeric and numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers), align_numeric=False))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_line(row, align_numeric=True) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,47 @@
+"""The "traditional compiler" model: dependence analysis, auto-vectorization,
+pragma support, and lowering to a priced-able loop-nest representation."""
+
+from repro.compiler.access import AccessContext, classify_access
+from repro.compiler.affine import AffineForm, analyze_affine
+from repro.compiler.compiled import (
+    AccessInfo,
+    AccessPattern,
+    CompiledKernel,
+    CompiledLoop,
+    LoopDecision,
+    LoopPlan,
+    OpCounts,
+    VectorizationReport,
+)
+from repro.compiler.dependence import (
+    DependenceResult,
+    Reduction,
+    analyze_loop,
+    collect_accesses,
+)
+from repro.compiler.options import EFFORT_LADDER, CompilerOptions
+from repro.compiler.pipeline import compile_kernel
+from repro.compiler.vectorize import plan_vectorization
+
+__all__ = [
+    "AccessContext",
+    "AccessInfo",
+    "AccessPattern",
+    "AffineForm",
+    "CompiledKernel",
+    "CompiledLoop",
+    "CompilerOptions",
+    "DependenceResult",
+    "EFFORT_LADDER",
+    "LoopDecision",
+    "LoopPlan",
+    "OpCounts",
+    "Reduction",
+    "VectorizationReport",
+    "analyze_affine",
+    "analyze_loop",
+    "classify_access",
+    "collect_accesses",
+    "compile_kernel",
+    "plan_vectorization",
+]

@@ -1,0 +1,141 @@
+"""Memory-access classification for vector code generation.
+
+Given an array subscript and the loop being vectorized, decide how the
+access moves across SIMD lanes: contiguous (one vector load), strided
+(AOS fields, column walks — gathers on most ISAs), data-dependent
+(gathers), or lane-invariant (a broadcast).
+
+This classification is where the paper's AOS→SOA story lives: an AOS field
+access ``pos[i].x`` has byte stride ``struct_bytes`` even though its index
+stride is 1, so it classifies STRIDED and prices as a gather; after the SOA
+change the same subscript classifies UNIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.affine import AffineForm, analyze_affine
+from repro.compiler.compiled import AccessInfo, AccessPattern
+from repro.ir.expr import Const, Expr, VarRef
+from repro.ir.kernel import ArrayDecl
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Everything classification needs to know about the surrounding code.
+
+    Attributes:
+        loop_vars: all loop variables in scope.
+        dynamic_names: scalar locals (their values vary iteration to
+            iteration, so subscripts using them are data-dependent).
+        vec_var: the vectorized loop variable, or ``None`` in scalar code.
+        lanes: SIMD lanes of the vector context (1 in scalar code).
+        ninja: hand-tuned mode — data is padded/aligned by the programmer.
+    """
+
+    loop_vars: frozenset[str]
+    dynamic_names: frozenset[str]
+    vec_var: str | None = None
+    lanes: int = 1
+    ninja: bool = False
+
+
+def dim_form(expr: Expr, ctx: AccessContext) -> AffineForm | None:
+    """Affine form of one subscript dimension, or None when data-dependent."""
+    for node in expr.walk():
+        if isinstance(node, VarRef) and node.name in ctx.dynamic_names:
+            return None
+    return analyze_affine(expr, ctx.loop_vars)
+
+
+def _references(expr: Expr, names: frozenset[str]) -> bool:
+    return any(
+        isinstance(node, VarRef) and node.name in names for node in expr.walk()
+    )
+
+
+def classify_access(
+    decl: ArrayDecl,
+    array_field: str | None,
+    index: tuple[Expr, ...],
+    is_write: bool,
+    ctx: AccessContext,
+    count: float = 1.0,
+) -> AccessInfo:
+    """Build the :class:`AccessInfo` for one subscripted array reference."""
+    forms = tuple(dim_form(sub, ctx) for sub in index)
+    pattern = _pattern(decl, index, forms, ctx)
+    aligned = _alignment(decl, forms, pattern, ctx)
+    return AccessInfo(
+        array=decl.name,
+        array_field=array_field,
+        is_write=is_write,
+        dim_forms=forms,
+        pattern=pattern,
+        count=count,
+        aligned=aligned,
+    )
+
+
+def _pattern(
+    decl: ArrayDecl,
+    index: tuple[Expr, ...],
+    forms: tuple[AffineForm | None, ...],
+    ctx: AccessContext,
+) -> AccessPattern:
+    if ctx.vec_var is None:
+        return AccessPattern.SCALAR
+    vec = ctx.vec_var
+    if any(form is None for form in forms):
+        # A data-dependent subscript: a gather if any lane-varying name
+        # feeds it, otherwise it is still unpredictable but uniform.
+        for sub, form in zip(index, forms):
+            if form is not None:
+                continue
+            if _references(sub, ctx.dynamic_names | {vec}):
+                return AccessPattern.GATHER
+        return AccessPattern.UNIFORM
+    if not any(form.depends_on(vec) for form in forms if form is not None):
+        return AccessPattern.UNIFORM
+    # The access moves with the vector lane: find where.
+    last = forms[-1]
+    assert last is not None
+    for form in forms[:-1]:
+        assert form is not None
+        if form.depends_on(vec):
+            return AccessPattern.STRIDED  # row jumps: large constant stride
+    coeff = last.coeff(vec)
+    if coeff == Const(1, coeff.dtype):
+        if decl.layout == "aos" and decl.num_fields > 1:
+            return AccessPattern.STRIDED  # interleaved struct fields
+        return AccessPattern.UNIT
+    return AccessPattern.STRIDED
+
+
+def _alignment(
+    decl: ArrayDecl,
+    forms: tuple[AffineForm | None, ...],
+    pattern: AccessPattern,
+    ctx: AccessContext,
+) -> bool:
+    if pattern is not AccessPattern.UNIT:
+        return False
+    if ctx.ninja:
+        # Hand-tuned code pads and aligns its data structures.
+        return True
+    if len(forms) != 1:
+        # Row starts of multi-dimensional arrays are aligned only when the
+        # row length divides the vector width — unknown at compile time.
+        return False
+    form = forms[0]
+    assert form is not None
+    const = form.const
+    if not (isinstance(const, Const) and int(const.value) % ctx.lanes == 0):
+        return False
+    for var, coeff in form.coeffs.items():
+        if var == ctx.vec_var:
+            continue
+        if not (isinstance(coeff, Const) and int(coeff.value) % ctx.lanes == 0):
+            return False
+    return True

@@ -1,0 +1,203 @@
+"""Affine analysis of index expressions.
+
+An index is *affine* when it can be written ``c0 + Σ ci·var_i`` where the
+``ci`` are expressions over kernel parameters only (so blocked indices like
+``ii*block + i`` stay affine even though ``block`` is a runtime parameter).
+Strides, dependence distances, and footprints all fall out of this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import CompilationError
+from repro.ir.evaluate import eval_int_expr
+from repro.ir.expr import BinOp, Const, Expr, UnOp, VarRef
+from repro.ir.types import I64
+
+_ZERO = Const(0, I64)
+_ONE = Const(1, I64)
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """``const + Σ coeffs[var]·var`` with parameter-expression coefficients.
+
+    ``coeffs`` maps *loop-variable* names to coefficient expressions; the
+    constant term absorbs parameters and literals.
+    """
+
+    coeffs: Mapping[str, Expr]
+    const: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coeffs", dict(self.coeffs))
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no loop variable appears."""
+        return not self.coeffs
+
+    def coeff(self, var: str) -> Expr:
+        """Coefficient of *var* (zero if absent)."""
+        return self.coeffs.get(var, _ZERO)
+
+    def coeff_value(self, var: str, params: Mapping[str, int]) -> int:
+        """Numeric coefficient of *var* under concrete parameters."""
+        return eval_int_expr(self.coeff(var), params)
+
+    def const_value(self, params: Mapping[str, int]) -> int:
+        """Numeric constant term under concrete parameters."""
+        return eval_int_expr(self.const, params)
+
+    def depends_on(self, var: str) -> bool:
+        """True if *var* appears with a (syntactically) nonzero coefficient."""
+        coeff = self.coeffs.get(var)
+        return coeff is not None and coeff != _ZERO
+
+
+def _add(a: Expr, b: Expr) -> Expr:
+    if a == _ZERO:
+        return b
+    if b == _ZERO:
+        return a
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(int(a.value) + int(b.value), I64)
+    return BinOp("+", a, b, I64)
+
+
+def _mul(a: Expr, b: Expr) -> Expr:
+    if a == _ZERO or b == _ZERO:
+        return _ZERO
+    if a == _ONE:
+        return b
+    if b == _ONE:
+        return a
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(int(a.value) * int(b.value), I64)
+    return BinOp("*", a, b, I64)
+
+
+def _neg(a: Expr) -> Expr:
+    if isinstance(a, Const):
+        return Const(-int(a.value), I64)
+    return BinOp("*", Const(-1, I64), a, I64)
+
+
+def analyze_affine(expr: Expr, loop_vars: frozenset[str] | set[str]) -> AffineForm | None:
+    """Extract the affine form of *expr* with respect to ``loop_vars``.
+
+    Names not in ``loop_vars`` are treated as parameters (constants).
+    Returns ``None`` when the expression is not affine (modulo, division by
+    a loop-var term, products of loop variables, loads, casts of floats).
+    """
+    loop_vars = frozenset(loop_vars)
+    if isinstance(expr, Const):
+        if expr.dtype.is_float:
+            return None
+        return AffineForm({}, Const(int(expr.value), I64))
+    if isinstance(expr, VarRef):
+        if expr.dtype.is_float:
+            return None
+        if expr.name in loop_vars:
+            return AffineForm({expr.name: _ONE}, _ZERO)
+        return AffineForm({}, expr)
+    if isinstance(expr, UnOp):
+        if expr.kind == "neg":
+            inner = analyze_affine(expr.operand, loop_vars)
+            if inner is None:
+                return None
+            return AffineForm(
+                {v: _neg(c) for v, c in inner.coeffs.items()}, _neg(inner.const)
+            )
+        if expr.kind == "cast" and not expr.dtype.is_float:
+            return analyze_affine(expr.operand, loop_vars)
+        return None
+    if isinstance(expr, BinOp):
+        if expr.kind in ("+", "-"):
+            lhs = analyze_affine(expr.lhs, loop_vars)
+            rhs = analyze_affine(expr.rhs, loop_vars)
+            if lhs is None or rhs is None:
+                return None
+            if expr.kind == "-":
+                rhs = AffineForm(
+                    {v: _neg(c) for v, c in rhs.coeffs.items()}, _neg(rhs.const)
+                )
+            coeffs = dict(lhs.coeffs)
+            for var, coeff in rhs.coeffs.items():
+                coeffs[var] = _add(coeffs.get(var, _ZERO), coeff)
+            coeffs = {v: c for v, c in coeffs.items() if c != _ZERO}
+            return AffineForm(coeffs, _add(lhs.const, rhs.const))
+        if expr.kind == "*":
+            lhs = analyze_affine(expr.lhs, loop_vars)
+            rhs = analyze_affine(expr.rhs, loop_vars)
+            if lhs is None or rhs is None:
+                return None
+            if not lhs.is_constant and not rhs.is_constant:
+                return None  # product of loop variables is not affine
+            scale, linear = (lhs.const, rhs) if lhs.is_constant else (rhs.const, lhs)
+            return AffineForm(
+                {v: _mul(scale, c) for v, c in linear.coeffs.items()},
+                _mul(scale, linear.const),
+            )
+        if expr.kind in ("//", "/", "%"):
+            lhs = analyze_affine(expr.lhs, loop_vars)
+            rhs = analyze_affine(expr.rhs, loop_vars)
+            # Division/modulo is affine only when the dividend carries no
+            # loop variable (pure parameter arithmetic).
+            if lhs is None or rhs is None or not rhs.is_constant:
+                return None
+            if lhs.is_constant:
+                op = "//" if expr.kind in ("//", "/") else "%"
+                return AffineForm({}, BinOp(op, lhs.const, rhs.const, I64))
+            return None
+        return None
+    return None
+
+
+def linearize_affine(
+    forms: tuple[AffineForm, ...],
+    dim_sizes: tuple[int, ...],
+) -> tuple[dict[str, int], int]:
+    """Collapse per-dimension numeric affine forms into a single linear
+    element-index form given concrete row-major dimension sizes.
+
+    Args:
+        forms: one *numeric* affine form per dimension, expressed as
+            ``(coeffs: {var: int}, const: int)`` pairs packed in
+            :class:`AffineForm` objects whose exprs must already be consts.
+        dim_sizes: concrete extent of each dimension.
+
+    Returns:
+        ``(coeffs, const)`` of the flattened element index.
+    """
+    if len(forms) != len(dim_sizes):
+        raise CompilationError(
+            f"{len(forms)} index forms for {len(dim_sizes)} dimensions"
+        )
+    stride = 1
+    strides = [0] * len(dim_sizes)
+    for pos in range(len(dim_sizes) - 1, -1, -1):
+        strides[pos] = stride
+        stride *= dim_sizes[pos]
+    coeffs: dict[str, int] = {}
+    const = 0
+    empty: dict[str, int] = {}
+    for form, dim_stride in zip(forms, strides):
+        const += eval_int_expr(form.const, empty) * dim_stride
+        for var, coeff in form.coeffs.items():
+            value = eval_int_expr(coeff, empty) * dim_stride
+            coeffs[var] = coeffs.get(var, 0) + value
+    return {v: c for v, c in coeffs.items() if c}, const
+
+
+def resolve_affine(
+    form: AffineForm, params: Mapping[str, int]
+) -> AffineForm:
+    """Evaluate parameter expressions in a form down to integer constants."""
+    coeffs = {
+        var: Const(eval_int_expr(coeff, params), I64)
+        for var, coeff in form.coeffs.items()
+    }
+    return AffineForm(coeffs, Const(eval_int_expr(form.const, params), I64))

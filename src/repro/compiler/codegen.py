@@ -1,0 +1,378 @@
+"""Lowering of a kernel to the :class:`CompiledLoop` cost tree.
+
+The generator walks the statement tree once, in the vector context decided
+by the planner, and produces per-body-execution operation bundles plus
+classified memory accesses.  It performs the machine-independent parts of
+what a real backend does:
+
+* loop-invariant code motion (invariant loads are priced once per loop
+  entry instead of per iteration),
+* if-conversion accounting — in vector context both branch arms execute
+  under masks, guarded by a branch-on-mask skip,
+* unrolling (loop-overhead amortization, reduction accumulators),
+* unaligned-access and gather/scatter synthesis costs for the target ISA.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compiler.access import AccessContext, classify_access
+from repro.compiler.compiled import (
+    AccessInfo,
+    AccessPattern,
+    CompiledKernel,
+    CompiledLoop,
+    LoopPlan,
+    OpCounts,
+    VectorizationReport,
+)
+from repro.compiler.dependence import Reduction, analyze_scalars
+from repro.compiler.opcount import lower_expr
+from repro.compiler.options import CompilerOptions
+from repro.errors import CompilationError
+from repro.ir.expr import Expr, Load
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import Assign, Decl, For, If, Stmt, StoreTarget
+from repro.ir.types import DType
+from repro.machines.ops import OpClass
+from repro.machines.spec import VectorISA
+
+#: Address-generation integer ops charged per memory access.
+_ADDR_OPS_UNIT = 1.0
+_ADDR_OPS_GATHER = 2.0
+
+#: Ninja unroll factor (hand-written software pipelining).
+_NINJA_UNROLL = 4
+#: Ninja reduction accumulators.
+_NINJA_ACCUMULATORS = 8
+
+
+@dataclass
+class _Block:
+    """Accumulator for one statement block's lowering."""
+
+    ops: OpCounts = field(default_factory=OpCounts)
+    accesses: list[AccessInfo] = field(default_factory=list)
+    children: list[CompiledLoop] = field(default_factory=list)
+    mispredicts: float = 0.0
+    hoisted: OpCounts = field(default_factory=OpCounts)
+
+    def merge_weighted(self, other: "_Block", weight: float) -> None:
+        """Fold a nested block in, scaling expected counts by *weight*."""
+        self.ops.merge(other.ops, weight)
+        self.hoisted.merge(other.hoisted, weight)
+        self.mispredicts += other.mispredicts * weight
+        for access in other.accesses:
+            self.accesses.append(_scaled_access(access, weight))
+        for child in other.children:
+            self.children.append(_scaled_loop(child, weight))
+
+
+def _scaled_access(access: AccessInfo, weight: float) -> AccessInfo:
+    if weight == 1.0:
+        return access
+    return AccessInfo(
+        array=access.array,
+        array_field=access.array_field,
+        is_write=access.is_write,
+        dim_forms=access.dim_forms,
+        pattern=access.pattern,
+        count=access.count * weight,
+        aligned=access.aligned,
+    )
+
+
+def _scaled_loop(loop: CompiledLoop, weight: float) -> CompiledLoop:
+    if weight == 1.0:
+        return loop
+    from dataclasses import replace
+
+    return replace(loop, weight=loop.weight * weight)
+
+
+class CodeGenerator:
+    """Lowers one kernel under one option set on one ISA."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        options: CompilerOptions,
+        isa: VectorISA,
+        plans: dict[str, LoopPlan],
+        report: VectorizationReport,
+    ):
+        self.kernel = kernel
+        self.options = options
+        self.isa = isa
+        self.plans = plans
+        self.report = report
+        self._dynamic_names = frozenset(
+            stmt.name for stmt in kernel.walk_statements() if isinstance(stmt, Decl)
+        )
+        self._loop_vars = frozenset(l.var for l in kernel.loops())
+        self._decl_dtypes: dict[str, DType] = {
+            stmt.name: stmt.dtype
+            for stmt in kernel.walk_statements()
+            if isinstance(stmt, Decl)
+        }
+
+    def lower(self) -> CompiledKernel:
+        """Produce the compiled kernel."""
+        ctx = AccessContext(
+            loop_vars=self._loop_vars,
+            dynamic_names=self._dynamic_names,
+            vec_var=None,
+            lanes=1,
+            ninja=self.options.aligned_data,
+        )
+        block = self._lower_block(
+            self.kernel.body, ctx, current_var=None, parallel_done=False
+        )
+        if block.accesses:
+            # Top-level (outside all loops) accesses are one-off; fold their
+            # op cost into setup and ignore their negligible traffic.
+            pass
+        setup = block.ops
+        setup.merge(block.hoisted)
+        return CompiledKernel(
+            kernel=self.kernel,
+            options=self.options,
+            isa_name=self.isa.name,
+            simd_width_bits=self.isa.width_bits,
+            roots=tuple(block.children),
+            setup_ops=setup,
+            report=self.report,
+        )
+
+    def lower_body(self, loop: For, ctx: AccessContext) -> _Block:
+        """Lower one loop's body for cost estimation (planner hook)."""
+        return self._lower_block(
+            loop.body, ctx, current_var=loop.var, parallel_done=True
+        )
+
+    # -- blocks ---------------------------------------------------------
+    def _lower_block(
+        self,
+        body: tuple[Stmt, ...],
+        ctx: AccessContext,
+        current_var: str | None,
+        parallel_done: bool,
+    ) -> _Block:
+        block = _Block()
+        for stmt in body:
+            if isinstance(stmt, Decl):
+                self._lower_expr_into(stmt.init, block, ctx, current_var)
+            elif isinstance(stmt, Assign):
+                self._lower_assign(stmt, block, ctx, current_var)
+            elif isinstance(stmt, For):
+                block.children.append(
+                    self._lower_loop(stmt, ctx, parallel_done)
+                )
+                if stmt.pragma.parallel and self.options.enable_openmp:
+                    parallel_done = True
+            elif isinstance(stmt, If):
+                self._lower_if(stmt, block, ctx, current_var, parallel_done)
+            else:
+                raise CompilationError(f"cannot lower {type(stmt).__name__}")
+        return block
+
+    def _lower_if(
+        self,
+        stmt: If,
+        block: _Block,
+        ctx: AccessContext,
+        current_var: str | None,
+        parallel_done: bool,
+    ) -> None:
+        self._lower_expr_into(stmt.cond, block, ctx, current_var)
+        then_block = self._lower_block(stmt.then_body, ctx, current_var, parallel_done)
+        else_block = self._lower_block(stmt.else_body, ctx, current_var, parallel_done)
+        p = stmt.probability
+        if ctx.lanes > 1:
+            # If-converted: both arms run under masks.  A branch-on-mask
+            # skips an arm only when *no* lane takes it.
+            cover_then = 1.0 - (1.0 - p) ** ctx.lanes
+            cover_else = (1.0 - p**ctx.lanes) if stmt.else_body else 0.0
+            block.ops.merge(then_block.ops, cover_then)
+            block.ops.merge(else_block.ops, cover_else)
+            block.hoisted.merge(then_block.hoisted, cover_then)
+            block.hoisted.merge(else_block.hoisted, cover_else)
+            # One blend per guarded assignment to merge the masked results.
+            guarded = sum(
+                1 for s in stmt.then_body + stmt.else_body if isinstance(s, Assign)
+            )
+            block.ops.add(OpClass.BLEND, guarded)
+            block.ops.add(OpClass.BRANCH, 1.0)  # branch on mask
+            for access in then_block.accesses:
+                block.accesses.append(_scaled_access(access, p))
+            for access in else_block.accesses:
+                block.accesses.append(_scaled_access(access, 1.0 - p))
+            for child in then_block.children:
+                block.children.append(_scaled_loop(child, cover_then))
+            for child in else_block.children:
+                block.children.append(_scaled_loop(child, cover_else))
+            block.mispredicts += 0.0  # mask branches are highly biased
+        else:
+            block.ops.add(OpClass.BRANCH, 1.0)
+            block.merge_weighted(then_block, p)
+            if stmt.else_body:
+                block.merge_weighted(else_block, 1.0 - p)
+            block.mispredicts += 2.0 * p * (1.0 - p)
+
+    def _lower_assign(
+        self,
+        stmt: Assign,
+        block: _Block,
+        ctx: AccessContext,
+        current_var: str | None,
+    ) -> None:
+        self._lower_expr_into(stmt.value, block, ctx, current_var)
+        if isinstance(stmt.target, StoreTarget):
+            for sub in stmt.target.index:
+                self._lower_expr_into(sub, block, ctx, current_var)
+            decl = self.kernel.array(stmt.target.array)
+            access = classify_access(
+                decl, stmt.target.array_field, stmt.target.index, True, ctx
+            )
+            self._emit_access_ops(access, block.ops, ctx)
+            block.accesses.append(access)
+
+    def _lower_expr_into(
+        self,
+        expr: Expr,
+        block: _Block,
+        ctx: AccessContext,
+        current_var: str | None,
+    ) -> None:
+        lowering = lower_expr(expr, fast_math=self.options.fast_math)
+        block.ops.merge(lowering.ops)
+        for load in lowering.loads:
+            decl = self.kernel.array(load.array)
+            access = classify_access(
+                decl, load.array_field, load.index, False, ctx
+            )
+            if self._hoistable(access, current_var):
+                self._emit_access_ops(access, block.hoisted, ctx)
+                continue
+            self._emit_access_ops(access, block.ops, ctx)
+            block.accesses.append(access)
+
+    def _hoistable(self, access: AccessInfo, current_var: str | None) -> bool:
+        """Loop-invariant read: priced once per loop entry, no stream."""
+        if access.is_write or current_var is None:
+            return False
+        if not access.is_affine:
+            return False
+        return not any(
+            form.depends_on(current_var)
+            for form in access.dim_forms
+            if form is not None
+        )
+
+    def _emit_access_ops(
+        self, access: AccessInfo, ops: OpCounts, ctx: AccessContext
+    ) -> None:
+        pattern = access.pattern
+        lanes = ctx.lanes
+        if pattern in (AccessPattern.SCALAR, AccessPattern.UNIT):
+            op = OpClass.STORE if access.is_write else OpClass.LOAD
+            penalty = 1.0
+            if pattern is AccessPattern.UNIT and not access.aligned:
+                penalty = self.isa.unaligned_penalty
+            ops.add(op, penalty)
+            ops.add(OpClass.IADD, _ADDR_OPS_UNIT)
+        elif pattern is AccessPattern.UNIFORM:
+            ops.add(OpClass.STORE if access.is_write else OpClass.LOAD, 1.0)
+            ops.add(OpClass.BROADCAST, 1.0)
+            ops.add(OpClass.IADD, _ADDR_OPS_UNIT)
+        elif pattern in (AccessPattern.STRIDED, AccessPattern.GATHER):
+            op = OpClass.SCATTER_LANE if access.is_write else OpClass.GATHER_LANE
+            ops.add(op, lanes)
+            ops.add(OpClass.IADD, _ADDR_OPS_GATHER)
+        else:  # pragma: no cover - enum is closed
+            raise CompilationError(f"unknown pattern {pattern}")
+
+    # -- loops -----------------------------------------------------------
+    def _lower_loop(
+        self, loop: For, ctx: AccessContext, parallel_done: bool
+    ) -> CompiledLoop:
+        plan = self.plans.get(loop.var)
+        lanes_here = plan.lanes if plan else 1
+        if lanes_here > 1 and ctx.lanes > 1:
+            raise CompilationError(
+                f"loop {loop.var!r}: nested vectorization is not supported"
+            )
+        inner_ctx = ctx
+        if lanes_here > 1:
+            inner_ctx = AccessContext(
+                loop_vars=ctx.loop_vars,
+                dynamic_names=ctx.dynamic_names,
+                vec_var=loop.var,
+                lanes=lanes_here,
+                ninja=ctx.ninja,
+            )
+        parallel = (
+            loop.pragma.parallel and self.options.enable_openmp and not parallel_done
+        )
+        block = self._lower_block(
+            loop.body, inner_ctx, current_var=loop.var,
+            parallel_done=parallel_done or parallel,
+        )
+
+        unroll = loop.pragma.unroll if self.options.unroll else 1
+        if self.options.ninja:
+            unroll = max(unroll, _NINJA_UNROLL)
+
+        # Loop bookkeeping: increment, compare, (predicted) backedge branch.
+        overhead = 3.0 / unroll
+        block.ops.add(OpClass.IADD, overhead / 3.0)
+        block.ops.add(OpClass.CMP, overhead / 3.0)
+        block.ops.add(OpClass.BRANCH, overhead / 3.0)
+
+        reductions, _privates, _blockers = analyze_scalars(loop)
+        reduction_ops = self._reduction_op_classes(reductions)
+        accumulators = 1
+        if reduction_ops:
+            if self.options.ninja:
+                accumulators = _NINJA_ACCUMULATORS
+            elif self.options.fast_math:
+                accumulators = max(2, unroll)
+
+        per_entry = block.hoisted
+        if lanes_here > 1 and reductions:
+            per_entry.add(
+                OpClass.REDUCE, len(reductions) * math.log2(max(2, lanes_here))
+            )
+
+        return CompiledLoop(
+            var=loop.var,
+            extent=loop.extent,
+            parallel=parallel,
+            vector_lanes=lanes_here,
+            vector_context=max(ctx.lanes, lanes_here),
+            unroll=unroll,
+            ops=block.ops,
+            accesses=tuple(block.accesses),
+            children=tuple(block.children),
+            reduction_ops=reduction_ops,
+            per_entry_ops=per_entry,
+            branch_mispredicts=block.mispredicts,
+            weight=1.0,
+            accumulators=accumulators,
+        )
+
+    def _reduction_op_classes(
+        self, reductions: tuple[Reduction, ...]
+    ) -> tuple[OpClass, ...]:
+        classes = []
+        for red in reductions:
+            dtype = self._decl_dtypes.get(red.var)
+            if dtype is None:
+                continue
+            if dtype.is_float:
+                classes.append(OpClass.FMUL if red.op == "*" else OpClass.FADD)
+            else:
+                classes.append(OpClass.IMUL if red.op == "*" else OpClass.IADD)
+        return tuple(classes)

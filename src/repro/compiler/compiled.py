@@ -1,0 +1,269 @@
+"""Compiled-kernel representation consumed by the performance simulator.
+
+Compilation lowers a kernel to a tree of :class:`CompiledLoop` nodes that
+mirrors the source loop nest.  Each node carries, for one execution of its
+body *at that nesting level* (inner loops excluded — they are children):
+
+* an :class:`OpCounts` bundle of dynamic operation classes (already in
+  vector units when the body executes vectorized), and
+* the :class:`AccessInfo` descriptors of its memory accesses, with affine
+  index forms preserved so the memory model can compute strides and
+  footprints for any concrete workload.
+
+Nothing here is machine-specific: the same compiled kernel can be priced
+on any :class:`~repro.machines.spec.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.compiler.affine import AffineForm
+from repro.compiler.options import CompilerOptions
+from repro.ir.expr import Expr
+from repro.ir.kernel import Kernel
+from repro.machines.ops import OpClass
+
+
+class OpCounts:
+    """A multiset of operation classes with expected (float) counts."""
+
+    __slots__ = ("counts", "fma_pairs")
+
+    def __init__(
+        self,
+        counts: Mapping[OpClass, float] | None = None,
+        fma_pairs: float = 0.0,
+    ):
+        self.counts: dict[OpClass, float] = dict(counts or {})
+        #: mul→add producer/consumer pairs fusible into FMAs on machines
+        #: that have them (subtracted from FADD/FMUL at pricing time).
+        self.fma_pairs = fma_pairs
+
+    def add(self, op: OpClass, count: float = 1.0) -> None:
+        """Add *count* occurrences of *op*."""
+        if count:
+            self.counts[op] = self.counts.get(op, 0.0) + count
+
+    def merge(self, other: "OpCounts", scale: float = 1.0) -> None:
+        """Accumulate another bundle, scaled."""
+        for op, count in other.counts.items():
+            self.add(op, count * scale)
+        self.fma_pairs += other.fma_pairs * scale
+
+    def scaled(self, factor: float) -> "OpCounts":
+        """A copy with every count multiplied by *factor*."""
+        out = OpCounts(
+            {op: c * factor for op, c in self.counts.items()},
+            self.fma_pairs * factor,
+        )
+        return out
+
+    def get(self, op: OpClass) -> float:
+        """Count of one op class (0.0 if absent)."""
+        return self.counts.get(op, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Total dynamic operations."""
+        return sum(self.counts.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpCounts):
+            return NotImplemented
+        mine = {op: c for op, c in self.counts.items() if c}
+        theirs = {op: c for op, c in other.counts.items() if c}
+        return mine == theirs and self.fma_pairs == other.fma_pairs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{op.value}={count:g}" for op, count in sorted(
+                self.counts.items(), key=lambda kv: kv[0].value
+            ) if count
+        )
+        return f"OpCounts({inner}, fma_pairs={self.fma_pairs:g})"
+
+
+class AccessPattern(enum.Enum):
+    """How an access moves as the vectorized loop advances by one lane."""
+
+    UNIT = "unit"          # contiguous lanes — one (un)aligned vector load
+    STRIDED = "strided"    # constant non-unit stride — gather/scatter lanes
+    GATHER = "gather"      # data-dependent / non-affine — gather/scatter
+    UNIFORM = "uniform"    # invariant across lanes — broadcast once
+    SCALAR = "scalar"      # not under a vectorized loop
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """One memory access per body execution of its owning loop.
+
+    Attributes:
+        array: array name.
+        array_field: record field (None for plain arrays).
+        is_write: store vs load.
+        dim_forms: per-dimension affine index forms over *all* loop
+            variables; ``None`` entries mark non-affine dimensions.
+        pattern: classification w.r.t. the vectorized loop (``SCALAR``
+            outside any vector context).
+        count: expected executions per body execution (branch-weighted;
+            1.0 for straight-line code).
+        aligned: whether a UNIT vector access is known vector-aligned.
+    """
+
+    array: str
+    array_field: str | None
+    is_write: bool
+    dim_forms: tuple[AffineForm | None, ...]
+    pattern: AccessPattern
+    count: float = 1.0
+    aligned: bool = False
+
+    @property
+    def plane(self) -> tuple[str, str | None]:
+        """Identity of the storage plane accessed."""
+        return (self.array, self.array_field)
+
+    @property
+    def is_affine(self) -> bool:
+        """True when every dimension has an affine form."""
+        return all(form is not None for form in self.dim_forms)
+
+
+@dataclass(frozen=True)
+class CompiledLoop:
+    """One loop of the lowered nest (see module docstring)."""
+
+    var: str
+    extent: Expr
+    parallel: bool
+    vector_lanes: int          # lanes this loop is blocked into (1 = not)
+    vector_context: int        # lanes of the enclosing vector context (1 = scalar)
+    unroll: int
+    ops: OpCounts
+    accesses: tuple[AccessInfo, ...]
+    children: tuple["CompiledLoop", ...]
+    reduction_ops: tuple[OpClass, ...] = ()
+    #: priced once per loop *entry*: hoisted invariant loads, reduction
+    #: tails, vector prologue/epilogue work.
+    per_entry_ops: OpCounts = field(default_factory=OpCounts)
+    branch_mispredicts: float = 0.0
+    #: expected executions per parent body execution (< 1.0 under an If).
+    weight: float = 1.0
+    #: independent accumulators available to hide the reduction chain.
+    accumulators: int = 1
+
+    @property
+    def is_vectorized(self) -> bool:
+        """True when this loop itself was blocked into SIMD lanes."""
+        return self.vector_lanes > 1
+
+    def walk(self) -> Iterator["CompiledLoop"]:
+        """This loop and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class LoopPlan:
+    """The vectorizer's verdict for one loop, consumed by codegen."""
+
+    lanes: int
+    forced: bool  # pragma simd / ninja (vs auto-vectorized)
+
+
+@dataclass(frozen=True)
+class LoopDecision:
+    """One vectorization-report line (the ``icc -vec-report`` analogue)."""
+
+    loop_var: str
+    vectorized: bool
+    lanes: int
+    reason: str
+
+    def render(self) -> str:
+        """Format like a compiler diagnostic."""
+        if self.vectorized:
+            return f"loop over {self.loop_var!r}: VECTORIZED ({self.lanes} lanes) — {self.reason}"
+        return f"loop over {self.loop_var!r}: not vectorized — {self.reason}"
+
+
+@dataclass(frozen=True)
+class VectorizationReport:
+    """All per-loop decisions for one compilation."""
+
+    decisions: tuple[LoopDecision, ...]
+
+    def vectorized_loops(self) -> tuple[str, ...]:
+        """Variables of the loops that were vectorized."""
+        return tuple(d.loop_var for d in self.decisions if d.vectorized)
+
+    def decision_for(self, loop_var: str) -> LoopDecision:
+        """Look up the decision for one loop."""
+        for decision in self.decisions:
+            if decision.loop_var == loop_var:
+                return decision
+        raise KeyError(f"no decision recorded for loop {loop_var!r}")
+
+    def render(self) -> str:
+        """Multi-line report text."""
+        return "\n".join(d.render() for d in self.decisions)
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """The compiler's output: a priced-able loop-nest with provenance."""
+
+    kernel: Kernel
+    options: CompilerOptions
+    isa_name: str
+    simd_width_bits: int
+    roots: tuple[CompiledLoop, ...]
+    setup_ops: OpCounts
+    report: VectorizationReport
+
+    def all_loops(self) -> Iterator[CompiledLoop]:
+        """All compiled loops, pre-order."""
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def has_parallel_loop(self) -> bool:
+        """Whether any loop runs under the threading model."""
+        return any(loop.parallel for loop in self.all_loops())
+
+    def describe(self) -> str:
+        """Human-readable per-loop summary of the lowered kernel."""
+        lines = [
+            f"{self.kernel.name} [{self.options.label}] for {self.isa_name} "
+            f"({self.simd_width_bits}-bit SIMD)"
+        ]
+
+        def visit(loop: CompiledLoop, depth: int) -> None:
+            tags = []
+            if loop.parallel:
+                tags.append("parallel")
+            if loop.is_vectorized:
+                tags.append(f"vector x{loop.vector_lanes}")
+            elif loop.vector_context > 1:
+                tags.append(f"in x{loop.vector_context} context")
+            if loop.reduction_ops:
+                tags.append(f"reduction({loop.accumulators} acc)")
+            if loop.unroll > 1:
+                tags.append(f"unroll {loop.unroll}")
+            suffix = f" [{', '.join(tags)}]" if tags else ""
+            reads = sum(1 for a in loop.accesses if not a.is_write)
+            writes = sum(1 for a in loop.accesses if a.is_write)
+            lines.append(
+                f"{'  ' * depth}loop {loop.var}: {loop.ops.total:.1f} ops/iter"
+                f", {reads}R/{writes}W{suffix}"
+            )
+            for child in loop.children:
+                visit(child, depth + 1)
+
+        for root in self.roots:
+            visit(root, 1)
+        return "\n".join(lines)

@@ -1,0 +1,343 @@
+"""Dependence analysis for loop parallelization and vectorization.
+
+Implements the classic single-index-variable (SIV) tests over the affine
+index forms, plus the scalar privatization/reduction idiom recognition a
+traditional auto-vectorizer performs.  The result says whether a loop may
+be run with its iterations reordered (parallel) or blocked into lanes
+(vector), and if not, why — the "why" strings become the vectorization
+report, mirroring ``icc -vec-report``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.compiler.affine import AffineForm, analyze_affine
+from repro.ir.expr import BinOp, Const, Expr, Load, VarRef
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
+
+#: Commutative/associative update operators recognised as reductions.
+REDUCTION_OPS = frozenset({"+", "*", "min", "max"})
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One array access found in a loop body."""
+
+    array: str
+    array_field: str | None
+    index: tuple[Expr, ...]
+    is_write: bool
+
+    @property
+    def plane(self) -> tuple[str, str | None]:
+        """Identity of the storage plane this access touches."""
+        return (self.array, self.array_field)
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A recognised scalar reduction (``s = s ⊕ expr``)."""
+
+    var: str
+    op: str
+
+
+class DepVerdict(enum.Enum):
+    """Outcome of a per-dimension dependence test."""
+
+    NEVER = "never"            # provably disjoint
+    SAME_ITER = "same_iter"    # can only alias within one iteration
+    CARRIED = "carried"        # proven loop-carried dependence
+    UNKNOWN = "unknown"        # analysis gave up (conservative)
+
+
+@dataclass(frozen=True)
+class DependenceResult:
+    """Legality summary for reordering one loop's iterations.
+
+    Attributes:
+        legal: no proven or assumed loop-carried dependence.
+        legal_if_asserted: legal once UNKNOWN verdicts are overridden by a
+            programmer assertion (``pragma simd``); proven CARRIED
+            dependences are never overridable.
+        reductions: recognised scalar reductions (legal with support).
+        private_scalars: scalars safely privatizable per iteration/lane.
+        reasons: human-readable blockers, ``()`` when legal.
+    """
+
+    legal: bool
+    legal_if_asserted: bool
+    reductions: tuple[Reduction, ...]
+    private_scalars: tuple[str, ...]
+    reasons: tuple[str, ...]
+
+
+def collect_accesses(body: tuple[Stmt, ...]) -> list[ArrayAccess]:
+    """All array accesses in a statement block, including nested ones."""
+    out: list[ArrayAccess] = []
+
+    def from_expr(expr: Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, Load):
+                out.append(
+                    ArrayAccess(node.array, node.array_field, node.index, False)
+                )
+
+    def visit(stmts: tuple[Stmt, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Decl):
+                from_expr(stmt.init)
+            elif isinstance(stmt, Assign):
+                from_expr(stmt.value)
+                if isinstance(stmt.target, StoreTarget):
+                    for sub in stmt.target.index:
+                        from_expr(sub)
+                    out.append(
+                        ArrayAccess(
+                            stmt.target.array,
+                            stmt.target.array_field,
+                            stmt.target.index,
+                            True,
+                        )
+                    )
+            elif isinstance(stmt, For):
+                from_expr(stmt.extent)
+                visit(stmt.body)
+            elif isinstance(stmt, If):
+                from_expr(stmt.cond)
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+
+    visit(body)
+    return out
+
+
+def _scalar_events(body: tuple[Stmt, ...]) -> Iterator[tuple[str, str, Stmt]]:
+    """Yield ``(name, kind, stmt)`` scalar events in program order.
+
+    ``kind`` is ``"decl"``, ``"write"`` or ``"read"``.
+    """
+
+    def expr_reads(expr: Expr) -> Iterator[str]:
+        for node in expr.walk():
+            if isinstance(node, VarRef):
+                yield node.name
+
+    def visit(stmts: tuple[Stmt, ...]) -> Iterator[tuple[str, str, Stmt]]:
+        for stmt in stmts:
+            if isinstance(stmt, Decl):
+                for name in expr_reads(stmt.init):
+                    yield (name, "read", stmt)
+                yield (stmt.name, "decl", stmt)
+            elif isinstance(stmt, Assign):
+                for name in expr_reads(stmt.value):
+                    yield (name, "read", stmt)
+                if isinstance(stmt.target, StoreTarget):
+                    for sub in stmt.target.index:
+                        for name in expr_reads(sub):
+                            yield (name, "read", stmt)
+                else:
+                    assert isinstance(stmt.target, ScalarTarget)
+                    yield (stmt.target.name, "write", stmt)
+            elif isinstance(stmt, For):
+                for name in expr_reads(stmt.extent):
+                    yield (name, "read", stmt)
+                yield from visit(stmt.body)
+            elif isinstance(stmt, If):
+                for name in expr_reads(stmt.cond):
+                    yield (name, "read", stmt)
+                yield from visit(stmt.then_body)
+                yield from visit(stmt.else_body)
+
+    return visit(body)
+
+
+def _is_reduction_update(stmt: Assign, var: str) -> str | None:
+    """Return the reduction op kind if *stmt* is ``var = var ⊕ expr``."""
+    value = stmt.value
+    if not isinstance(value, BinOp) or value.kind not in REDUCTION_OPS:
+        return None
+    for side in (value.lhs, value.rhs):
+        if isinstance(side, VarRef) and side.name == var:
+            return value.kind
+    return None
+
+
+def analyze_scalars(
+    loop: For,
+) -> tuple[tuple[Reduction, ...], tuple[str, ...], tuple[str, ...]]:
+    """Classify scalar locals used in a loop body.
+
+    Returns ``(reductions, privates, blockers)`` where blockers are names
+    with a genuine loop-carried scalar dependence.
+    """
+    events = list(_scalar_events(loop.body))
+    names = {name for name, kind, _ in events if kind in ("write", "decl")}
+
+    reductions: list[Reduction] = []
+    privates: list[str] = []
+    blockers: list[str] = []
+    for name in sorted(names):
+        own_events = [(kind, stmt) for n, kind, stmt in events if n == name]
+        if own_events[0][0] == "decl":
+            # Declared inside the body: private by construction.
+            privates.append(name)
+            continue
+        writes = [stmt for kind, stmt in own_events if kind == "write"]
+        if not writes:
+            continue  # read-only (defined outside): uniform, no dependence
+        if own_events[0][0] == "write":
+            # Written before any read on the straight-line view: privatizable.
+            privates.append(name)
+            continue
+        ops = set()
+        clean = True
+        for stmt in writes:
+            assert isinstance(stmt, Assign)
+            op = _is_reduction_update(stmt, name)
+            if op is None:
+                clean = False
+                break
+            ops.add(op)
+        reads_outside_updates = [
+            stmt
+            for kind, stmt in own_events
+            if kind == "read" and stmt not in writes
+        ]
+        if clean and len(ops) == 1 and not reads_outside_updates:
+            reductions.append(Reduction(name, ops.pop()))
+        else:
+            blockers.append(name)
+    return tuple(reductions), tuple(privates), tuple(blockers)
+
+
+def _siv_test(
+    store_form: AffineForm | None,
+    other_form: AffineForm | None,
+    var: str,
+) -> DepVerdict:
+    """SIV dependence test on one dimension for loop variable *var*."""
+    if store_form is None or other_form is None:
+        return DepVerdict.UNKNOWN
+    a1, a2 = store_form.coeff(var), other_form.coeff(var)
+    c1, c2 = store_form.const, other_form.const
+    rest1 = {v: c for v, c in store_form.coeffs.items() if v != var}
+    rest2 = {v: c for v, c in other_form.coeffs.items() if v != var}
+    if rest1 != rest2:
+        # Different dependence on other loop variables: give up on this dim.
+        return DepVerdict.UNKNOWN
+    if a1 == a2:
+        if c1 == c2:
+            # Identical index expressions in this dimension: aliasing only
+            # when every other dimension also aligns (combined by caller;
+            # full-index invariance is checked separately).
+            return DepVerdict.SAME_ITER
+        if isinstance(c1, Const) and isinstance(c2, Const):
+            delta = int(c2.value) - int(c1.value)
+            if isinstance(a1, Const):
+                a = int(a1.value)
+                if a == 0:
+                    # Neither side moves with var but constants differ:
+                    # provably disjoint in this dimension.
+                    return DepVerdict.NEVER
+                if delta % a:
+                    return DepVerdict.NEVER
+                return DepVerdict.CARRIED if delta else DepVerdict.SAME_ITER
+            return DepVerdict.UNKNOWN
+        return DepVerdict.UNKNOWN
+    return DepVerdict.UNKNOWN
+
+
+def _index_invariant(
+    access: ArrayAccess, var: str, loop_vars: frozenset[str]
+) -> bool:
+    """True when the access provably never moves with *var* (all subscript
+    dimensions affine with a zero coefficient on it)."""
+    for sub in access.index:
+        form = analyze_affine(sub, loop_vars)
+        if form is None or form.depends_on(var):
+            return False
+    return True
+
+
+def _pair_verdict(
+    store: ArrayAccess, other: ArrayAccess, var: str, loop_vars: frozenset[str]
+) -> DepVerdict:
+    """Combine per-dimension SIV verdicts for one access pair."""
+    verdicts = []
+    for s_idx, o_idx in zip(store.index, other.index):
+        s_form = analyze_affine(s_idx, loop_vars)
+        o_form = analyze_affine(o_idx, loop_vars)
+        verdicts.append(_siv_test(s_form, o_form, var))
+    if DepVerdict.NEVER in verdicts:
+        return DepVerdict.NEVER
+    if DepVerdict.UNKNOWN in verdicts:
+        return DepVerdict.UNKNOWN
+    if DepVerdict.CARRIED in verdicts:
+        return DepVerdict.CARRIED
+    return DepVerdict.SAME_ITER
+
+
+def analyze_loop(kernel: Kernel, loop: For) -> DependenceResult:
+    """Full legality analysis for reordering *loop*'s iterations."""
+    loop_vars = frozenset(l.var for l in kernel.loops()) | {loop.var}
+    accesses = collect_accesses(loop.body)
+
+    reasons: list[str] = []
+    overridable: list[str] = []
+
+    stores = [a for a in accesses if a.is_write]
+    for store in stores:
+        invariant = _index_invariant(store, loop.var, loop_vars)
+        if invariant:
+            # The store never moves with the loop: every iteration writes
+            # the same location (proven output dependence).
+            reasons.append(
+                f"every iteration writes the same location of {store.array}"
+            )
+        for other in accesses:
+            if other.plane != store.plane:
+                continue
+            if other is store:
+                continue
+            verdict = _pair_verdict(store, other, loop.var, loop_vars)
+            kind = "output" if other.is_write else "flow/anti"
+            if verdict == DepVerdict.NEVER:
+                continue
+            if invariant and not other.is_write:
+                # Reads of a location that is rewritten every iteration.
+                verdict = DepVerdict.CARRIED
+            if verdict == DepVerdict.CARRIED:
+                reasons.append(
+                    f"proven loop-carried {kind} dependence on "
+                    f"{store.array}{'.' + store.array_field if store.array_field else ''}"
+                )
+            elif verdict == DepVerdict.UNKNOWN:
+                overridable.append(
+                    f"assumed {kind} dependence on "
+                    f"{store.array}{'.' + store.array_field if store.array_field else ''}"
+                    " (non-affine or unresolved subscript)"
+                )
+
+    reductions, privates, scalar_blockers = analyze_scalars(loop)
+    for name in scalar_blockers:
+        reasons.append(f"loop-carried scalar dependence on {name!r}")
+
+    # Deduplicate while preserving order.
+    reasons = list(dict.fromkeys(reasons))
+    overridable = list(dict.fromkeys(overridable))
+
+    legal = not reasons and not overridable
+    legal_if_asserted = not reasons
+    all_reasons = tuple(reasons + overridable)
+    return DependenceResult(
+        legal=legal,
+        legal_if_asserted=legal_if_asserted,
+        reductions=reductions,
+        private_scalars=privates,
+        reasons=all_reasons,
+    )

@@ -1,0 +1,209 @@
+"""Lowering of expressions to dynamic operation counts.
+
+This walker is shared by the vectorizer's profitability estimate and the
+final code generator.  It maps IR operators to :class:`OpClass` counts and
+collects the loads so the caller can classify them as memory accesses.
+
+``fast_math`` enables the value-unsafe substitutions ``icc -fp-model fast``
+performs and Ninja programmers write by hand: ``x / sqrt(y)`` becomes an
+``rsqrt`` plus a Newton-Raphson refinement step, and plain divides become
+reciprocal-multiplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.compiled import OpCounts
+from repro.errors import CompilationError
+from repro.ir.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Load,
+    Logical,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.machines.ops import OpClass
+
+_FLOAT_BINOP = {
+    "+": OpClass.FADD,
+    "-": OpClass.FADD,
+    "*": OpClass.FMUL,
+    "/": OpClass.FDIV,
+    "min": OpClass.FADD,
+    "max": OpClass.FADD,
+    "pow": OpClass.POW,
+}
+
+_INT_BINOP = {
+    "+": OpClass.IADD,
+    "-": OpClass.IADD,
+    "*": OpClass.IMUL,
+    "min": OpClass.IADD,
+    "max": OpClass.IADD,
+}
+
+_UNOP = {
+    "sqrt": OpClass.FSQRT,
+    "rsqrt": OpClass.FRSQRT,
+    "rcp": OpClass.FRCP,
+    "exp": OpClass.EXP,
+    "log": OpClass.LOG,
+    "sin": OpClass.SIN,
+    "cos": OpClass.COS,
+    "erf": OpClass.ERF,
+    "floor": OpClass.FADD,
+}
+
+#: Cost (in IMUL-equivalents) of an integer divide/modulo.
+_INT_DIV_IMULS = 6.0
+
+#: Op classes counted as one FLOP each when reporting GFLOP rates.
+FLOP_CLASSES = frozenset(
+    {
+        OpClass.FADD,
+        OpClass.FMUL,
+        OpClass.FDIV,
+        OpClass.FSQRT,
+        OpClass.FRCP,
+        OpClass.FRSQRT,
+        OpClass.EXP,
+        OpClass.LOG,
+        OpClass.SIN,
+        OpClass.COS,
+        OpClass.POW,
+        OpClass.ERF,
+    }
+)
+#: FMA counts as two FLOPs.
+FMA_FLOPS = 2.0
+
+
+@dataclass
+class ExprLowering:
+    """Result of lowering one expression tree."""
+
+    ops: OpCounts
+    loads: list[Load]
+
+    def flops(self) -> float:
+        """Scalar FLOPs represented by this lowering."""
+        total = sum(
+            count for op, count in self.ops.counts.items() if op in FLOP_CLASSES
+        )
+        return total
+
+
+def lower_expr(expr: Expr, fast_math: bool = False) -> ExprLowering:
+    """Lower an expression to op counts plus its list of loads."""
+    result = ExprLowering(OpCounts(), [])
+    _walk(expr, result, fast_math)
+    return result
+
+
+def _walk(expr: Expr, out: ExprLowering, fast_math: bool) -> None:
+    if isinstance(expr, (Const, VarRef)):
+        return
+    if isinstance(expr, Load):
+        out.loads.append(expr)
+        for sub in expr.index:
+            _walk(sub, out, fast_math)
+        return
+    if isinstance(expr, BinOp):
+        _walk_binop(expr, out, fast_math)
+        return
+    if isinstance(expr, UnOp):
+        _walk_unop(expr, out, fast_math)
+        return
+    if isinstance(expr, Compare):
+        out.ops.add(OpClass.CMP)
+        _walk(expr.lhs, out, fast_math)
+        _walk(expr.rhs, out, fast_math)
+        return
+    if isinstance(expr, Logical):
+        out.ops.add(OpClass.IADD)
+        for sub in expr.operands:
+            _walk(sub, out, fast_math)
+        return
+    if isinstance(expr, Select):
+        out.ops.add(OpClass.BLEND)
+        for sub in expr.children():
+            _walk(sub, out, fast_math)
+        return
+    raise CompilationError(f"cannot lower {type(expr).__name__}")
+
+
+def _walk_binop(expr: BinOp, out: ExprLowering, fast_math: bool) -> None:
+    if expr.dtype.is_float:
+        if expr.kind == "/":
+            _lower_float_divide(expr, out, fast_math)
+            return
+        op = _FLOAT_BINOP.get(expr.kind)
+        if op is None:
+            raise CompilationError(f"float binop {expr.kind!r} not lowerable")
+        out.ops.add(op)
+        if op is OpClass.FADD and _has_mul_operand(expr):
+            out.ops.fma_pairs += 1
+    else:
+        if expr.kind in ("//", "/", "%"):
+            out.ops.add(OpClass.IMUL, _INT_DIV_IMULS)
+        else:
+            op = _INT_BINOP.get(expr.kind)
+            if op is None:
+                raise CompilationError(f"int binop {expr.kind!r} not lowerable")
+            out.ops.add(op)
+    _walk(expr.lhs, out, fast_math)
+    _walk(expr.rhs, out, fast_math)
+
+
+def _lower_float_divide(expr: BinOp, out: ExprLowering, fast_math: bool) -> None:
+    """``a / b``, with the fast-math reciprocal substitutions."""
+    if fast_math and isinstance(expr.rhs, UnOp) and expr.rhs.kind == "sqrt":
+        # a / sqrt(b)  →  a * rsqrt(b) with one NR refinement step.
+        out.ops.add(OpClass.FRSQRT)
+        out.ops.add(OpClass.FMUL, 3.0)  # refinement + final multiply
+        out.ops.add(OpClass.FADD)
+        _walk(expr.lhs, out, fast_math)
+        _walk(expr.rhs.operand, out, fast_math)
+        return
+    if fast_math:
+        # a / b  →  a * rcp(b) with one NR refinement step.
+        out.ops.add(OpClass.FRCP)
+        out.ops.add(OpClass.FMUL, 3.0)
+        out.ops.add(OpClass.FADD)
+    else:
+        out.ops.add(OpClass.FDIV)
+    _walk(expr.lhs, out, fast_math)
+    _walk(expr.rhs, out, fast_math)
+
+
+def _walk_unop(expr: UnOp, out: ExprLowering, fast_math: bool) -> None:
+    kind = expr.kind
+    if kind in ("neg", "abs"):
+        out.ops.add(OpClass.FADD if expr.dtype.is_float else OpClass.IADD, 0.5)
+    elif kind == "cast":
+        # int<->float conversions run on the FP add port; int->int is free-ish.
+        if expr.dtype.is_float or expr.operand.dtype.is_float:
+            out.ops.add(OpClass.FADD)
+    elif kind == "sqrt" and fast_math:
+        # sqrt(x) → x * rsqrt(x) with refinement.
+        out.ops.add(OpClass.FRSQRT)
+        out.ops.add(OpClass.FMUL, 3.0)
+        out.ops.add(OpClass.FADD)
+    elif kind in _UNOP:
+        out.ops.add(_UNOP[kind])
+    else:
+        raise CompilationError(f"unop {kind!r} not lowerable")
+    _walk(expr.operand, out, fast_math)
+
+
+def _has_mul_operand(expr: BinOp) -> bool:
+    """Detect a fusible multiply feeding an add/sub."""
+    for side in (expr.lhs, expr.rhs):
+        if isinstance(side, BinOp) and side.kind == "*" and side.dtype.is_float:
+            return True
+    return False

@@ -1,0 +1,155 @@
+"""Compiler option sets — the programming-effort levels the paper compares.
+
+The paper's methodology walks a fixed ladder of effort:
+
+1. **naive serial** — what ``icc -O2`` does to parallelism-unaware code:
+   scalar, single-threaded.
+2. **+ parallelization** — the programmer adds ``#pragma omp parallel for``.
+3. **+ auto-vectorization** — the compiler vectorizes what it can prove
+   legal *and* profitable.
+4. **+ pragmas** — ``#pragma simd`` overrides the conservative
+   profitability/legality heuristics where the programmer knows better.
+5. **Ninja** — hand-written intrinsics: ideal scheduling, perfect
+   alignment, software prefetch, multiple accumulators.
+
+Each rung is a :class:`CompilerOptions` preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Flags controlling the compilation pipeline.
+
+    Attributes:
+        enable_openmp: honor ``parallel`` loop pragmas (OpenMP on).
+        auto_vectorize: vectorize legal + profitable innermost loops.
+        honor_simd_pragma: vectorize ``simd``-annotated loops even when the
+            auto-vectorizer's cost model declines (and allow outer loops).
+        fast_math: allow reassociation — reductions get multiple
+            accumulators, divides may become reciprocal-multiplies.
+        unroll: honor unroll pragmas and unroll small hot loops.
+        ninja: idealized hand-tuned code generation (see module docstring).
+        compiler_inefficiency: multiplicative overhead of compiled code's
+            instruction selection/scheduling vs hand-scheduled intrinsics;
+            1.0 for ninja.  The paper's residual ~1.3X gap partly lives
+            here, partly in alignment/masking structure.
+        min_vector_profit: auto-vectorizer cost-model threshold — estimated
+            speedup below this means "loop not vectorized: inefficient"
+            (the icc message the paper quotes).
+    """
+
+    enable_openmp: bool = False
+    auto_vectorize: bool = False
+    honor_simd_pragma: bool = False
+    fast_math: bool = False
+    unroll: bool = False
+    ninja: bool = False
+    compiler_inefficiency: float = 1.15
+    min_vector_profit: float = 1.2
+    #: The individually toggleable "ninja extras" (all implied by ninja=True);
+    #: the residual-gap decomposition ablation flips them one at a time.
+    assume_aligned: bool = False       # data padded/aligned by hand
+    streaming_stores: bool = False     # non-temporal stores (no RFO)
+    software_prefetch: bool = False    # hand-placed prefetches
+
+    def __post_init__(self) -> None:
+        if self.compiler_inefficiency < 1.0:
+            raise ValueError("compiler_inefficiency must be >= 1.0")
+        if self.min_vector_profit < 0:
+            raise ValueError("min_vector_profit must be >= 0")
+
+    @property
+    def label(self) -> str:
+        """Short human label for report columns."""
+        if self.ninja:
+            return "ninja"
+        parts = []
+        if self.enable_openmp:
+            parts.append("par")
+        if self.auto_vectorize:
+            parts.append("vec")
+        if self.honor_simd_pragma:
+            parts.append("simd")
+        if self.fast_math:
+            parts.append("fm")
+        if self.assume_aligned:
+            parts.append("align")
+        if self.streaming_stores:
+            parts.append("nt")
+        if self.software_prefetch:
+            parts.append("pf")
+        return "+".join(parts) if parts else "serial"
+
+    @property
+    def aligned_data(self) -> bool:
+        """Whether code generation may assume vector-aligned data."""
+        return self.ninja or self.assume_aligned
+
+    @property
+    def uses_streaming_stores(self) -> bool:
+        """Whether stores bypass the read-for-ownership."""
+        return self.ninja or self.streaming_stores
+
+    @property
+    def uses_software_prefetch(self) -> bool:
+        """Whether DRAM streams reach software-prefetch efficiency."""
+        return self.ninja or self.software_prefetch
+
+    def but(self, **changes: object) -> "CompilerOptions":
+        """Copy with fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- the paper's effort ladder ------------------------------------
+    @staticmethod
+    def naive_serial() -> "CompilerOptions":
+        """Rung 1: parallelism-unaware compilation (scalar, one thread)."""
+        return CompilerOptions()
+
+    @staticmethod
+    def parallel_only() -> "CompilerOptions":
+        """Rung 2: OpenMP on, still scalar."""
+        return CompilerOptions(enable_openmp=True)
+
+    @staticmethod
+    def auto_vec() -> "CompilerOptions":
+        """Rung 3: OpenMP + conservative auto-vectorization."""
+        return CompilerOptions(enable_openmp=True, auto_vectorize=True)
+
+    @staticmethod
+    def best_traditional() -> "CompilerOptions":
+        """Rung 4: everything a traditional toolchain offers — OpenMP,
+        vectorization, ``pragma simd``, fast-math, unrolling."""
+        return CompilerOptions(
+            enable_openmp=True,
+            auto_vectorize=True,
+            honor_simd_pragma=True,
+            fast_math=True,
+            unroll=True,
+        )
+
+    @staticmethod
+    def ninja_options() -> "CompilerOptions":
+        """Rung 5: hand-tuned intrinsics-equivalent code generation."""
+        return CompilerOptions(
+            enable_openmp=True,
+            auto_vectorize=True,
+            honor_simd_pragma=True,
+            fast_math=True,
+            unroll=True,
+            ninja=True,
+            compiler_inefficiency=1.0,
+        )
+
+
+#: The ladder in evaluation order, keyed by the labels used in figures.
+EFFORT_LADDER: tuple[tuple[str, CompilerOptions], ...] = (
+    ("serial", CompilerOptions.naive_serial()),
+    ("parallel", CompilerOptions.parallel_only()),
+    ("autovec", CompilerOptions.auto_vec()),
+    ("traditional", CompilerOptions.best_traditional()),
+    ("ninja", CompilerOptions.ninja_options()),
+)

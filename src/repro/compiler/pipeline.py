@@ -1,0 +1,32 @@
+"""Compile driver: validation → vectorization planning → lowering."""
+
+from __future__ import annotations
+
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.compiled import CompiledKernel
+from repro.compiler.options import CompilerOptions
+from repro.compiler.unroll import fully_unroll_const_loops
+from repro.compiler.vectorize import plan_vectorization
+from repro.ir.kernel import Kernel
+from repro.ir.validate import validate_kernel
+from repro.machines.spec import MachineSpec
+
+
+def compile_kernel(
+    kernel: Kernel, options: CompilerOptions, machine: MachineSpec
+) -> CompiledKernel:
+    """Compile *kernel* for *machine* under the given option rung.
+
+    Compilation is machine-aware the way a real ``-xHOST`` build is: SIMD
+    lane counts, gather synthesis costs, and alignment penalties all come
+    from the target's :class:`~repro.machines.spec.VectorISA`.
+
+    Raises:
+        VectorizationError: if a ``pragma simd`` loop is provably illegal.
+        IRError: if the kernel fails validation.
+    """
+    validate_kernel(kernel)
+    kernel = fully_unroll_const_loops(kernel)
+    plans, report = plan_vectorization(kernel, options, machine.core)
+    generator = CodeGenerator(kernel, options, machine.core.isa, plans, report)
+    return generator.lower()

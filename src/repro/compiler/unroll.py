@@ -1,0 +1,165 @@
+"""Full unrolling of small constant-trip loops.
+
+Any optimizing compiler (icc -O2 included) fully unrolls loops with tiny
+known trip counts — the 5x5 tap loops of a convolution, the 3-component
+vector loops of a physics kernel.  Unrolling matters beyond removed loop
+overhead: once the body is straight-line code, loop-invariant loads (the
+filter coefficients) hoist out of the surrounding loop and the remaining
+innermost loop becomes the vectorization candidate.
+
+The pass rewrites the kernel before planning: each unrolled iteration gets
+the induction variable substituted with its constant and its locals
+renamed apart so the result still validates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Load,
+    Logical,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
+from repro.ir.types import I64
+from repro.ir.validate import validate_kernel
+
+#: Trip-count ceiling for full unrolling (icc's small-loop heuristic).
+MAX_FULL_UNROLL_TRIPS = 8
+
+
+def _subst_expr(expr: Expr, env: Mapping[str, Expr]) -> Expr:
+    """Replace variable references per *env* throughout an expression."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, VarRef):
+        return env.get(expr.name, expr)
+    if isinstance(expr, Load):
+        return Load(
+            expr.array,
+            tuple(_subst_expr(sub, env) for sub in expr.index),
+            expr.dtype,
+            expr.array_field,
+        )
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.kind, _subst_expr(expr.lhs, env), _subst_expr(expr.rhs, env),
+            expr.dtype,
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.kind, _subst_expr(expr.operand, env), expr.dtype)
+    if isinstance(expr, Compare):
+        return Compare(
+            expr.kind, _subst_expr(expr.lhs, env), _subst_expr(expr.rhs, env)
+        )
+    if isinstance(expr, Logical):
+        return Logical(
+            expr.kind, tuple(_subst_expr(op, env) for op in expr.operands)
+        )
+    if isinstance(expr, Select):
+        return Select(
+            _subst_expr(expr.cond, env),
+            _subst_expr(expr.if_true, env),
+            _subst_expr(expr.if_false, env),
+            expr.dtype,
+        )
+    raise TypeError(f"cannot substitute in {type(expr).__name__}")
+
+
+def _subst_block(
+    body: tuple[Stmt, ...], env: dict[str, Expr], suffix: str
+) -> tuple[Stmt, ...]:
+    """Substitute variables and rename declared locals apart."""
+    out: list[Stmt] = []
+    env = dict(env)
+    for stmt in body:
+        if isinstance(stmt, Decl):
+            new_name = stmt.name + suffix
+            init = _subst_expr(stmt.init, env)
+            env[stmt.name] = VarRef(new_name, stmt.dtype)
+            out.append(Decl(new_name, stmt.dtype, init))
+        elif isinstance(stmt, Assign):
+            value = _subst_expr(stmt.value, env)
+            target = stmt.target
+            if isinstance(target, StoreTarget):
+                target = StoreTarget(
+                    target.array,
+                    tuple(_subst_expr(sub, env) for sub in target.index),
+                    target.dtype,
+                    target.array_field,
+                )
+            else:
+                assert isinstance(target, ScalarTarget)
+                renamed = env.get(target.name)
+                if isinstance(renamed, VarRef):
+                    target = ScalarTarget(renamed.name, target.dtype)
+            out.append(Assign(target, value))
+        elif isinstance(stmt, For):
+            out.append(
+                For(
+                    stmt.var,
+                    _subst_expr(stmt.extent, env),
+                    _subst_block(stmt.body, env, suffix),
+                    stmt.pragma,
+                )
+            )
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    _subst_expr(stmt.cond, env),
+                    _subst_block(stmt.then_body, env, suffix),
+                    _subst_block(stmt.else_body, env, suffix),
+                    stmt.probability,
+                )
+            )
+        else:
+            raise TypeError(f"cannot substitute in {type(stmt).__name__}")
+    return tuple(out)
+
+
+def _unroll_block(body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    out: list[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, For):
+            inner = stmt.with_body(_unroll_block(stmt.body))
+            if (
+                isinstance(inner.extent, Const)
+                and 1 <= int(inner.extent.value) <= MAX_FULL_UNROLL_TRIPS
+                and not inner.pragma.parallel
+            ):
+                trips = int(inner.extent.value)
+                for i in range(trips):
+                    env = {inner.var: Const(i, I64)}
+                    out.extend(_subst_block(inner.body, env, f"__{inner.var}{i}"))
+            else:
+                out.append(inner)
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    stmt.cond,
+                    _unroll_block(stmt.then_body),
+                    _unroll_block(stmt.else_body),
+                    stmt.probability,
+                )
+            )
+        else:
+            out.append(stmt)
+    return tuple(out)
+
+
+def fully_unroll_const_loops(kernel: Kernel) -> Kernel:
+    """Return the kernel with every small constant-trip loop flattened."""
+    body = _unroll_block(kernel.body)
+    if body == kernel.body:
+        return kernel
+    unrolled = Kernel(kernel.name, kernel.params, kernel.arrays, body, kernel.doc)
+    validate_kernel(unrolled)
+    return unrolled

@@ -1,0 +1,226 @@
+"""The vectorization planner.
+
+Reproduces the decision procedure of a traditional auto-vectorizer:
+
+* only innermost loops are considered automatically;
+* legality comes from dependence analysis (:mod:`repro.compiler.dependence`);
+* a cost model declines vectorization when the estimated speedup is small —
+  the ``"loop was not vectorized: vectorization possible but seems
+  inefficient"`` message icc prints for AOS/gather-bound loops;
+* ``#pragma simd`` (honored at the ``best_traditional`` rung and above)
+  overrides the cost model and the *assumed* dependences, and additionally
+  unlocks outer-loop vectorization — but a *proven* loop-carried dependence
+  still refuses, because forcing it would be wrong code.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.access import AccessContext
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.compiled import (
+    LoopDecision,
+    LoopPlan,
+    VectorizationReport,
+)
+from repro.compiler.dependence import analyze_loop
+from repro.compiler.options import CompilerOptions
+from repro.errors import VectorizationError
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import Decl, For, If, Stmt
+from repro.ir.types import F64
+from repro.machines.ops import OpClass
+from repro.machines.spec import CoreSpec
+from repro.simulator.core import price_ops
+
+
+def plan_vectorization(
+    kernel: Kernel, options: CompilerOptions, core: CoreSpec
+) -> tuple[dict[str, LoopPlan], VectorizationReport]:
+    """Decide, for every loop, whether and how it vectorizes."""
+    planner = _Planner(kernel, options, core)
+    for stmt in kernel.body:
+        if isinstance(stmt, For):
+            planner.visit(stmt, enclosing_vectorized=False)
+    return planner.plans, VectorizationReport(tuple(planner.decisions))
+
+
+class _Planner:
+    def __init__(self, kernel: Kernel, options: CompilerOptions, core: CoreSpec):
+        self.kernel = kernel
+        self.options = options
+        self.core = core
+        self.isa = core.isa
+        self.plans: dict[str, LoopPlan] = {}
+        self.decisions: list[LoopDecision] = []
+        # A throwaway generator used purely for body cost estimates.
+        self._estimator = CodeGenerator(
+            kernel, options, core.isa, {}, VectorizationReport(())
+        )
+
+    def visit(self, loop: For, enclosing_vectorized: bool) -> None:
+        decision = self._decide(loop, enclosing_vectorized)
+        self.decisions.append(decision)
+        if decision.vectorized:
+            self.plans[loop.var] = LoopPlan(
+                lanes=decision.lanes, forced=loop.pragma.simd or self.options.ninja
+            )
+        vectorized_below = enclosing_vectorized or decision.vectorized
+        for inner in _direct_loops(loop.body):
+            self.visit(inner, vectorized_below)
+
+    def _decide(self, loop: For, enclosing_vectorized: bool) -> LoopDecision:
+        lanes = self._lanes_for(loop)
+        forced = loop.pragma.simd and (
+            self.options.honor_simd_pragma or self.options.ninja
+        )
+        if enclosing_vectorized:
+            return LoopDecision(
+                loop.var, False, 1, "an enclosing loop is already vectorized"
+            )
+        if loop.pragma.novector:
+            return LoopDecision(loop.var, False, 1, "pragma novector")
+        if forced:
+            dep = analyze_loop(self.kernel, loop)
+            if not dep.legal_if_asserted:
+                raise VectorizationError(
+                    f"loop {loop.var!r}: pragma simd on a loop with a proven "
+                    f"loop-carried dependence: {'; '.join(dep.reasons)}"
+                )
+            if self._irregular_inner_loops(loop):
+                raise VectorizationError(
+                    f"loop {loop.var!r}: pragma simd, but an inner loop's "
+                    "trip count varies across lanes"
+                )
+            label = "hand vectorized" if self.options.ninja else "pragma simd"
+            return LoopDecision(loop.var, True, lanes, label)
+        if not self.options.auto_vectorize:
+            return LoopDecision(loop.var, False, 1, "vectorization disabled (-no-vec)")
+        if _direct_loops(loop.body):
+            return LoopDecision(
+                loop.var, False, 1, "not innermost (auto-vectorizer considers "
+                "innermost loops only)"
+            )
+        dep = analyze_loop(self.kernel, loop)
+        if not dep.legal:
+            return LoopDecision(loop.var, False, 1, "; ".join(dep.reasons))
+        if not self.isa.has_hw_gather and self._needs_gather(loop, lanes):
+            # Pre-gather ISAs: the auto-vectorizer does not synthesise
+            # gathers from scalar inserts on its own (pragma simd does).
+            return LoopDecision(
+                loop.var, False, 1,
+                "vectorization possible but seems inefficient "
+                "(non-unit-stride accesses need gather/scatter synthesis)",
+            )
+        speedup = self._estimate_speedup(loop, lanes)
+        if speedup < self.options.min_vector_profit:
+            return LoopDecision(
+                loop.var, False, 1,
+                f"vectorization possible but seems inefficient "
+                f"(estimated speedup {speedup:.2f}x)",
+            )
+        return LoopDecision(
+            loop.var, True, lanes, f"auto (estimated speedup {speedup:.2f}x)"
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def _lanes_for(self, loop: For) -> int:
+        element_bytes = 4
+        for expr in _body_exprs(loop.body):
+            for node in expr.walk():
+                if node.dtype == F64:
+                    element_bytes = 8
+                    break
+        return self.isa.lanes(element_bytes)
+
+    def _irregular_inner_loops(self, loop: For) -> bool:
+        """True when an inner loop's extent depends on *loop*'s variable or
+        on lane-varying locals (divergent trip counts)."""
+        from repro.compiler.access import dim_form
+
+        dynamic = frozenset(
+            s.name for s in loop.walk() if isinstance(s, Decl)
+        )
+        loop_vars = frozenset(l.var for l in self.kernel.loops())
+        ctx = AccessContext(loop_vars=loop_vars, dynamic_names=dynamic)
+        for inner in loop.walk():
+            if inner is loop or not isinstance(inner, For):
+                continue
+            form = dim_form(inner.extent, ctx)
+            if form is None or form.depends_on(loop.var):
+                return True
+        return False
+
+    def _needs_gather(self, loop: For, lanes: int) -> bool:
+        """Would vectorizing this loop require gather/scatter synthesis?"""
+        from repro.compiler.compiled import AccessPattern
+
+        ctx = AccessContext(
+            loop_vars=frozenset(l.var for l in self.kernel.loops()),
+            dynamic_names=frozenset(
+                s.name for s in self.kernel.walk_statements() if isinstance(s, Decl)
+            ),
+            vec_var=loop.var,
+            lanes=lanes,
+            ninja=self.options.ninja,
+        )
+        block = self._estimator.lower_body(loop, ctx)
+        return any(
+            access.pattern in (AccessPattern.STRIDED, AccessPattern.GATHER)
+            for access in block.accesses
+        )
+
+    def _estimate_speedup(self, loop: For, lanes: int) -> float:
+        """Per-element cycle ratio of scalar vs vectorized body."""
+        base = AccessContext(
+            loop_vars=frozenset(l.var for l in self.kernel.loops()),
+            dynamic_names=frozenset(
+                s.name for s in self.kernel.walk_statements() if isinstance(s, Decl)
+            ),
+            ninja=self.options.ninja,
+        )
+        scalar_block = self._estimator.lower_body(loop, base)
+        vector_ctx = AccessContext(
+            loop_vars=base.loop_vars,
+            dynamic_names=base.dynamic_names,
+            vec_var=loop.var,
+            lanes=lanes,
+            ninja=self.options.ninja,
+        )
+        vector_block = self._estimator.lower_body(loop, vector_ctx)
+        scalar_ops = scalar_block.ops
+        vector_ops = vector_block.ops
+        # Loop bookkeeping both ways.
+        for bundle in (scalar_ops, vector_ops):
+            bundle.add(OpClass.IADD, 1.0)
+            bundle.add(OpClass.CMP, 1.0)
+            bundle.add(OpClass.BRANCH, 1.0)
+        scalar_cycles = price_ops(
+            scalar_ops, self.isa, vector=False, issue_width=self.core.issue_width
+        ).cycles
+        vector_cycles = price_ops(
+            vector_ops, self.isa, vector=True, issue_width=self.core.issue_width
+        ).cycles
+        if vector_cycles <= 0:
+            return float(lanes)
+        return scalar_cycles / (vector_cycles / lanes)
+
+
+def _direct_loops(body: tuple[Stmt, ...]) -> list[For]:
+    """Loops directly nested in a block (descending through Ifs)."""
+    out: list[For] = []
+    for stmt in body:
+        if isinstance(stmt, For):
+            out.append(stmt)
+        elif isinstance(stmt, If):
+            out.extend(_direct_loops(stmt.then_body))
+            out.extend(_direct_loops(stmt.else_body))
+    return out
+
+
+def _body_exprs(body: tuple[Stmt, ...]):
+    """All expressions in a block, nested statements included."""
+    from repro.ir.kernel import statement_exprs
+
+    for stmt in body:
+        for top in stmt.walk():
+            yield from statement_exprs(top)

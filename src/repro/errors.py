@@ -1,0 +1,43 @@
+"""Exception taxonomy for the Ninja-gap reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IRError(ReproError):
+    """The kernel IR is malformed (failed validation or construction)."""
+
+
+class TypeMismatchError(IRError):
+    """An expression combines operands of incompatible dtypes."""
+
+
+class CompilationError(ReproError):
+    """The compiler pipeline could not produce a compiled kernel."""
+
+
+class VectorizationError(CompilationError):
+    """Vectorization was *required* (``pragma simd``) but is illegal."""
+
+
+class SimulationError(ReproError):
+    """The performance simulator was given inconsistent inputs."""
+
+
+class MachineSpecError(ReproError):
+    """A machine description is internally inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload is malformed or out of the supported range."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured incorrectly."""

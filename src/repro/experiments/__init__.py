@@ -1,0 +1,15 @@
+"""Experiment harness: every paper table/figure as a runnable artifact."""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    experiment_ids,
+    register,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "experiment_ids",
+    "register",
+    "run_experiment",
+]

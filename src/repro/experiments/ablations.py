@@ -1,0 +1,163 @@
+"""Paper §6 hardware-support figure plus our own model ablations."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis import measure_ladder
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.experiments.base import ExperimentResult, register
+from repro.kernels import Stencil, get_benchmark
+from repro.machines import CORE_I7_X980, MIC_KNF
+from repro.machines.ops import OpClass, OpCost, OpCostTable
+from repro.simulator import simulate, trace_kernel
+
+#: Benchmarks whose naive code needs gathers to vectorize.
+_GATHER_BOUND = (
+    "nbody", "blackscholes", "lbm", "treesearch", "backprojection",
+    "volume_render",
+)
+
+
+def _westmere_with_gather():
+    """A hypothetical Westmere whose ISA has MIC-style hardware gather."""
+    base = CORE_I7_X980
+    table = base.isa.cost_table
+    vector = dict(table.vector)
+    vector[OpClass.GATHER_LANE] = OpCost(0.75, 0.0, "load")
+    vector[OpClass.SCATTER_LANE] = OpCost(0.75, 0.0, "store")
+    gather_table = OpCostTable("SSE4.2+gather", dict(table.scalar), vector)
+    isa = dataclasses.replace(
+        base.isa, name="SSE4.2+gather", cost_table=gather_table,
+        has_hw_gather=True, has_hw_scatter=True,
+    )
+    core = dataclasses.replace(base.core, isa=isa)
+    return dataclasses.replace(
+        base, name="Core i7 X980 + HW gather", core=core
+    )
+
+
+@register("fig8")
+def fig8_hw_support() -> ExperimentResult:
+    """Figure 8 (§6): hardware gather support shrinks the compiler-only gap."""
+    gather_machine = _westmere_with_gather()
+    rows = []
+    for name in _GATHER_BOUND:
+        bench = get_benchmark(name)
+        plain = measure_ladder(bench, CORE_I7_X980)
+        gather = measure_ladder(bench, gather_machine)
+        mic = measure_ladder(bench, MIC_KNF)
+        rows.append(
+            (
+                name,
+                round(plain.speedup("parallel", "autovec"), 2),
+                round(gather.speedup("parallel", "autovec"), 2),
+                round(plain.compiler_only_gap, 1),
+                round(gather.compiler_only_gap, 1),
+                round(mic.compiler_only_gap, 1),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Hardware support for programmability: gather and the "
+        "compiler-only gap",
+        headers=(
+            "benchmark", "auto-vec gain (SSE)", "auto-vec gain (+gather)",
+            "gap SSE", "gap +gather", "gap MIC",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "hardware support for programmability can reduce the impact of "
+            "the required changes",
+        ),
+        measured_claims=(
+            "hardware gather lets the auto-vectorizer act on unchanged "
+            "AOS/irregular code",
+        ),
+        notes=(
+            "gaps are best-compiled-naive vs that machine's own ninja; "
+            "treesearch/volume_render still need pragma simd for outer-loop "
+            "vectorization, so gather there speeds the ninja side instead"
+        ),
+    )
+
+
+@register("abl_blocking")
+def abl_blocking() -> ExperimentResult:
+    """Ablation: stencil 2.5D block-size sweep (design choice behind fig4)."""
+    bench = Stencil()
+    options = CompilerOptions.best_traditional()
+    params = bench.paper_params()
+    array_bytes = params["n"] ** 3 * 4
+    rows = []
+    for block in (16, 32, 64, 128, 256, 512):
+        phase_params = dict(params, by=block, bx=block)
+        kernel = bench.kernel("optimized")
+        compiled = compile_kernel(kernel, options, CORE_I7_X980)
+        result = simulate(compiled, CORE_I7_X980, phase_params)
+        rows.append(
+            (
+                f"{block}x{block}",
+                round(result.time_s * 1e3, 1),
+                round(result.traffic_bytes[-1] / array_bytes, 2),
+                result.bottleneck,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_blocking",
+        title="Stencil 2.5D blocking: block size vs time and DRAM traffic",
+        headers=("block", "time (ms)", "DRAM traffic (arrays)", "bottleneck"),
+        rows=tuple(rows),
+        measured_claims=(
+            "mid-size blocks minimise traffic; tiny blocks waste halo, huge "
+            "blocks fall out of cache",
+        ),
+    )
+
+
+@register("abl_cache")
+def abl_cache_models() -> ExperimentResult:
+    """Ablation: trace-driven vs analytic DRAM traffic on small workloads."""
+    cases = (
+        ("blackscholes", {"n": 40_000}),
+        ("complex_conv", {"n": 4_096, "taps": 16}),
+        ("conv2d", {"h": 96, "w": 128}),
+        ("stencil", {"n": 34}),
+    )
+    options = CompilerOptions.naive_serial()
+    rows = []
+    rng = np.random.default_rng(7)
+    for name, params in cases:
+        bench = get_benchmark(name)
+        phase = bench.phases("naive", params)[0]
+        problem = bench.make_problem(params, rng)
+        storage = bench.bind("naive", problem, params)
+        traced = trace_kernel(
+            phase.kernel, phase.params, storage, CORE_I7_X980,
+            max_statements=50_000_000,
+        )
+        traced_dram = traced.hierarchy.total_dram_bytes()
+        compiled = compile_kernel(phase.kernel, options, CORE_I7_X980)
+        analytic = simulate(compiled, CORE_I7_X980, phase.params, threads=1)
+        ratio = analytic.traffic_bytes[-1] / max(1, traced_dram)
+        rows.append(
+            (
+                name,
+                round(traced_dram / 1e6, 2),
+                round(analytic.traffic_bytes[-1] / 1e6, 2),
+                round(ratio, 2),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_cache",
+        title="Analytic vs trace-driven cache model (DRAM bytes)",
+        headers=("benchmark", "traced MB", "analytic MB", "analytic/traced"),
+        rows=tuple(rows),
+        measured_claims=(
+            "the analytic model tracks ground-truth traffic within ~2x on "
+            "small workloads",
+        ),
+        notes="trace includes writebacks; analytic charges RFO+WB on writes",
+    )

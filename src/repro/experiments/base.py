@@ -1,0 +1,114 @@
+"""Experiment framework: every paper table/figure is a runnable artifact.
+
+Each experiment module exposes ``run() -> ExperimentResult``; the registry
+maps artifact ids (``fig1``, ``table2``, ``abl_blocking``...) to them.  The
+benchmark harness (``benchmarks/``) and the CLI both go through here, so a
+row printed by ``pytest benchmarks/`` is exactly a row of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rows reproducing one paper artifact, plus context.
+
+    Attributes:
+        experiment_id: artifact id (``fig1``).
+        title: artifact title as in the paper.
+        headers: column names.
+        rows: table rows (mixed str/number cells).
+        paper_claims: what the paper reports for this artifact.
+        measured_claims: the corresponding measured headline values.
+        notes: caveats / substitutions.
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    paper_claims: tuple[str, ...] = ()
+    measured_claims: tuple[str, ...] = ()
+    notes: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for downstream tooling)."""
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "paper_claims": list(self.paper_claims),
+            "measured_claims": list(self.measured_claims),
+            "notes": self.notes,
+        }
+
+    def render(self) -> str:
+        """Full text report for this artifact."""
+        parts = [
+            format_table(
+                self.headers, self.rows,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        if self.paper_claims:
+            parts.append("paper:    " + "; ".join(self.paper_claims))
+        if self.measured_claims:
+            parts.append("measured: " + "; ".join(self.measured_claims))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+
+#: id -> zero-argument callable returning an ExperimentResult.
+_REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding an experiment runner to the registry."""
+
+    def wrap(func: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return wrap
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered artifact ids (import side effect loads them)."""
+    _load_all()
+    return tuple(sorted(_REGISTRY))
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one artifact by id."""
+    _load_all()
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()
+
+
+def _load_all() -> None:
+    """Import every experiment module so registrations run."""
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        extensions,
+        figures,
+        mic,
+        tables as table_experiments,
+        trend,
+        workloads,
+    )

@@ -1,0 +1,244 @@
+"""Extension experiments beyond the paper's figures.
+
+These quantify the paper's discussion-section claims and our own design
+choices:
+
+* ``fig9_future`` — the abstract's closing claim ("a more stable and
+  predictable performance growth over future architectures"): the same
+  sources on a Sandy Bridge AVX model, one ISA generation past the paper.
+* ``abl_scaling``  — per-kernel thread-scaling curves (why the threading
+  component of each gap is what it is).
+* ``abl_treesize`` — TreeSearch across tree sizes: the cache-hierarchy
+  regimes of the irregular category.
+* ``abl_residual`` — decomposition of the ~1.3X residual gap into the
+  individual Ninja extras (perfect codegen, alignment, streaming stores,
+  software prefetch, manual accumulators).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import geometric_mean, measure_ladder, measure_suite, run_rung
+from repro.analysis.scaling import saturation_threads, thread_scaling
+from repro.compiler import CompilerOptions
+from repro.experiments.base import ExperimentResult, register
+from repro.kernels import all_benchmarks, get_benchmark
+from repro.machines import CORE_I7_2600, CORE_I7_4770, CORE_I7_X980
+
+
+@register("fig9_future")
+def fig9_future() -> ExperimentResult:
+    """Future architectures: the same sources on AVX and AVX2+gather."""
+    rows = []
+    residuals = {"avx": [], "avx2": []}
+    for bench in all_benchmarks():
+        wsm = measure_ladder(bench, CORE_I7_X980)
+        avx = measure_ladder(bench, CORE_I7_2600)
+        avx2 = measure_ladder(bench, CORE_I7_4770)
+        residuals["avx"].append(avx.residual_gap)
+        residuals["avx2"].append(avx2.residual_gap)
+        rows.append(
+            (
+                bench.name,
+                round(wsm.ninja_gap, 1),
+                round(avx.ninja_gap, 1),
+                round(avx2.ninja_gap, 1),
+                round(avx.residual_gap, 2),
+                round(avx2.residual_gap, 2),
+                round(avx2.speedup("parallel", "autovec"), 2),
+            )
+        )
+    mean_avx = geometric_mean(residuals["avx"])
+    mean_avx2 = geometric_mean(residuals["avx2"])
+    rows.append(
+        ("GEOMEAN", "", "", "", round(mean_avx, 2), round(mean_avx2, 2), "")
+    )
+    return ExperimentResult(
+        experiment_id="fig9_future",
+        title="Future architectures: Sandy Bridge AVX and Haswell "
+        "AVX2+gather with the same sources",
+        headers=(
+            "benchmark", "gap WSM", "gap AVX", "gap AVX2",
+            "resid AVX", "resid AVX2", "naive auto-vec gain AVX2",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "a more stable and predictable performance growth over future "
+            "architectures",
+            "hardware support (gather) can further increase programmer "
+            "productivity (§6)",
+        ),
+        measured_claims=(
+            f"residuals stay at {mean_avx:.2f}X (AVX) and {mean_avx2:.2f}X "
+            "(AVX2) with zero further source changes",
+            "AVX2's hardware gather — which shipped the year after the "
+            "paper — lets the auto-vectorizer accept the naive AOS kernels",
+        ),
+        notes=(
+            "the naive gap keeps growing with lane width; the last column "
+            "shows naive-source auto-vectorization benefit unlocked by AVX2 "
+            "gather (1.0 on the pre-gather machines)"
+        ),
+    )
+
+
+@register("abl_scaling")
+def abl_scaling() -> ExperimentResult:
+    """Thread-scaling curves for the optimized variants on Westmere."""
+    rows = []
+    for bench in all_benchmarks():
+        points = thread_scaling(bench, CORE_I7_X980)
+        by_threads = {point.threads: point for point in points}
+        full = points[-1]
+        rows.append(
+            (
+                bench.name,
+                round(by_threads[2].speedup, 2),
+                round(by_threads[6].speedup, 2),
+                round(full.speedup, 2),
+                saturation_threads(points),
+                full.bottleneck,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_scaling",
+        title="Thread scaling of the optimized variants (Core i7 X980)",
+        headers=(
+            "benchmark", "2 threads", "6 threads", "12 threads (SMT)",
+            "saturates at", "bottleneck",
+        ),
+        rows=tuple(rows),
+        measured_claims=(
+            "compute kernels scale to all 6 cores; bandwidth kernels "
+            "saturate earlier at the DRAM roof",
+        ),
+    )
+
+
+@register("abl_treesize")
+def abl_treesize() -> ExperimentResult:
+    """TreeSearch throughput across tree sizes (cache regimes)."""
+    bench = get_benchmark("treesearch")
+    options = CompilerOptions.best_traditional()
+    rows = []
+    cache = {}
+    nq = 1 << 20
+    for depth in (10, 14, 17, 20, 24):
+        nn = (1 << (depth + 1)) - 1
+        params = {"nq": nq, "depth": depth, "nn": nn}
+        rung = run_rung(
+            bench, "optimized", options, CORE_I7_X980,
+            params=params, _cache=cache,
+        )
+        tree_mb = nn * 4 / 1e6
+        ns_per_probe = rung.time_s / (nq * depth) * 1e9
+        rows.append(
+            (
+                depth,
+                round(tree_mb, 1),
+                round(rung.time_s * 1e3, 2),
+                round(ns_per_probe, 2),
+                rung.bottleneck,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_treesize",
+        title="TreeSearch: cost per probe vs tree size (1M queries)",
+        headers=(
+            "depth", "tree (MB)", "time (ms)", "ns/probe", "bottleneck",
+        ),
+        rows=tuple(rows),
+        measured_claims=(
+            "per-probe cost steps up as the tree outgrows L2, L3 and "
+            "finally stays DRAM-latency-bound",
+        ),
+    )
+
+
+@register("abl_residual")
+def abl_residual() -> ExperimentResult:
+    """Decompose the residual gap into the individual Ninja extras."""
+    base = CompilerOptions.best_traditional()
+    steps = (
+        ("traditional", base),
+        ("+ perfect codegen", base.but(compiler_inefficiency=1.0)),
+        (
+            "+ aligned data",
+            base.but(compiler_inefficiency=1.0, assume_aligned=True),
+        ),
+        (
+            "+ streaming stores",
+            base.but(
+                compiler_inefficiency=1.0, assume_aligned=True,
+                streaming_stores=True,
+            ),
+        ),
+        (
+            "+ software prefetch",
+            base.but(
+                compiler_inefficiency=1.0, assume_aligned=True,
+                streaming_stores=True, software_prefetch=True,
+            ),
+        ),
+        ("ninja (all + accumulators)", CompilerOptions.ninja_options()),
+    )
+    benches = [
+        get_benchmark(name)
+        for name in ("blackscholes", "complex_conv", "stencil", "lbm")
+    ]
+    rows = []
+    for label, options in steps:
+        row = [label]
+        for bench in benches:
+            cache = {}
+            rung = run_rung(bench, "optimized", options, CORE_I7_X980,
+                            _cache=cache)
+            ninja = run_rung(
+                bench, "ninja", CompilerOptions.ninja_options(),
+                CORE_I7_X980, _cache=cache,
+            )
+            row.append(round(rung.time_s / ninja.time_s, 2))
+        rows.append(tuple(row))
+    return ExperimentResult(
+        experiment_id="abl_residual",
+        title="Residual gap decomposition: which Ninja extras matter",
+        headers=("configuration",) + tuple(b.name for b in benches),
+        rows=tuple(rows),
+        measured_claims=(
+            "codegen quality and alignment dominate the compute kernels' "
+            "residual; streaming stores dominate the bandwidth kernels'",
+        ),
+        notes="cells are gap vs full ninja (1.0 = parity)",
+    )
+
+
+@register("summary")
+def summary() -> ExperimentResult:
+    """The abstract's headline claims in one table (README banner)."""
+    suite = measure_suite(all_benchmarks(), CORE_I7_X980)
+    from repro.machines import GENERATIONS, MIC_KNF
+
+    gen_means = [
+        measure_suite(all_benchmarks(), machine).mean_ninja_gap
+        for machine in GENERATIONS
+    ]
+    mic_residuals = [
+        measure_ladder(bench, MIC_KNF).residual_gap
+        for bench in all_benchmarks()
+    ]
+    rows = (
+        ("mean Ninja gap (Core i7 X980)", "24X",
+         f"{suite.mean_ninja_gap:.1f}X"),
+        ("max Ninja gap", "53X", f"{suite.max_ninja_gap:.1f}X"),
+        ("residual after changes", "1.3X",
+         f"{suite.mean_residual_gap:.2f}X"),
+        ("gap across generations", "grows",
+         " -> ".join(f"{m:.1f}X" for m in gen_means)),
+        ("MIC residual", "~1.2X",
+         f"{geometric_mean(mic_residuals):.2f}X"),
+    )
+    return ExperimentResult(
+        experiment_id="summary",
+        title="Headline reproduction summary",
+        headers=("claim", "paper", "measured"),
+        rows=rows,
+    )

@@ -1,0 +1,215 @@
+"""Paper Figures 1, 3, 4, 5, 7: the Westmere Ninja-gap results."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    breakdown,
+    effort_curve,
+    geometric_mean,
+    measure_ladder,
+    measure_suite,
+    productivity_ratio,
+)
+from repro.compiler import CompilerOptions, plan_vectorization
+from repro.experiments.base import ExperimentResult, register
+from repro.kernels import all_benchmarks
+from repro.machines import CORE_I7_X980
+
+
+@register("fig1")
+def fig1_ninja_gap() -> ExperimentResult:
+    """Figure 1: per-benchmark Ninja gap on the 6-core Westmere."""
+    suite = measure_suite(all_benchmarks(), CORE_I7_X980)
+    rows = []
+    for ladder in suite.ladders:
+        parts = breakdown(ladder)
+        rows.append(
+            (
+                ladder.benchmark,
+                round(ladder.ninja_gap, 1),
+                round(parts.threading, 1),
+                round(parts.vectorization, 2),
+                round(parts.algorithmic, 2),
+                round(parts.ninja_extras, 2),
+            )
+        )
+    rows.append(
+        (
+            "GEOMEAN",
+            round(suite.mean_ninja_gap, 1),
+            "", "", "", "",
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Ninja gap: naive serial C vs best-optimized, Core i7 X980",
+        headers=(
+            "benchmark", "ninja gap (X)", "threading", "vectorization",
+            "algorithmic", "ninja extras",
+        ),
+        rows=tuple(rows),
+        paper_claims=("average Ninja gap of 24X", "up to 53X"),
+        measured_claims=(
+            f"average {suite.mean_ninja_gap:.1f}X",
+            f"up to {suite.max_ninja_gap:.1f}X",
+        ),
+    )
+
+
+@register("fig3")
+def fig3_compiler_only() -> ExperimentResult:
+    """Figure 3: how far compiler flags alone get on *unchanged* code."""
+    rows = []
+    gaps = []
+    for bench in all_benchmarks():
+        ladder = measure_ladder(bench, CORE_I7_X980)
+        gap = ladder.compiler_only_gap
+        gaps.append(gap)
+        vec_gain = ladder.speedup("parallel", "autovec")
+        rows.append(
+            (
+                bench.name,
+                round(ladder.parallel_speedup, 1),
+                round(vec_gain, 2),
+                round(gap, 1),
+            )
+        )
+    rows.append(("GEOMEAN", "", "", round(geometric_mean(gaps), 1)))
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Compiler-only gap: best compiled naive code vs ninja",
+        headers=(
+            "benchmark", "threading gain", "auto-vec gain",
+            "remaining gap (X)",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "parallelization and vectorization of unchanged code leave a "
+            "significant gap for layout/branch-hostile kernels",
+        ),
+        measured_claims=(
+            f"geomean remaining gap {geometric_mean(gaps):.1f}X",
+        ),
+        notes=(
+            "auto-vec gain is 1.0 where the vectorizer declined (AOS "
+            "layouts need gather synthesis; sequential inner loops)"
+        ),
+    )
+
+
+@register("fig4")
+def fig4_algorithmic() -> ExperimentResult:
+    """Figure 4: the gap after algorithmic changes + compiler (~1.3X)."""
+    suite = measure_suite(all_benchmarks(), CORE_I7_X980)
+    rows = []
+    for ladder in suite.ladders:
+        rows.append(
+            (
+                ladder.benchmark,
+                round(ladder.speedup("autovec", "traditional"), 2),
+                round(ladder.residual_gap, 2),
+                ladder.rungs["traditional"].bottleneck,
+            )
+        )
+    rows.append(("GEOMEAN", "", round(suite.mean_residual_gap, 2), ""))
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="After algorithmic changes: residual gap vs ninja",
+        headers=(
+            "benchmark", "gain from changes", "residual gap (X)", "bottleneck",
+        ),
+        rows=tuple(rows),
+        paper_claims=("algorithmic changes + compiler bring the gap to 1.3X",),
+        measured_claims=(f"geomean residual {suite.mean_residual_gap:.2f}X",),
+    )
+
+
+@register("fig5")
+def fig5_simd_efficiency() -> ExperimentResult:
+    """Figure 5: what the vectorizer does per benchmark (vec-report view)."""
+    rows = []
+    for bench in all_benchmarks():
+        naive_kernel = bench.kernel("naive")
+        opt_kernel = bench.kernel("optimized")
+        from repro.compiler.unroll import fully_unroll_const_loops
+
+        _plans_n, report_n = plan_vectorization(
+            fully_unroll_const_loops(naive_kernel),
+            CompilerOptions.auto_vec(), CORE_I7_X980.core,
+        )
+        plans_o, _report_o = plan_vectorization(
+            fully_unroll_const_loops(opt_kernel),
+            CompilerOptions.best_traditional(), CORE_I7_X980.core,
+        )
+        naive_vec = bool(report_n.vectorized_loops())
+        reason = ""
+        if not naive_vec:
+            # Surface the innermost refusal, the line icc would print.
+            reason = report_n.decisions[-1].reason[:46]
+        ladder = measure_ladder(bench, CORE_I7_X980)
+        simd_gain = ladder.speedup("parallel", "traditional")
+        lanes = max((plan.lanes for plan in plans_o.values()), default=1)
+        rows.append(
+            (
+                bench.name,
+                "yes" if naive_vec else "no",
+                reason,
+                lanes,
+                round(simd_gain, 2),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Vectorization effectiveness (compiler reports and SIMD gains)",
+        headers=(
+            "benchmark", "naive auto-vec?", "refusal reason",
+            "lanes (optimized)", "gain over scalar-parallel",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "modern compilers vectorize restructured code close to hand "
+            "intrinsics",
+        ),
+        measured_claims=(
+            "every optimized variant vectorizes except mergesort, whose "
+            "SIMD merge network is modelled as branch-free scalar code",
+        ),
+    )
+
+
+@register("fig7")
+def fig7_effort() -> ExperimentResult:
+    """Figure 7: performance vs programming effort."""
+    rows = []
+    ratios = []
+    for bench in all_benchmarks():
+        ladder = measure_ladder(bench, CORE_I7_X980)
+        points = effort_curve(bench, ladder)
+        by_label = {point.label: point for point in points}
+        ratios.append(productivity_ratio(points))
+        rows.append(
+            (
+                bench.name,
+                by_label["traditional"].loc_delta,
+                round(by_label["traditional"].speedup_over_serial, 1),
+                by_label["ninja"].loc_delta,
+                round(by_label["ninja"].speedup_over_serial, 1),
+                round(ratios[-1], 1),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Performance vs programming effort (LoC-touched proxy)",
+        headers=(
+            "benchmark", "LoC (trad)", "speedup (trad)",
+            "LoC (ninja)", "speedup (ninja)", "productivity ratio",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "low programming effort captures nearly all the performance",
+        ),
+        measured_claims=(
+            f"traditional rung is {geometric_mean(ratios):.0f}x more "
+            "productive per line than ninja code",
+        ),
+    )

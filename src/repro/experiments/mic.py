@@ -1,0 +1,59 @@
+"""Paper Figure 6: results on the Intel MIC (Knights Ferry).
+
+Two claims are checked: (a) the same restructured sources compile to
+within a small factor of ninja code on MIC too, and (b) MIC's wider
+vectors + more cores reward the *same* traditional-programming changes
+with higher absolute throughput on the parallel-friendly kernels.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import geometric_mean, measure_ladder
+from repro.experiments.base import ExperimentResult, register
+from repro.kernels import all_benchmarks
+from repro.machines import CORE_I7_X980, MIC_KNF
+
+
+@register("fig6")
+def fig6_mic() -> ExperimentResult:
+    """Figure 6: per-benchmark residual gaps and MIC/CPU throughput."""
+    rows = []
+    residuals = []
+    for bench in all_benchmarks():
+        mic_ladder = measure_ladder(bench, MIC_KNF)
+        cpu_ladder = measure_ladder(bench, CORE_I7_X980)
+        residuals.append(mic_ladder.residual_gap)
+        ratio = (
+            cpu_ladder.rungs["ninja"].time_s / mic_ladder.rungs["ninja"].time_s
+        )
+        rows.append(
+            (
+                bench.name,
+                round(mic_ladder.residual_gap, 2),
+                round(cpu_ladder.residual_gap, 2),
+                round(ratio, 2),
+                mic_ladder.rungs["ninja"].bottleneck,
+            )
+        )
+    mean_residual = geometric_mean(residuals)
+    rows.append(("GEOMEAN", round(mean_residual, 2), "", "", ""))
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Intel MIC (Knights Ferry): residual gap and speed vs CPU",
+        headers=(
+            "benchmark", "MIC residual (X)", "CPU residual (X)",
+            "MIC/CPU ninja speed", "MIC bottleneck",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "equally encouraging results for Intel MIC",
+            "more cores and wider SIMD",
+        ),
+        measured_claims=(
+            f"MIC geomean residual {mean_residual:.2f}X",
+        ),
+        notes=(
+            "MIC/CPU > 1 means the same source runs faster on MIC; "
+            "hardware gather lets even the irregular kernels vectorize"
+        ),
+    )

@@ -1,0 +1,145 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    ninja-gap list                         # show all artifact ids
+    ninja-gap run fig1                     # one artifact
+    ninja-gap all                          # everything (the full evaluation)
+    ninja-gap ladder blackscholes          # one benchmark's effort ladder
+    ninja-gap ladder nbody --machine mic   # ... on another machine
+    ninja-gap report nbody                 # vectorization reports per rung
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.base import experiment_ids, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ninja-gap",
+        description="Reproduce the tables and figures of the Ninja-gap "
+        "paper (Satish et al., ISCA 2012) on simulated machines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list artifact ids")
+    run = sub.add_parser("run", help="run one artifact")
+    run.add_argument("experiment", help="artifact id (see `list`)")
+    run.add_argument(
+        "--json", action="store_true", help="emit the artifact as JSON"
+    )
+    sub.add_parser("all", help="run every artifact")
+    ladder = sub.add_parser(
+        "ladder", help="run one benchmark up the effort ladder"
+    )
+    ladder.add_argument("benchmark", help="benchmark name (e.g. nbody)")
+    ladder.add_argument(
+        "--machine", default="westmere",
+        help="machine name or alias (default: westmere)",
+    )
+    report = sub.add_parser(
+        "report", help="print per-rung vectorization reports for a benchmark"
+    )
+    report.add_argument("benchmark", help="benchmark name (e.g. nbody)")
+    report.add_argument(
+        "--machine", default="westmere",
+        help="machine name or alias (default: westmere)",
+    )
+    return parser
+
+
+def _print_ladder(benchmark_name: str, machine_name: str) -> None:
+    from repro.analysis import RUNG_LABELS, breakdown, format_table, measure_ladder
+    from repro.kernels import get_benchmark
+    from repro.machines import get_machine
+
+    bench = get_benchmark(benchmark_name)
+    machine = get_machine(machine_name)
+    ladder = measure_ladder(bench, machine)
+    rows = []
+    for label in RUNG_LABELS:
+        rung = ladder.rungs[label]
+        rows.append(
+            (
+                label,
+                rung.variant,
+                round(rung.time_s * 1e3, 3),
+                round(rung.gflops, 1),
+                round(ladder.time("serial") / rung.time_s, 1),
+                rung.bottleneck,
+            )
+        )
+    print(
+        format_table(
+            ("rung", "source", "time (ms)", "GFLOP/s", "speedup", "bound by"),
+            rows,
+            title=f"{bench.title} on {machine.name}",
+        )
+    )
+    parts = breakdown(ladder)
+    print(
+        f"\nninja gap {ladder.ninja_gap:.1f}X = "
+        f"threading {parts.threading:.2f} x vectorization "
+        f"{parts.vectorization:.2f} x algorithmic {parts.algorithmic:.2f} "
+        f"x ninja extras {parts.ninja_extras:.2f}"
+    )
+    print(f"residual after low-effort changes: {ladder.residual_gap:.2f}X")
+
+
+def _print_reports(benchmark_name: str, machine_name: str) -> None:
+    from repro.analysis import LADDER_RUNGS
+    from repro.compiler import compile_kernel
+    from repro.kernels import get_benchmark
+    from repro.machines import get_machine
+
+    bench = get_benchmark(benchmark_name)
+    machine = get_machine(machine_name)
+    for label, variant, options in LADDER_RUNGS:
+        compiled = compile_kernel(bench.kernel(variant), options, machine)
+        print(f"== {label} ({variant} source, {options.label} options) ==")
+        print(compiled.report.render() or "(no loops)")
+        print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        started = time.perf_counter()
+        result = run_experiment(args.experiment)
+        if args.json:
+            import json
+
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.render())
+            print(f"({time.perf_counter() - started:.1f}s)")
+        return 0
+    if args.command == "ladder":
+        _print_ladder(args.benchmark, args.machine)
+        return 0
+    if args.command == "report":
+        _print_reports(args.benchmark, args.machine)
+        return 0
+    assert args.command == "all"
+    for experiment_id in experiment_ids():
+        started = time.perf_counter()
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print(f"({time.perf_counter() - started:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

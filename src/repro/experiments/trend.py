@@ -1,0 +1,52 @@
+"""Paper Figure 2: the Ninja gap across CPU generations.
+
+The abstract's warning — "this gap if left unaddressed will inevitably
+increase" — quantified: the same naive source, the same ninja treatment,
+on three generations whose cores x SIMD-lanes product keeps growing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import measure_suite
+from repro.experiments.base import ExperimentResult, register
+from repro.kernels import all_benchmarks
+from repro.machines import GENERATIONS
+
+
+@register("fig2")
+def fig2_gap_trend() -> ExperimentResult:
+    """Figure 2: mean Ninja gap per processor generation."""
+    rows = []
+    means = []
+    for machine in GENERATIONS:
+        suite = measure_suite(all_benchmarks(), machine)
+        means.append(suite.mean_ninja_gap)
+        resources = machine.num_cores * machine.simd_lanes(4)
+        rows.append(
+            (
+                machine.name,
+                machine.year,
+                machine.num_cores,
+                machine.simd_lanes(4),
+                resources,
+                round(suite.mean_ninja_gap, 1),
+                round(suite.max_ninja_gap, 1),
+            )
+        )
+    growth = means[-1] / means[0]
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Ninja gap growth across CPU generations (unaddressed)",
+        headers=(
+            "machine", "year", "cores", "SIMD lanes", "cores x lanes",
+            "mean gap (X)", "max gap (X)",
+        ),
+        rows=tuple(rows),
+        paper_claims=(
+            "the gap, if left unaddressed, will inevitably increase",
+        ),
+        measured_claims=(
+            f"mean gap grew {growth:.1f}x from "
+            f"{GENERATIONS[0].name} to {GENERATIONS[-1].name}",
+        ),
+    )

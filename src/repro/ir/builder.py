@@ -1,0 +1,278 @@
+"""A small embedded DSL for writing kernels.
+
+The builder makes kernel definitions read like the C loops they stand in
+for::
+
+    b = KernelBuilder("saxpy", doc="y = a*x + y")
+    n = b.param("n")
+    a = b.param_f32("a")
+    x = b.array("x", F32, (n,))
+    y = b.array("y", F32, (n,))
+    with b.loop("i", n, parallel=True) as i:
+        b.assign(y[i], a * x[i] + y[i])
+    kernel = b.build()
+
+Indexing an array yields a :class:`~repro.ir.expr.Load`; passing that load
+to :meth:`KernelBuilder.assign` turns it into a store.  Record arrays are
+indexed then field-selected: ``pos[i].x``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.expr import Expr, ExprLike, Load, VarRef, as_expr
+from repro.ir.kernel import ArrayDecl, Kernel
+from repro.ir.stmt import (
+    Assign,
+    Decl,
+    For,
+    If,
+    LoopPragma,
+    ScalarTarget,
+    Stmt,
+    StoreTarget,
+)
+from repro.ir.types import DType, I64
+from repro.ir.validate import validate_kernel
+
+
+class ElementRef:
+    """A record-array element awaiting field selection (``pos[i].x``)."""
+
+    def __init__(self, decl: ArrayDecl, index: tuple[Expr, ...]):
+        self._decl = decl
+        self._index = index
+
+    def __getattr__(self, item: str) -> Load:
+        if item.startswith("_"):
+            raise AttributeError(item)
+        self._decl.field_index(item)  # raises IRError on unknown field
+        return Load(self._decl.name, self._index, self._decl.dtype, item)
+
+    def field(self, name: str) -> Load:
+        """Explicit field selection (for computed field names)."""
+        return self.__getattr__(name)
+
+
+class ArrayHandle:
+    """Indexable handle returned by :meth:`KernelBuilder.array`."""
+
+    def __init__(self, decl: ArrayDecl):
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        """The array's name."""
+        return self.decl.name
+
+    def _coerce_index(self, index: ExprLike | tuple[ExprLike, ...]) -> tuple[Expr, ...]:
+        items: tuple[ExprLike, ...]
+        items = index if isinstance(index, tuple) else (index,)
+        if len(items) != len(self.decl.shape):
+            raise IRError(
+                f"array {self.decl.name} is {len(self.decl.shape)}-dimensional, "
+                f"indexed with {len(items)} subscripts"
+            )
+        coerced = []
+        for item in items:
+            expr = as_expr(item, I64)
+            if expr.dtype.is_float:
+                raise TypeMismatchError(
+                    f"array {self.decl.name}: float subscript {expr}"
+                )
+            coerced.append(expr)
+        return tuple(coerced)
+
+    def __getitem__(self, index: ExprLike | tuple[ExprLike, ...]) -> Load | ElementRef:
+        idx = self._coerce_index(index)
+        if self.decl.fields:
+            return ElementRef(self.decl, idx)
+        return Load(self.decl.name, idx, self.decl.dtype, None)
+
+
+class KernelBuilder:
+    """Incrementally constructs a validated :class:`Kernel`."""
+
+    def __init__(self, name: str, doc: str = ""):
+        self.name = name
+        self.doc = doc
+        self._params: list[str] = []
+        self._arrays: list[ArrayDecl] = []
+        self._body: list[Stmt] = []
+        self._scope_stack: list[list[Stmt]] = [self._body]
+        self._locals: dict[str, DType] = {}
+        self._loop_vars: list[str] = []
+        self._built = False
+
+    # -- declarations --------------------------------------------------
+    def param(self, name: str) -> VarRef:
+        """Declare an integer size parameter and return a reference."""
+        self._check_fresh_name(name)
+        self._params.append(name)
+        return VarRef(name, I64)
+
+    def array(
+        self,
+        name: str,
+        dtype: DType,
+        shape: Sequence[ExprLike] | ExprLike,
+        fields: Sequence[str] = (),
+        layout: str = "soa",
+        alignment: int = 64,
+        skew: str = "uniform",
+    ) -> ArrayHandle:
+        """Declare an array and return an indexable handle."""
+        self._check_fresh_name(name)
+        dims: Sequence[ExprLike]
+        dims = shape if isinstance(shape, (tuple, list)) else (shape,)
+        decl = ArrayDecl(
+            name=name,
+            dtype=dtype,
+            shape=tuple(as_expr(d, I64) for d in dims),
+            fields=tuple(fields),
+            layout=layout,
+            alignment=alignment,
+            skew=skew,
+        )
+        self._arrays.append(decl)
+        return ArrayHandle(decl)
+
+    def let(self, name: str, init: ExprLike, dtype: DType | None = None) -> VarRef:
+        """Declare a scalar local with an initial value; returns a reference."""
+        init_expr = as_expr(init, dtype)
+        if dtype is None:
+            dtype = init_expr.dtype
+        if init_expr.dtype != dtype:
+            from repro.ir.expr import cast
+
+            init_expr = cast(init_expr, dtype)
+        if name in self._locals:
+            raise IRError(f"local {name!r} declared twice")
+        self._check_fresh_name(name, allow_local=True)
+        self._locals[name] = dtype
+        self._emit(Decl(name, dtype, init_expr))
+        return VarRef(name, dtype)
+
+    # -- statements ----------------------------------------------------
+    def assign(self, target: Load | VarRef, value: ExprLike) -> None:
+        """Emit ``target = value`` (a store when target is an array load)."""
+        tgt = self._as_target(target)
+        val = as_expr(value, tgt.dtype)
+        if val.dtype != tgt.dtype:
+            from repro.ir.expr import cast
+
+            val = cast(val, tgt.dtype)
+        self._emit(Assign(tgt, val))
+
+    def inc(self, target: Load | VarRef, value: ExprLike) -> None:
+        """Emit ``target += value`` (the reduction idiom)."""
+        self.assign(target, target + as_expr(value, target.dtype))
+
+    @contextmanager
+    def loop(
+        self,
+        var: str,
+        extent: ExprLike,
+        parallel: bool = False,
+        simd: bool = False,
+        novector: bool = False,
+        unroll: int = 1,
+    ) -> Iterator[VarRef]:
+        """Open a counted loop ``for var in [0, extent)``.
+
+        The keyword flags are the programmer pragmas the paper's
+        "traditional programming" workflow uses: ``parallel`` for OpenMP,
+        ``simd`` to force vectorization, ``unroll`` for unroll hints.
+        """
+        if var in self._loop_vars:
+            raise IRError(f"loop variable {var!r} shadows an enclosing loop")
+        self._check_fresh_name(var, allow_local=True)
+        extent_expr = as_expr(extent, I64)
+        body: list[Stmt] = []
+        self._scope_stack.append(body)
+        self._loop_vars.append(var)
+        try:
+            yield VarRef(var, I64)
+        finally:
+            self._scope_stack.pop()
+            self._loop_vars.pop()
+        pragma = LoopPragma(
+            parallel=parallel, simd=simd, novector=novector, unroll=unroll
+        )
+        self._emit(For(var, extent_expr, tuple(body), pragma))
+
+    @contextmanager
+    def iff(self, cond: Expr, probability: float = 0.5) -> Iterator[None]:
+        """Open a conditional; ``probability`` feeds the branch cost model."""
+        body: list[Stmt] = []
+        self._scope_stack.append(body)
+        try:
+            yield None
+        finally:
+            self._scope_stack.pop()
+        self._emit(If(cond, tuple(body), (), probability))
+
+    @contextmanager
+    def otherwise(self) -> Iterator[None]:
+        """Attach an else-branch to the immediately preceding ``iff``."""
+        scope = self._scope_stack[-1]
+        if not scope or not isinstance(scope[-1], If) or scope[-1].else_body:
+            raise IRError("otherwise() must directly follow an iff() block")
+        body: list[Stmt] = []
+        self._scope_stack.append(body)
+        try:
+            yield None
+        finally:
+            self._scope_stack.pop()
+        last = scope.pop()
+        assert isinstance(last, If)
+        scope.append(If(last.cond, last.then_body, tuple(body), last.probability))
+
+    # -- finalization ----------------------------------------------------
+    def build(self) -> Kernel:
+        """Validate and return the finished kernel."""
+        if self._built:
+            raise IRError(f"kernel {self.name!r} was already built")
+        if len(self._scope_stack) != 1:
+            raise IRError("unclosed loop or conditional at build time")
+        self._built = True
+        kernel = Kernel(
+            name=self.name,
+            params=tuple(self._params),
+            arrays=tuple(self._arrays),
+            body=tuple(self._body),
+            doc=self.doc,
+        )
+        validate_kernel(kernel)
+        return kernel
+
+    # -- internals -------------------------------------------------------
+    def _emit(self, stmt: Stmt) -> None:
+        self._scope_stack[-1].append(stmt)
+
+    def _as_target(self, target: Load | VarRef) -> StoreTarget | ScalarTarget:
+        if isinstance(target, Load):
+            return StoreTarget(
+                target.array, target.index, target.dtype, target.array_field
+            )
+        if isinstance(target, VarRef):
+            if target.name in self._loop_vars:
+                raise IRError(f"cannot assign to loop variable {target.name!r}")
+            if target.name in self._params:
+                raise IRError(f"cannot assign to parameter {target.name!r}")
+            if target.name not in self._locals:
+                raise IRError(f"assignment to undeclared local {target.name!r}")
+            return ScalarTarget(target.name, target.dtype)
+        raise IRError(f"cannot assign to {type(target).__name__}")
+
+    def _check_fresh_name(self, name: str, allow_local: bool = False) -> None:
+        if not name.isidentifier():
+            raise IRError(f"{name!r} is not a valid identifier")
+        taken = set(self._params) | {a.name for a in self._arrays}
+        if not allow_local:
+            taken |= set(self._locals) | set(self._loop_vars)
+        if name in taken:
+            raise IRError(f"name {name!r} is already declared")

@@ -1,0 +1,89 @@
+"""Concrete evaluation of IR expressions over variable bindings.
+
+Used for loop extents, array shapes, and trip counts.  Float evaluation
+lives in the interpreter; this module only handles the integer/param
+fragment that sizes things.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import IRError
+from repro.ir.expr import BinOp, Compare, Const, Expr, Load, Select, UnOp, VarRef
+
+_INT_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+    "pow": lambda a, b: a**b,
+}
+
+
+def eval_int_expr(expr: Expr, bindings: Mapping[str, int]) -> int:
+    """Evaluate an integer expression given parameter/loop-var bindings.
+
+    Raises:
+        IRError: on unbound names, float subtrees, or loads (extents and
+            shapes must be pure index arithmetic).
+    """
+    if isinstance(expr, Const):
+        if expr.dtype.is_float:
+            raise IRError(f"expected integer expression, found float const {expr.value}")
+        return int(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name not in bindings:
+            raise IRError(f"unbound variable {expr.name!r} in size expression")
+        return int(bindings[expr.name])
+    if isinstance(expr, BinOp):
+        op = _INT_BINOPS.get(expr.kind)
+        if op is None:
+            raise IRError(f"binop {expr.kind!r} not allowed in size expressions")
+        return op(
+            eval_int_expr(expr.lhs, bindings), eval_int_expr(expr.rhs, bindings)
+        )
+    if isinstance(expr, UnOp):
+        if expr.kind == "neg":
+            return -eval_int_expr(expr.operand, bindings)
+        if expr.kind == "abs":
+            return abs(eval_int_expr(expr.operand, bindings))
+        if expr.kind == "cast" and not expr.dtype.is_float:
+            return eval_int_expr(expr.operand, bindings)
+        raise IRError(f"unop {expr.kind!r} not allowed in size expressions")
+    if isinstance(expr, Select):
+        cond = eval_bool_expr(expr.cond, bindings)
+        arm = expr.if_true if cond else expr.if_false
+        return eval_int_expr(arm, bindings)
+    if isinstance(expr, Load):
+        raise IRError("array loads are not allowed in size expressions")
+    raise IRError(f"cannot evaluate {type(expr).__name__} as an integer")
+
+
+def eval_bool_expr(expr: Expr, bindings: Mapping[str, int]) -> bool:
+    """Evaluate a boolean condition over integer bindings."""
+    if isinstance(expr, Const):
+        return bool(expr.value)
+    if isinstance(expr, Compare):
+        lhs = eval_int_expr(expr.lhs, bindings)
+        rhs = eval_int_expr(expr.rhs, bindings)
+        return {
+            "<": lhs < rhs,
+            "<=": lhs <= rhs,
+            ">": lhs > rhs,
+            ">=": lhs >= rhs,
+            "==": lhs == rhs,
+            "!=": lhs != rhs,
+        }[expr.kind]
+    raise IRError(f"cannot evaluate {type(expr).__name__} as a bool")
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2; raises if *n* is not a power of two."""
+    if n <= 0 or n & (n - 1):
+        raise IRError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1

@@ -1,0 +1,387 @@
+"""Expression nodes for the kernel IR.
+
+Expressions are immutable trees built either directly or through the
+operator overloads on :class:`Expr` (so kernel code reads like the C it
+stands in for: ``dx = pos_x[j] - pos_x[i]``).
+
+Structural equality (dataclass ``__eq__``) is intentional: the compiler's
+dependence tests and the unit tests compare subtrees by value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import TypeMismatchError
+from repro.ir.types import BOOL, DType, F32, I64, promote
+
+#: Kinds accepted by :class:`BinOp`.
+BINOP_KINDS = frozenset({"+", "-", "*", "/", "//", "%", "min", "max", "pow"})
+#: Kinds accepted by :class:`UnOp` (besides ``cast``).
+UNOP_KINDS = frozenset(
+    {"neg", "abs", "sqrt", "rsqrt", "rcp", "exp", "log", "sin", "cos", "erf",
+     "floor", "cast"}
+)
+#: Kinds accepted by :class:`Compare`.
+COMPARE_KINDS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+#: Kinds accepted by :class:`Logical`.
+LOGICAL_KINDS = frozenset({"and", "or", "not"})
+
+ExprLike = Union["Expr", int, float, bool]
+
+
+class Expr:
+    """Base class for all expression nodes.
+
+    Subclasses are frozen dataclasses carrying a ``dtype``.  The arithmetic
+    dunders build :class:`BinOp`/:class:`Compare` trees and accept plain
+    Python numbers on either side.
+    """
+
+    dtype: DType
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: ExprLike) -> "BinOp":
+        return binop("+", self, other)
+
+    def __radd__(self, other: ExprLike) -> "BinOp":
+        return binop("+", other, self)
+
+    def __sub__(self, other: ExprLike) -> "BinOp":
+        return binop("-", self, other)
+
+    def __rsub__(self, other: ExprLike) -> "BinOp":
+        return binop("-", other, self)
+
+    def __mul__(self, other: ExprLike) -> "BinOp":
+        return binop("*", self, other)
+
+    def __rmul__(self, other: ExprLike) -> "BinOp":
+        return binop("*", other, self)
+
+    def __truediv__(self, other: ExprLike) -> "BinOp":
+        return binop("/", self, other)
+
+    def __rtruediv__(self, other: ExprLike) -> "BinOp":
+        return binop("/", other, self)
+
+    def __floordiv__(self, other: ExprLike) -> "BinOp":
+        return binop("//", self, other)
+
+    def __mod__(self, other: ExprLike) -> "BinOp":
+        return binop("%", self, other)
+
+    def __neg__(self) -> "UnOp":
+        return UnOp("neg", self, self.dtype)
+
+    # -- comparisons (note: breaks __eq__-based identity on purpose? no —
+    #    we keep dataclass __eq__ and expose comparisons as methods) ----
+    def lt(self, other: ExprLike) -> "Compare":
+        return compare("<", self, other)
+
+    def le(self, other: ExprLike) -> "Compare":
+        return compare("<=", self, other)
+
+    def gt(self, other: ExprLike) -> "Compare":
+        return compare(">", self, other)
+
+    def ge(self, other: ExprLike) -> "Compare":
+        return compare(">=", self, other)
+
+    def eq(self, other: ExprLike) -> "Compare":
+        return compare("==", self, other)
+
+    def ne(self, other: ExprLike) -> "Compare":
+        return compare("!=", self, other)
+
+
+@dataclass(frozen=True, eq=True)
+class Const(Expr):
+    """A literal constant."""
+
+    value: float
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if self.dtype == BOOL and self.value not in (0, 1, True, False):
+            raise TypeMismatchError(f"bool constant must be 0/1, got {self.value}")
+
+
+@dataclass(frozen=True, eq=True)
+class VarRef(Expr):
+    """A reference to a scalar variable, loop index, or kernel parameter."""
+
+    name: str
+    dtype: DType
+
+
+@dataclass(frozen=True, eq=True)
+class Load(Expr):
+    """A read of ``array[index...]`` (``field`` for record arrays)."""
+
+    array: str
+    index: tuple[Expr, ...]
+    dtype: DType
+    array_field: str | None = None
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.index
+
+
+@dataclass(frozen=True, eq=True)
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    kind: str
+    lhs: Expr
+    rhs: Expr
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if self.kind not in BINOP_KINDS:
+            raise TypeMismatchError(f"unknown binop kind {self.kind!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True, eq=True)
+class UnOp(Expr):
+    """A unary operation (negation, math functions, casts)."""
+
+    kind: str
+    operand: Expr
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if self.kind not in UNOP_KINDS:
+            raise TypeMismatchError(f"unknown unop kind {self.kind!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True, eq=True)
+class Compare(Expr):
+    """A comparison producing a bool (mask when vectorized)."""
+
+    kind: str
+    lhs: Expr
+    rhs: Expr
+    dtype: DType = BOOL
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMPARE_KINDS:
+            raise TypeMismatchError(f"unknown comparison {self.kind!r}")
+        if self.dtype != BOOL:
+            raise TypeMismatchError("comparisons produce bool")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True, eq=True)
+class Logical(Expr):
+    """Boolean combination of masks/conditions."""
+
+    kind: str
+    operands: tuple[Expr, ...]
+    dtype: DType = BOOL
+
+    def __post_init__(self) -> None:
+        if self.kind not in LOGICAL_KINDS:
+            raise TypeMismatchError(f"unknown logical op {self.kind!r}")
+        arity = 1 if self.kind == "not" else 2
+        if len(self.operands) != arity:
+            raise TypeMismatchError(
+                f"logical {self.kind!r} takes {arity} operands, got {len(self.operands)}"
+            )
+        for op in self.operands:
+            if op.dtype != BOOL:
+                raise TypeMismatchError(f"logical {self.kind!r} needs bool operands")
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True, eq=True)
+class Select(Expr):
+    """``cond ? if_true : if_false`` — the vectorizer's blend."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if self.cond.dtype != BOOL:
+            raise TypeMismatchError("select condition must be bool")
+        if self.if_true.dtype != self.if_false.dtype:
+            raise TypeMismatchError(
+                f"select arms disagree: {self.if_true.dtype} vs {self.if_false.dtype}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+
+def as_expr(value: ExprLike, like: DType | None = None) -> Expr:
+    """Coerce a Python number to a :class:`Const` (pass exprs through).
+
+    Args:
+        value: an :class:`Expr` or a plain number.
+        like: dtype to give a plain number; defaults to ``f32`` for floats
+            and ``i64`` for ints (index arithmetic).
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(bool(value), BOOL)
+    if isinstance(value, int):
+        return Const(value, like if like is not None else I64)
+    if isinstance(value, float):
+        if like is not None and not like.is_float:
+            raise TypeMismatchError(f"float literal {value} given integer dtype {like}")
+        return Const(value, like if like is not None else F32)
+    raise TypeMismatchError(f"cannot convert {value!r} to an expression")
+
+
+def binop(kind: str, lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    """Build a type-checked binary op, coercing number literals."""
+    if isinstance(lhs, Expr) and not isinstance(rhs, Expr):
+        rhs = as_expr(rhs, lhs.dtype if not isinstance(rhs, bool) else None)
+    elif isinstance(rhs, Expr) and not isinstance(lhs, Expr):
+        lhs = as_expr(lhs, rhs.dtype)
+    else:
+        lhs, rhs = as_expr(lhs), as_expr(rhs)
+    assert isinstance(lhs, Expr) and isinstance(rhs, Expr)
+    return BinOp(kind, lhs, rhs, promote(lhs.dtype, rhs.dtype))
+
+
+def compare(kind: str, lhs: ExprLike, rhs: ExprLike) -> Compare:
+    """Build a type-checked comparison, coercing number literals."""
+    if isinstance(lhs, Expr) and not isinstance(rhs, Expr):
+        rhs = as_expr(rhs, lhs.dtype)
+    elif isinstance(rhs, Expr) and not isinstance(lhs, Expr):
+        lhs = as_expr(lhs, rhs.dtype)
+    else:
+        lhs, rhs = as_expr(lhs), as_expr(rhs)
+    assert isinstance(lhs, Expr) and isinstance(rhs, Expr)
+    promote(lhs.dtype, rhs.dtype)  # raises on bool/arith mismatch
+    return Compare(kind, lhs, rhs)
+
+
+def _math_unop(kind: str, x: ExprLike) -> UnOp:
+    expr = as_expr(x)
+    if not expr.dtype.is_float:
+        raise TypeMismatchError(f"{kind} needs a float operand, got {expr.dtype}")
+    return UnOp(kind, expr, expr.dtype)
+
+
+def sqrt(x: ExprLike) -> UnOp:
+    """Square root."""
+    return _math_unop("sqrt", x)
+
+
+def rsqrt(x: ExprLike) -> UnOp:
+    """Fast approximate reciprocal square root (the Ninja idiom)."""
+    return _math_unop("rsqrt", x)
+
+
+def rcp(x: ExprLike) -> UnOp:
+    """Fast approximate reciprocal."""
+    return _math_unop("rcp", x)
+
+
+def exp(x: ExprLike) -> UnOp:
+    """Natural exponential."""
+    return _math_unop("exp", x)
+
+
+def log(x: ExprLike) -> UnOp:
+    """Natural logarithm."""
+    return _math_unop("log", x)
+
+
+def sin(x: ExprLike) -> UnOp:
+    """Sine."""
+    return _math_unop("sin", x)
+
+
+def cos(x: ExprLike) -> UnOp:
+    """Cosine."""
+    return _math_unop("cos", x)
+
+
+def erf(x: ExprLike) -> UnOp:
+    """Error function (BlackScholes' CDF building block)."""
+    return _math_unop("erf", x)
+
+
+def floor(x: ExprLike) -> UnOp:
+    """Floor."""
+    return _math_unop("floor", x)
+
+
+def absval(x: ExprLike) -> UnOp:
+    """Absolute value."""
+    expr = as_expr(x)
+    return UnOp("abs", expr, expr.dtype)
+
+
+def minimum(a: ExprLike, b: ExprLike) -> BinOp:
+    """Elementwise minimum."""
+    return binop("min", a, b)
+
+
+def maximum(a: ExprLike, b: ExprLike) -> BinOp:
+    """Elementwise maximum."""
+    return binop("max", a, b)
+
+
+def power(a: ExprLike, b: ExprLike) -> BinOp:
+    """``a ** b`` via the pow op class."""
+    return binop("pow", a, b)
+
+
+def cast(x: ExprLike, dtype: DType) -> UnOp:
+    """Explicit conversion to *dtype*."""
+    return UnOp("cast", as_expr(x), dtype)
+
+
+def select(cond: Expr, if_true: ExprLike, if_false: ExprLike) -> Select:
+    """Build a type-checked select, coercing number literals."""
+    if isinstance(if_true, Expr):
+        if_false = as_expr(if_false, if_true.dtype)
+    elif isinstance(if_false, Expr):
+        if_true = as_expr(if_true, if_false.dtype)
+    else:
+        if_true, if_false = as_expr(if_true), as_expr(if_false)
+    assert isinstance(if_true, Expr) and isinstance(if_false, Expr)
+    return Select(cond, if_true, if_false, if_true.dtype)
+
+
+def land(a: Expr, b: Expr) -> Logical:
+    """Logical and."""
+    return Logical("and", (a, b))
+
+
+def lor(a: Expr, b: Expr) -> Logical:
+    """Logical or."""
+    return Logical("or", (a, b))
+
+
+def lnot(a: Expr) -> Logical:
+    """Logical not."""
+    return Logical("not", (a,))

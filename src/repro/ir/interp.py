@@ -1,0 +1,323 @@
+"""Functional interpreter for kernels.
+
+Executes a kernel elementwise over numpy storage.  It serves two purposes:
+
+1. **Correctness** — the restructured kernel variants (SOA, blocked,
+   SIMD-friendly) are run on small inputs and compared against the numpy
+   reference implementations, proving the paper's algorithmic changes
+   preserve semantics.
+2. **Tracing** — an optional callback observes every array access in
+   program order; the trace-driven cache simulator is built on it.
+
+Scalar arithmetic uses numpy scalar types so f32 kernels round like f32 C
+code.  The interpreter is deliberately simple and slow; a step budget
+guards against accidentally interpreting benchmark-scale inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, MutableMapping
+
+import numpy as np
+
+from repro.errors import IRError, SimulationError
+from repro.ir.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Load,
+    Logical,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.evaluate import eval_int_expr
+from repro.ir.kernel import ArrayDecl, Kernel
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
+
+#: ``on_access(array_name, field_name_or_None, linear_element_index, is_write)``
+AccessHook = Callable[[str, str | None, int, bool], None]
+
+#: Storage for one kernel: plain arrays map to an ndarray; record arrays map
+#: to a dict of per-field ndarrays (values are layout-independent).
+ArrayStorage = MutableMapping[str, "np.ndarray | dict[str, np.ndarray]"]
+
+
+@dataclass
+class InterpStats:
+    """Dynamic counts collected during a run."""
+
+    statements: int = 0
+    loads: int = 0
+    stores: int = 0
+
+
+class Interpreter:
+    """Executes one kernel over bound numpy storage."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: Mapping[str, int],
+        arrays: ArrayStorage,
+        on_access: AccessHook | None = None,
+        max_statements: int = 20_000_000,
+    ):
+        missing = set(kernel.params) - set(params)
+        if missing:
+            raise SimulationError(f"missing parameter bindings: {sorted(missing)}")
+        self.kernel = kernel
+        self.params = dict(params)
+        self.arrays = arrays
+        self.on_access = on_access
+        self.max_statements = max_statements
+        self.stats = InterpStats()
+        self._check_storage()
+
+    def run(self) -> InterpStats:
+        """Execute the kernel body; returns dynamic statistics."""
+        env: dict[str, object] = dict(self.params)
+        self._exec_block(self.kernel.body, env)
+        return self.stats
+
+    # -- storage helpers -------------------------------------------------
+    def _check_storage(self) -> None:
+        for decl in self.kernel.arrays:
+            if decl.name not in self.arrays:
+                raise SimulationError(f"array {decl.name!r} not bound")
+            shape = tuple(
+                eval_int_expr(dim, self.params) for dim in decl.shape
+            )
+            bound = self.arrays[decl.name]
+            if decl.fields:
+                if not isinstance(bound, dict):
+                    raise SimulationError(
+                        f"record array {decl.name!r} must be bound to a field dict"
+                    )
+                if set(bound) != set(decl.fields):
+                    raise SimulationError(
+                        f"array {decl.name!r}: bound fields {sorted(bound)} != "
+                        f"declared {sorted(decl.fields)}"
+                    )
+                planes = bound.values()
+            else:
+                if isinstance(bound, dict):
+                    raise SimulationError(
+                        f"plain array {decl.name!r} bound to a field dict"
+                    )
+                planes = [bound]
+            for plane in planes:
+                if plane.shape != shape:
+                    raise SimulationError(
+                        f"array {decl.name!r}: bound shape {plane.shape} != "
+                        f"declared {shape}"
+                    )
+                if plane.dtype != decl.dtype.numpy:
+                    raise SimulationError(
+                        f"array {decl.name!r}: bound dtype {plane.dtype} != "
+                        f"declared {decl.dtype.numpy}"
+                    )
+
+    def _plane(self, decl: ArrayDecl, array_field: str | None) -> np.ndarray:
+        bound = self.arrays[decl.name]
+        if decl.fields:
+            assert isinstance(bound, dict)
+            assert array_field is not None
+            return bound[array_field]
+        assert not isinstance(bound, dict)
+        return bound
+
+    def _linear_index(self, decl: ArrayDecl, idx: tuple[int, ...]) -> int:
+        plane = self._plane(decl, decl.fields[0] if decl.fields else None)
+        linear = 0
+        for sub, dim in zip(idx, plane.shape):
+            if not 0 <= sub < dim:
+                raise SimulationError(
+                    f"array {decl.name!r}: index {idx} out of bounds for {plane.shape}"
+                )
+            linear = linear * dim + sub
+        return linear
+
+    # -- statements --------------------------------------------------------
+    def _exec_block(self, body: tuple[Stmt, ...], env: dict[str, object]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: Stmt, env: dict[str, object]) -> None:
+        self.stats.statements += 1
+        if self.stats.statements > self.max_statements:
+            raise SimulationError(
+                f"interpreter exceeded {self.max_statements} statements; "
+                "use the analytic simulator for large workloads"
+            )
+        if isinstance(stmt, Decl):
+            env[stmt.name] = self._eval(stmt.init, env)
+        elif isinstance(stmt, Assign):
+            value = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ScalarTarget):
+                env[stmt.target.name] = value
+            else:
+                assert isinstance(stmt.target, StoreTarget)
+                decl = self.kernel.array(stmt.target.array)
+                idx = tuple(
+                    int(self._eval(sub, env)) for sub in stmt.target.index
+                )
+                plane = self._plane(decl, stmt.target.array_field)
+                linear = self._linear_index(decl, idx)
+                plane.reshape(-1)[linear] = value
+                self.stats.stores += 1
+                if self.on_access is not None:
+                    self.on_access(decl.name, stmt.target.array_field, linear, True)
+        elif isinstance(stmt, For):
+            extent = eval_int_expr(stmt.extent, _int_env(env))
+            for i in range(extent):
+                env[stmt.var] = np.int64(i)
+                self._exec_block(stmt.body, env)
+            env.pop(stmt.var, None)
+        elif isinstance(stmt, If):
+            if bool(self._eval(stmt.cond, env)):
+                self._exec_block(stmt.then_body, env)
+            elif stmt.else_body:
+                self._exec_block(stmt.else_body, env)
+        else:
+            raise IRError(f"cannot interpret {type(stmt).__name__}")
+
+    # -- expressions ---------------------------------------------------------
+    def _eval(self, expr: Expr, env: dict[str, object]):
+        if isinstance(expr, Const):
+            return expr.dtype.numpy.type(expr.value)
+        if isinstance(expr, VarRef):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise SimulationError(f"unbound variable {expr.name!r}") from None
+        if isinstance(expr, Load):
+            decl = self.kernel.array(expr.array)
+            idx = tuple(int(self._eval(sub, env)) for sub in expr.index)
+            plane = self._plane(decl, expr.array_field)
+            linear = self._linear_index(decl, idx)
+            self.stats.loads += 1
+            if self.on_access is not None:
+                self.on_access(decl.name, expr.array_field, linear, False)
+            return plane.reshape(-1)[linear]
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, env)
+        if isinstance(expr, UnOp):
+            return self._eval_unop(expr, env)
+        if isinstance(expr, Compare):
+            lhs, rhs = self._eval(expr.lhs, env), self._eval(expr.rhs, env)
+            return {
+                "<": lhs < rhs, "<=": lhs <= rhs, ">": lhs > rhs,
+                ">=": lhs >= rhs, "==": lhs == rhs, "!=": lhs != rhs,
+            }[expr.kind]
+        if isinstance(expr, Logical):
+            ops = [bool(self._eval(op, env)) for op in expr.operands]
+            if expr.kind == "not":
+                return np.bool_(not ops[0])
+            if expr.kind == "and":
+                return np.bool_(ops[0] and ops[1])
+            return np.bool_(ops[0] or ops[1])
+        if isinstance(expr, Select):
+            cond = bool(self._eval(expr.cond, env))
+            # Both arms are evaluated, as vectorized blends do; kernels are
+            # written so both arms are safe.
+            if_true = self._eval(expr.if_true, env)
+            if_false = self._eval(expr.if_false, env)
+            return if_true if cond else if_false
+        raise IRError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_binop(self, expr: BinOp, env: dict[str, object]):
+        lhs = self._eval(expr.lhs, env)
+        rhs = self._eval(expr.rhs, env)
+        np_type = expr.dtype.numpy.type
+        kind = expr.kind
+        if kind == "+":
+            return np_type(lhs + rhs)
+        if kind == "-":
+            return np_type(lhs - rhs)
+        if kind == "*":
+            return np_type(lhs * rhs)
+        if kind == "/":
+            if expr.dtype.is_float:
+                return np_type(lhs / rhs)
+            return np_type(int(lhs) // int(rhs))
+        if kind == "//":
+            return np_type(int(lhs) // int(rhs))
+        if kind == "%":
+            return np_type(int(lhs) % int(rhs))
+        if kind == "min":
+            return np_type(min(lhs, rhs))
+        if kind == "max":
+            return np_type(max(lhs, rhs))
+        if kind == "pow":
+            return np_type(lhs**rhs)
+        raise IRError(f"unhandled binop {kind!r}")
+
+    def _eval_unop(self, expr: UnOp, env: dict[str, object]):
+        value = self._eval(expr.operand, env)
+        np_type = expr.dtype.numpy.type
+        kind = expr.kind
+        if kind == "neg":
+            return np_type(-value)
+        if kind == "abs":
+            return np_type(abs(value))
+        if kind == "sqrt":
+            return np_type(np.sqrt(value))
+        if kind == "rsqrt":
+            return np_type(1.0 / np.sqrt(value))
+        if kind == "rcp":
+            return np_type(1.0 / value)
+        if kind == "exp":
+            return np_type(np.exp(value))
+        if kind == "log":
+            return np_type(np.log(value))
+        if kind == "sin":
+            return np_type(np.sin(value))
+        if kind == "cos":
+            return np_type(np.cos(value))
+        if kind == "erf":
+            return np_type(math.erf(float(value)))
+        if kind == "floor":
+            return np_type(np.floor(value))
+        if kind == "cast":
+            return np_type(value)
+        raise IRError(f"unhandled unop {kind!r}")
+
+
+def _int_env(env: Mapping[str, object]) -> dict[str, int]:
+    """Integer-valued bindings visible to extent evaluation."""
+    return {
+        name: int(value)  # type: ignore[arg-type]
+        for name, value in env.items()
+        if isinstance(value, (int, np.integer))
+    }
+
+
+def run_kernel(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: ArrayStorage,
+    on_access: AccessHook | None = None,
+    max_statements: int = 20_000_000,
+) -> InterpStats:
+    """Convenience wrapper: build an :class:`Interpreter` and run it."""
+    interp = Interpreter(kernel, params, arrays, on_access, max_statements)
+    return interp.run()
+
+
+def zeros_for(kernel: Kernel, params: Mapping[str, int]) -> ArrayStorage:
+    """Allocate zero-filled storage matching a kernel's declarations."""
+    storage: ArrayStorage = {}
+    for decl in kernel.arrays:
+        shape = tuple(eval_int_expr(dim, params) for dim in decl.shape)
+        if decl.fields:
+            storage[decl.name] = {
+                field: np.zeros(shape, dtype=decl.dtype.numpy)
+                for field in decl.fields
+            }
+        else:
+            storage[decl.name] = np.zeros(shape, dtype=decl.dtype.numpy)
+    return storage

@@ -1,0 +1,190 @@
+"""Kernel containers: array declarations, parameters, and the kernel itself."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import IRError
+from repro.ir.expr import Expr, Load, VarRef
+from repro.ir.stmt import Assign, Decl, For, If, Stmt, StoreTarget
+from repro.ir.types import DType, I64
+
+#: Array memory layouts.  ``soa`` stores each field as its own contiguous
+#: plane; ``aos`` interleaves the fields of one element (C structs).  The
+#: AOS→SOA conversion is the paper's most common algorithmic change.
+LAYOUTS = ("soa", "aos")
+
+#: Access-skew hints for data-dependent (non-affine) subscripts, used by the
+#: analytic memory model (the trace-driven simulator needs no hints):
+#:
+#: * ``uniform`` — indices are uniformly distributed over the array;
+#: * ``tree_bfs`` — the array is a linearized breadth-first binary tree and
+#:   the enclosing loop variable is the descent depth, so iteration ``d``
+#:   draws from the first ``2^(d+1)`` elements (top levels stay cache-hot);
+#: * ``spatial`` — consecutive iterations land near each other (ray
+#:   marching), so most accesses reuse the previously opened cache line.
+ACCESS_SKEWS = ("uniform", "tree_bfs", "spatial")
+
+
+@dataclass(frozen=True, eq=True)
+class ArrayDecl:
+    """A kernel array.
+
+    Plain arrays have no ``fields``.  Record arrays declare field names and
+    a layout; every field shares ``dtype`` (sufficient for the benchmark
+    suite and keeps address arithmetic honest).
+
+    Attributes:
+        name: array identifier.
+        dtype: element (field) scalar type.
+        shape: per-dimension extents, expressions over kernel parameters.
+        fields: record field names, empty for plain arrays.
+        layout: ``"aos"`` or ``"soa"``; ignored for plain arrays.
+        alignment: guaranteed base alignment in bytes.
+    """
+
+    name: str
+    dtype: DType
+    shape: tuple[Expr, ...]
+    fields: tuple[str, ...] = ()
+    layout: str = "soa"
+    alignment: int = 64
+    skew: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise IRError(f"array {self.name}: needs at least one dimension")
+        if self.layout not in LAYOUTS:
+            raise IRError(f"array {self.name}: unknown layout {self.layout!r}")
+        if self.skew not in ACCESS_SKEWS:
+            raise IRError(f"array {self.name}: unknown access skew {self.skew!r}")
+        if len(set(self.fields)) != len(self.fields):
+            raise IRError(f"array {self.name}: duplicate field names")
+        if self.alignment < 1 or self.alignment & (self.alignment - 1):
+            raise IRError(f"array {self.name}: alignment must be a power of two")
+
+    @property
+    def num_fields(self) -> int:
+        """Field count (1 for plain arrays)."""
+        return max(1, len(self.fields))
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes of one field element."""
+        return self.dtype.size
+
+    @property
+    def struct_bytes(self) -> int:
+        """Bytes of one full element (all fields)."""
+        return self.num_fields * self.dtype.size
+
+    def field_index(self, name: str | None) -> int:
+        """Position of a field (0 for plain arrays)."""
+        if not self.fields:
+            if name is not None:
+                raise IRError(f"array {self.name} has no fields, asked for {name!r}")
+            return 0
+        if name is None:
+            raise IRError(f"array {self.name} is a record array; a field is required")
+        try:
+            return self.fields.index(name)
+        except ValueError:
+            raise IRError(f"array {self.name} has no field {name!r}") from None
+
+    def num_elements(self, params: Mapping[str, int]) -> int:
+        """Total element count for concrete parameter values."""
+        from repro.ir.evaluate import eval_int_expr  # local: avoid cycle
+
+        total = 1
+        for dim in self.shape:
+            total *= eval_int_expr(dim, params)
+        return total
+
+    def footprint_bytes(self, params: Mapping[str, int]) -> int:
+        """Total bytes the array occupies for concrete parameter values."""
+        return self.num_elements(params) * self.struct_bytes
+
+
+@dataclass(frozen=True, eq=True)
+class Kernel:
+    """A complete kernel: parameters, arrays, and a statement body.
+
+    Attributes:
+        name: kernel identifier (used in reports).
+        params: names of integer size parameters (``n``, ``width``, ...).
+        arrays: declared arrays.
+        body: top-level statements.
+        doc: one-line description shown in listings.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    arrays: tuple[ArrayDecl, ...]
+    body: tuple[Stmt, ...]
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if len(set(self.params)) != len(self.params):
+            raise IRError(f"kernel {self.name}: duplicate parameter names")
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise IRError(f"kernel {self.name}: duplicate array names")
+        if set(self.params) & set(names):
+            raise IRError(f"kernel {self.name}: a name is both parameter and array")
+
+    def array(self, name: str) -> ArrayDecl:
+        """Look up an array declaration by name."""
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise IRError(f"kernel {self.name}: no array named {name!r}")
+
+    def param_ref(self, name: str) -> VarRef:
+        """A :class:`VarRef` for a declared parameter."""
+        if name not in self.params:
+            raise IRError(f"kernel {self.name}: no parameter named {name!r}")
+        return VarRef(name, I64)
+
+    def walk_statements(self) -> Iterator[Stmt]:
+        """All statements, pre-order."""
+        for stmt in self.body:
+            yield from stmt.walk()
+
+    def loops(self) -> list[For]:
+        """All loops, outermost first in pre-order."""
+        return [s for s in self.walk_statements() if isinstance(s, For)]
+
+    def loop(self, var: str) -> For:
+        """Find the loop with the given induction variable."""
+        for candidate in self.loops():
+            if candidate.var == var:
+                return candidate
+        raise IRError(f"kernel {self.name}: no loop over {var!r}")
+
+    def accessed_arrays(self) -> set[str]:
+        """Names of arrays actually read or written by the body."""
+        seen: set[str] = set()
+        for stmt in self.walk_statements():
+            for expr in statement_exprs(stmt):
+                for node in expr.walk():
+                    if isinstance(node, Load):
+                        seen.add(node.array)
+            if isinstance(stmt, Assign) and isinstance(stmt.target, StoreTarget):
+                seen.add(stmt.target.array)
+        return seen
+
+
+def statement_exprs(stmt: Stmt) -> tuple[Expr, ...]:
+    """The expressions directly held by one statement (not nested stmts)."""
+    if isinstance(stmt, Decl):
+        return (stmt.init,)
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, StoreTarget):
+            return stmt.target.index + (stmt.value,)
+        return (stmt.value,)
+    if isinstance(stmt, For):
+        return (stmt.extent,)
+    if isinstance(stmt, If):
+        return (stmt.cond,)
+    return ()

@@ -1,0 +1,126 @@
+"""C-like pretty printer for kernels (reports, examples, debugging)."""
+
+from __future__ import annotations
+
+from repro.ir.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Load,
+    Logical,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.kernel import ArrayDecl, Kernel
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
+
+_INFIX = {"+", "-", "*", "/", "//", "%"}
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression as C-ish source text."""
+    if isinstance(expr, Const):
+        if expr.dtype.is_float:
+            return f"{expr.value:g}f" if expr.dtype.name == "f32" else f"{expr.value:g}"
+        return str(int(expr.value))
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Load):
+        subs = "][".join(format_expr(i) for i in expr.index)
+        suffix = f".{expr.array_field}" if expr.array_field else ""
+        return f"{expr.array}[{subs}]{suffix}"
+    if isinstance(expr, BinOp):
+        if expr.kind in _INFIX:
+            return f"({format_expr(expr.lhs)} {expr.kind} {format_expr(expr.rhs)})"
+        return f"{expr.kind}({format_expr(expr.lhs)}, {format_expr(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        if expr.kind == "neg":
+            return f"(-{format_expr(expr.operand)})"
+        if expr.kind == "cast":
+            return f"({expr.dtype}){format_expr(expr.operand)}"
+        return f"{expr.kind}({format_expr(expr.operand)})"
+    if isinstance(expr, Compare):
+        return f"({format_expr(expr.lhs)} {expr.kind} {format_expr(expr.rhs)})"
+    if isinstance(expr, Logical):
+        if expr.kind == "not":
+            return f"!({format_expr(expr.operands[0])})"
+        joiner = " && " if expr.kind == "and" else " || "
+        return "(" + joiner.join(format_expr(op) for op in expr.operands) + ")"
+    if isinstance(expr, Select):
+        return (
+            f"({format_expr(expr.cond)} ? {format_expr(expr.if_true)}"
+            f" : {format_expr(expr.if_false)})"
+        )
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _format_array(decl: ArrayDecl) -> str:
+    dims = "".join(f"[{format_expr(d)}]" for d in decl.shape)
+    if decl.fields:
+        fields = ", ".join(decl.fields)
+        return f"{decl.dtype} {decl.name}{dims} /* {decl.layout} {{{fields}}} */;"
+    return f"{decl.dtype} {decl.name}{dims};"
+
+
+def _pragmas(stmt: For) -> list[str]:
+    out = []
+    if stmt.pragma.parallel:
+        out.append("#pragma omp parallel for")
+    if stmt.pragma.simd:
+        out.append("#pragma simd")
+    if stmt.pragma.novector:
+        out.append("#pragma novector")
+    if stmt.pragma.unroll > 1:
+        out.append(f"#pragma unroll({stmt.pragma.unroll})")
+    return out
+
+
+def _format_stmt(stmt: Stmt, indent: int, lines: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, Decl):
+        lines.append(f"{pad}{stmt.dtype} {stmt.name} = {format_expr(stmt.init)};")
+    elif isinstance(stmt, Assign):
+        if isinstance(stmt.target, StoreTarget):
+            subs = "][".join(format_expr(i) for i in stmt.target.index)
+            suffix = f".{stmt.target.array_field}" if stmt.target.array_field else ""
+            lhs = f"{stmt.target.array}[{subs}]{suffix}"
+        else:
+            assert isinstance(stmt.target, ScalarTarget)
+            lhs = stmt.target.name
+        lines.append(f"{pad}{lhs} = {format_expr(stmt.value)};")
+    elif isinstance(stmt, For):
+        lines.extend(pad + pragma for pragma in _pragmas(stmt))
+        lines.append(
+            f"{pad}for ({stmt.var} = 0; {stmt.var} < {format_expr(stmt.extent)}; "
+            f"{stmt.var}++) {{"
+        )
+        for sub in stmt.body:
+            _format_stmt(sub, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if {format_expr(stmt.cond)} {{")
+        for sub in stmt.then_body:
+            _format_stmt(sub, indent + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for sub in stmt.else_body:
+                _format_stmt(sub, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    else:
+        raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a whole kernel as C-ish source text."""
+    params = ", ".join(f"int64 {p}" for p in kernel.params)
+    lines = []
+    if kernel.doc:
+        lines.append(f"// {kernel.doc}")
+    lines.append(f"void {kernel.name}({params}) {{")
+    lines.extend("    " + _format_array(a) for a in kernel.arrays)
+    for stmt in kernel.body:
+        _format_stmt(stmt, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)

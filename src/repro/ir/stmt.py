@@ -1,0 +1,161 @@
+"""Statement nodes for the kernel IR: assignments, loops, conditionals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Union
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.expr import Expr
+from repro.ir.types import BOOL, DType, I64
+
+
+@dataclass(frozen=True, eq=True)
+class ScalarTarget:
+    """Assignment target: a scalar local variable."""
+
+    name: str
+    dtype: DType
+
+
+@dataclass(frozen=True, eq=True)
+class StoreTarget:
+    """Assignment target: an array element (``field`` for record arrays)."""
+
+    array: str
+    index: tuple[Expr, ...]
+    dtype: DType
+    array_field: str | None = None
+
+
+Target = Union[ScalarTarget, StoreTarget]
+
+
+class Stmt:
+    """Base class for statements."""
+
+    def substatements(self) -> tuple["Stmt", ...]:
+        """Directly nested statements."""
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Yield this statement and every nested one, pre-order."""
+        yield self
+        for sub in self.substatements():
+            yield from sub.walk()
+
+
+@dataclass(frozen=True, eq=True)
+class Decl(Stmt):
+    """Declaration of a scalar local with an initial value."""
+
+    name: str
+    dtype: DType
+    init: Expr
+
+    def __post_init__(self) -> None:
+        if self.init.dtype != self.dtype:
+            raise TypeMismatchError(
+                f"decl {self.name}: init has dtype {self.init.dtype}, "
+                f"declared {self.dtype}"
+            )
+
+
+@dataclass(frozen=True, eq=True)
+class Assign(Stmt):
+    """``target = value`` (stores and scalar updates)."""
+
+    target: Target
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if self.target.dtype != self.value.dtype:
+            raise TypeMismatchError(
+                f"assignment to {self.target} of {self.value.dtype} value "
+                f"(expected {self.target.dtype})"
+            )
+
+
+@dataclass(frozen=True, eq=True)
+class LoopPragma:
+    """Programmer annotations on a loop — the paper's low-effort knobs.
+
+    Attributes:
+        parallel: ``#pragma omp parallel for``.
+        simd: ``#pragma simd`` — *force* vectorization, overriding the
+            auto-vectorizer's conservative dependence/alias analysis (but
+            not genuine semantic barriers, see the vectorizer).
+        novector: ``#pragma novector`` — forbid vectorization.
+        unroll: requested unroll factor (1 = none).
+    """
+
+    parallel: bool = False
+    simd: bool = False
+    novector: bool = False
+    unroll: int = 1
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1:
+            raise IRError(f"unroll factor must be >= 1, got {self.unroll}")
+        if self.simd and self.novector:
+            raise IRError("a loop cannot be both 'simd' and 'novector'")
+
+
+@dataclass(frozen=True, eq=True)
+class For(Stmt):
+    """A normalized counted loop: ``for var in [0, extent) step 1``.
+
+    ``extent`` may reference kernel parameters and enclosing loop variables
+    (triangular loops); the analyses handle the affine cases exactly.
+    """
+
+    var: str
+    extent: Expr
+    body: tuple[Stmt, ...]
+    pragma: LoopPragma = field(default_factory=LoopPragma)
+
+    def __post_init__(self) -> None:
+        if self.extent.dtype.is_float or self.extent.dtype == BOOL:
+            raise TypeMismatchError(
+                f"loop {self.var}: extent must be an integer expression"
+            )
+        if not self.body:
+            raise IRError(f"loop {self.var} has an empty body")
+
+    @property
+    def var_dtype(self) -> DType:
+        """Loop variables are 64-bit integers."""
+        return I64
+
+    def substatements(self) -> tuple[Stmt, ...]:
+        return self.body
+
+    def with_body(self, body: tuple[Stmt, ...]) -> "For":
+        """Copy with a replaced body (used by compiler transforms)."""
+        return replace(self, body=body)
+
+    def with_pragma(self, pragma: LoopPragma) -> "For":
+        """Copy with replaced pragmas."""
+        return replace(self, pragma=pragma)
+
+
+@dataclass(frozen=True, eq=True)
+class If(Stmt):
+    """A conditional.  ``probability`` is the workload-measured chance the
+    condition holds; the branch cost model and if-conversion use it."""
+
+    cond: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+    probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cond.dtype != BOOL:
+            raise TypeMismatchError("if condition must be bool")
+        if not self.then_body:
+            raise IRError("if statement has an empty then-branch")
+        if not 0.0 <= self.probability <= 1.0:
+            raise IRError(f"branch probability must be in [0,1], got {self.probability}")
+
+    def substatements(self) -> tuple[Stmt, ...]:
+        return self.then_body + self.else_body

@@ -1,0 +1,78 @@
+"""Scalar data types for the kernel IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar element type.
+
+    Attributes:
+        name: short name used in printed IR (``f32``, ``i64``, ...).
+        size: size in bytes.
+        is_float: floating-point vs integer/bool.
+    """
+
+    name: str
+    size: int
+    is_float: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The numpy dtype used by the interpreter for this type."""
+        return _NUMPY_DTYPES[self.name]
+
+
+F32 = DType("f32", 4, True)
+F64 = DType("f64", 8, True)
+I32 = DType("i32", 4, False)
+I64 = DType("i64", 8, False)
+BOOL = DType("bool", 1, False)
+
+ALL_DTYPES = (F32, F64, I32, I64, BOOL)
+
+_NUMPY_DTYPES = {
+    "f32": np.dtype(np.float32),
+    "f64": np.dtype(np.float64),
+    "i32": np.dtype(np.int32),
+    "i64": np.dtype(np.int64),
+    "bool": np.dtype(np.bool_),
+}
+
+_BY_NAME = {t.name: t for t in ALL_DTYPES}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a dtype by its short name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise TypeMismatchError(f"unknown dtype {name!r}") from None
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Result type of a binary arithmetic op on *a* and *b*.
+
+    Promotion is deliberately conservative: float beats int, wider beats
+    narrower, and bool does not participate in arithmetic.
+    """
+    if a == b:
+        return a
+    if BOOL in (a, b):
+        raise TypeMismatchError("bool operands do not participate in arithmetic")
+    if a.is_float and b.is_float:
+        return a if a.size >= b.size else b
+    if a.is_float:
+        return a
+    if b.is_float:
+        return b
+    return a if a.size >= b.size else b

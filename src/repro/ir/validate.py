@@ -1,0 +1,93 @@
+"""Well-formedness checks for kernels built outside the builder DSL."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import IRError
+from repro.ir.expr import Expr, Load, VarRef
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
+
+if TYPE_CHECKING:
+    from repro.ir.kernel import Kernel
+
+
+def validate_kernel(kernel: "Kernel") -> None:
+    """Raise :class:`IRError` if the kernel is malformed.
+
+    Checks name binding (params, loop variables, locals-before-use), array
+    reference arity and fields, and loop-variable shadowing.
+    """
+    env = {name for name in kernel.params}
+    _validate_block(kernel, kernel.body, env, loop_vars=set())
+
+
+def _validate_block(
+    kernel: "Kernel", body: tuple[Stmt, ...], env: set[str], loop_vars: set[str]
+) -> None:
+    scope_env = set(env)
+    for stmt in body:
+        if isinstance(stmt, Decl):
+            _validate_expr(kernel, stmt.init, scope_env)
+            if stmt.name in scope_env:
+                raise IRError(f"{kernel.name}: local {stmt.name!r} shadows a binding")
+            scope_env.add(stmt.name)
+        elif isinstance(stmt, Assign):
+            _validate_expr(kernel, stmt.value, scope_env)
+            if isinstance(stmt.target, StoreTarget):
+                _validate_access(
+                    kernel, stmt.target.array, stmt.target.index,
+                    stmt.target.array_field, scope_env,
+                )
+            elif isinstance(stmt.target, ScalarTarget):
+                if stmt.target.name not in scope_env:
+                    raise IRError(
+                        f"{kernel.name}: assignment to unbound {stmt.target.name!r}"
+                    )
+                if stmt.target.name in loop_vars:
+                    raise IRError(
+                        f"{kernel.name}: assignment to loop var {stmt.target.name!r}"
+                    )
+        elif isinstance(stmt, For):
+            _validate_expr(kernel, stmt.extent, scope_env)
+            if stmt.var in scope_env:
+                raise IRError(
+                    f"{kernel.name}: loop var {stmt.var!r} shadows a binding"
+                )
+            _validate_block(
+                kernel, stmt.body, scope_env | {stmt.var}, loop_vars | {stmt.var}
+            )
+        elif isinstance(stmt, If):
+            _validate_expr(kernel, stmt.cond, scope_env)
+            _validate_block(kernel, stmt.then_body, scope_env, loop_vars)
+            if stmt.else_body:
+                _validate_block(kernel, stmt.else_body, scope_env, loop_vars)
+        else:
+            raise IRError(f"{kernel.name}: unknown statement {type(stmt).__name__}")
+
+
+def _validate_expr(kernel: "Kernel", expr: Expr, env: set[str]) -> None:
+    for node in expr.walk():
+        if isinstance(node, VarRef):
+            if node.name not in env:
+                raise IRError(f"{kernel.name}: unbound variable {node.name!r}")
+        elif isinstance(node, Load):
+            _validate_access(kernel, node.array, node.index, node.array_field, env)
+
+
+def _validate_access(
+    kernel: "Kernel",
+    array: str,
+    index: tuple[Expr, ...],
+    array_field: str | None,
+    env: set[str],
+) -> None:
+    decl = kernel.array(array)  # raises IRError if undeclared
+    if len(index) != len(decl.shape):
+        raise IRError(
+            f"{kernel.name}: array {array!r} is {len(decl.shape)}-D, "
+            f"accessed with {len(index)} subscripts"
+        )
+    decl.field_index(array_field)  # raises on bad/missing field
+    for sub in index:
+        _validate_expr(kernel, sub, env)

@@ -1,0 +1,35 @@
+"""The throughput-computing benchmark suite (paper Table 1)."""
+
+from repro.kernels.backprojection import BackProjection
+from repro.kernels.base import Benchmark, Phase, VARIANT_NAMES
+from repro.kernels.blackscholes import BlackScholes
+from repro.kernels.complex_conv import ComplexConv
+from repro.kernels.conv2d import Conv2D
+from repro.kernels.lbm import LBM
+from repro.kernels.libor import Libor
+from repro.kernels.mergesort import MergeSort
+from repro.kernels.nbody import NBody
+from repro.kernels.registry import BENCHMARK_CLASSES, all_benchmarks, get_benchmark
+from repro.kernels.stencil import Stencil
+from repro.kernels.treesearch import TreeSearch
+from repro.kernels.volume_render import VolumeRender
+
+__all__ = [
+    "BENCHMARK_CLASSES",
+    "BackProjection",
+    "Benchmark",
+    "BlackScholes",
+    "ComplexConv",
+    "Conv2D",
+    "LBM",
+    "Libor",
+    "MergeSort",
+    "NBody",
+    "Phase",
+    "Stencil",
+    "TreeSearch",
+    "VARIANT_NAMES",
+    "VolumeRender",
+    "all_benchmarks",
+    "get_benchmark",
+]

@@ -1,0 +1,173 @@
+"""Benchmark framework: source variants, workloads, and functional checks.
+
+Every paper benchmark subclasses :class:`Benchmark` and provides three
+*source variants* — the code versions a programmer would actually write:
+
+* ``naive``     — parallelism-unaware C, as the paper's Ninja-gap baseline;
+* ``optimized`` — the same algorithm after the paper's low-effort
+  algorithmic changes (AOS→SOA, blocking, SIMD-friendly restructuring);
+* ``ninja``     — the hand-tuned structure (defaults to the optimized
+  kernel: the Ninja advantage then comes from the ninja *compilation*
+  mode — perfect alignment, software prefetch, ideal scheduling).
+
+Variants must stay semantically equal: :meth:`Benchmark.run_functional`
+interprets each one on a small workload and compares it against the numpy
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.ir.interp import ArrayStorage, run_kernel
+from repro.ir.kernel import Kernel
+
+VARIANT_NAMES = ("naive", "optimized", "ninja")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One kernel invocation of a possibly multi-pass benchmark.
+
+    Attributes:
+        kernel: the kernel to run.
+        params: concrete parameter bindings for this pass.
+        count: how many times the pass runs (must be integral to be
+            interpretable; fractional counts are allowed for simulation).
+    """
+
+    kernel: Kernel
+    params: Mapping[str, int]
+    count: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise WorkloadError(f"phase of {self.kernel.name}: count must be > 0")
+
+
+class Benchmark(abc.ABC):
+    """One benchmark of the throughput-computing suite (paper Table 1)."""
+
+    #: short identifier (``nbody``); subclasses must override.
+    name: str = ""
+    #: display title (``NBody``).
+    title: str = ""
+    #: ``compute`` / ``bandwidth`` / ``irregular`` (paper's classification).
+    category: str = ""
+    #: one-line description of the paper's algorithmic change (§4).
+    paper_change: str = ""
+    #: programming-effort proxy: source lines touched per variant.
+    loc_deltas: Mapping[str, int] = {"naive": 0, "optimized": 40, "ninja": 400}
+
+    def __init__(self) -> None:
+        self._kernel_cache: dict[str, Kernel] = {}
+
+    # -- kernels --------------------------------------------------------
+    @abc.abstractmethod
+    def build_kernel(self, variant: str) -> Kernel:
+        """Construct the IR for one source variant."""
+
+    def kernel(self, variant: str) -> Kernel:
+        """Cached accessor for :meth:`build_kernel`."""
+        if variant not in VARIANT_NAMES:
+            raise WorkloadError(
+                f"{self.name}: unknown variant {variant!r}; "
+                f"expected one of {VARIANT_NAMES}"
+            )
+        if variant not in self._kernel_cache:
+            self._kernel_cache[variant] = self.build_kernel(variant)
+        return self._kernel_cache[variant]
+
+    def phases(self, variant: str, params: Mapping[str, int]) -> tuple[Phase, ...]:
+        """The invocation plan for one run (single phase by default)."""
+        return (Phase(self.kernel(variant), dict(params)),)
+
+    # -- workloads -----------------------------------------------------
+    @abc.abstractmethod
+    def paper_params(self) -> dict[str, int]:
+        """The evaluation-scale workload (used by the benchmark harness)."""
+
+    @abc.abstractmethod
+    def test_params(self) -> dict[str, int]:
+        """A small workload the interpreter can execute in milliseconds."""
+
+    @abc.abstractmethod
+    def elements(self, params: Mapping[str, int]) -> int:
+        """Useful work units of one run (options, bodies, cells, ...)."""
+
+    # -- functional layer -------------------------------------------------
+    @abc.abstractmethod
+    def make_problem(
+        self, params: Mapping[str, int], rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Generate a canonical problem instance (layout-independent)."""
+
+    @abc.abstractmethod
+    def bind(
+        self,
+        variant: str,
+        problem: dict[str, np.ndarray],
+        params: Mapping[str, int],
+    ) -> ArrayStorage:
+        """Lay the problem out as the variant's declared arrays."""
+
+    @abc.abstractmethod
+    def extract(self, variant: str, storage: ArrayStorage) -> np.ndarray:
+        """Pull the canonical output back out of a variant's storage."""
+
+    @abc.abstractmethod
+    def reference(
+        self, problem: dict[str, np.ndarray], params: Mapping[str, int]
+    ) -> np.ndarray:
+        """Numpy ground truth for the canonical output."""
+
+    def run_functional(
+        self,
+        variant: str,
+        params: Mapping[str, int] | None = None,
+        rng: np.random.Generator | None = None,
+        max_statements: int = 20_000_000,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Interpret one variant on a small workload.
+
+        Returns:
+            ``(actual, expected)`` canonical outputs; tests assert they
+            agree, proving the algorithmic restructuring is semantics-
+            preserving.
+        """
+        params = dict(params or self.test_params())
+        rng = rng or np.random.default_rng(20120609)  # ISCA'12 publication date
+        problem = self.make_problem(params, rng)
+        storage = self.bind(variant, problem, params)
+        for phase in self.phases(variant, params):
+            repeats = int(round(phase.count))
+            if abs(repeats - phase.count) > 1e-9 or repeats < 1:
+                raise WorkloadError(
+                    f"{self.name}/{variant}: phase count {phase.count} is not "
+                    "interpretable; use integral counts"
+                )
+            for _ in range(repeats):
+                run_kernel(
+                    phase.kernel, phase.params, storage,
+                    max_statements=max_statements,
+                )
+        actual = self.extract(variant, storage)
+        expected = self.reference(problem, params)
+        return actual, expected
+
+    def loc_delta(self, variant: str) -> int:
+        """Source lines touched to reach this variant from naive code."""
+        try:
+            return int(self.loc_deltas[variant])
+        except KeyError:
+            raise WorkloadError(
+                f"{self.name}: no LoC estimate for variant {variant!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"<Benchmark {self.name} ({self.category})>"

@@ -1,0 +1,107 @@
+"""2D 5x5 convolution over a single-channel image (compute-bound).
+
+Paper story: the naive tap loops auto-vectorize along the 5-wide innermost
+dimension, which wastes most SIMD lanes (5 elements in 2 vector
+iterations); register-blocking the taps — fully unrolling the 5x5 window
+into straight-line code and vectorizing along the image row — restores
+full lane utilisation.  A purely structural, low-effort change.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir import F32, KernelBuilder
+from repro.ir.interp import ArrayStorage
+from repro.kernels.base import Benchmark
+
+#: Filter diameter (the paper's 5x5 window).
+K = 5
+
+
+class Conv2D(Benchmark):
+    """out[y][x] = sum_{ky,kx} img[y+ky][x+kx] * coef[ky][kx]."""
+
+    name = "conv2d"
+    title = "2D Convolution (5x5)"
+    category = "compute"
+    paper_change = "register-block the 5x5 taps; vectorize along the row"
+    loc_deltas = {"naive": 0, "optimized": 45, "ninja": 280}
+
+    def build_kernel(self, variant: str):
+        if variant == "naive":
+            return self._build_naive()
+        return self._build_unrolled(
+            "conv2d_unrolled" if variant == "optimized" else "conv2d_ninja"
+        )
+
+    def _build_naive(self):
+        b = KernelBuilder("conv2d_naive", doc="tap loops as written")
+        h = b.param("h")
+        w = b.param("w")
+        img = b.array("img", F32, (h + K - 1, w + K - 1))
+        coef = b.array("coef", F32, (K, K))
+        out = b.array("out", F32, (h, w))
+        with b.loop("y", h, parallel=True) as y:
+            with b.loop("x", w) as x:
+                acc = b.let("acc", 0.0, F32)
+                with b.loop("ky", K) as ky:
+                    with b.loop("kx", K) as kx:
+                        b.inc(acc, img[y + ky, x + kx] * coef[ky, kx])
+                b.assign(out[y, x], acc)
+        return b.build()
+
+    def _build_unrolled(self, name: str):
+        b = KernelBuilder(name, doc="5x5 taps register-blocked")
+        h = b.param("h")
+        w = b.param("w")
+        img = b.array("img", F32, (h + K - 1, w + K - 1))
+        coef = b.array("coef", F32, (K, K))
+        out = b.array("out", F32, (h, w))
+        with b.loop("y", h, parallel=True) as y:
+            with b.loop("x", w, simd=True) as x:
+                acc = b.let("acc", 0.0, F32)
+                for ky in range(K):
+                    for kx in range(K):
+                        b.inc(acc, img[y + ky, x + kx] * coef[ky, kx])
+                b.assign(out[y, x], acc)
+        return b.build()
+
+    def paper_params(self) -> dict[str, int]:
+        return {"h": 2048, "w": 2048}
+
+    def test_params(self) -> dict[str, int]:
+        return {"h": 12, "w": 16}
+
+    def elements(self, params: Mapping[str, int]) -> int:
+        return int(params["h"] * params["w"])
+
+    def make_problem(self, params, rng) -> dict[str, np.ndarray]:
+        h, w = params["h"], params["w"]
+        return {
+            "img": rng.standard_normal((h + K - 1, w + K - 1)).astype(np.float32),
+            "coef": rng.standard_normal((K, K)).astype(np.float32),
+        }
+
+    def bind(self, variant, problem, params) -> ArrayStorage:
+        h, w = params["h"], params["w"]
+        return {
+            "img": problem["img"].copy(),
+            "coef": problem["coef"].copy(),
+            "out": np.zeros((h, w), np.float32),
+        }
+
+    def extract(self, variant, storage: ArrayStorage) -> np.ndarray:
+        return np.asarray(storage["out"])
+
+    def reference(self, problem, params) -> np.ndarray:
+        h, w = params["h"], params["w"]
+        img = problem["img"].astype(np.float64)
+        coef = problem["coef"].astype(np.float64)
+        out = np.zeros((h, w), np.float64)
+        for ky in range(K):
+            for kx in range(K):
+                out += coef[ky, kx] * img[ky : ky + h, kx : kx + w]
+        return out.astype(np.float32)

@@ -1,0 +1,207 @@
+"""MergeSort: sorting 2^k f32 keys (branchy, irregular).
+
+Paper story: scalar mergesort is dominated by unpredictable compare
+branches and is inherently sequential per merge; the SIMD-friendly version
+is a different algorithm — a branch-free merging/sorting network built
+from min/max operations (the paper's 4-wide bitonic merge kernels).  We
+implement the naive variant as classic two-pointer merge passes and the
+optimized/ninja variants as a full bitonic sorting network.
+
+Both variants really sort: the functional layer checks them against
+``np.sort``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.ir import (
+    BOOL,
+    F32,
+    I64,
+    KernelBuilder,
+    land,
+    lnot,
+    lor,
+    maximum,
+    minimum,
+    select,
+)
+from repro.ir.interp import ArrayStorage
+from repro.kernels.base import Benchmark, Phase
+
+
+class MergeSort(Benchmark):
+    """Sort n = 2^k float keys."""
+
+    name = "mergesort"
+    title = "MergeSort"
+    category = "irregular"
+    paper_change = "two-pointer merges -> branch-free bitonic merge network"
+    loc_deltas = {"naive": 0, "optimized": 90, "ninja": 500}
+
+    #: Elements per cache-resident bitonic block in the optimized variant.
+    BLOCK = 16
+
+    # -- kernels ---------------------------------------------------------
+    def build_kernel(self, variant: str):
+        if variant == "naive":
+            return self._build_merge_pass("buf_a", "buf_b", "merge_pass_ab")
+        return self._build_block_sort(
+            "bitonic_block" if variant == "optimized" else "bitonic_block_ninja"
+        )
+
+    def _build_merge_pass(
+        self, src_name: str, dst_name: str, name: str, branch_free: bool = False
+    ):
+        """One width-doubling merge pass of pairwise two-pointer merges.
+
+        ``branch_free`` swaps the unpredictable compare branch for selects —
+        the scalar proxy of the paper's SIMD merging network.
+        """
+        b = KernelBuilder(name, doc="merge sorted runs of `width` pairwise")
+        n = b.param("n")
+        width = b.param("width")
+        src = b.array(src_name, F32, (n,), skew="spatial")
+        dst = b.array(dst_name, F32, (n,), skew="spatial")
+        with b.loop("c", n // (width * 2), parallel=True) as c:
+            base = c * (width * 2)
+            ia = b.let("ia", 0, I64)
+            ib = b.let("ib", 0, I64)
+            with b.loop("k", width * 2, unroll=4 if branch_free else 1) as k:
+                a_ok = ia.lt(width)
+                b_ok = ib.lt(width)
+                av = b.let("av", src[base + minimum(ia, width - 1)], F32)
+                bv = b.let("bv", src[base + width + minimum(ib, width - 1)], F32)
+                take_a = land(a_ok, lor(lnot(b_ok), av.le(bv)))
+                if branch_free:
+                    # Materialise the predicate once: the pointer updates
+                    # below must all see the pre-update comparison.
+                    take = b.let("take", take_a, BOOL)
+                    b.assign(dst[base + k], select(take, av, bv))
+                    b.assign(ia, select(take, ia + 1, ia))
+                    b.assign(ib, select(take, ib, ib + 1))
+                else:
+                    with b.iff(take_a, probability=0.5):
+                        b.assign(dst[base + k], av)
+                        b.assign(ia, ia + 1)
+                    with b.otherwise():
+                        b.assign(dst[base + k], bv)
+                        b.assign(ib, ib + 1)
+        return b.build()
+
+    def _build_block_sort(self, name: str):
+        """Sort every aligned BLOCK-element run with a fully unrolled
+        bitonic compare-exchange network (branch-free, cache-resident)."""
+        block = self.BLOCK
+        b = KernelBuilder(name, doc=f"bitonic network sort of {block}-blocks")
+        n = b.param("n")
+        data = b.array("buf_a", F32, (n,))
+        temp = 0
+        with b.loop("blk", n // block, parallel=True) as blk:
+            base = blk * block
+            stage = 2
+            while stage <= block:
+                j = stage // 2
+                while j >= 1:
+                    for pair in range(block // 2):
+                        group, pos = divmod(pair, j)
+                        i1 = group * 2 * j + pos
+                        i2 = i1 + j
+                        ascending = (i1 // stage) % 2 == 0
+                        av = b.let(f"t{temp}", data[base + i1], F32)
+                        bv = b.let(f"t{temp + 1}", data[base + i2], F32)
+                        temp += 2
+                        small, big = minimum(av, bv), maximum(av, bv)
+                        if ascending:
+                            b.assign(data[base + i1], small)
+                            b.assign(data[base + i2], big)
+                        else:
+                            b.assign(data[base + i1], big)
+                            b.assign(data[base + i2], small)
+                    j //= 2
+                stage *= 2
+        return b.build()
+
+    def phases(self, variant: str, params: Mapping[str, int]) -> tuple[Phase, ...]:
+        n = int(params["n"])
+        levels = _log2_exact(n)
+        if variant == "naive":
+            ab = self._merge_kernel("ab", branch_free=False)
+            ba = self._merge_kernel("ba", branch_free=False)
+            out: list[Phase] = []
+            for level in range(levels):
+                kernel = ab if level % 2 == 0 else ba
+                out.append(Phase(kernel, {"n": n, "width": 1 << level}))
+            return tuple(out)
+        block_levels = _log2_exact(self.BLOCK)
+        if levels < block_levels:
+            raise WorkloadError(
+                f"mergesort optimized variant needs n >= {self.BLOCK}"
+            )
+        out = [Phase(self.kernel(variant), {"n": n})]
+        for index, level in enumerate(range(block_levels, levels)):
+            direction = "ab" if index % 2 == 0 else "ba"
+            kernel = self._merge_kernel(direction, branch_free=True)
+            out.append(Phase(kernel, {"n": n, "width": 1 << level}))
+        return tuple(out)
+
+    def _merge_kernel(self, direction: str, branch_free: bool):
+        """Cached merge-pass kernels for both buffer directions."""
+        cache = getattr(self, "_merge_cache", None)
+        if cache is None:
+            cache = {}
+            self._merge_cache = cache
+        key = (direction, branch_free)
+        if key not in cache:
+            src, dst = (
+                ("buf_a", "buf_b") if direction == "ab" else ("buf_b", "buf_a")
+            )
+            suffix = "sel" if branch_free else "br"
+            cache[key] = self._build_merge_pass(
+                src, dst, f"merge_pass_{direction}_{suffix}", branch_free
+            )
+        return cache[key]
+
+    # -- workloads ---------------------------------------------------------
+    def paper_params(self) -> dict[str, int]:
+        return {"n": 1 << 22}
+
+    def test_params(self) -> dict[str, int]:
+        return {"n": 1 << 7}
+
+    def elements(self, params: Mapping[str, int]) -> int:
+        return int(params["n"])
+
+    def make_problem(self, params, rng) -> dict[str, np.ndarray]:
+        return {"keys": rng.standard_normal(params["n"]).astype(np.float32)}
+
+    def bind(self, variant, problem, params) -> ArrayStorage:
+        keys = problem["keys"]
+        return {
+            "buf_a": keys.copy(),
+            "buf_b": np.zeros_like(keys),
+        }
+
+    def extract(self, variant, storage: ArrayStorage) -> np.ndarray:
+        levels = _log2_exact(len(storage["buf_a"]))
+        if variant == "naive":
+            passes = levels
+        else:
+            passes = levels - _log2_exact(self.BLOCK)
+        final = "buf_b" if passes % 2 == 1 else "buf_a"
+        return np.asarray(storage[final])
+
+    def reference(self, problem, params) -> np.ndarray:
+        return np.sort(problem["keys"])
+
+
+def _log2_exact(n: int) -> int:
+    level = int(math.log2(n))
+    if 1 << level != n:
+        raise WorkloadError(f"mergesort needs a power-of-two size, got {n}")
+    return level

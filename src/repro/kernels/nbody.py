@@ -1,0 +1,150 @@
+"""NBody: O(N²) gravitational force computation (compute-bound).
+
+Paper story: the naive AOS body array defeats SSE auto-vectorization (the
+field loads are struct-strided, so the cost model declines); converting to
+SOA is a small, local change after which the inner loop vectorizes with
+unit strides and the ``1/sqrt`` becomes a vector ``rsqrt`` under fast-math.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir import F32, KernelBuilder, sqrt
+from repro.ir.interp import ArrayStorage
+from repro.kernels.base import Benchmark
+
+#: Softening term keeping r² away from zero.
+_EPS = 0.01
+
+
+def _force_body(b: KernelBuilder, xi, yi, zi, xj, yj, zj, mj, ax, ay, az) -> None:
+    """Emit the shared pairwise-force body given operand expressions."""
+    dx = b.let("dx", xj - xi, F32)
+    dy = b.let("dy", yj - yi, F32)
+    dz = b.let("dz", zj - zi, F32)
+    r2 = b.let("r2", dx * dx + dy * dy + dz * dz + _EPS, F32)
+    inv = b.let("inv", 1.0 / sqrt(r2), F32)
+    s = b.let("s", mj * inv * inv * inv, F32)
+    b.inc(ax, s * dx)
+    b.inc(ay, s * dy)
+    b.inc(az, s * dz)
+
+
+class NBody(Benchmark):
+    """All-pairs gravity on N bodies."""
+
+    name = "nbody"
+    title = "NBody"
+    category = "compute"
+    paper_change = "AOS body structs -> SOA position/mass planes"
+    loc_deltas = {"naive": 0, "optimized": 25, "ninja": 250}
+
+    def build_kernel(self, variant: str):
+        if variant == "naive":
+            return self._build(layout="aos", simd=False, name="nbody_naive")
+        if variant == "optimized":
+            return self._build(layout="soa", simd=True, name="nbody_soa")
+        return self._build(layout="soa", simd=True, name="nbody_ninja", unroll=4)
+
+    def _build(self, layout: str, simd: bool, name: str, unroll: int = 1):
+        b = KernelBuilder(name, doc="acc[i] = sum_j G(m_j, r_ij)")
+        n = b.param("n")
+        body = b.array("body", F32, (n,), fields=("x", "y", "z", "m"),
+                       layout=layout)
+        acc = b.array("acc", F32, (n,), fields=("ax", "ay", "az"),
+                      layout=layout)
+        with b.loop("i", n, parallel=True) as i:
+            ax = b.let("axl", 0.0, F32)
+            ay = b.let("ayl", 0.0, F32)
+            az = b.let("azl", 0.0, F32)
+            xi = b.let("xi", body[i].x, F32)
+            yi = b.let("yi", body[i].y, F32)
+            zi = b.let("zi", body[i].z, F32)
+            with b.loop("j", n, simd=simd, unroll=unroll) as j:
+                p = body[j]
+                _force_body(b, xi, yi, zi, p.x, p.y, p.z, p.m, ax, ay, az)
+            b.assign(acc[i].ax, ax)
+            b.assign(acc[i].ay, ay)
+            b.assign(acc[i].az, az)
+        return b.build()
+
+    def build_tiled(self, name: str = "nbody_tiled"):
+        """SOA NBody with the j-sweep tiled (param ``tile``) so a body
+        tile is reused across all i while it is cache-resident.
+
+        Untiled NBody re-streams the whole body array once per i; at body
+        counts beyond the LLC that is an O(N²/LLC) DRAM bill.  Tiling is
+        the standard fix (and what the paper's Ninja N-body does at scale);
+        the ``abl_nbody_tile`` ablation sweeps it.
+        """
+        b = KernelBuilder(name, doc="j-tiled SOA NBody")
+        n = b.param("n")
+        tile = b.param("tile")
+        body = b.array("body", F32, (n,), fields=("x", "y", "z", "m"),
+                       layout="soa")
+        acc = b.array("acc", F32, (n,), fields=("ax", "ay", "az"),
+                      layout="soa")
+        with b.loop("jj", n // tile) as jj:
+            with b.loop("i", n, parallel=True) as i:
+                ax = b.let("axl", 0.0, F32)
+                ay = b.let("ayl", 0.0, F32)
+                az = b.let("azl", 0.0, F32)
+                xi = b.let("xi", body[i].x, F32)
+                yi = b.let("yi", body[i].y, F32)
+                zi = b.let("zi", body[i].z, F32)
+                with b.loop("j", tile, simd=True) as j:
+                    p = body[jj * tile + j]
+                    _force_body(b, xi, yi, zi, p.x, p.y, p.z, p.m, ax, ay, az)
+                b.assign(acc[i].ax, acc[i].ax + ax)
+                b.assign(acc[i].ay, acc[i].ay + ay)
+                b.assign(acc[i].az, acc[i].az + az)
+        return b.build()
+
+    def paper_params(self) -> dict[str, int]:
+        return {"n": 16384}
+
+    def test_params(self) -> dict[str, int]:
+        return {"n": 48}
+
+    def elements(self, params: Mapping[str, int]) -> int:
+        return int(params["n"])
+
+    def make_problem(self, params, rng) -> dict[str, np.ndarray]:
+        n = params["n"]
+        return {
+            "pos": rng.uniform(-1.0, 1.0, size=(n, 3)).astype(np.float32),
+            "mass": rng.uniform(0.1, 1.0, size=n).astype(np.float32),
+        }
+
+    def bind(self, variant, problem, params) -> ArrayStorage:
+        pos, mass = problem["pos"], problem["mass"]
+        n = params["n"]
+        return {
+            "body": {
+                "x": pos[:, 0].copy(),
+                "y": pos[:, 1].copy(),
+                "z": pos[:, 2].copy(),
+                "m": mass.copy(),
+            },
+            "acc": {
+                "ax": np.zeros(n, np.float32),
+                "ay": np.zeros(n, np.float32),
+                "az": np.zeros(n, np.float32),
+            },
+        }
+
+    def extract(self, variant, storage: ArrayStorage) -> np.ndarray:
+        acc = storage["acc"]
+        return np.stack([acc["ax"], acc["ay"], acc["az"]], axis=1)
+
+    def reference(self, problem, params) -> np.ndarray:
+        pos = problem["pos"].astype(np.float64)
+        mass = problem["mass"].astype(np.float64)
+        diff = pos[None, :, :] - pos[:, None, :]          # [i, j, 3]
+        r2 = (diff**2).sum(axis=2) + _EPS
+        inv3 = r2**-1.5
+        acc = (mass[None, :, None] * inv3[:, :, None] * diff).sum(axis=1)
+        return acc.astype(np.float32)

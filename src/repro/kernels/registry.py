@@ -1,0 +1,46 @@
+"""Registry of the full throughput-computing benchmark suite."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.kernels.backprojection import BackProjection
+from repro.kernels.base import Benchmark
+from repro.kernels.blackscholes import BlackScholes
+from repro.kernels.complex_conv import ComplexConv
+from repro.kernels.conv2d import Conv2D
+from repro.kernels.lbm import LBM
+from repro.kernels.libor import Libor
+from repro.kernels.mergesort import MergeSort
+from repro.kernels.nbody import NBody
+from repro.kernels.stencil import Stencil
+from repro.kernels.treesearch import TreeSearch
+from repro.kernels.volume_render import VolumeRender
+
+#: Benchmark classes in the order the paper's figures list them.
+BENCHMARK_CLASSES: tuple[type[Benchmark], ...] = (
+    NBody,
+    BackProjection,
+    ComplexConv,
+    Conv2D,
+    BlackScholes,
+    Libor,
+    TreeSearch,
+    MergeSort,
+    Stencil,
+    LBM,
+    VolumeRender,
+)
+
+
+def all_benchmarks() -> tuple[Benchmark, ...]:
+    """Fresh instances of every benchmark, in figure order."""
+    return tuple(cls() for cls in BENCHMARK_CLASSES)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Instantiate one benchmark by its short name."""
+    for cls in BENCHMARK_CLASSES:
+        if cls.name == name:
+            return cls()
+    known = ", ".join(cls.name for cls in BENCHMARK_CLASSES)
+    raise WorkloadError(f"unknown benchmark {name!r}; known: {known}")

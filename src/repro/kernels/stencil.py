@@ -1,0 +1,129 @@
+"""7-point 3D stencil (bandwidth-bound).
+
+Paper story: once parallelized and vectorized the stencil saturates DRAM,
+and the remaining Ninja gap is pure memory traffic — the naive sweep
+re-reads each plane three times (z-1, z, z+1 do not all fit), while 2.5D
+cache blocking keeps a block-column's three planes resident so every cell
+moves exactly once.  Ninja code adds streaming (non-temporal) stores to
+kill the read-for-ownership on the output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir import F32, KernelBuilder
+from repro.ir.interp import ArrayStorage
+from repro.kernels.base import Benchmark
+
+C_CENTER = 0.4
+C_NEIGHBOR = 0.1
+
+
+class Stencil(Benchmark):
+    """out = c0*in + c1*(6-neighbor sum) over an n^3 grid (1 sweep)."""
+
+    name = "stencil"
+    title = "7-Point Stencil"
+    category = "bandwidth"
+    paper_change = "2.5D cache blocking (+ streaming stores in ninja)"
+    loc_deltas = {"naive": 0, "optimized": 60, "ninja": 380}
+
+    #: Block edge for the 2.5D tiling; must divide n-2.
+    BLOCK = 64
+
+    def build_kernel(self, variant: str):
+        if variant == "naive":
+            return self._build_naive()
+        return self._build_blocked(
+            "stencil_blocked" if variant == "optimized" else "stencil_ninja"
+        )
+
+    def _emit_update(self, b, grid, out, z, y, x) -> None:
+        b.assign(
+            out[z, y, x],
+            C_CENTER * grid[z, y, x]
+            + C_NEIGHBOR
+            * (
+                grid[z - 1, y, x] + grid[z + 1, y, x]
+                + grid[z, y - 1, x] + grid[z, y + 1, x]
+                + grid[z, y, x - 1] + grid[z, y, x + 1]
+            ),
+        )
+
+    def _build_naive(self):
+        b = KernelBuilder("stencil_naive", doc="plain triple loop")
+        n = b.param("n")
+        grid = b.array("grid", F32, (n, n, n))
+        out = b.array("out", F32, (n, n, n))
+        with b.loop("z0", n - 2, parallel=True) as z0:
+            with b.loop("y0", n - 2) as y0:
+                with b.loop("x0", n - 2) as x0:
+                    self._emit_update(b, grid, out, z0 + 1, y0 + 1, x0 + 1)
+        return b.build()
+
+    def _build_blocked(self, name: str):
+        b = KernelBuilder(name, doc="2.5D blocked: tile (y,x), stream z")
+        n = b.param("n")
+        by = b.param("by")
+        bx = b.param("bx")
+        grid = b.array("grid", F32, (n, n, n))
+        out = b.array("out", F32, (n, n, n))
+        with b.loop("yy", (n - 2) // by, parallel=True) as yy:
+            with b.loop("xx", (n - 2) // bx) as xx:
+                with b.loop("z0", n - 2) as z0:
+                    with b.loop("y0", by) as y0:
+                        with b.loop("x0", bx, simd=True) as x0:
+                            self._emit_update(
+                                b, grid, out,
+                                z0 + 1, yy * by + y0 + 1, xx * bx + x0 + 1,
+                            )
+        return b.build()
+
+    def phases(self, variant, params):
+        from repro.kernels.base import Phase
+
+        params = dict(params)
+        if variant != "naive":
+            params.setdefault("by", self.BLOCK)
+            params.setdefault("bx", self.BLOCK)
+        return (Phase(self.kernel(variant), params),)
+
+    def paper_params(self) -> dict[str, int]:
+        return {"n": 514}
+
+    def test_params(self) -> dict[str, int]:
+        return {"n": 10, "by": 4, "bx": 4}
+
+    def elements(self, params: Mapping[str, int]) -> int:
+        n = int(params["n"])
+        return (n - 2) ** 3
+
+    def make_problem(self, params, rng) -> dict[str, np.ndarray]:
+        n = params["n"]
+        return {"grid": rng.standard_normal((n, n, n)).astype(np.float32)}
+
+    def bind(self, variant, problem, params) -> ArrayStorage:
+        n = params["n"]
+        return {
+            "grid": problem["grid"].copy(),
+            "out": np.zeros((n, n, n), np.float32),
+        }
+
+    def extract(self, variant, storage: ArrayStorage) -> np.ndarray:
+        return np.asarray(storage["out"])[1:-1, 1:-1, 1:-1]
+
+    def reference(self, problem, params) -> np.ndarray:
+        g = problem["grid"].astype(np.float64)
+        interior = (
+            C_CENTER * g[1:-1, 1:-1, 1:-1]
+            + C_NEIGHBOR
+            * (
+                g[:-2, 1:-1, 1:-1] + g[2:, 1:-1, 1:-1]
+                + g[1:-1, :-2, 1:-1] + g[1:-1, 2:, 1:-1]
+                + g[1:-1, 1:-1, :-2] + g[1:-1, 1:-1, 2:]
+            )
+        )
+        return interior.astype(np.float32)

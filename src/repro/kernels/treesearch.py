@@ -1,0 +1,110 @@
+"""TreeSearch: batched lookups in a binary search tree (irregular).
+
+Paper story: the descent loop is a true pointer chase (the next node index
+depends on the previous comparison), so SIMD has to come from processing a
+vector of *queries* per lane — and then every key load is a gather.  On
+SSE the compiler must synthesise gathers (modest benefit, unlocked only by
+``#pragma simd``); on MIC the hardware gather makes the same source code
+fly — the paper's §6 hardware-support argument.
+
+The tree is stored as a linearized breadth-first array (``tree_bfs``
+skew), so the hot top levels stay cache-resident.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir import F32, I32, KernelBuilder, select
+from repro.ir.interp import ArrayStorage
+from repro.kernels.base import Benchmark
+
+
+class TreeSearch(Benchmark):
+    """Descend ``depth`` levels of a BFS-linearized BST per query."""
+
+    name = "treesearch"
+    title = "TreeSearch"
+    category = "irregular"
+    paper_change = "SIMD over query lanes (gathers); pragma simd on queries"
+    loc_deltas = {"naive": 0, "optimized": 55, "ninja": 450}
+
+    def build_kernel(self, variant: str):
+        if variant == "naive":
+            return self._build(simd=False, name="treesearch_naive")
+        if variant == "optimized":
+            return self._build(simd=True, name="treesearch_simd")
+        return self._build(simd=True, name="treesearch_ninja")
+
+    def _build(self, simd: bool, name: str):
+        b = KernelBuilder(name, doc="batched BST descent")
+        nq = b.param("nq")
+        depth = b.param("depth")
+        nn = b.param("nn")
+        keys = b.array("keys", F32, (nn,), skew="tree_bfs")
+        queries = b.array("queries", F32, (nq,))
+        out = b.array("out", I32, (nq,))
+        with b.loop("q", nq, parallel=True, simd=simd) as q:
+            node = b.let("node", 0, I32)
+            query = b.let("query", queries[q], F32)
+            with b.loop("d", depth):
+                key = b.let("key", keys[node], F32)
+                go_left = query.lt(key)
+                b.assign(node, select(go_left, node * 2 + 1, node * 2 + 2))
+            b.assign(out[q], node)
+        return b.build()
+
+    def paper_params(self) -> dict[str, int]:
+        depth = 24
+        return {"nq": 1_048_576, "depth": depth, "nn": (1 << (depth + 1)) - 1}
+
+    def test_params(self) -> dict[str, int]:
+        return {"nq": 64, "depth": 6, "nn": (1 << 7) - 1}
+
+    def elements(self, params: Mapping[str, int]) -> int:
+        return int(params["nq"])
+
+    def make_problem(self, params, rng) -> dict[str, np.ndarray]:
+        nn, nq = params["nn"], params["nq"]
+        # A BFS-linearized BST over sorted keys: node k's key splits its
+        # subtree.  Build by in-order-filling the implicit tree.
+        sorted_keys = np.sort(rng.standard_normal(nn).astype(np.float32))
+        keys = np.empty(nn, np.float32)
+        _fill_bfs(keys, sorted_keys, 0, 0, nn)
+        return {
+            "keys": keys,
+            "queries": rng.standard_normal(nq).astype(np.float32),
+        }
+
+    def bind(self, variant, problem, params) -> ArrayStorage:
+        return {
+            "keys": problem["keys"].copy(),
+            "queries": problem["queries"].copy(),
+            "out": np.zeros(params["nq"], np.int32),
+        }
+
+    def extract(self, variant, storage: ArrayStorage) -> np.ndarray:
+        return np.asarray(storage["out"])
+
+    def reference(self, problem, params) -> np.ndarray:
+        keys = problem["keys"]
+        queries = problem["queries"]
+        node = np.zeros(len(queries), np.int64)
+        for _ in range(params["depth"]):
+            go_left = queries < keys[node]
+            node = np.where(go_left, 2 * node + 1, 2 * node + 2)
+        return node.astype(np.int32)
+
+
+def _fill_bfs(
+    out: np.ndarray, sorted_keys: np.ndarray, node: int, lo: int, hi: int
+) -> None:
+    """Place the median of ``sorted_keys[lo:hi]`` at BFS slot ``node``."""
+    if lo >= hi or node >= len(out):
+        return
+    mid = (lo + hi) // 2
+    out[node] = sorted_keys[mid]
+    _fill_bfs(out, sorted_keys, 2 * node + 1, lo, mid)
+    _fill_bfs(out, sorted_keys, 2 * node + 2, mid + 1, hi)

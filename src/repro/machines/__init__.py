@@ -1,0 +1,48 @@
+"""Machine models: declarative processor descriptions and op cost tables."""
+
+from repro.machines.ops import OpClass, OpCost, OpCostTable, PORTS, TRANSCENDENTALS
+from repro.machines.presets import (
+    ALIASES,
+    AVX,
+    AVX2,
+    CORE2_E6600,
+    CORE_I7_960,
+    CORE_I7_2600,
+    CORE_I7_4770,
+    CORE_I7_X980,
+    GENERATIONS,
+    LRBNI,
+    MIC_KNF,
+    PRESETS,
+    SSE42,
+    SSSE3,
+    get_machine,
+)
+from repro.machines.spec import CacheSpec, CoreSpec, MachineSpec, VectorISA
+
+__all__ = [
+    "ALIASES",
+    "AVX",
+    "AVX2",
+    "CORE2_E6600",
+    "CORE_I7_960",
+    "CORE_I7_2600",
+    "CORE_I7_4770",
+    "CORE_I7_X980",
+    "CacheSpec",
+    "CoreSpec",
+    "GENERATIONS",
+    "LRBNI",
+    "MIC_KNF",
+    "MachineSpec",
+    "OpClass",
+    "OpCost",
+    "OpCostTable",
+    "PORTS",
+    "PRESETS",
+    "SSE42",
+    "SSSE3",
+    "TRANSCENDENTALS",
+    "VectorISA",
+    "get_machine",
+]

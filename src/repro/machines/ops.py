@@ -1,0 +1,276 @@
+"""Operation classes and per-ISA cost tables.
+
+The compiler lowers kernel loop bodies to counts of :class:`OpClass`
+operations; the simulator prices them with an :class:`OpCostTable`.
+
+Costs follow the usual published microarchitectural numbers (reciprocal
+throughput and latency per instruction class, one table per ISA).  Two
+details matter for the Ninja gap and are modelled explicitly:
+
+* **Transcendentals** — scalar code calls libm (tens of cycles per call);
+  vectorized code uses an SVML-style vector math library whose per-element
+  cost is several times lower.  This is the main reason BlackScholes shows
+  the largest naive-to-Ninja gap in the paper.
+* **Gather/scatter** — ISAs without hardware gather synthesise it from
+  per-lane scalar loads and inserts, so the per-lane cost is much higher
+  than on MIC, which has gather support (paper §6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import MachineSpecError
+
+
+class OpClass(enum.Enum):
+    """Classes of dynamic operations priced by the simulator."""
+
+    FADD = "fadd"
+    FMUL = "fmul"
+    FMA = "fma"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FRCP = "frcp"          # fast approximate reciprocal
+    FRSQRT = "frsqrt"      # fast approximate reciprocal square root
+    EXP = "exp"
+    LOG = "log"
+    SIN = "sin"
+    COS = "cos"
+    POW = "pow"
+    ERF = "erf"
+    IADD = "iadd"          # integer ALU (add/sub/shift/logic)
+    IMUL = "imul"
+    CMP = "cmp"
+    BLEND = "blend"        # select / masked merge
+    SHUFFLE = "shuffle"    # permute / pack / unpack
+    BROADCAST = "broadcast"
+    LOAD = "load"          # one (possibly vector) load
+    STORE = "store"        # one (possibly vector) store
+    GATHER_LANE = "gather_lane"    # per-lane cost of a gather
+    SCATTER_LANE = "scatter_lane"  # per-lane cost of a scatter
+    REDUCE = "reduce"      # one horizontal-reduction step
+    BRANCH = "branch"      # correctly-predicted branch
+
+
+TRANSCENDENTALS = frozenset(
+    {OpClass.EXP, OpClass.LOG, OpClass.SIN, OpClass.COS, OpClass.POW, OpClass.ERF}
+)
+
+#: Execution-port names used by the issue model.
+PORTS = ("fp_add", "fp_mul", "fp_div", "alu", "load", "store", "shuffle", "branch")
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of one operation class on one ISA.
+
+    Attributes:
+        rtp: reciprocal throughput in cycles (issue-rate limit).
+        latency: result latency in cycles (dependence-chain limit).
+        port: execution port this op occupies.
+    """
+
+    rtp: float
+    latency: float
+    port: str
+
+    def __post_init__(self) -> None:
+        if self.rtp <= 0:
+            raise MachineSpecError(f"rtp must be positive, got {self.rtp}")
+        if self.latency < 0:
+            raise MachineSpecError(f"latency must be >= 0, got {self.latency}")
+        if self.port not in PORTS:
+            raise MachineSpecError(f"unknown port {self.port!r}")
+
+
+@dataclass(frozen=True)
+class OpCostTable:
+    """Scalar and vector cost tables for one ISA.
+
+    Vector entries price one full-width vector operation; the ``GATHER_LANE``
+    and ``SCATTER_LANE`` entries are per *lane*, so a 4-lane gather costs
+    four times the entry.
+    """
+
+    name: str
+    scalar: Mapping[OpClass, OpCost]
+    vector: Mapping[OpClass, OpCost]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scalar", MappingProxyType(dict(self.scalar)))
+        object.__setattr__(self, "vector", MappingProxyType(dict(self.vector)))
+        missing = [op for op in OpClass if op not in self.scalar]
+        if missing:
+            raise MachineSpecError(
+                f"{self.name}: scalar table is missing {sorted(m.value for m in missing)}"
+            )
+        missing = [op for op in OpClass if op not in self.vector]
+        if missing:
+            raise MachineSpecError(
+                f"{self.name}: vector table is missing {sorted(m.value for m in missing)}"
+            )
+
+    def cost(self, op: OpClass, vector: bool) -> OpCost:
+        """Look up the cost of *op* in the scalar or vector table."""
+        table = self.vector if vector else self.scalar
+        return table[op]
+
+
+def _base_scalar_costs(
+    *,
+    div_rtp: float,
+    sqrt_rtp: float,
+    exp_rtp: float,
+    log_rtp: float,
+    trig_rtp: float,
+    pow_rtp: float,
+    erf_rtp: float,
+    load_rtp: float,
+    store_rtp: float,
+) -> dict[OpClass, OpCost]:
+    """Scalar cost table shared in structure across x86 generations."""
+    return {
+        OpClass.FADD: OpCost(1.0, 3.0, "fp_add"),
+        OpClass.FMUL: OpCost(1.0, 4.0, "fp_mul"),
+        OpClass.FMA: OpCost(2.0, 8.0, "fp_mul"),  # mul+add when no FMA unit
+        OpClass.FDIV: OpCost(div_rtp, div_rtp + 4, "fp_div"),
+        OpClass.FSQRT: OpCost(sqrt_rtp, sqrt_rtp + 4, "fp_div"),
+        OpClass.FRCP: OpCost(1.0, 3.0, "fp_mul"),
+        OpClass.FRSQRT: OpCost(1.0, 3.0, "fp_mul"),
+        OpClass.EXP: OpCost(exp_rtp, exp_rtp, "fp_mul"),
+        OpClass.LOG: OpCost(log_rtp, log_rtp, "fp_mul"),
+        OpClass.SIN: OpCost(trig_rtp, trig_rtp, "fp_mul"),
+        OpClass.COS: OpCost(trig_rtp, trig_rtp, "fp_mul"),
+        OpClass.POW: OpCost(pow_rtp, pow_rtp, "fp_mul"),
+        OpClass.ERF: OpCost(erf_rtp, erf_rtp, "fp_mul"),
+        OpClass.IADD: OpCost(0.5, 1.0, "alu"),
+        OpClass.IMUL: OpCost(1.0, 3.0, "alu"),
+        OpClass.CMP: OpCost(1.0, 1.0, "fp_add"),
+        OpClass.BLEND: OpCost(1.0, 1.0, "shuffle"),
+        OpClass.SHUFFLE: OpCost(1.0, 1.0, "shuffle"),
+        OpClass.BROADCAST: OpCost(1.0, 1.0, "shuffle"),
+        OpClass.LOAD: OpCost(load_rtp, 0.0, "load"),
+        OpClass.STORE: OpCost(store_rtp, 0.0, "store"),
+        OpClass.GATHER_LANE: OpCost(load_rtp, 0.0, "load"),
+        OpClass.SCATTER_LANE: OpCost(store_rtp, 0.0, "store"),
+        OpClass.REDUCE: OpCost(2.0, 3.0, "shuffle"),
+        OpClass.BRANCH: OpCost(1.0, 1.0, "branch"),
+    }
+
+
+def _vectorize_costs(
+    scalar: dict[OpClass, OpCost],
+    *,
+    exp_rtp: float,
+    log_rtp: float,
+    trig_rtp: float,
+    pow_rtp: float,
+    erf_rtp: float,
+    gather_lane_rtp: float,
+    scatter_lane_rtp: float,
+    fma_rtp: float | None = None,
+) -> dict[OpClass, OpCost]:
+    """Derive a vector table: same pipe structure, SVML-priced math,
+    explicit gather/scatter per-lane costs."""
+    vector = dict(scalar)
+    vector[OpClass.EXP] = OpCost(exp_rtp, exp_rtp, "fp_mul")
+    vector[OpClass.LOG] = OpCost(log_rtp, log_rtp, "fp_mul")
+    vector[OpClass.SIN] = OpCost(trig_rtp, trig_rtp, "fp_mul")
+    vector[OpClass.COS] = OpCost(trig_rtp, trig_rtp, "fp_mul")
+    vector[OpClass.POW] = OpCost(pow_rtp, pow_rtp, "fp_mul")
+    vector[OpClass.ERF] = OpCost(erf_rtp, erf_rtp, "fp_mul")
+    vector[OpClass.GATHER_LANE] = OpCost(gather_lane_rtp, 0.0, "load")
+    vector[OpClass.SCATTER_LANE] = OpCost(scatter_lane_rtp, 0.0, "store")
+    if fma_rtp is not None:
+        vector[OpClass.FMA] = OpCost(fma_rtp, 4.0, "fp_mul")
+    return vector
+
+
+def ssse3_cost_table() -> OpCostTable:
+    """Core 2 era (Merom/Conroe): slow divide, slow libm, no gather."""
+    scalar = _base_scalar_costs(
+        div_rtp=32.0, sqrt_rtp=29.0,
+        exp_rtp=95.0, log_rtp=80.0, trig_rtp=90.0, pow_rtp=180.0, erf_rtp=110.0,
+        load_rtp=1.0, store_rtp=1.0,
+    )
+    vector = _vectorize_costs(
+        scalar,
+        exp_rtp=48.0, log_rtp=42.0, trig_rtp=46.0, pow_rtp=90.0, erf_rtp=56.0,
+        gather_lane_rtp=3.0, scatter_lane_rtp=3.0,
+    )
+    return OpCostTable("SSSE3", scalar, vector)
+
+
+def sse42_cost_table() -> OpCostTable:
+    """Nehalem/Westmere: pipelined-ish divide, faster libm/SVML."""
+    scalar = _base_scalar_costs(
+        div_rtp=14.0, sqrt_rtp=14.0,
+        exp_rtp=54.0, log_rtp=48.0, trig_rtp=52.0, pow_rtp=110.0, erf_rtp=64.0,
+        load_rtp=1.0, store_rtp=1.0,
+    )
+    vector = _vectorize_costs(
+        scalar,
+        exp_rtp=26.0, log_rtp=22.0, trig_rtp=26.0, pow_rtp=52.0, erf_rtp=34.0,
+        gather_lane_rtp=2.0, scatter_lane_rtp=2.0,
+    )
+    return OpCostTable("SSE4.2", scalar, vector)
+
+
+def avx_cost_table() -> OpCostTable:
+    """Sandy Bridge AVX: 8-wide SP, two load ports, still no gather."""
+    scalar = _base_scalar_costs(
+        div_rtp=14.0, sqrt_rtp=14.0,
+        exp_rtp=55.0, log_rtp=48.0, trig_rtp=52.0, pow_rtp=110.0, erf_rtp=65.0,
+        load_rtp=0.5, store_rtp=1.0,
+    )
+    vector = _vectorize_costs(
+        scalar,
+        exp_rtp=30.0, log_rtp=26.0, trig_rtp=30.0, pow_rtp=60.0, erf_rtp=40.0,
+        gather_lane_rtp=2.0, scatter_lane_rtp=2.0,
+    )
+    # 256-bit divide executes as two 128-bit halves on SNB.
+    vector[OpClass.FDIV] = OpCost(28.0, 29.0, "fp_div")
+    vector[OpClass.FSQRT] = OpCost(28.0, 29.0, "fp_div")
+    return OpCostTable("AVX", scalar, vector)
+
+
+def avx2_cost_table() -> OpCostTable:
+    """Haswell AVX2: FMA, hardware gather (slow first silicon), fast libm."""
+    scalar = _base_scalar_costs(
+        div_rtp=13.0, sqrt_rtp=13.0,
+        exp_rtp=50.0, log_rtp=44.0, trig_rtp=48.0, pow_rtp=100.0, erf_rtp=60.0,
+        load_rtp=0.5, store_rtp=1.0,
+    )
+    vector = _vectorize_costs(
+        scalar,
+        exp_rtp=28.0, log_rtp=24.0, trig_rtp=28.0, pow_rtp=56.0, erf_rtp=36.0,
+        gather_lane_rtp=1.25, scatter_lane_rtp=2.0,
+        fma_rtp=0.5,
+    )
+    vector[OpClass.FDIV] = OpCost(18.0, 21.0, "fp_div")
+    vector[OpClass.FSQRT] = OpCost(18.0, 21.0, "fp_div")
+    return OpCostTable("AVX2", scalar, vector)
+
+
+def lrbni_cost_table() -> OpCostTable:
+    """Knights Ferry LRBni: FMA, hardware gather/scatter, native masks,
+    but an in-order pipeline clocked low."""
+    scalar = _base_scalar_costs(
+        div_rtp=20.0, sqrt_rtp=20.0,
+        exp_rtp=70.0, log_rtp=60.0, trig_rtp=65.0, pow_rtp=130.0, erf_rtp=80.0,
+        load_rtp=1.0, store_rtp=1.0,
+    )
+    vector = _vectorize_costs(
+        scalar,
+        exp_rtp=24.0, log_rtp=20.0, trig_rtp=24.0, pow_rtp=48.0, erf_rtp=30.0,
+        gather_lane_rtp=0.75, scatter_lane_rtp=0.75,
+        fma_rtp=1.0,
+    )
+    vector[OpClass.FDIV] = OpCost(8.0, 12.0, "fp_div")   # via Newton-Raphson seq
+    vector[OpClass.FSQRT] = OpCost(8.0, 12.0, "fp_div")
+    vector[OpClass.BLEND] = OpCost(0.0001, 0.0, "shuffle")  # free predication
+    return OpCostTable("LRBni", scalar, vector)

@@ -1,0 +1,245 @@
+"""Preset machine models for the platforms the paper evaluates.
+
+The evaluation platforms (paper Table 2, reconstructed):
+
+* **Core i7 X980** (Westmere, 2010) — the paper's primary CPU: 6 cores,
+  2-way SMT, 3.33 GHz, 128-bit SSE, 32 KiB L1 / 256 KiB L2 per core,
+  12 MiB shared L3, 3-channel DDR3.
+* **Knights Ferry MIC** — the paper's manycore platform: 32 in-order cores,
+  4-way SMT, 1.2 GHz, 512-bit LRBni vectors with FMA, gather and mask
+  support, GDDR5 memory.
+* Earlier generations for the gap-trend figure: a Core 2 (2-core, SSSE3)
+  and a Core i7 960 (Nehalem, 4-core).
+* A Sandy Bridge AVX part for the wider-SIMD ablation.
+
+Bandwidths are *sustainable* stream bandwidths, not theoretical channel
+peaks, because that is what bounds throughput kernels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineSpecError
+from repro.machines.ops import (
+    avx2_cost_table,
+    avx_cost_table,
+    lrbni_cost_table,
+    sse42_cost_table,
+    ssse3_cost_table,
+)
+from repro.machines.spec import CacheSpec, CoreSpec, MachineSpec, VectorISA
+from repro.units import gb_per_s, ghz, kib, mib
+
+SSSE3 = VectorISA(
+    name="SSSE3",
+    width_bits=128,
+    cost_table=ssse3_cost_table(),
+    unaligned_penalty=2.0,
+)
+
+SSE42 = VectorISA(
+    name="SSE4.2",
+    width_bits=128,
+    cost_table=sse42_cost_table(),
+    unaligned_penalty=1.5,
+)
+
+AVX = VectorISA(
+    name="AVX",
+    width_bits=256,
+    cost_table=avx_cost_table(),
+    unaligned_penalty=1.2,
+)
+
+AVX2 = VectorISA(
+    name="AVX2",
+    width_bits=256,
+    cost_table=avx2_cost_table(),
+    has_fma=True,
+    has_hw_gather=True,
+    unaligned_penalty=1.05,
+)
+
+LRBNI = VectorISA(
+    name="LRBni",
+    width_bits=512,
+    cost_table=lrbni_cost_table(),
+    has_fma=True,
+    has_hw_gather=True,
+    has_hw_scatter=True,
+    has_predication=True,
+    unaligned_penalty=1.0,
+)
+
+
+CORE2_E6600 = MachineSpec(
+    name="Core 2 Duo E6600",
+    year=2006,
+    num_cores=2,
+    core=CoreSpec(
+        frequency_hz=ghz(2.4),
+        isa=SSSE3,
+        smt_threads=1,
+        issue_width=4,
+        branch_mispredict_cycles=15,
+        smt_memory_uplift=1.0,
+    ),
+    caches=(
+        CacheSpec("L1D", kib(32), 64, 8, 3, bandwidth_bytes_per_cycle=16.0),
+        CacheSpec("L2", mib(4), 64, 16, 14, shared=True, bandwidth_bytes_per_cycle=8.0),
+    ),
+    dram_bandwidth_bytes_per_s=gb_per_s(6.4),
+    dram_latency_cycles=250,
+    hw_prefetch_efficiency=0.75,
+    core_bw_share=0.6,
+)
+
+CORE_I7_960 = MachineSpec(
+    name="Core i7 960",
+    year=2009,
+    num_cores=4,
+    core=CoreSpec(
+        frequency_hz=ghz(3.2),
+        isa=SSE42,
+        smt_threads=2,
+        issue_width=4,
+        branch_mispredict_cycles=17,
+        smt_memory_uplift=1.25,
+    ),
+    caches=(
+        CacheSpec("L1D", kib(32), 64, 8, 4, bandwidth_bytes_per_cycle=16.0),
+        CacheSpec("L2", kib(256), 64, 8, 10, bandwidth_bytes_per_cycle=12.0),
+        CacheSpec("L3", mib(8), 64, 16, 38, shared=True, bandwidth_bytes_per_cycle=8.0),
+    ),
+    dram_bandwidth_bytes_per_s=gb_per_s(18.0),
+    dram_latency_cycles=200,
+)
+
+CORE_I7_X980 = MachineSpec(
+    name="Core i7 X980",
+    year=2010,
+    num_cores=6,
+    core=CoreSpec(
+        frequency_hz=ghz(3.33),
+        isa=SSE42,
+        smt_threads=2,
+        issue_width=4,
+        branch_mispredict_cycles=17,
+        smt_memory_uplift=1.25,
+    ),
+    caches=(
+        CacheSpec("L1D", kib(32), 64, 8, 4, bandwidth_bytes_per_cycle=16.0),
+        CacheSpec("L2", kib(256), 64, 8, 10, bandwidth_bytes_per_cycle=12.0),
+        CacheSpec("L3", mib(12), 64, 16, 42, shared=True, bandwidth_bytes_per_cycle=8.0),
+    ),
+    dram_bandwidth_bytes_per_s=gb_per_s(24.0),
+    dram_latency_cycles=200,
+)
+
+CORE_I7_2600 = MachineSpec(
+    name="Core i7 2600",
+    year=2011,
+    num_cores=4,
+    core=CoreSpec(
+        frequency_hz=ghz(3.4),
+        isa=AVX,
+        smt_threads=2,
+        issue_width=4,
+        branch_mispredict_cycles=18,
+        smt_memory_uplift=1.25,
+    ),
+    caches=(
+        CacheSpec("L1D", kib(32), 64, 8, 4, bandwidth_bytes_per_cycle=32.0),
+        CacheSpec("L2", kib(256), 64, 8, 11, bandwidth_bytes_per_cycle=16.0),
+        CacheSpec("L3", mib(8), 64, 16, 30, shared=True, bandwidth_bytes_per_cycle=10.0),
+    ),
+    dram_bandwidth_bytes_per_s=gb_per_s(18.0),
+    dram_latency_cycles=190,
+)
+
+CORE_I7_4770 = MachineSpec(
+    name="Core i7 4770",
+    year=2013,
+    num_cores=4,
+    core=CoreSpec(
+        frequency_hz=ghz(3.4),
+        isa=AVX2,
+        smt_threads=2,
+        issue_width=4,
+        branch_mispredict_cycles=18,
+        smt_memory_uplift=1.25,
+    ),
+    caches=(
+        CacheSpec("L1D", kib(32), 64, 8, 4, bandwidth_bytes_per_cycle=64.0),
+        CacheSpec("L2", kib(256), 64, 8, 12, bandwidth_bytes_per_cycle=32.0),
+        CacheSpec("L3", mib(8), 64, 16, 34, shared=True, bandwidth_bytes_per_cycle=12.0),
+    ),
+    dram_bandwidth_bytes_per_s=gb_per_s(21.0),
+    dram_latency_cycles=190,
+)
+
+MIC_KNF = MachineSpec(
+    name="Knights Ferry (MIC)",
+    year=2010,
+    num_cores=32,
+    core=CoreSpec(
+        frequency_hz=ghz(1.2),
+        isa=LRBNI,
+        smt_threads=4,
+        issue_width=2,
+        branch_mispredict_cycles=8,
+        smt_memory_uplift=1.8,
+        out_of_order=False,
+    ),
+    caches=(
+        CacheSpec("L1D", kib(32), 64, 8, 3, bandwidth_bytes_per_cycle=64.0),
+        # 32 x 256 KiB private slices kept coherent with remote-L2 access:
+        # modelled as one shared 8 MiB level.
+        CacheSpec("L2", mib(8), 64, 8, 15, shared=True,
+                  bandwidth_bytes_per_cycle=32.0),
+    ),
+    dram_bandwidth_bytes_per_s=gb_per_s(70.0),
+    dram_latency_cycles=300,
+    hw_prefetch_efficiency=0.80,
+    core_bw_share=0.08,
+)
+
+#: All presets by canonical name.
+PRESETS: dict[str, MachineSpec] = {
+    spec.name: spec
+    for spec in (
+        CORE2_E6600, CORE_I7_960, CORE_I7_X980, CORE_I7_2600, CORE_I7_4770,
+        MIC_KNF,
+    )
+}
+
+#: Short aliases accepted by :func:`get_machine` and the CLI.
+ALIASES: dict[str, str] = {
+    "core2": CORE2_E6600.name,
+    "nehalem": CORE_I7_960.name,
+    "westmere": CORE_I7_X980.name,
+    "x980": CORE_I7_X980.name,
+    "sandybridge": CORE_I7_2600.name,
+    "avx": CORE_I7_2600.name,
+    "haswell": CORE_I7_4770.name,
+    "avx2": CORE_I7_4770.name,
+    "mic": MIC_KNF.name,
+    "knf": MIC_KNF.name,
+}
+
+#: CPU generations in launch order, for the gap-trend figure (paper Fig. 2).
+GENERATIONS: tuple[MachineSpec, ...] = (CORE2_E6600, CORE_I7_960, CORE_I7_X980)
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a preset machine by canonical name or alias.
+
+    Raises:
+        MachineSpecError: if the name matches no preset.
+    """
+    if name in PRESETS:
+        return PRESETS[name]
+    key = name.strip().lower().replace(" ", "")
+    if key in ALIASES:
+        return PRESETS[ALIASES[key]]
+    known = sorted(PRESETS) + sorted(ALIASES)
+    raise MachineSpecError(f"unknown machine {name!r}; known: {', '.join(known)}")

@@ -1,0 +1,284 @@
+"""Machine descriptions: cores, SIMD ISAs, caches, and memory.
+
+A :class:`MachineSpec` is a purely declarative description of a processor,
+transcribed from its spec sheet.  The performance simulator consumes these
+descriptions; nothing here executes anything.
+
+The models intentionally capture the features the Ninja-gap paper shows to
+matter: core count and SMT, SIMD width, the availability of hardware
+gather/scatter and FMA, per-level cache capacity/latency, and sustainable
+DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import MachineSpecError
+from repro.machines.ops import OpCostTable
+from repro.units import fmt_bandwidth, fmt_bytes, fmt_hz
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One level of a cache hierarchy.
+
+    Attributes:
+        name: human-readable level name (``"L1D"``, ``"L2"``, ``"L3"``).
+        capacity_bytes: total capacity of one instance of this cache.
+        line_bytes: cache line size in bytes.
+        associativity: number of ways (use ``capacity/line`` for
+            fully-associative behaviour).
+        latency_cycles: load-to-use latency of a hit in this level.
+        shared: ``True`` if one instance is shared by all cores (e.g. an
+            inclusive L3); ``False`` for per-core private caches.
+        bandwidth_bytes_per_cycle: sustainable bytes per cycle that one core
+            can stream from this level on a hit.
+        write_back: write-back (True) vs write-through (False).
+        write_allocate: whether a store miss allocates the line (RFO
+            traffic); Ninja code avoids this with non-temporal stores.
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: int
+    shared: bool = False
+    bandwidth_bytes_per_cycle: float = 16.0
+    write_back: bool = True
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise MachineSpecError(f"{self.name}: capacity must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise MachineSpecError(
+                f"{self.name}: line size must be a positive power of two, got {self.line_bytes}"
+            )
+        if self.capacity_bytes % self.line_bytes:
+            raise MachineSpecError(
+                f"{self.name}: capacity {self.capacity_bytes} is not a multiple "
+                f"of the line size {self.line_bytes}"
+            )
+        num_lines = self.capacity_bytes // self.line_bytes
+        if not 1 <= self.associativity <= num_lines:
+            raise MachineSpecError(
+                f"{self.name}: associativity {self.associativity} must be in [1, {num_lines}]"
+            )
+        if num_lines % self.associativity:
+            raise MachineSpecError(
+                f"{self.name}: {num_lines} lines do not divide into "
+                f"{self.associativity}-way sets"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.capacity_bytes // self.line_bytes // self.associativity
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``L1D 32 KiB 8-way, 64 B lines, 4 cyc``."""
+        scope = "shared" if self.shared else "private"
+        return (
+            f"{self.name} {fmt_bytes(self.capacity_bytes)} "
+            f"{self.associativity}-way ({scope}), {self.line_bytes} B lines, "
+            f"{self.latency_cycles} cyc"
+        )
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """A SIMD instruction-set description.
+
+    Attributes:
+        name: ISA mnemonic (``"SSE4.2"``, ``"AVX"``, ``"LRBni"``).
+        width_bits: vector register width.
+        has_fma: fused multiply-add available.
+        has_hw_gather: hardware gather instruction (otherwise gathers are
+            synthesised from scalar loads + inserts, the SSE situation the
+            paper's §6 hardware-support discussion targets).
+        has_hw_scatter: hardware scatter instruction.
+        has_predication: native mask registers (MIC) vs blend-based masking.
+        unaligned_penalty: multiplier on load/store cost for unaligned
+            vector accesses (1.0 = free, as on MIC/AVX2-class hardware).
+        cost_table: per-op-class latency/throughput table.
+    """
+
+    name: str
+    width_bits: int
+    cost_table: OpCostTable
+    has_fma: bool = False
+    has_hw_gather: bool = False
+    has_hw_scatter: bool = False
+    has_predication: bool = False
+    unaligned_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (32, 64, 128, 256, 512):
+            raise MachineSpecError(
+                f"{self.name}: unsupported vector width {self.width_bits} bits"
+            )
+        if self.unaligned_penalty < 1.0:
+            raise MachineSpecError(
+                f"{self.name}: unaligned penalty must be >= 1.0"
+            )
+
+    def lanes(self, element_bytes: int) -> int:
+        """Number of lanes for elements of the given byte size (min 1)."""
+        if element_bytes <= 0:
+            raise MachineSpecError(f"element size must be positive, got {element_bytes}")
+        return max(1, self.width_bits // 8 // element_bytes)
+
+    @property
+    def width_bytes(self) -> int:
+        """Vector register width in bytes."""
+        return self.width_bits // 8
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """A single core's execution resources.
+
+    Attributes:
+        frequency_hz: core clock.
+        smt_threads: hardware threads per core (2 for Westmere HT, 4 on MIC).
+        issue_width: max ops issued per cycle (decode/retire bound).
+        isa: the widest SIMD ISA the core supports.
+        branch_mispredict_cycles: pipeline flush cost.
+        smt_memory_uplift: multiplicative throughput gain SMT provides to
+            latency-/memory-bound code (compute-bound code gains ~nothing
+            because the FP ports are already saturated).
+        out_of_order: in-order cores (MIC/KNF) cannot hide cache latency
+            behind independent work, so hit latency shows up in the cost.
+    """
+
+    frequency_hz: float
+    isa: VectorISA
+    smt_threads: int = 1
+    issue_width: int = 4
+    branch_mispredict_cycles: int = 15
+    smt_memory_uplift: float = 1.2
+    out_of_order: bool = True
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise MachineSpecError("core frequency must be positive")
+        if self.smt_threads < 1:
+            raise MachineSpecError("smt_threads must be >= 1")
+        if self.issue_width < 1:
+            raise MachineSpecError("issue_width must be >= 1")
+        if self.smt_memory_uplift < 1.0:
+            raise MachineSpecError("smt_memory_uplift must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A full processor: cores + cache hierarchy + DRAM.
+
+    Attributes:
+        name: marketing name used in reports.
+        year: launch year (drives the generation-trend figure).
+        num_cores: physical core count.
+        core: per-core resources.
+        caches: levels ordered from closest (L1) to farthest (LLC).
+        dram_bandwidth_bytes_per_s: sustainable (not theoretical) memory
+            bandwidth of the whole chip.
+        dram_latency_cycles: load-to-use latency of a DRAM access.
+        sw_prefetch_efficiency: fraction of the sustainable bandwidth that
+            Ninja code reaches with software prefetching; compiled code
+            reaches ``hw_prefetch_efficiency`` on regular streams.
+        hw_prefetch_efficiency: see above.
+        core_bw_share: fraction of chip DRAM bandwidth one core can pull on
+            its own (limited by outstanding-miss buffers); ``k`` active
+            cores reach ``min(1, k·share)`` of the chip bandwidth.
+    """
+
+    name: str
+    year: int
+    num_cores: int
+    core: CoreSpec
+    caches: tuple[CacheSpec, ...]
+    dram_bandwidth_bytes_per_s: float
+    dram_latency_cycles: int = 200
+    sw_prefetch_efficiency: float = 0.95
+    hw_prefetch_efficiency: float = 0.85
+    core_bw_share: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise MachineSpecError(f"{self.name}: need at least one core")
+        if not self.caches:
+            raise MachineSpecError(f"{self.name}: need at least one cache level")
+        line = self.caches[0].line_bytes
+        for cache in self.caches:
+            if cache.line_bytes != line:
+                raise MachineSpecError(
+                    f"{self.name}: mixed line sizes are not supported "
+                    f"({cache.name} has {cache.line_bytes}, L1 has {line})"
+                )
+        capacities = [c.capacity_bytes for c in self.caches]
+        if capacities != sorted(capacities):
+            raise MachineSpecError(
+                f"{self.name}: cache capacities must be non-decreasing outward"
+            )
+        if self.dram_bandwidth_bytes_per_s <= 0:
+            raise MachineSpecError(f"{self.name}: DRAM bandwidth must be positive")
+        for eff_name in (
+            "sw_prefetch_efficiency", "hw_prefetch_efficiency", "core_bw_share"
+        ):
+            eff = getattr(self, eff_name)
+            if not 0.0 < eff <= 1.0:
+                raise MachineSpecError(f"{self.name}: {eff_name} must be in (0, 1]")
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size (uniform across levels)."""
+        return self.caches[0].line_bytes
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware thread count of the whole chip."""
+        return self.num_cores * self.core.smt_threads
+
+    @property
+    def isa(self) -> VectorISA:
+        """Shorthand for the core's vector ISA."""
+        return self.core.isa
+
+    def simd_lanes(self, element_bytes: int) -> int:
+        """SIMD lanes for a given element size."""
+        return self.core.isa.lanes(element_bytes)
+
+    def peak_flops_sp(self) -> float:
+        """Peak single-precision FLOP/s of the whole chip.
+
+        Counts one add-pipe and one mul-pipe per core (or 2 FLOPs/lane/cycle
+        with FMA), matching how vendor peak numbers are quoted.
+        """
+        lanes = self.simd_lanes(4)
+        flops_per_cycle = lanes * 2  # add + mul pipes, or FMA
+        return self.num_cores * self.core.frequency_hz * flops_per_cycle
+
+    def last_level_cache(self) -> CacheSpec:
+        """The outermost cache level."""
+        return self.caches[-1]
+
+    def with_overrides(self, **changes: object) -> "MachineSpec":
+        """Return a copy with top-level fields replaced (for ablations)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Multi-line spec-sheet summary used by the platform table."""
+        lines = [
+            f"{self.name} ({self.year})",
+            f"  cores: {self.num_cores} x {fmt_hz(self.core.frequency_hz)}"
+            f", SMT {self.core.smt_threads}",
+            f"  SIMD: {self.core.isa.name} {self.core.isa.width_bits}-bit"
+            f" ({self.simd_lanes(4)} x f32)",
+            f"  peak SP: {self.peak_flops_sp() / 1e9:.1f} GFLOP/s",
+        ]
+        lines.extend(f"  {cache.describe()}" for cache in self.caches)
+        lines.append(f"  DRAM: {fmt_bandwidth(self.dram_bandwidth_bytes_per_s)}")
+        return "\n".join(lines)

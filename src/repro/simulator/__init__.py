@@ -1,0 +1,39 @@
+"""Performance simulator: core issue model, analytic memory model,
+trace-driven cache simulator, and the top-level ``simulate`` entry point."""
+
+from repro.simulator.analytic import AnalyticModel, ChipTotals
+from repro.simulator.cache import Cache, CacheHierarchy, CacheStats
+from repro.simulator.core import PricedBundle, price_ops, reduction_chain_cycles
+from repro.simulator.executor import BARRIER_CYCLES, IMBALANCE_FACTOR, simulate
+from repro.simulator.result import SimResult
+from repro.simulator.streams import (
+    ResolvedStream,
+    random_miss_rate,
+    resolve_stream,
+    spatial_miss_factor,
+    tree_descent_misses,
+)
+from repro.simulator.trace import AddressMap, TraceResult, trace_kernel
+
+__all__ = [
+    "AddressMap",
+    "AnalyticModel",
+    "BARRIER_CYCLES",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "ChipTotals",
+    "IMBALANCE_FACTOR",
+    "PricedBundle",
+    "ResolvedStream",
+    "SimResult",
+    "TraceResult",
+    "price_ops",
+    "random_miss_rate",
+    "reduction_chain_cycles",
+    "resolve_stream",
+    "simulate",
+    "spatial_miss_factor",
+    "trace_kernel",
+    "tree_descent_misses",
+]

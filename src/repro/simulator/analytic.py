@@ -1,0 +1,560 @@
+"""Analytic execution model: walks the compiled loop tree once and produces
+chip-level totals (cycles, stalls, per-cache-boundary traffic).
+
+The memory model is a reuse-distance/working-set analysis, specified
+formally in ``docs/MODEL.md``:
+
+* every affine access is resolved to a numeric linear index form; same-
+  shape accesses of one plane merge into a *group* whose constant offsets
+  collapse into clusters (a 7-point stencil is one group with five
+  clusters, and AOS record fields share one struct stream);
+* for each cache level, every enclosing loop whose single-iteration
+  working set fits is a candidate *reuse scope*: within one scope
+  execution each needed line is fetched once — times the number of offset
+  clusters whose inter-cluster reuse distance the cache cannot hold — and
+  re-entering the scope re-fetches; the model takes the best candidate;
+* lines are counted hierarchically (dense segments replicated by strided
+  dimensions), so blocked column accesses are not charged for the
+  envelope between their rows.
+
+This reproduces exactly the behaviours the paper's algorithmic changes
+target: cache blocking moves the feasible scope outward (traffic drops to
+the compulsory floor), partial AOS reads waste line bandwidth, the naive
+stencil re-fetches the planes its cache level cannot coalesce, and
+NBody's shared j-sweep stays resident in a shared LLC.
+
+Data-dependent (non-affine) streams use the declared access skew:
+uniformly random, BFS-tree descent (hot top levels), or spatially local
+ray marching; their exposed latency — not just their traffic — is
+charged, divided by the core's memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.compiler.compiled import CompiledKernel, CompiledLoop
+from repro.compiler.opcount import FLOP_CLASSES
+from repro.errors import SimulationError
+from repro.ir.evaluate import eval_int_expr
+from repro.machines.spec import MachineSpec
+from repro.simulator.core import price_ops, reduction_chain_cycles
+from repro.simulator.streams import (
+    ResolvedStream,
+    random_miss_rate,
+    resolve_stream,
+    spatial_miss_factor,
+    tree_descent_misses,
+)
+
+#: Memory-level parallelism assumed for data-dependent misses.
+_MLP_OUT_OF_ORDER = 8.0
+_MLP_IN_ORDER = 2.0
+
+
+@dataclass
+class _Node:
+    """One resolved loop of the nest with concrete trip counts."""
+
+    loop: CompiledLoop
+    elem_trips: float          # iterations in element space
+    exec_trips: float          # body executions (elem / lanes if vectorized)
+    entries: float             # times this loop is entered, absolute
+    body_execs: float          # entries * exec_trips
+    streams: list["_MergedStream"] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+    depth: int = 0
+    parallel_scope: bool = False  # inside (or at) a parallel loop
+
+
+@dataclass
+class _MergedStream:
+    """Same-shape affine streams merged into one group.
+
+    Constant-offset copies (stencil neighbours ``a[z-1], a[z], a[z+1]``)
+    collapse into one stream plus a list of offset *clusters* (offsets
+    within one cache line coalesce immediately; farther ones — other rows,
+    other planes — stay distinct).  Whether distinct clusters re-fetch or
+    coalesce at a given cache level is a reuse-distance question answered
+    by the scope search.
+    """
+
+    stream: ResolvedStream
+    count: float
+    consts: list[int] = field(default_factory=list)
+    clusters: tuple[int, ...] = ()
+
+    def finalize(self, line_bytes: int) -> None:
+        """Collapse offsets within one line into clusters."""
+        line_elems = max(1, line_bytes // max(1, self.stream.byte_stride))
+        reps: list[int] = []
+        for const in sorted(set(self.consts)):
+            if not reps or const - reps[-1] > line_elems:
+                reps.append(const)
+        self.clusters = tuple(reps)
+
+    @property
+    def n_clusters(self) -> int:
+        """Distinct offset clusters (1 for a plain stream)."""
+        return max(1, len(self.clusters))
+
+    @property
+    def const_span_elems(self) -> float:
+        """Element distance between nearest and farthest cluster."""
+        if len(self.clusters) < 2:
+            return 0.0
+        return float(self.clusters[-1] - self.clusters[0])
+
+    def lines_base(self, trips: Mapping[str, float], line_bytes: int) -> float:
+        """Lines of ONE cluster over the given trips."""
+        return self.stream.lines_touched(trips, line_bytes)
+
+    def lines_union(self, trips: Mapping[str, float], line_bytes: int) -> float:
+        """Upper bound on the union of all clusters' lines."""
+        base = self.lines_base(trips, line_bytes)
+        span_lines = self.const_span_elems * self.stream.byte_stride / line_bytes
+        return min(base * self.n_clusters, base + span_lines)
+
+    def footprint(self, trips: Mapping[str, float], line_bytes: int) -> float:
+        if not self.stream.affine:
+            return self.stream.footprint_bytes(trips, line_bytes)
+        return self.lines_base(trips, line_bytes) * self.n_clusters * line_bytes
+
+
+@dataclass
+class ChipTotals:
+    """Machine-level totals accumulated over the whole kernel."""
+
+    serial_cycles: float = 0.0
+    parallel_cycles: float = 0.0
+    serial_stall_cycles: float = 0.0
+    parallel_stall_cycles: float = 0.0
+    parallel_entries: float = 0.0
+    instructions: float = 0.0
+    flops: float = 0.0
+    elements: float = 0.0
+    #: traffic_bytes[i] = bytes missing cache level i (fetched from i+1 /
+    #: DRAM for the last level).
+    traffic_bytes: list[float] = field(default_factory=list)
+
+
+class AnalyticModel:
+    """Prices one compiled kernel on one machine for one workload."""
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        machine: MachineSpec,
+        params: Mapping[str, int],
+        threads: int,
+    ):
+        self.compiled = compiled
+        self.machine = machine
+        self.params = dict(params)
+        self.threads = threads
+        self.isa = machine.core.isa
+        self.line = machine.line_bytes
+        self.totals = ChipTotals(
+            traffic_bytes=[0.0] * len(machine.caches)
+        )
+        # Threads spread across physical cores first (OpenMP scatter
+        # affinity); SMT siblings only fill once every core has a thread.
+        self.cores_used = min(machine.num_cores, max(1, threads))
+        self.smt_per_core = max(1.0, threads / self.cores_used)
+        self._mlp = (
+            _MLP_OUT_OF_ORDER if machine.core.out_of_order else _MLP_IN_ORDER
+        )
+        self._ws_cache: dict[int, float] = {}
+
+    # -- public ------------------------------------------------------------
+    def run(self) -> ChipTotals:
+        """Walk the tree and fill in the totals."""
+        self._roots = [
+            self._resolve(loop, dict(self.params), entries=1.0, depth=1,
+                          parallel=False)
+            for loop in self.compiled.roots
+        ]
+        self._price_setup()
+        for root in self._roots:
+            self._price_node(root)
+            self._memory_node(root, path=(root,))
+        return self.totals
+
+    # -- resolution ----------------------------------------------------------
+    def _resolve(
+        self,
+        loop: CompiledLoop,
+        env: dict[str, int],
+        entries: float,
+        depth: int,
+        parallel: bool,
+    ) -> _Node:
+        try:
+            extent = eval_int_expr(loop.extent, env)
+        except Exception as exc:  # noqa: BLE001 - rewrap with context
+            raise SimulationError(
+                f"cannot evaluate extent of loop {loop.var!r}: {exc}"
+            ) from exc
+        elem_trips = float(max(0, extent))
+        lanes = loop.vector_lanes
+        exec_trips = math.ceil(elem_trips / lanes) if lanes > 1 else elem_trips
+        entries_here = entries * loop.weight
+        node = _Node(
+            loop=loop,
+            elem_trips=elem_trips,
+            exec_trips=float(exec_trips),
+            entries=entries_here,
+            body_execs=entries_here * exec_trips,
+            depth=depth,
+            parallel_scope=parallel or loop.parallel,
+        )
+        node.streams = self._merge_streams(loop)
+        # Children see this loop variable pinned at its midpoint, which is
+        # exact for affine extents of triangular loops.
+        child_env = dict(env)
+        child_env[loop.var] = int(max(0, (extent - 1) // 2))
+        for child in loop.children:
+            node.children.append(
+                self._resolve(
+                    child, child_env, node.body_execs, depth + 1,
+                    node.parallel_scope,
+                )
+            )
+        return node
+
+    def _merge_streams(self, loop: CompiledLoop) -> list[_MergedStream]:
+        merged: dict[tuple, _MergedStream] = {}
+        order: list[tuple] = []
+        for access in loop.accesses:
+            decl = self.compiled.kernel.array(access.array)
+            stream = resolve_stream(access, decl, self.params)
+            # AOS record fields interleave within one struct, so accesses to
+            # different fields of the same element share cache lines: merge
+            # them into one stream (their per-lane gather *compute* cost is
+            # still charged per field by the code generator).
+            if decl.layout == "aos" and decl.num_fields > 1:
+                plane = (access.array, "<struct>")
+            else:
+                plane = access.plane
+            if stream.affine:
+                key = (
+                    plane,
+                    access.is_write,
+                    tuple(sorted(stream.coeffs.items())),
+                )
+            else:
+                key = (plane, access.is_write, id(access))
+            if key in merged:
+                existing = merged[key]
+                existing.count = max(existing.count, stream.count)
+                existing.consts.append(stream.const)
+            else:
+                merged[key] = _MergedStream(
+                    stream=stream,
+                    count=stream.count,
+                    consts=[stream.const],
+                )
+                order.append(key)
+        result = [merged[key] for key in order]
+        for group in result:
+            group.finalize(self.line)
+        return result
+
+    # -- compute pricing -------------------------------------------------------
+    def _price_setup(self) -> None:
+        bundle = price_ops(
+            self.compiled.setup_ops, self.isa, vector=False,
+            issue_width=self.machine.core.issue_width,
+        )
+        self.totals.serial_cycles += bundle.cycles
+        self.totals.instructions += bundle.instructions
+
+    def _price_node(self, node: _Node) -> None:
+        loop = node.loop
+        vector = loop.vector_context > 1
+        inefficiency = self.compiled.options.compiler_inefficiency
+        bundle = price_ops(
+            loop.ops, self.isa, vector=vector,
+            issue_width=self.machine.core.issue_width,
+        )
+        chain = reduction_chain_cycles(
+            loop.reduction_ops, self.isa, vector, loop.accumulators
+        )
+        cycles_per_body = max(bundle.cycles * inefficiency, chain)
+        cycles_per_body += (
+            loop.branch_mispredicts * self.machine.core.branch_mispredict_cycles
+        )
+        entry_bundle = price_ops(
+            loop.per_entry_ops, self.isa, vector=vector,
+            issue_width=self.machine.core.issue_width,
+        )
+        cycles = node.body_execs * cycles_per_body + node.entries * entry_bundle.cycles
+        instructions = (
+            node.body_execs * bundle.instructions
+            + node.entries * entry_bundle.instructions
+        )
+        flops = node.body_execs * self._flops_per_body(loop)
+        if node.parallel_scope:
+            self.totals.parallel_cycles += cycles
+        else:
+            self.totals.serial_cycles += cycles
+        if loop.parallel:
+            self.totals.parallel_entries += node.entries
+        self.totals.instructions += instructions
+        self.totals.flops += flops
+        if loop.is_vectorized or not node.children:
+            # Useful elements are counted at vectorized loops and at
+            # scalar innermost loops.
+            self.totals.elements += node.entries * node.elem_trips
+        for child in node.children:
+            self._price_node(child)
+
+    def _flops_per_body(self, loop: CompiledLoop) -> float:
+        lanes = float(loop.vector_context)
+        per_vector = sum(
+            count
+            for op, count in loop.ops.counts.items()
+            if op in FLOP_CLASSES
+        )
+        return per_vector * lanes
+
+    # -- memory model --------------------------------------------------------
+    def _capacity(self, level: int, shared_stream: bool = False) -> float:
+        """Effective capacity of one cache level for one stream.
+
+        Streams *partitioned* across threads (they move with the parallel
+        loop) compete: shared caches split across cores, private caches
+        across SMT threads.  Streams *shared* by all threads (invariant to
+        the parallel loop — NBody's j-sweep, a search tree) occupy one copy
+        and see the full capacity.
+        """
+        cache = self.machine.caches[level]
+        if shared_stream:
+            return float(cache.capacity_bytes)
+        if cache.shared:
+            return cache.capacity_bytes / max(1, self.cores_used)
+        return cache.capacity_bytes / self.smt_per_core
+
+    def _working_set_iter(self, node: _Node) -> float:
+        """Bytes touched by ONE iteration of *node* (inner loops in full).
+
+        This is the reuse distance between consecutive iterations of the
+        loop: data reused across its iterations must survive this much
+        intervening traffic.
+        """
+        if id(node) in self._ws_cache:
+            return self._ws_cache[id(node)]
+        total = self._subtree_footprint(node, {node.loop.var: 1.0})
+        self._ws_cache[id(node)] = total
+        return total
+
+    def _subtree_footprint(self, node: _Node, trips: dict[str, float]) -> float:
+        trips = dict(trips)
+        trips.setdefault(node.loop.var, node.elem_trips)
+        total = sum(
+            merged.footprint(trips, self.line) * min(1.0, max(merged.count, 0.0))
+            for merged in node.streams
+        )
+        for child in node.children:
+            total += self._subtree_footprint(child, trips)
+        return total
+
+    def _total_working_set(self) -> float:
+        """Bytes touched by the whole kernel (virtual-root working set)."""
+        if -1 in self._ws_cache:
+            return self._ws_cache[-1]
+        total = sum(self._subtree_footprint(root, {}) for root in self._roots)
+        self._ws_cache[-1] = total
+        return total
+
+    def _memory_node(
+        self,
+        node: _Node,
+        path: tuple[_Node, ...],
+        parallel_var: str | None = None,
+    ) -> None:
+        if parallel_var is None and node.loop.parallel and self.threads > 1:
+            parallel_var = node.loop.var
+        for merged in node.streams:
+            if merged.stream.affine:
+                self._affine_traffic(merged, node, path, parallel_var)
+            else:
+                self._random_traffic(merged, node, path, parallel_var)
+        for child in node.children:
+            self._memory_node(child, path + (child,), parallel_var)
+
+    @staticmethod
+    def _effective_clusters(
+        clusters: tuple[int, ...], coeff_abs: int, capture_iters: float
+    ) -> int:
+        """Cluster count after coalescing the ones whose inter-cluster reuse
+        distance (in scope iterations) the cache can hold."""
+        if len(clusters) <= 1:
+            return 1
+        if coeff_abs == 0:
+            return len(clusters)
+        groups = 1
+        for prev, cur in zip(clusters, clusters[1:]):
+            if (cur - prev) / coeff_abs > capture_iters:
+                groups += 1
+        return groups
+
+    def _affine_traffic(
+        self,
+        merged: _MergedStream,
+        node: _Node,
+        path: tuple[_Node, ...],
+        parallel_var: str | None,
+    ) -> None:
+        """Traffic of one affine stream group at every cache level.
+
+        For each level, every enclosing loop whose single-iteration working
+        set fits the cache is a candidate *reuse scope*: within one scope
+        execution each needed line is fetched once (times the number of
+        offset clusters the cache cannot coalesce), and re-entering the
+        scope re-fetches.  The cache achieves the best candidate; if even
+        the innermost loop's iteration does not fit, every access misses.
+        """
+        write_factor = self._write_factor(merged.stream.is_write)
+        coverage = min(1.0, merged.count)
+        # Element-level access count: a vector op touches up to one line
+        # per lane, so the miss ceiling is per element, not per vector op.
+        accesses = node.body_execs * merged.count * node.loop.vector_context
+        total_ws = self._total_working_set()
+        shared_stream = (
+            parallel_var is not None
+            and merged.stream.coeffs.get(parallel_var, 0) == 0
+        )
+        full_path: tuple[_Node, ...] = path if path[-1] is node else path + (node,)
+        for level in range(len(self.machine.caches)):
+            capacity = self._capacity(level, shared_stream)
+            if total_ws <= capacity:
+                trips = self._trips_from(None, path, node)
+                misses = merged.lines_union(trips, self.line) * coverage
+            else:
+                best = accesses  # worst case: every access opens a line
+                for scope in full_path:
+                    ws_iter = self._working_set_iter(scope)
+                    if ws_iter > capacity:
+                        continue
+                    capture_iters = capacity / ws_iter
+                    coeff = abs(merged.stream.coeffs.get(scope.loop.var, 0))
+                    k = self._effective_clusters(
+                        merged.clusters, coeff, capture_iters
+                    )
+                    trips = self._trips_from(scope, path, node)
+                    base = merged.lines_base(trips, self.line)
+                    union = merged.lines_union(trips, self.line)
+                    lines = min(base * k, union)
+                    candidate = scope.entries * lines * coverage
+                    best = min(best, candidate)
+                misses = best
+            misses = min(misses, accesses)
+            self.totals.traffic_bytes[level] += misses * self.line * write_factor
+        # Affine streams are assumed prefetchable: no latency exposure.
+
+    def _trips_from(
+        self, scope: _Node | None, path: tuple[_Node, ...], node: _Node
+    ) -> dict[str, float]:
+        """Trip counts of the loops from *scope* (inclusive; None = root)
+        down to *node*."""
+        trips: dict[str, float] = {}
+        seen = scope is None
+        for frame in path:
+            if frame is scope:
+                seen = True
+            if seen:
+                trips[frame.loop.var] = frame.elem_trips
+        trips.setdefault(node.loop.var, node.elem_trips)
+        return trips
+
+    def _random_traffic(
+        self,
+        merged: _MergedStream,
+        node: _Node,
+        path: tuple[_Node, ...],
+        parallel_var: str | None,
+    ) -> None:
+        stream = merged.stream
+        decl = stream.decl
+        shared_stream = parallel_var is not None and not stream.is_write
+        accesses = node.body_execs * merged.count * node.loop.vector_context
+        write_factor = self._write_factor(stream.is_write)
+        spatial = (
+            spatial_miss_factor(stream.byte_stride, self.line)
+            if decl.skew == "spatial"
+            else 1.0
+        )
+        prev_misses = accesses
+        for level in range(len(self.machine.caches)):
+            capacity = self._capacity(level, shared_stream)
+            if decl.skew == "tree_bfs":
+                per_entry = tree_descent_misses(
+                    node.elem_trips, stream.byte_stride,
+                    stream.region_bytes, capacity,
+                )
+                misses = (
+                    node.entries * per_entry * merged.count
+                    * node.loop.vector_context
+                )
+            else:
+                rate = random_miss_rate(stream.region_bytes, capacity)
+                misses = accesses * rate * spatial
+            misses = min(misses, prev_misses)
+            self.totals.traffic_bytes[level] += misses * self.line * write_factor
+            prev_misses = misses
+        stalls = self._random_stalls(
+            accesses, stream, decl, node, merged, shared_stream
+        )
+        stalls /= self._mlp
+        if node.parallel_scope:
+            self.totals.parallel_stall_cycles += stalls
+        else:
+            self.totals.serial_stall_cycles += stalls
+
+    def _random_stalls(
+        self,
+        accesses: float,
+        stream: ResolvedStream,
+        decl,
+        node: _Node,
+        merged: _MergedStream,
+        shared_stream: bool,
+    ) -> float:
+        """Latency cycles exposed by one random stream (before MLP)."""
+        spatial = (
+            spatial_miss_factor(stream.byte_stride, self.line)
+            if decl.skew == "spatial"
+            else 1.0
+        )
+        stalls = 0.0
+        prev_misses = accesses
+        for level, cache in enumerate(self.machine.caches):
+            capacity = self._capacity(level, shared_stream)
+            if decl.skew == "tree_bfs":
+                misses = (
+                    node.entries * merged.count * node.loop.vector_context
+                    * tree_descent_misses(
+                        node.elem_trips, stream.byte_stride,
+                        stream.region_bytes, capacity,
+                    )
+                )
+            else:
+                misses = accesses * random_miss_rate(
+                    stream.region_bytes, capacity
+                ) * spatial
+            misses = min(misses, prev_misses)
+            hits_at_next = prev_misses - misses if level > 0 else 0.0
+            stalls += hits_at_next * cache.latency_cycles
+            prev_misses = misses
+        stalls += prev_misses * self.machine.dram_latency_cycles
+        return stalls
+
+    def _write_factor(self, is_write: bool) -> float:
+        """Write-allocate doubles write traffic (RFO + writeback); Ninja
+        streaming stores avoid the RFO."""
+        if not is_write:
+            return 1.0
+        return 1.0 if self.compiled.options.uses_streaming_stores else 2.0

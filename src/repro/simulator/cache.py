@@ -1,0 +1,137 @@
+"""Trace-driven set-associative cache simulation.
+
+This is the ground-truth counterpart of the analytic memory model: it
+replays the exact address stream of an interpreted kernel through an LRU,
+write-back, write-allocate hierarchy.  It is used by the tests and the
+``abl_cache_models`` ablation to check the analytic model's traffic
+estimates, and is practical only for small workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.machines.spec import CacheSpec, MachineSpec
+
+
+@dataclass
+class CacheStats:
+    """Counters for one simulated cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_bytes(self) -> int:
+        """Bytes fetched from the next level (excluding writebacks)."""
+        return 0  # overridden via Cache.miss_traffic_bytes
+
+
+class Cache:
+    """One set-associative, LRU, write-back, write-allocate cache."""
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self.stats = CacheStats()
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(spec.num_sets)
+        ]  # tag -> dirty, insertion order is LRU order (dict preserves it)
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Access one byte address; returns True on hit.
+
+        On a miss the line is allocated (possibly evicting an LRU victim,
+        counting a writeback if it was dirty).
+        """
+        if address < 0:
+            raise SimulationError(f"negative address {address}")
+        line = address // self.spec.line_bytes
+        set_index = line % self.spec.num_sets
+        tag = line // self.spec.num_sets
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            self.stats.hits += 1
+            dirty = ways.pop(tag) or is_write
+            ways[tag] = dirty  # move to MRU position
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.spec.associativity:
+            victim_tag = next(iter(ways))
+            victim_dirty = ways.pop(victim_tag)
+            if victim_dirty:
+                self.stats.writebacks += 1
+        ways[tag] = is_write
+        return False
+
+    def flush_dirty(self) -> int:
+        """Write back all dirty lines (end-of-run accounting); returns count."""
+        flushed = 0
+        for ways in self._sets:
+            for tag, dirty in ways.items():
+                if dirty:
+                    flushed += 1
+                    ways[tag] = False
+        self.stats.writebacks += flushed
+        return flushed
+
+    @property
+    def miss_traffic_bytes(self) -> int:
+        """Bytes fetched into this cache from the next level."""
+        return self.stats.misses * self.spec.line_bytes
+
+    @property
+    def writeback_bytes(self) -> int:
+        """Bytes written back to the next level."""
+        return self.stats.writebacks * self.spec.line_bytes
+
+
+class CacheHierarchy:
+    """A private-per-core view of a machine's cache levels.
+
+    Shared levels are modelled at full capacity (single-threaded replay).
+    """
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self.levels = [Cache(spec) for spec in machine.caches]
+
+    def access(self, address: int, is_write: bool) -> int:
+        """Access the hierarchy; returns the level index that hit
+        (``len(levels)`` means DRAM)."""
+        for index, cache in enumerate(self.levels):
+            if cache.access(address, is_write):
+                self._refill_upper(index, address)
+                return index
+        # DRAM: all levels already allocated the line during the miss walk.
+        return len(self.levels)
+
+    def _refill_upper(self, hit_level: int, address: int) -> None:
+        # Inclusive refill is implicit: the miss walk above already
+        # allocated the line in every level it missed in.
+        del hit_level, address
+
+    def flush(self) -> None:
+        """Flush dirty lines in every level."""
+        for cache in self.levels:
+            cache.flush_dirty()
+
+    def traffic_bytes(self) -> tuple[int, ...]:
+        """Per-level fetched bytes (misses × line), innermost first."""
+        return tuple(cache.miss_traffic_bytes for cache in self.levels)
+
+    def total_dram_bytes(self, include_writebacks: bool = True) -> int:
+        """Bytes exchanged with DRAM (last-level misses + writebacks)."""
+        last = self.levels[-1]
+        total = last.miss_traffic_bytes
+        if include_writebacks:
+            total += last.writeback_bytes
+        return total

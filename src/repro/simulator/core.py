@@ -1,0 +1,103 @@
+"""Single-core issue model: prices an op bundle on an ISA's cost table.
+
+The model is throughput-first, matching how throughput-computing kernels
+behave on out-of-order cores: the cycles for one loop body are the maximum
+over execution ports of the work bound to that port, floored by the
+decode/issue width, with an optional dependence-chain (latency) bound for
+reduction loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.compiled import OpCounts
+from repro.machines.ops import OpClass, PORTS
+from repro.machines.spec import VectorISA
+
+
+@dataclass(frozen=True)
+class PricedBundle:
+    """Cycles for one execution of an op bundle on one core.
+
+    Attributes:
+        cycles: the issue-limited cycle count.
+        port_cycles: per-port busy cycles (for bottleneck reporting).
+        instructions: dynamic instruction estimate.
+    """
+
+    cycles: float
+    port_cycles: dict[str, float]
+    instructions: float
+
+    @property
+    def bottleneck_port(self) -> str:
+        """The port with the most bound work."""
+        return max(self.port_cycles, key=self.port_cycles.get)  # type: ignore[arg-type]
+
+
+def _fused_counts(ops: OpCounts, fuse_fma: bool) -> dict[OpClass, float]:
+    """Apply FMA fusion to a copy of the op counts when the ISA has FMA."""
+    counts = dict(ops.counts)
+    if not fuse_fma:
+        return counts
+    fusible = min(
+        ops.fma_pairs, counts.get(OpClass.FADD, 0.0), counts.get(OpClass.FMUL, 0.0)
+    )
+    if fusible > 0:
+        counts[OpClass.FADD] = counts.get(OpClass.FADD, 0.0) - fusible
+        counts[OpClass.FMUL] = counts.get(OpClass.FMUL, 0.0) - fusible
+        counts[OpClass.FMA] = counts.get(OpClass.FMA, 0.0) + fusible
+    return counts
+
+
+def price_ops(
+    ops: OpCounts,
+    isa: VectorISA,
+    vector: bool,
+    issue_width: int,
+) -> PricedBundle:
+    """Price one execution of an op bundle.
+
+    Args:
+        ops: operation counts (vector ops count once; gather/scatter counts
+            are per lane, as emitted by the code generator).
+        isa: the ISA whose cost table applies.
+        vector: price with the vector table (SVML math etc.) or scalar.
+        issue_width: the core's issue width.
+    """
+    table = isa.cost_table
+    counts = _fused_counts(ops, isa.has_fma)
+    port_cycles = {port: 0.0 for port in PORTS}
+    instructions = 0.0
+    for op, count in counts.items():
+        if count <= 0:
+            continue
+        cost = table.cost(op, vector)
+        port_cycles[cost.port] += count * cost.rtp
+        instructions += count
+    issue_cycles = instructions / issue_width
+    cycles = max(max(port_cycles.values(), default=0.0), issue_cycles)
+    return PricedBundle(cycles=cycles, port_cycles=port_cycles, instructions=instructions)
+
+
+def reduction_chain_cycles(
+    reduction_ops: tuple[OpClass, ...],
+    isa: VectorISA,
+    vector: bool,
+    accumulators: int,
+) -> float:
+    """Latency bound per iteration of a reduction loop.
+
+    A reduction's carried dependence serializes one update per
+    ``latency`` cycles; unrolling with *accumulators* independent partial
+    sums divides the bound.
+    """
+    if not reduction_ops or accumulators < 1:
+        return 0.0
+    # Distinct reduction variables update independently in parallel, so the
+    # bound is the slowest single chain, not their sum.
+    latency = max(
+        isa.cost_table.cost(op, vector).latency for op in reduction_ops
+    )
+    return latency / accumulators

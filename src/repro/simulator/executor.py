@@ -1,0 +1,142 @@
+"""Top-level simulation entry point: compiled kernel × machine × workload → time.
+
+Combines the analytic model's chip totals with the threading and bandwidth
+models:
+
+* **compute** — serial cycles run on one core; parallel cycles divide over
+  the cores in use (SMT does not add FP throughput), inflated by a load
+  imbalance factor and fork/join barriers;
+* **latency stalls** — exposed random-access latency, reduced by SMT
+  (that is what MIC's 4 threads/core are for);
+* **bandwidth** — each cache boundary's traffic over its bandwidth; DRAM
+  is chip-wide and efficiency depends on prefetch quality (software
+  prefetch for Ninja code, hardware prefetchers otherwise).
+
+The modelled time is the maximum of the overlapping components, which is
+the standard throughput-computing (roofline-style) composition.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.compiler.compiled import CompiledKernel
+from repro.errors import SimulationError
+from repro.machines.spec import MachineSpec
+from repro.simulator.analytic import AnalyticModel, ChipTotals
+from repro.simulator.result import SimResult
+
+#: Cycles for one OpenMP fork/join (paper-era icc runtime, ~µs).
+BARRIER_CYCLES = 4000.0
+
+#: Load-imbalance inflation for statically scheduled parallel loops.
+IMBALANCE_FACTOR = 1.05
+
+#: Fraction of exposed latency that SMT can hide per extra thread.
+_SMT_HIDING = 0.8
+
+
+def simulate(
+    compiled: CompiledKernel,
+    machine: MachineSpec,
+    params: Mapping[str, int],
+    threads: int | None = None,
+) -> SimResult:
+    """Model the execution time of a compiled kernel.
+
+    Args:
+        compiled: output of :func:`repro.compiler.compile_kernel` — must
+            have been compiled for the same ISA as *machine*.
+        machine: the target machine model.
+        params: concrete values for every kernel parameter.
+        threads: hardware threads to use; defaults to all of them when the
+            kernel has a parallel loop, else 1.
+
+    Returns:
+        A :class:`SimResult` with time, traffic and bottleneck attribution.
+    """
+    if compiled.isa_name != machine.core.isa.name:
+        raise SimulationError(
+            f"kernel compiled for {compiled.isa_name}, simulating on "
+            f"{machine.core.isa.name}; recompile for this machine"
+        )
+    if threads is None:
+        threads = machine.total_threads if compiled.has_parallel_loop else 1
+    if threads < 1:
+        raise SimulationError(f"threads must be >= 1, got {threads}")
+    if threads > machine.total_threads:
+        raise SimulationError(
+            f"{threads} threads requested but {machine.name} has only "
+            f"{machine.total_threads}"
+        )
+    missing = set(compiled.kernel.params) - set(params)
+    if missing:
+        raise SimulationError(f"missing parameters: {sorted(missing)}")
+
+    model = AnalyticModel(compiled, machine, params, threads)
+    totals = model.run()
+    return _compose(compiled, machine, params, threads, model, totals)
+
+
+def _compose(
+    compiled: CompiledKernel,
+    machine: MachineSpec,
+    params: Mapping[str, int],
+    threads: int,
+    model: AnalyticModel,
+    totals: ChipTotals,
+) -> SimResult:
+    freq = machine.core.frequency_hz
+    cores_used = model.cores_used
+    smt_per_core = model.smt_per_core
+
+    smt_hiding = 1.0 + (smt_per_core - 1.0) * _SMT_HIDING
+    serial_stalls = totals.serial_stall_cycles
+    parallel_stalls = totals.parallel_stall_cycles / smt_hiding
+
+    serial_core = totals.serial_cycles + serial_stalls
+    parallel_core = (
+        (totals.parallel_cycles + parallel_stalls) / cores_used * IMBALANCE_FACTOR
+    )
+    barrier = totals.parallel_entries * BARRIER_CYCLES if cores_used > 1 else 0.0
+    compute_time = (serial_core + parallel_core + barrier) / freq
+
+    level_times: list[float] = []
+    for level, traffic in enumerate(totals.traffic_bytes):
+        if level + 1 < len(machine.caches):
+            nxt = machine.caches[level + 1]
+            per_cycle = nxt.bandwidth_bytes_per_cycle * cores_used
+            level_times.append(traffic / (per_cycle * freq))
+        else:
+            efficiency = (
+                machine.sw_prefetch_efficiency
+                if compiled.options.uses_software_prefetch
+                else machine.hw_prefetch_efficiency
+            )
+            concurrency = min(1.0, cores_used * machine.core_bw_share)
+            bandwidth = machine.dram_bandwidth_bytes_per_s * efficiency * concurrency
+            level_times.append(traffic / bandwidth)
+
+    components = {"compute": compute_time}
+    for level, time in enumerate(level_times):
+        if level + 1 < len(machine.caches):
+            components[machine.caches[level + 1].name] = time
+        else:
+            components["DRAM"] = time
+    bottleneck = max(components, key=components.get)  # type: ignore[arg-type]
+    time_s = max(components.values())
+
+    return SimResult(
+        kernel_name=compiled.kernel.name,
+        options_label=compiled.options.label,
+        machine_name=machine.name,
+        threads=threads,
+        time_s=time_s,
+        compute_time_s=compute_time,
+        level_times_s=tuple(level_times),
+        traffic_bytes=tuple(totals.traffic_bytes),
+        flops=totals.flops,
+        elements=totals.elements,
+        instructions=totals.instructions,
+        bottleneck=bottleneck,
+    )

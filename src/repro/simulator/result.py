@@ -1,0 +1,68 @@
+"""Simulation result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import fmt_seconds
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one compiled kernel on one machine.
+
+    Attributes:
+        kernel_name: source kernel.
+        options_label: compiler rung (``serial``, ``ninja``, ...).
+        machine_name: target machine.
+        threads: hardware threads used.
+        time_s: modelled wall-clock time.
+        compute_time_s: core-bound component (ports, chains, mispredicts,
+            exposed memory latency).
+        level_times_s: per-boundary bandwidth components, innermost first;
+            the last entry is the DRAM boundary.
+        traffic_bytes: bytes crossing each boundary (same order).
+        flops: scalar floating-point operations performed.
+        elements: elements of useful work processed (kernel-defined).
+        instructions: dynamic instruction estimate.
+        bottleneck: ``"compute"``, ``"L2"``, ``"L3"`` or ``"DRAM"``.
+    """
+
+    kernel_name: str
+    options_label: str
+    machine_name: str
+    threads: int
+    time_s: float
+    compute_time_s: float
+    level_times_s: tuple[float, ...]
+    traffic_bytes: tuple[float, ...]
+    flops: float
+    elements: float
+    instructions: float
+    bottleneck: str
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s."""
+        if self.time_s <= 0:
+            return 0.0
+        return self.flops / self.time_s / 1e9
+
+    @property
+    def dram_bandwidth_bytes_per_s(self) -> float:
+        """Achieved DRAM bandwidth."""
+        if self.time_s <= 0 or not self.traffic_bytes:
+            return 0.0
+        return self.traffic_bytes[-1] / self.time_s
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """How much faster this run is than *other*."""
+        return other.time_s / self.time_s
+
+    def describe(self) -> str:
+        """One-line summary for logs and examples."""
+        return (
+            f"{self.kernel_name} [{self.options_label}] on {self.machine_name}: "
+            f"{fmt_seconds(self.time_s)}, {self.gflops:.1f} GFLOP/s, "
+            f"bottleneck={self.bottleneck}, threads={self.threads}"
+        )

@@ -1,0 +1,172 @@
+"""Numeric resolution of access streams for the analytic memory model.
+
+At simulation time the symbolic affine index forms of each
+:class:`~repro.compiler.compiled.AccessInfo` are resolved against concrete
+workload parameters, producing a flat element-index linear form
+``const + Σ coeff[var]·var``.  Footprints, cache-line counts and stride
+classes all derive from this form plus per-loop trip counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.compiler.affine import linearize_affine, resolve_affine
+from repro.compiler.compiled import AccessInfo
+from repro.errors import SimulationError
+from repro.ir.evaluate import eval_int_expr
+from repro.ir.kernel import ArrayDecl
+
+
+@dataclass(frozen=True)
+class ResolvedStream:
+    """One access stream with concrete geometry.
+
+    Attributes:
+        access: the compile-time access descriptor.
+        decl: the array declaration.
+        coeffs: element-index coefficient per loop variable (affine only).
+        affine: whether the subscript resolved to an affine form; random
+            (data-dependent) streams have no coefficients.
+        byte_stride: bytes between consecutive linear element indices
+            (``struct_bytes`` for AOS record arrays, element size for
+            SOA planes and plain arrays).
+        region_bytes: total bytes of the region the stream can touch (the
+            plane for SOA, the whole struct array for AOS).
+        count: expected accesses per body execution (branch-weighted).
+        is_write: store vs load.
+    """
+
+    access: AccessInfo
+    decl: ArrayDecl
+    coeffs: Mapping[str, int]
+    const: int
+    affine: bool
+    byte_stride: int
+    region_bytes: int
+    count: float
+    is_write: bool
+
+    def lines_touched(
+        self,
+        trips: Mapping[str, float],
+        line_bytes: int,
+        extra_span_elems: float = 0.0,
+    ) -> float:
+        """Distinct cache lines touched by one execution of the loops in
+        *trips* (outer loops not listed are held fixed).
+
+        Builds the footprint hierarchically from the smallest stride
+        outward: a dimension whose step lands inside the region already
+        covered (or inside one cache line) *extends a dense segment*; a
+        larger step *replicates* the segment, one copy per iteration — so a
+        blocked column (dense rows, strided planes) counts rows x segment
+        lines rather than one giant envelope.  ``extra_span_elems`` widens
+        the initial segment for merged constant-offset copies.
+        """
+        if not self.affine:
+            raise SimulationError("lines_touched is only defined for affine streams")
+        dims = sorted(
+            (abs(coeff), float(trips[var]))
+            for var, coeff in self.coeffs.items()
+            if coeff and trips.get(var, 1.0) > 1.0
+        )
+        span_bytes = (1.0 + extra_span_elems) * self.byte_stride
+        segments = 1.0
+        for coeff_abs, trip in dims:
+            step = coeff_abs * self.byte_stride
+            if step <= max(span_bytes, float(line_bytes)):
+                span_bytes += step * (trip - 1.0)
+            else:
+                segments *= trip
+        segment_lines = max(1.0, span_bytes / line_bytes + 1.0)
+        return segments * segment_lines
+
+    def footprint_bytes(self, trips: Mapping[str, float], line_bytes: int) -> float:
+        """Cache occupancy of one execution of the loops in *trips*."""
+        if not self.affine:
+            # A random stream can touch its whole region; its cache
+            # occupancy is bounded by both the region and the number of
+            # accesses made (one line each).
+            accesses = self.count
+            for trip in trips.values():
+                accesses *= max(1.0, trip)
+            return min(float(self.region_bytes), accesses * line_bytes)
+        return self.lines_touched(trips, line_bytes) * line_bytes
+
+    def stride_wrt(self, var: str) -> int:
+        """Byte stride per step of *var* (0 when independent)."""
+        if not self.affine:
+            raise SimulationError("stride is only defined for affine streams")
+        return abs(self.coeffs.get(var, 0)) * self.byte_stride
+
+
+def resolve_stream(
+    access: AccessInfo, decl: ArrayDecl, params: Mapping[str, int]
+) -> ResolvedStream:
+    """Resolve one compile-time access against concrete parameters."""
+    dims = tuple(eval_int_expr(d, params) for d in decl.shape)
+    total_elems = math.prod(dims)
+    if decl.layout == "aos" and decl.num_fields > 1:
+        byte_stride = decl.struct_bytes
+        region_bytes = total_elems * decl.struct_bytes
+    else:
+        byte_stride = decl.element_bytes
+        region_bytes = total_elems * decl.element_bytes
+    affine = access.is_affine
+    coeffs: dict[str, int] = {}
+    const = 0
+    if affine:
+        resolved = tuple(
+            resolve_affine(form, params)
+            for form in access.dim_forms
+            if form is not None
+        )
+        coeffs, const = linearize_affine(resolved, dims)
+    return ResolvedStream(
+        access=access,
+        decl=decl,
+        coeffs=coeffs,
+        const=const,
+        affine=affine,
+        byte_stride=byte_stride,
+        region_bytes=region_bytes,
+        count=access.count,
+        is_write=access.is_write,
+    )
+
+
+def random_miss_rate(region_bytes: float, capacity_bytes: float) -> float:
+    """Miss probability of a uniformly random access into a region that
+    competes for *capacity_bytes* of cache."""
+    if region_bytes <= 0:
+        return 0.0
+    return max(0.0, 1.0 - capacity_bytes / region_bytes)
+
+
+def tree_descent_misses(
+    depth_trips: float,
+    node_bytes: int,
+    region_bytes: float,
+    capacity_bytes: float,
+) -> float:
+    """Expected misses for one root-to-leaf descent of a linearized BFS
+    binary tree (``tree_bfs`` skew).
+
+    Iteration *d* of the descent draws uniformly from the first
+    ``2^(d+1)`` nodes, so the hot top of the tree stays resident and only
+    the levels whose cumulative footprint exceeds the cache miss.
+    """
+    misses = 0.0
+    for depth in range(int(round(depth_trips))):
+        level_footprint = min(region_bytes, (2.0 ** (depth + 1)) * node_bytes)
+        misses += random_miss_rate(level_footprint, capacity_bytes)
+    return misses
+
+
+def spatial_miss_factor(decl_struct_bytes: int, line_bytes: int) -> float:
+    """Fraction of ``spatial``-skew accesses that open a new cache line:
+    consecutive iterations land on (mostly) the same line."""
+    return min(1.0, decl_struct_bytes / line_bytes)

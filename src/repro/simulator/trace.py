@@ -1,0 +1,104 @@
+"""Address-trace generation: interprets a kernel and replays every array
+access through a :class:`~repro.simulator.cache.CacheHierarchy`.
+
+Array placement mirrors a C allocator: arrays are laid out sequentially in
+a flat address space at their declared alignment, with SOA record arrays
+split into per-field planes and AOS arrays interleaved — so the trace sees
+exactly the layout effects the paper's AOS→SOA transformation changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ir.interp import ArrayStorage, run_kernel
+from repro.ir.kernel import Kernel
+from repro.simulator.cache import CacheHierarchy
+
+#: Pad between arrays so distinct arrays never share a cache line.
+_ARRAY_PAD = 4096
+
+
+@dataclass(frozen=True)
+class _Placement:
+    base: int
+    plane_bytes: int  # per-field plane size (SOA); unused for AOS
+
+
+class AddressMap:
+    """Assigns flat byte addresses to every array element."""
+
+    def __init__(self, kernel: Kernel, params: Mapping[str, int]):
+        self.kernel = kernel
+        self.params = dict(params)
+        self._placements: dict[str, _Placement] = {}
+        cursor = _ARRAY_PAD
+        for decl in kernel.arrays:
+            align = max(decl.alignment, 64)
+            cursor = -(-cursor // align) * align
+            elements = decl.num_elements(self.params)
+            plane_bytes = elements * decl.element_bytes
+            self._placements[decl.name] = _Placement(cursor, plane_bytes)
+            cursor += decl.footprint_bytes(self.params) + _ARRAY_PAD
+        self.total_bytes = cursor
+
+    def address(self, array: str, array_field: str | None, linear_index: int) -> int:
+        """Byte address of one element access."""
+        decl = self.kernel.array(array)
+        placement = self._placements[array]
+        field_pos = decl.field_index(array_field)
+        if decl.fields and decl.layout == "aos":
+            return (
+                placement.base
+                + linear_index * decl.struct_bytes
+                + field_pos * decl.element_bytes
+            )
+        return (
+            placement.base
+            + field_pos * placement.plane_bytes
+            + linear_index * decl.element_bytes
+        )
+
+    def base_of(self, array: str) -> int:
+        """Base address of one array (tests)."""
+        return self._placements[array].base
+
+
+@dataclass
+class TraceResult:
+    """Outcome of a traced interpretation."""
+
+    hierarchy: CacheHierarchy
+    accesses: int
+
+    def traffic_bytes(self) -> tuple[int, ...]:
+        """Per-level fetched bytes."""
+        return self.hierarchy.traffic_bytes()
+
+
+def trace_kernel(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: ArrayStorage,
+    machine,
+    max_statements: int = 20_000_000,
+) -> TraceResult:
+    """Interpret *kernel* and replay its address stream through *machine*'s
+    cache hierarchy (single-core view).
+
+    The interpreter also produces the kernel's real outputs in *arrays*,
+    so one call both checks semantics and measures locality.
+    """
+    address_map = AddressMap(kernel, params)
+    hierarchy = CacheHierarchy(machine)
+    count = 0
+
+    def on_access(array: str, array_field: str | None, linear: int, is_write: bool):
+        nonlocal count
+        count += 1
+        hierarchy.access(address_map.address(array, array_field, linear), is_write)
+
+    run_kernel(kernel, params, arrays, on_access, max_statements)
+    hierarchy.flush()
+    return TraceResult(hierarchy=hierarchy, accesses=count)

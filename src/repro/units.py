@@ -1,0 +1,71 @@
+"""Small unit helpers used throughout the machine models and simulator.
+
+All internal computation uses base SI units (bytes, hertz, seconds,
+bytes/second).  These helpers exist so that machine presets read like the
+spec sheets they were transcribed from, e.g. ``GHZ * 3.33`` or ``MIB * 12``.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KHZ = 1_000.0
+MHZ = 1_000 * KHZ
+GHZ = 1_000 * MHZ
+
+GB_PER_S = 1e9
+
+
+def kib(n: float) -> int:
+    """Return *n* kibibytes as an integer byte count."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Return *n* mebibytes as an integer byte count."""
+    return int(n * MIB)
+
+
+def ghz(n: float) -> float:
+    """Return *n* gigahertz in hertz."""
+    return n * GHZ
+
+
+def gb_per_s(n: float) -> float:
+    """Return *n* GB/s (decimal gigabytes) in bytes/second."""
+    return n * GB_PER_S
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit (``32 KiB``, ``1.5 MiB``)."""
+    for unit, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n >= scale:
+            value = n / scale
+            return f"{value:g} {unit}"
+    return f"{n:g} B"
+
+
+def fmt_hz(n: float) -> str:
+    """Render a frequency with an SI prefix (``3.33 GHz``)."""
+    for unit, scale in (("GHz", GHZ), ("MHz", MHZ), ("kHz", KHZ)):
+        if n >= scale:
+            return f"{n / scale:g} {unit}"
+    return f"{n:g} Hz"
+
+
+def fmt_bandwidth(n: float) -> str:
+    """Render a bandwidth in decimal GB/s."""
+    return f"{n / GB_PER_S:.1f} GB/s"
+
+
+def fmt_seconds(n: float) -> str:
+    """Render a duration with an appropriate unit (s, ms, us, ns)."""
+    if n >= 1.0:
+        return f"{n:.3f} s"
+    if n >= 1e-3:
+        return f"{n * 1e3:.3f} ms"
+    if n >= 1e-6:
+        return f"{n * 1e6:.3f} us"
+    return f"{n * 1e9:.1f} ns"

@@ -1,0 +1,141 @@
+"""Shared fixtures: small kernels exercising distinct compiler/simulator paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import F32, I32, KernelBuilder, select, sqrt
+
+
+def build_saxpy(parallel: bool = True, simd: bool = False):
+    """Unit-stride streaming kernel: ``y = a*x + y``."""
+    b = KernelBuilder("saxpy", doc="y = 2x + y")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    y = b.array("y", F32, (n,))
+    with b.loop("i", n, parallel=parallel, simd=simd) as i:
+        b.assign(y[i], 2.0 * x[i] + y[i])
+    return b.build()
+
+
+def build_dot(parallel: bool = False):
+    """Reduction kernel: ``out[0] = sum x[i]*y[i]``."""
+    b = KernelBuilder("dot")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    y = b.array("y", F32, (n,))
+    out = b.array("out", F32, (1,))
+    acc = b.let("acc", 0.0, F32)
+    with b.loop("i", n, parallel=parallel) as i:
+        b.inc(acc, x[i] * y[i])
+    b.assign(out[0], acc)
+    return b.build()
+
+
+def build_aos_norm():
+    """AOS record-array kernel: per-point 3D vector norm (strided loads)."""
+    b = KernelBuilder("aos_norm")
+    n = b.param("n")
+    pts = b.array("pts", F32, (n,), fields=("x", "y", "z"), layout="aos")
+    out = b.array("out", F32, (n,))
+    with b.loop("i", n, parallel=True) as i:
+        p = pts[i]
+        b.assign(out[i], sqrt(p.x * p.x + p.y * p.y + p.z * p.z))
+    return b.build()
+
+
+def build_soa_norm():
+    """The SOA version of :func:`build_aos_norm` (unit-stride loads)."""
+    b = KernelBuilder("soa_norm")
+    n = b.param("n")
+    pts = b.array("pts", F32, (n,), fields=("x", "y", "z"), layout="soa")
+    out = b.array("out", F32, (n,))
+    with b.loop("i", n, parallel=True) as i:
+        p = pts[i]
+        b.assign(out[i], sqrt(p.x * p.x + p.y * p.y + p.z * p.z))
+    return b.build()
+
+
+def build_prefix_dep():
+    """A genuinely sequential loop: ``a[i] = a[i-1] + b[i]`` (carried dep)."""
+    b = KernelBuilder("prefix")
+    n = b.param("n")
+    a = b.array("a", F32, (n,))
+    bb = b.array("b", F32, (n,))
+    with b.loop("i", n - 1) as i:
+        b.assign(a[i + 1], a[i] + bb[i + 1])
+    return b.build()
+
+
+def build_branchy():
+    """Kernel with data-dependent control flow (if-conversion path)."""
+    b = KernelBuilder("branchy")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    y = b.array("y", F32, (n,))
+    with b.loop("i", n, parallel=True) as i:
+        with b.iff(x[i].gt(0.0), probability=0.3):
+            b.assign(y[i], x[i] * 2.0)
+        with b.otherwise():
+            b.assign(y[i], x[i] * -1.0)
+    return b.build()
+
+
+def build_descent():
+    """Pointer-chase style loop: scalar carried dependence over depth."""
+    b = KernelBuilder("descent")
+    nq = b.param("nq")
+    depth = b.param("depth")
+    nn = b.param("nn")
+    keys = b.array("keys", F32, (nn,), skew="tree_bfs")
+    queries = b.array("queries", F32, (nq,))
+    out = b.array("out", I32, (nq,))
+    with b.loop("q", nq, parallel=True, simd=True) as q:
+        node = b.let("node", 0, I32)
+        with b.loop("d", depth):
+            key = keys[node]
+            go_left = queries[q].lt(key)
+            b.assign(node, select(go_left, node * 2 + 1, node * 2 + 2))
+        b.assign(out[q], node)
+    return b.build()
+
+
+@pytest.fixture
+def saxpy():
+    return build_saxpy()
+
+
+@pytest.fixture
+def dot():
+    return build_dot()
+
+
+@pytest.fixture
+def aos_norm():
+    return build_aos_norm()
+
+
+@pytest.fixture
+def soa_norm():
+    return build_soa_norm()
+
+
+@pytest.fixture
+def prefix_dep():
+    return build_prefix_dep()
+
+
+@pytest.fixture
+def branchy():
+    return build_branchy()
+
+
+@pytest.fixture
+def descent():
+    return build_descent()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

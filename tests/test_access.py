@@ -1,0 +1,105 @@
+"""Tests for memory-access classification (the AOS/SOA/gather story)."""
+
+import pytest
+
+from repro.compiler import AccessContext, AccessPattern, classify_access
+from repro.ir import F32, I64, VarRef
+from repro.ir.kernel import ArrayDecl
+from repro.ir.expr import as_expr
+
+I = VarRef("i", I64)
+J = VarRef("j", I64)
+NODE = VarRef("node", I64)
+
+
+def ctx(vec_var=None, lanes=1, ninja=False, dynamic=("node",)):
+    return AccessContext(
+        loop_vars=frozenset({"i", "j"}),
+        dynamic_names=frozenset(dynamic),
+        vec_var=vec_var,
+        lanes=lanes,
+        ninja=ninja,
+    )
+
+
+def plain(n_expr=1024):
+    return ArrayDecl("a", F32, (as_expr(n_expr),))
+
+
+def aos():
+    return ArrayDecl("pts", F32, (as_expr(1024),), fields=("x", "y", "z"),
+                     layout="aos")
+
+
+def soa():
+    return ArrayDecl("pts", F32, (as_expr(1024),), fields=("x", "y", "z"),
+                     layout="soa")
+
+
+class TestScalarContext:
+    def test_everything_is_scalar_outside_vector_loops(self):
+        info = classify_access(plain(), None, (I,), False, ctx())
+        assert info.pattern is AccessPattern.SCALAR
+
+
+class TestVectorPatterns:
+    def test_unit_stride(self):
+        info = classify_access(plain(), None, (I,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.UNIT
+
+    def test_unit_stride_aligned_when_offset_zero(self):
+        info = classify_access(plain(), None, (I,), False, ctx("i", 4))
+        assert info.aligned
+
+    def test_offset_breaks_alignment(self):
+        info = classify_access(plain(), None, (I + 1,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.UNIT
+        assert not info.aligned
+
+    def test_lane_multiple_offset_stays_aligned(self):
+        info = classify_access(plain(), None, (I + 8,), False, ctx("i", 4))
+        assert info.aligned
+
+    def test_ninja_is_always_aligned(self):
+        info = classify_access(
+            plain(), None, (I + 1,), False, ctx("i", 4, ninja=True)
+        )
+        assert info.aligned
+
+    def test_constant_stride_two(self):
+        info = classify_access(plain(), None, (I * 2,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.STRIDED
+
+    def test_aos_field_access_is_strided(self):
+        info = classify_access(aos(), "x", (I,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.STRIDED
+
+    def test_soa_field_access_is_unit(self):
+        info = classify_access(soa(), "x", (I,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.UNIT
+
+    def test_invariant_access_is_uniform(self):
+        info = classify_access(plain(), None, (J,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.UNIFORM
+
+    def test_data_dependent_index_is_gather(self):
+        info = classify_access(plain(), None, (NODE,), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.GATHER
+        assert not info.is_affine
+
+    def test_row_major_column_walk_is_strided(self):
+        grid = ArrayDecl("g", F32, (as_expr(64), as_expr(64)))
+        info = classify_access(grid, None, (I, J), False, ctx("i", 4))
+        assert info.pattern is AccessPattern.STRIDED
+
+    def test_row_major_row_walk_is_unit(self):
+        grid = ArrayDecl("g", F32, (as_expr(64), as_expr(64)))
+        info = classify_access(grid, None, (I, J), False, ctx("j", 4))
+        assert info.pattern is AccessPattern.UNIT
+        # Row starts may be misaligned: conservative.
+        assert not info.aligned
+
+    def test_count_is_preserved(self):
+        info = classify_access(plain(), None, (I,), True, ctx("i", 4), count=0.25)
+        assert info.count == 0.25
+        assert info.is_write

@@ -1,0 +1,108 @@
+"""Tests for affine index analysis."""
+
+import pytest
+
+from repro.compiler.affine import (
+    AffineForm,
+    analyze_affine,
+    linearize_affine,
+    resolve_affine,
+)
+from repro.ir import Const, I64, VarRef, cast
+
+I = VarRef("i", I64)
+J = VarRef("j", I64)
+N = VarRef("n", I64)
+LOOPS = frozenset({"i", "j"})
+
+
+def coeff_int(form, var):
+    return form.coeff_value(var, {"n": 100, "block": 8})
+
+
+class TestAnalyze:
+    def test_plain_var(self):
+        form = analyze_affine(I, LOOPS)
+        assert coeff_int(form, "i") == 1
+        assert form.const_value({}) == 0
+
+    def test_param_is_constant(self):
+        form = analyze_affine(N, LOOPS)
+        assert form.is_constant
+        assert form.const_value({"n": 100}) == 100
+
+    def test_linear_combination(self):
+        form = analyze_affine(I * 3 + J * 2 + 5, LOOPS)
+        assert coeff_int(form, "i") == 3
+        assert coeff_int(form, "j") == 2
+        assert form.const_value({}) == 5
+
+    def test_subtraction_and_negation(self):
+        form = analyze_affine(N - I, LOOPS)
+        assert coeff_int(form, "i") == -1
+        form = analyze_affine(-(I * 2), LOOPS)
+        assert coeff_int(form, "i") == -2
+
+    def test_param_coefficient_stays_symbolic(self):
+        block = VarRef("block", I64)
+        form = analyze_affine(I * block + J, LOOPS)
+        assert form.coeff_value("i", {"block": 8}) == 8
+        assert coeff_int(form, "j") == 1
+
+    def test_product_of_loop_vars_is_not_affine(self):
+        assert analyze_affine(I * J, LOOPS) is None
+
+    def test_modulo_of_loop_var_not_affine(self):
+        assert analyze_affine(I % 4, LOOPS) is None
+        assert analyze_affine(I // 2, LOOPS) is None
+
+    def test_param_division_is_affine(self):
+        form = analyze_affine(N // 2 + I, LOOPS)
+        assert form.coeff_value("i", {}) == 1
+        assert form.const_value({"n": 100}) == 50
+
+    def test_int_cast_transparent(self):
+        form = analyze_affine(cast(I + 1, I64), LOOPS)
+        assert coeff_int(form, "i") == 1
+
+    def test_zero_coefficients_dropped(self):
+        form = analyze_affine(I - I + J, LOOPS)
+        assert not form.depends_on("i")
+        assert form.depends_on("j")
+
+
+class TestLinearize:
+    def test_row_major_2d(self):
+        forms = (
+            analyze_affine(I, LOOPS),
+            analyze_affine(J + 1, LOOPS),
+        )
+        coeffs, const = linearize_affine(forms, (100, 50))
+        assert coeffs == {"i": 50, "j": 1}
+        assert const == 1
+
+    def test_three_dims(self):
+        k = VarRef("k", I64)
+        loops = frozenset({"i", "j", "k"})
+        forms = (
+            analyze_affine(I, loops),
+            analyze_affine(J, loops),
+            analyze_affine(k, loops),
+        )
+        coeffs, _const = linearize_affine(forms, (10, 20, 30))
+        assert coeffs == {"i": 600, "j": 30, "k": 1}
+
+    def test_dim_mismatch_raises(self):
+        from repro.errors import CompilationError
+
+        with pytest.raises(CompilationError):
+            linearize_affine((analyze_affine(I, LOOPS),), (10, 10))
+
+
+class TestResolve:
+    def test_resolves_params_to_consts(self):
+        block = VarRef("block", I64)
+        form = analyze_affine(I * block + block // 2, LOOPS)
+        resolved = resolve_affine(form, {"block": 8})
+        assert resolved.coeffs["i"] == Const(8, I64)
+        assert resolved.const == Const(4, I64)

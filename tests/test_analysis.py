@@ -1,0 +1,166 @@
+"""Tests for the analysis layer: ladders, breakdowns, roofline, effort."""
+
+import pytest
+
+from repro.analysis import (
+    LADDER_RUNGS,
+    RUNG_LABELS,
+    attainable_gflops,
+    breakdown,
+    effort_curve,
+    format_table,
+    geometric_mean,
+    measure_ladder,
+    place,
+    productivity_ratio,
+    ridge_point,
+    run_rung,
+)
+from repro.compiler import CompilerOptions
+from repro.errors import ExperimentError
+from repro.kernels import get_benchmark
+from repro.machines import CORE_I7_X980
+
+
+@pytest.fixture(scope="module")
+def bs_ladder():
+    return measure_ladder(get_benchmark("blackscholes"), CORE_I7_X980)
+
+
+class TestLadder:
+    def test_rung_labels(self, bs_ladder):
+        assert tuple(bs_ladder.rungs) == RUNG_LABELS
+
+    def test_variants_assigned_per_rung(self, bs_ladder):
+        assert bs_ladder.rungs["serial"].variant == "naive"
+        assert bs_ladder.rungs["traditional"].variant == "optimized"
+        assert bs_ladder.rungs["ninja"].variant == "ninja"
+
+    def test_gap_definitions_consistent(self, bs_ladder):
+        assert bs_ladder.ninja_gap == pytest.approx(
+            bs_ladder.time("serial") / bs_ladder.time("ninja")
+        )
+        assert bs_ladder.residual_gap == pytest.approx(
+            bs_ladder.time("traditional") / bs_ladder.time("ninja")
+        )
+
+    def test_compiler_only_gap_uses_best_naive(self, bs_ladder):
+        best = min(
+            bs_ladder.time(label) for label in ("serial", "parallel", "autovec")
+        )
+        assert bs_ladder.compiler_only_gap == pytest.approx(
+            best / bs_ladder.time("ninja")
+        )
+
+    def test_threads_default_by_parallel_pragma(self, bs_ladder):
+        assert bs_ladder.rungs["serial"].threads == 1
+        assert bs_ladder.rungs["parallel"].threads == 12
+
+    def test_gflops_positive(self, bs_ladder):
+        for rung in bs_ladder.rungs.values():
+            assert rung.gflops > 0
+            assert rung.elements_per_s > 0
+
+
+class TestRunRung:
+    def test_params_override(self):
+        bench = get_benchmark("blackscholes")
+        small = run_rung(
+            bench, "naive", CompilerOptions.naive_serial(), CORE_I7_X980,
+            params={"n": 1000},
+        )
+        big = run_rung(
+            bench, "naive", CompilerOptions.naive_serial(), CORE_I7_X980,
+            params={"n": 100_000},
+        )
+        assert big.time_s > 10 * small.time_s
+
+    def test_multiphase_benchmark_sums_phases(self):
+        bench = get_benchmark("mergesort")
+        rung = run_rung(
+            bench, "naive", CompilerOptions.naive_serial(), CORE_I7_X980,
+            params={"n": 1 << 12},
+        )
+        assert rung.time_s > 0
+
+
+class TestBreakdown:
+    def test_components_multiply(self, bs_ladder):
+        parts = breakdown(bs_ladder)
+        assert parts.total == pytest.approx(bs_ladder.ninja_gap)
+
+    def test_component_lookup(self, bs_ladder):
+        parts = breakdown(bs_ladder)
+        assert parts.component("threading") == parts.threading
+        with pytest.raises(KeyError):
+            parts.component("magic")
+
+    def test_dominant_component(self, bs_ladder):
+        parts = breakdown(bs_ladder)
+        assert parts.dominant in (
+            "threading", "vectorization", "algorithmic", "ninja_extras"
+        )
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        ridge = ridge_point(CORE_I7_X980)
+        assert ridge == pytest.approx(
+            CORE_I7_X980.peak_flops_sp()
+            / CORE_I7_X980.dram_bandwidth_bytes_per_s
+        )
+
+    def test_attainable_caps_both_ways(self):
+        peak = CORE_I7_X980.peak_flops_sp() / 1e9
+        assert attainable_gflops(CORE_I7_X980, 1e9) == pytest.approx(peak)
+        low = attainable_gflops(CORE_I7_X980, 0.1)
+        assert low == pytest.approx(24e9 * 0.1 / 1e9)
+
+    def test_no_rung_beats_the_roof(self, bs_ladder):
+        for rung in bs_ladder.rungs.values():
+            point = place("blackscholes", rung, CORE_I7_X980)
+            assert point.gflops <= point.roof_gflops * 1.01
+            assert 0 <= point.efficiency <= 1.01
+
+    def test_memory_bound_classification(self, bs_ladder):
+        saxpy_like = place(
+            "x", bs_ladder.rungs["ninja"], CORE_I7_X980
+        )
+        assert saxpy_like.memory_bound == (
+            saxpy_like.arithmetic_intensity < saxpy_like.ridge
+        )
+
+
+class TestEffort:
+    def test_curve_monotone_in_loc(self, bs_ladder):
+        bench = get_benchmark("blackscholes")
+        points = effort_curve(bench, bs_ladder)
+        locs = [point.loc_delta for point in points]
+        assert locs[0] == 0
+        assert locs[-1] == max(locs)
+
+    def test_productivity_favors_traditional(self, bs_ladder):
+        bench = get_benchmark("blackscholes")
+        ratio = productivity_ratio(effort_curve(bench, bs_ladder))
+        assert ratio > 2.0
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ExperimentError):
+            geometric_mean([])
+
+    def test_format_table_aligns(self):
+        text = format_table(
+            ("name", "value"), [("a", 1.5), ("bbbb", 22.0)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.50" in text and "22.0" in text
+
+    def test_format_table_large_numbers(self):
+        text = format_table(("n",), [(1_500_000.0,)])
+        assert "1,500,000" in text

@@ -1,0 +1,142 @@
+"""Edge-case tests for the analytic model and executor."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.ir import F32, KernelBuilder
+from repro.machines import CORE_I7_X980
+from repro.simulator import simulate
+
+BEST = CompilerOptions.best_traditional()
+
+
+def compile_simple(build, options=BEST):
+    return compile_kernel(build, options, CORE_I7_X980)
+
+
+class TestDegenerateWorkloads:
+    def test_zero_extent_loop(self):
+        b = KernelBuilder("zero")
+        n = b.param("n")
+        x = b.array("x", F32, (n + 1,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], 0.0)
+        result = simulate(compile_simple(b.build()), CORE_I7_X980, {"n": 0})
+        assert result.time_s >= 0
+        assert result.flops == 0
+
+    def test_single_iteration(self):
+        b = KernelBuilder("one")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], x[i] * 2.0)
+        result = simulate(compile_simple(b.build()), CORE_I7_X980, {"n": 1})
+        assert result.time_s > 0
+
+    def test_remainder_iterations_round_up(self):
+        """ceil(n/lanes): 5 elements on 4 lanes cost two vector iterations."""
+        b = KernelBuilder("rem")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n, parallel=True, simd=True) as i:
+            b.assign(x[i], x[i] * 2.0)
+        compiled = compile_simple(b.build())
+        t5 = simulate(compiled, CORE_I7_X980, {"n": 5}, threads=1)
+        t8 = simulate(compiled, CORE_I7_X980, {"n": 8}, threads=1)
+        assert t5.compute_time_s == pytest.approx(t8.compute_time_s, rel=0.2)
+
+
+class TestStructuralEdges:
+    def test_multiple_root_loops(self):
+        b = KernelBuilder("two_roots")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        y = b.array("y", F32, (n,))
+        with b.loop("i", n, parallel=True) as i:
+            b.assign(x[i], 1.0)
+        with b.loop("j", n, parallel=True) as j:
+            b.assign(y[j], x[j] * 2.0)
+        result = simulate(compile_simple(b.build()), CORE_I7_X980, {"n": 10_000})
+        # Two parallel regions -> two barrier entries, both loops priced.
+        assert result.time_s > 0
+        assert result.flops == pytest.approx(10_000)
+
+    def test_loop_under_branch_weighted(self):
+        """A loop guarded by a 10% branch costs ~10% of its unguarded self."""
+
+        def build(guarded: bool):
+            b = KernelBuilder("guarded" if guarded else "plain")
+            n = b.param("n")
+            x = b.array("x", F32, (n,))
+            flag = b.array("flag", F32, (n,))
+            with b.loop("i", n, parallel=True) as i:
+                if guarded:
+                    with b.iff(flag[i].gt(0.0), probability=0.1):
+                        with b.loop("k", 100) as k:
+                            b.assign(x[i], x[i] * 2.0 + 1.0)
+                else:
+                    with b.loop("k", 100) as k:
+                        b.assign(x[i], x[i] * 2.0 + 1.0)
+            return b.build()
+
+        options = CompilerOptions.parallel_only()
+        full = simulate(
+            compile_kernel(build(False), options, CORE_I7_X980),
+            CORE_I7_X980, {"n": 100_000},
+        )
+        guarded = simulate(
+            compile_kernel(build(True), options, CORE_I7_X980),
+            CORE_I7_X980, {"n": 100_000},
+        )
+        ratio = guarded.compute_time_s / full.compute_time_s
+        assert 0.05 <= ratio <= 0.35
+
+    def test_triangular_loop_half_work(self):
+        def build(triangular: bool):
+            b = KernelBuilder("tri" if triangular else "full")
+            n = b.param("n")
+            x = b.array("x", F32, (n, n))
+            with b.loop("i", n, parallel=True) as i:
+                extent = i + 1 if triangular else n
+                with b.loop("j", extent) as j:
+                    b.assign(x[i, j], x[i, j] + 1.0)
+            return b.build()
+
+        options = CompilerOptions.parallel_only()
+        full = simulate(
+            compile_kernel(build(False), options, CORE_I7_X980),
+            CORE_I7_X980, {"n": 2000},
+        )
+        tri = simulate(
+            compile_kernel(build(True), options, CORE_I7_X980),
+            CORE_I7_X980, {"n": 2000},
+        )
+        assert tri.flops == pytest.approx(full.flops / 2, rel=0.01)
+
+
+class TestThreadEdges:
+    def test_explicit_threads_on_serial_kernel(self):
+        b = KernelBuilder("serial_forced")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:  # no parallel pragma
+            b.assign(x[i], x[i] + 1.0)
+        compiled = compile_simple(b.build())
+        one = simulate(compiled, CORE_I7_X980, {"n": 1_000_000}, threads=1)
+        many = simulate(compiled, CORE_I7_X980, {"n": 1_000_000}, threads=12)
+        # No parallel loop: extra threads cannot help compute.
+        assert many.compute_time_s >= one.compute_time_s * 0.99
+
+    def test_smt_only_helps_memory_latency(self):
+        from repro.kernels import get_benchmark
+
+        bench = get_benchmark("treesearch")
+        options = CompilerOptions.best_traditional()
+        compiled = compile_kernel(
+            bench.kernel("optimized"), options, CORE_I7_X980
+        )
+        params = bench.paper_params()
+        six = simulate(compiled, CORE_I7_X980, params, threads=6)
+        twelve = simulate(compiled, CORE_I7_X980, params, threads=12)
+        assert twelve.time_s < six.time_s

@@ -1,0 +1,166 @@
+"""Unit tests for the analytic memory model's internals.
+
+The figures rest on these mechanisms; the end-to-end tests check their
+combined effect, these pin each one in isolation.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.ir import F32, KernelBuilder
+from repro.machines import CORE_I7_X980, MIC_KNF
+from repro.simulator.analytic import AnalyticModel, _MergedStream
+from repro.simulator.streams import resolve_stream
+
+
+def _model_for(kernel, params, machine=CORE_I7_X980, threads=1,
+               options=None):
+    compiled = compile_kernel(
+        kernel, options or CompilerOptions.naive_serial(), machine
+    )
+    model = AnalyticModel(compiled, machine, params, threads)
+    model.run()
+    return model
+
+
+def stencil1d(offsets, n_arrays=1):
+    """1-D multi-offset read kernel: out[i] = sum in[i+off]."""
+    b = KernelBuilder("s1d")
+    n = b.param("n")
+    src = b.array("src", F32, (n + 64,))
+    out = b.array("out", F32, (n,))
+    with b.loop("i", n) as i:
+        acc = b.let("acc", 0.0, F32)
+        for off in offsets:
+            b.inc(acc, src[i + off])
+        b.assign(out[i], acc)
+    return b.build()
+
+
+class TestClusterFormation:
+    def _read_stream(self, offsets, params=None):
+        kernel = stencil1d(offsets)
+        model = _model_for(kernel, params or {"n": 100_000})
+        [node] = model._roots
+        reads = [
+            m for m in node.streams
+            if not m.stream.is_write and m.stream.decl.name == "src"
+        ]
+        assert len(reads) == 1  # merged into one group
+        return reads[0]
+
+    def test_same_line_offsets_are_one_cluster(self):
+        merged = self._read_stream((0, 1, 2, 3))
+        assert merged.n_clusters == 1
+        assert merged.const_span_elems == 0.0
+
+    def test_far_offsets_stay_distinct(self):
+        merged = self._read_stream((0, 1000, 2000))
+        assert merged.n_clusters == 3
+        assert merged.const_span_elems == 2000.0
+
+    def test_mixed_offsets(self):
+        merged = self._read_stream((0, 2, 40, 42))
+        # 0/2 coalesce (same 64B line at 4B stride); 40/42 coalesce.
+        assert merged.n_clusters == 2
+
+    def test_union_bound_between_base_and_k_times_base(self):
+        merged = self._read_stream((0, 1000))
+        trips = {"i": 100_000.0}
+        base = merged.lines_base(trips, 64)
+        union = merged.lines_union(trips, 64)
+        assert base <= union <= 2 * base + 1000 * 4 / 64 + 1
+
+
+class TestEffectiveClusters:
+    def test_single_cluster_trivial(self):
+        assert AnalyticModel._effective_clusters((5,), 1, 10.0) == 1
+
+    def test_zero_coeff_never_coalesces(self):
+        assert AnalyticModel._effective_clusters((0, 100), 0, 1e9) == 2
+
+    def test_capture_window_merges_near_clusters(self):
+        # Gaps of 100 at coeff 10 = 10 iterations; window 20 covers them.
+        clusters = (0, 100, 200)
+        assert AnalyticModel._effective_clusters(clusters, 10, 20.0) == 1
+
+    def test_small_window_keeps_them_apart(self):
+        clusters = (0, 100, 200)
+        assert AnalyticModel._effective_clusters(clusters, 10, 5.0) == 3
+
+    def test_partial_coalescing(self):
+        # 0-10 merge (1 iteration apart), 10-1000 do not.
+        clusters = (0, 10, 1000)
+        assert AnalyticModel._effective_clusters(clusters, 10, 2.0) == 2
+
+
+class TestCapacities:
+    def kernel(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n, parallel=True) as i:
+            b.assign(x[i], x[i] + 1.0)
+        return b.build()
+
+    def test_serial_run_gets_full_capacity(self):
+        model = _model_for(self.kernel(), {"n": 1000}, threads=1)
+        for level in range(3):
+            assert model._capacity(level) == pytest.approx(
+                CORE_I7_X980.caches[level].capacity_bytes
+            )
+
+    def test_parallel_partitioned_splits_shared_level(self):
+        model = _model_for(
+            self.kernel(), {"n": 1000}, threads=12,
+            options=CompilerOptions.parallel_only(),
+        )
+        l3 = CORE_I7_X980.caches[2]
+        assert model._capacity(2) == pytest.approx(l3.capacity_bytes / 6)
+
+    def test_parallel_smt_splits_private_levels(self):
+        model = _model_for(
+            self.kernel(), {"n": 1000}, threads=12,
+            options=CompilerOptions.parallel_only(),
+        )
+        l1 = CORE_I7_X980.caches[0]
+        assert model._capacity(0) == pytest.approx(l1.capacity_bytes / 2)
+
+    def test_shared_stream_sees_full_capacity(self):
+        model = _model_for(
+            self.kernel(), {"n": 1000}, threads=12,
+            options=CompilerOptions.parallel_only(),
+        )
+        l3 = CORE_I7_X980.caches[2]
+        assert model._capacity(2, shared_stream=True) == pytest.approx(
+            l3.capacity_bytes
+        )
+
+    def test_mic_l2_is_shared(self):
+        assert MIC_KNF.caches[1].shared
+
+
+class TestWriteFactor:
+    def test_reads_cost_once(self):
+        model = _model_for(stencil1d((0,)), {"n": 1000})
+        assert model._write_factor(False) == 1.0
+
+    def test_writes_cost_twice_by_default(self):
+        model = _model_for(stencil1d((0,)), {"n": 1000})
+        assert model._write_factor(True) == 2.0
+
+    def test_streaming_stores_cost_once(self):
+        model = _model_for(
+            stencil1d((0,)), {"n": 1000},
+            options=CompilerOptions.naive_serial().but(streaming_stores=True),
+        )
+        assert model._write_factor(True) == 1.0
+
+
+class TestWorkingSetCache:
+    def test_ws_iter_is_memoized(self):
+        model = _model_for(stencil1d((0, 1)), {"n": 100_000})
+        [node] = model._roots
+        first = model._working_set_iter(node)
+        assert model._working_set_iter(node) == first
+        assert id(node) in model._ws_cache

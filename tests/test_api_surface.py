@@ -1,0 +1,80 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_everything_in_all_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_flow(self):
+        """The README quickstart, verbatim."""
+        ladder = repro.measure_ladder(
+            repro.get_benchmark("blackscholes"), repro.CORE_I7_X980
+        )
+        assert ladder.ninja_gap > 20
+        assert ladder.residual_gap < 1.5
+
+    def test_compile_and_simulate_flow(self):
+        from repro import (
+            CORE_I7_X980,
+            CompilerOptions,
+            F32,
+            KernelBuilder,
+            compile_kernel,
+            simulate,
+        )
+
+        b = KernelBuilder("api_smoke")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n, parallel=True) as i:
+            b.assign(x[i], x[i] * 3.0)
+        compiled = compile_kernel(
+            b.build(), CompilerOptions.best_traditional(), CORE_I7_X980
+        )
+        result = simulate(compiled, CORE_I7_X980, {"n": 100_000})
+        assert result.time_s > 0
+        assert "api_smoke" in result.describe()
+
+    def test_ladder_results_are_memoized(self):
+        bench = repro.get_benchmark("conv2d")
+        first = repro.measure_ladder(bench, repro.CORE_I7_X980)
+        second = repro.measure_ladder(bench, repro.CORE_I7_X980)
+        assert first is second
+
+    def test_cache_can_be_cleared(self):
+        from repro.analysis import clear_ladder_cache
+
+        bench = repro.get_benchmark("conv2d")
+        first = repro.measure_ladder(bench, repro.CORE_I7_X980)
+        clear_ladder_cache()
+        second = repro.measure_ladder(bench, repro.CORE_I7_X980)
+        assert first is not second
+        assert first.ninja_gap == pytest.approx(second.ninja_gap)
+
+    def test_explicit_params_bypass_cache(self):
+        bench = repro.get_benchmark("conv2d")
+        default = repro.measure_ladder(bench, repro.CORE_I7_X980)
+        custom = repro.measure_ladder(
+            bench, repro.CORE_I7_X980, params={"h": 256, "w": 256}
+        )
+        assert custom is not default
+        assert custom.time("ninja") < default.time("ninja")
+
+    def test_simulation_is_deterministic(self):
+        from repro.analysis import clear_ladder_cache
+
+        bench = repro.get_benchmark("stencil")
+        clear_ladder_cache()
+        a = repro.measure_ladder(bench, repro.MIC_KNF)
+        clear_ladder_cache()
+        b = repro.measure_ladder(bench, repro.MIC_KNF)
+        for label in a.rungs:
+            assert a.rungs[label].time_s == b.rungs[label].time_s

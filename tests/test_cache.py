@@ -1,0 +1,100 @@
+"""Tests for the trace-driven set-associative cache simulator."""
+
+import pytest
+
+from repro.machines import CORE_I7_X980
+from repro.machines.spec import CacheSpec
+from repro.simulator import Cache, CacheHierarchy
+from repro.units import kib
+
+
+def small_cache(capacity=kib(1), line=64, ways=2):
+    return Cache(CacheSpec("T", capacity, line, ways, 1))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0, False) is False
+        assert cache.access(0, False) is True
+        assert cache.access(63, False) is True   # same line
+        assert cache.access(64, False) is False  # next line
+
+    def test_stats(self):
+        cache = small_cache()
+        for addr in range(0, 1024, 64):
+            cache.access(addr, False)
+        assert cache.stats.accesses == 16
+        assert cache.stats.misses == 16
+        for addr in range(0, 1024, 64):
+            cache.access(addr, False)
+        assert cache.stats.hits == 16
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_within_set(self):
+        # 1 KiB, 2-way, 64B lines -> 8 sets; addresses 0, 512, 1024 share set 0.
+        cache = small_cache()
+        cache.access(0, False)
+        cache.access(512, False)
+        cache.access(0, False)      # refresh line 0 to MRU
+        cache.access(1024, False)   # evicts 512 (LRU), not 0
+        assert cache.access(0, False) is True
+        assert cache.access(512, False) is False
+
+    def test_writeback_on_dirty_eviction(self):
+        cache = small_cache()
+        cache.access(0, True)       # dirty
+        cache.access(512, False)
+        cache.access(1024, False)   # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_flush_dirty(self):
+        cache = small_cache()
+        cache.access(0, True)
+        cache.access(64, True)
+        assert cache.flush_dirty() == 2
+        assert cache.flush_dirty() == 0
+
+    def test_capacity_behaviour(self):
+        """Working set <= capacity re-hits; 2x capacity thrashes."""
+        cache = small_cache(capacity=kib(1))
+        fits = range(0, 1024, 64)
+        for _sweep in range(3):
+            for addr in fits:
+                cache.access(addr, False)
+        assert cache.stats.misses == 16  # only the cold sweep missed
+
+    def test_negative_address_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            small_cache().access(-1, False)
+
+
+class TestHierarchy:
+    def test_miss_walks_all_levels(self):
+        hierarchy = CacheHierarchy(CORE_I7_X980)
+        level = hierarchy.access(0, False)
+        assert level == len(hierarchy.levels)  # DRAM on cold access
+        assert hierarchy.access(0, False) == 0  # L1 hit after fill
+
+    def test_l1_capacity_eviction_hits_l2(self):
+        hierarchy = CacheHierarchy(CORE_I7_X980)
+        l1_bytes = CORE_I7_X980.caches[0].capacity_bytes
+        # Touch 2x the L1: the early lines fall out of L1 but stay in L2.
+        for addr in range(0, 2 * l1_bytes, 64):
+            hierarchy.access(addr, False)
+        assert hierarchy.access(0, False) == 1  # L2 hit
+
+    def test_traffic_accounting(self):
+        hierarchy = CacheHierarchy(CORE_I7_X980)
+        for addr in range(0, 64 * 100, 64):
+            hierarchy.access(addr, False)
+        assert hierarchy.traffic_bytes() == (6400, 6400, 6400)
+
+    def test_dram_bytes_include_writebacks(self):
+        hierarchy = CacheHierarchy(CORE_I7_X980)
+        for addr in range(0, 64 * 10, 64):
+            hierarchy.access(addr, True)
+        hierarchy.flush()
+        assert hierarchy.total_dram_bytes() == 640 + 640

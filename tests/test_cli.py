@@ -1,0 +1,74 @@
+"""Tests for the ninja-gap CLI."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_ladder_defaults(self):
+        args = build_parser().parse_args(["ladder", "nbody"])
+        assert args.machine == "westmere"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "abl_residual" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Core i7 X980" in out
+        assert "paper:" in out
+
+    def test_ladder(self, capsys):
+        assert main(["ladder", "conv2d"]) == 0
+        out = capsys.readouterr().out
+        assert "ninja gap" in out
+        assert "residual" in out
+
+    def test_ladder_with_machine_alias(self, capsys):
+        assert main(["ladder", "conv2d", "--machine", "mic"]) == 0
+        assert "Knights Ferry" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report", "nbody"]) == 0
+        out = capsys.readouterr().out
+        assert "VECTORIZED" in out
+        assert "seems inefficient" in out
+
+    def test_unknown_benchmark_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["ladder", "hpl"])
+
+
+class TestCompiledDescribe:
+    def test_describe_shows_structure(self):
+        from repro.compiler import CompilerOptions, compile_kernel
+        from repro.kernels import get_benchmark
+        from repro.machines import CORE_I7_X980
+
+        compiled = compile_kernel(
+            get_benchmark("nbody").kernel("optimized"),
+            CompilerOptions.best_traditional(),
+            CORE_I7_X980,
+        )
+        text = compiled.describe()
+        assert "loop i" in text
+        assert "loop j" in text
+        assert "vector x4" in text
+        assert "parallel" in text
+        assert "reduction" in text

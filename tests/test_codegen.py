@@ -1,0 +1,131 @@
+"""Tests for the code generator's lowering decisions."""
+
+import pytest
+
+from repro.compiler import (
+    AccessPattern,
+    CompilerOptions,
+    compile_kernel,
+)
+from repro.machines import CORE_I7_X980, MIC_KNF, OpClass
+from tests.conftest import (
+    build_branchy,
+    build_descent,
+    build_dot,
+    build_saxpy,
+)
+
+BEST = CompilerOptions.best_traditional()
+SERIAL = CompilerOptions.naive_serial()
+NINJA = CompilerOptions.ninja_options()
+
+
+class TestLoopStructure:
+    def test_saxpy_tree_shape(self):
+        ck = compile_kernel(build_saxpy(), BEST, CORE_I7_X980)
+        assert len(ck.roots) == 1
+        loop = ck.roots[0]
+        assert loop.var == "i"
+        assert loop.parallel
+        assert loop.vector_lanes == 4
+        assert not loop.children
+
+    def test_nested_structure_preserved(self):
+        ck = compile_kernel(build_descent(), BEST, CORE_I7_X980)
+        outer = ck.roots[0]
+        assert outer.var == "q"
+        assert [c.var for c in outer.children] == ["d"]
+        inner = outer.children[0]
+        assert inner.vector_context == 4  # runs in the q-vector context
+        assert inner.vector_lanes == 1
+
+    def test_parallel_requires_openmp(self):
+        ck = compile_kernel(build_saxpy(), SERIAL, CORE_I7_X980)
+        assert not ck.roots[0].parallel
+        assert not ck.has_parallel_loop
+
+
+class TestOpEmission:
+    def test_saxpy_ops(self):
+        ck = compile_kernel(build_saxpy(), SERIAL, CORE_I7_X980)
+        ops = ck.roots[0].ops
+        assert ops.get(OpClass.FADD) == 1
+        assert ops.get(OpClass.FMUL) == 1
+        assert ops.get(OpClass.LOAD) == 2
+        assert ops.get(OpClass.STORE) == 1
+        assert ops.fma_pairs == 1
+
+    def test_gather_lanes_under_vectorized_query_loop(self):
+        ck = compile_kernel(build_descent(), BEST, CORE_I7_X980)
+        inner = ck.roots[0].children[0]
+        assert inner.ops.get(OpClass.GATHER_LANE) == 4
+        patterns = {a.pattern for a in inner.accesses}
+        assert AccessPattern.GATHER in patterns
+
+    def test_reduction_chain_tracked(self):
+        ck = compile_kernel(build_dot(), SERIAL, CORE_I7_X980)
+        loop = ck.roots[0]
+        assert loop.reduction_ops == (OpClass.FADD,)
+        assert loop.accumulators == 1
+
+    def test_fast_math_adds_accumulators(self):
+        ck = compile_kernel(build_dot(), BEST, CORE_I7_X980)
+        assert ck.roots[0].accumulators >= 2
+
+    def test_ninja_has_more_accumulators_and_unroll(self):
+        ck = compile_kernel(build_dot(), NINJA, CORE_I7_X980)
+        loop = ck.roots[0]
+        assert loop.accumulators == 8
+        assert loop.unroll >= 4
+
+    def test_vector_reduction_pays_epilogue(self):
+        ck = compile_kernel(build_dot(), BEST, CORE_I7_X980)
+        loop = ck.roots[0]
+        assert loop.per_entry_ops.get(OpClass.REDUCE) > 0
+
+
+class TestBranchLowering:
+    def test_scalar_branch_is_probability_weighted(self):
+        ck = compile_kernel(build_branchy(), SERIAL, CORE_I7_X980)
+        loop = ck.roots[0]
+        # p=0.3: expected 0.3 * then-mul + 0.7 * else-mul = 1 FMUL either way
+        assert loop.ops.get(OpClass.FMUL) == pytest.approx(1.0)
+        assert loop.branch_mispredicts == pytest.approx(2 * 0.3 * 0.7)
+        writes = [a for a in loop.accesses if a.is_write]
+        assert sum(a.count for a in writes) == pytest.approx(1.0)
+
+    def test_vector_branch_executes_both_arms(self):
+        ck = compile_kernel(build_branchy(), BEST, CORE_I7_X980)
+        loop = ck.roots[0]
+        # Masked execution: both arms nearly always run for 4 lanes.
+        assert loop.ops.get(OpClass.FMUL) > 1.5
+        assert loop.ops.get(OpClass.BLEND) >= 2
+        assert loop.branch_mispredicts == 0.0
+
+
+class TestHoisting:
+    def test_invariant_load_moved_to_per_entry(self):
+        from repro.ir import F32, KernelBuilder
+
+        b = KernelBuilder("hoist")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        scale = b.array("scale", F32, (1,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], x[i] * scale[0])
+        ck = compile_kernel(b.build(), SERIAL, CORE_I7_X980)
+        loop = ck.roots[0]
+        assert loop.ops.get(OpClass.LOAD) == 1  # only x[i]
+        assert loop.per_entry_ops.get(OpClass.LOAD) == 1
+        assert {a.array for a in loop.accesses} == {"x"}
+
+
+class TestMachineAwareness:
+    def test_mic_lanes(self):
+        ck = compile_kernel(build_saxpy(), BEST, MIC_KNF)
+        assert ck.roots[0].vector_lanes == 16
+        assert ck.simd_width_bits == 512
+
+    def test_isa_recorded(self):
+        ck = compile_kernel(build_saxpy(), BEST, CORE_I7_X980)
+        assert ck.isa_name == "SSE4.2"

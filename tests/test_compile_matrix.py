@@ -1,0 +1,38 @@
+"""Compile matrix: every benchmark variant compiles for every machine.
+
+A cheap safety net against ISA-specific lowering crashes (lane counts,
+gather paths, FMA fusion, unaligned penalties) across the whole preset
+zoo — no simulation, just the compiler pipeline.
+"""
+
+import pytest
+
+from repro.analysis import LADDER_RUNGS
+from repro.compiler import compile_kernel
+from repro.kernels import BENCHMARK_CLASSES
+from repro.machines import PRESETS
+
+MACHINES = list(PRESETS.values())
+
+
+@pytest.mark.parametrize(
+    "bench_cls", BENCHMARK_CLASSES, ids=[c.name for c in BENCHMARK_CLASSES]
+)
+@pytest.mark.parametrize(
+    "machine", MACHINES, ids=[m.name.replace(" ", "_") for m in MACHINES]
+)
+def test_every_rung_compiles(bench_cls, machine):
+    bench = bench_cls()
+    for _label, variant, options in LADDER_RUNGS:
+        for phase in bench.phases(variant, bench.paper_params()):
+            compiled = compile_kernel(phase.kernel, options, machine)
+            assert compiled.isa_name == machine.isa.name
+            # Every surviving (post-unroll) loop got a report entry.
+            from repro.compiler.unroll import fully_unroll_const_loops
+
+            surviving = {
+                loop.var
+                for loop in fully_unroll_const_loops(phase.kernel).loops()
+            }
+            reported = {d.loop_var for d in compiled.report.decisions}
+            assert surviving == reported

@@ -1,0 +1,147 @@
+"""Tests for compiled-kernel data types, pricing, and the error taxonomy."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, OpCounts
+from repro.errors import (
+    CompilationError,
+    IRError,
+    MachineSpecError,
+    ReproError,
+    SimulationError,
+    TypeMismatchError,
+    VectorizationError,
+    WorkloadError,
+)
+from repro.machines import CORE_I7_X980, MIC_KNF, OpClass
+from repro.simulator import price_ops, reduction_chain_cycles
+
+
+class TestOpCounts:
+    def test_add_and_get(self):
+        ops = OpCounts()
+        ops.add(OpClass.FADD, 2.0)
+        ops.add(OpClass.FADD, 1.0)
+        assert ops.get(OpClass.FADD) == 3.0
+        assert ops.get(OpClass.FMUL) == 0.0
+
+    def test_zero_add_is_dropped(self):
+        ops = OpCounts()
+        ops.add(OpClass.FADD, 0.0)
+        assert OpClass.FADD not in ops.counts
+
+    def test_merge_with_scale(self):
+        a = OpCounts({OpClass.FADD: 2.0}, fma_pairs=1.0)
+        b = OpCounts({OpClass.FADD: 1.0, OpClass.LOAD: 4.0}, fma_pairs=0.5)
+        a.merge(b, scale=2.0)
+        assert a.get(OpClass.FADD) == 4.0
+        assert a.get(OpClass.LOAD) == 8.0
+        assert a.fma_pairs == 2.0
+
+    def test_scaled_returns_copy(self):
+        a = OpCounts({OpClass.FMUL: 3.0})
+        b = a.scaled(2.0)
+        assert b.get(OpClass.FMUL) == 6.0
+        assert a.get(OpClass.FMUL) == 3.0
+
+    def test_total(self):
+        ops = OpCounts({OpClass.FADD: 2.0, OpClass.LOAD: 1.5})
+        assert ops.total == 3.5
+
+    def test_equality_ignores_zero_entries(self):
+        a = OpCounts({OpClass.FADD: 1.0, OpClass.FMUL: 0.0})
+        b = OpCounts({OpClass.FADD: 1.0})
+        assert a == b
+
+    def test_repr_lists_nonzero(self):
+        text = repr(OpCounts({OpClass.FADD: 1.0}))
+        assert "fadd=1" in text
+
+
+class TestPriceOps:
+    def test_port_bound(self):
+        """Five adds on the fp_add port take five cycles, not 5/4."""
+        ops = OpCounts({OpClass.FADD: 5.0})
+        priced = price_ops(ops, CORE_I7_X980.isa, False, issue_width=4)
+        assert priced.cycles == pytest.approx(5.0)
+        assert priced.bottleneck_port == "fp_add"
+
+    def test_issue_bound(self):
+        """Work spread across ports is limited by the issue width."""
+        ops = OpCounts(
+            {
+                OpClass.FADD: 2.0, OpClass.FMUL: 2.0, OpClass.IADD: 1.0,
+                OpClass.LOAD: 2.0, OpClass.STORE: 2.0, OpClass.BRANCH: 2.0,
+            }
+        )
+        priced = price_ops(ops, CORE_I7_X980.isa, False, issue_width=2)
+        assert priced.cycles == pytest.approx(priced.instructions / 2)
+
+    def test_fma_fusion_only_with_hardware(self):
+        ops = OpCounts({OpClass.FADD: 4.0, OpClass.FMUL: 4.0}, fma_pairs=4.0)
+        sse = price_ops(ops, CORE_I7_X980.isa, True, 4)
+        mic = price_ops(ops, MIC_KNF.isa, True, 4)
+        assert sse.instructions == 8.0
+        assert mic.instructions == 4.0  # fused
+
+    def test_fusion_capped_by_available_ops(self):
+        ops = OpCounts({OpClass.FADD: 1.0, OpClass.FMUL: 4.0}, fma_pairs=3.0)
+        mic = price_ops(ops, MIC_KNF.isa, True, 4)
+        # Only one add available to fuse.
+        assert mic.instructions == pytest.approx(4.0)
+
+    def test_reduction_chain(self):
+        cycles = reduction_chain_cycles(
+            (OpClass.FADD,), CORE_I7_X980.isa, False, accumulators=1
+        )
+        assert cycles == pytest.approx(3.0)  # FADD latency
+        assert reduction_chain_cycles(
+            (OpClass.FADD,), CORE_I7_X980.isa, False, accumulators=3
+        ) == pytest.approx(1.0)
+
+    def test_parallel_chains_take_max_not_sum(self):
+        cycles = reduction_chain_cycles(
+            (OpClass.FADD, OpClass.FADD, OpClass.FADD),
+            CORE_I7_X980.isa, False, 1,
+        )
+        assert cycles == pytest.approx(3.0)
+
+    def test_empty_chain_is_free(self):
+        assert reduction_chain_cycles((), CORE_I7_X980.isa, False, 1) == 0.0
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            IRError, TypeMismatchError, CompilationError, VectorizationError,
+            SimulationError, MachineSpecError, WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_vectorization_error_is_compilation_error(self):
+        assert issubclass(VectorizationError, CompilationError)
+
+    def test_type_mismatch_is_ir_error(self):
+        assert issubclass(TypeMismatchError, IRError)
+
+
+class TestOptionsLabels:
+    def test_ladder_labels_distinct(self):
+        from repro.compiler import EFFORT_LADDER
+
+        labels = [options.label for _name, options in EFFORT_LADDER]
+        assert len(set(labels)) == len(labels)
+
+    def test_extras_show_in_label(self):
+        options = CompilerOptions.best_traditional().but(
+            streaming_stores=True, assume_aligned=True
+        )
+        assert "nt" in options.label
+        assert "align" in options.label
+
+    def test_invalid_inefficiency_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(compiler_inefficiency=0.9)

@@ -1,0 +1,148 @@
+"""Tests for dependence analysis: the vectorizer/parallelizer legality core."""
+
+import pytest
+
+from repro.compiler import analyze_loop, collect_accesses
+from repro.compiler.dependence import Reduction, analyze_scalars
+from repro.ir import F32, I32, KernelBuilder, select
+from tests.conftest import (
+    build_branchy,
+    build_descent,
+    build_dot,
+    build_prefix_dep,
+    build_saxpy,
+)
+
+
+class TestIndependentLoops:
+    def test_saxpy_is_legal(self):
+        kernel = build_saxpy()
+        result = analyze_loop(kernel, kernel.loop("i"))
+        assert result.legal
+        assert not result.reasons
+
+    def test_distinct_fields_do_not_conflict(self):
+        b = KernelBuilder("fields")
+        n = b.param("n")
+        pts = b.array("pts", F32, (n,), fields=("x", "y"), layout="aos")
+        with b.loop("i", n) as i:
+            b.assign(pts[i].x, pts[i].y)
+        kernel = b.build()
+        assert analyze_loop(kernel, kernel.loop("i")).legal
+
+    def test_same_iteration_store_load_ok(self):
+        b = KernelBuilder("inplace")
+        n = b.param("n")
+        a = b.array("a", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(a[i], a[i] * 2.0)
+        kernel = b.build()
+        assert analyze_loop(kernel, kernel.loop("i")).legal
+
+    def test_shifted_read_of_other_array_ok(self):
+        b = KernelBuilder("shift")
+        n = b.param("n")
+        a = b.array("a", F32, (n,))
+        c = b.array("c", F32, (n + 2,))
+        with b.loop("i", n) as i:
+            b.assign(a[i], c[i] + c[i + 1])
+        kernel = b.build()
+        assert analyze_loop(kernel, kernel.loop("i")).legal
+
+
+class TestCarriedDependences:
+    def test_prefix_sum_is_illegal(self):
+        kernel = build_prefix_dep()
+        result = analyze_loop(kernel, kernel.loop("i"))
+        assert not result.legal
+        assert not result.legal_if_asserted  # proven, not overridable
+        assert any("loop-carried" in r for r in result.reasons)
+
+    def test_constant_index_store_is_carried(self):
+        b = KernelBuilder("samespot")
+        n = b.param("n")
+        a = b.array("a", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(a[0], a[0] + 1.0)
+        kernel = b.build()
+        result = analyze_loop(kernel, kernel.loop("i"))
+        assert not result.legal
+        assert not result.legal_if_asserted
+
+    def test_scalar_carried_dependence(self):
+        kernel = build_descent()
+        result = analyze_loop(kernel, kernel.loop("d"))
+        assert not result.legal
+        assert any("node" in r for r in result.reasons)
+
+    def test_outer_query_loop_is_legal(self):
+        kernel = build_descent()
+        result = analyze_loop(kernel, kernel.loop("q"))
+        # keys[node] is non-affine but read-only, and node is private per
+        # query, so reordering queries is legal; only the planner's
+        # innermost-only rule keeps the auto-vectorizer away from it.
+        assert result.legal
+        assert "node" in result.private_scalars
+
+
+class TestReductions:
+    def test_dot_reduction_recognised(self):
+        kernel = build_dot()
+        result = analyze_loop(kernel, kernel.loop("i"))
+        assert result.legal
+        assert Reduction("acc", "+") in result.reductions
+
+    def test_min_reduction(self):
+        from repro.ir import minimum
+
+        b = KernelBuilder("minred")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        best = b.let("best", 1e30, F32)
+        with b.loop("i", n) as i:
+            b.assign(best, minimum(best, x[i]))
+        kernel = b.build()
+        result = analyze_loop(kernel, kernel.loop("i"))
+        assert Reduction("best", "min") in result.reductions
+        assert result.legal
+
+    def test_reduction_var_used_as_index_blocks(self):
+        kernel = build_descent()
+        reductions, privates, blockers = analyze_scalars(kernel.loop("d"))
+        assert "node" in blockers
+        assert not reductions
+
+    def test_private_scalar_declared_inside(self):
+        kernel = build_descent()
+        _reductions, privates, blockers = analyze_scalars(kernel.loop("q"))
+        assert "node" in privates
+        assert not blockers
+
+    def test_write_before_read_is_privatizable(self):
+        b = KernelBuilder("priv")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        t = b.let("t", 0.0, F32)
+        with b.loop("i", n) as i:
+            b.assign(t, x[i] * 2.0)
+            b.assign(x[i], t + 1.0)
+        kernel = b.build()
+        result = analyze_loop(kernel, kernel.loop("i"))
+        assert result.legal
+        assert "t" in result.private_scalars
+
+
+class TestCollectAccesses:
+    def test_counts_reads_and_writes(self):
+        kernel = build_saxpy()
+        accesses = collect_accesses(kernel.loop("i").body)
+        reads = [a for a in accesses if not a.is_write]
+        writes = [a for a in accesses if a.is_write]
+        assert {a.array for a in reads} == {"x", "y"}
+        assert [a.array for a in writes] == ["y"]
+
+    def test_descends_into_branches(self):
+        kernel = build_branchy()
+        accesses = collect_accesses(kernel.loop("i").body)
+        writes = [a for a in accesses if a.is_write]
+        assert len(writes) == 2  # one per branch arm

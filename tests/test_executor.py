@@ -1,0 +1,189 @@
+"""End-to-end simulator tests: timing shapes the paper depends on."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, EFFORT_LADDER, compile_kernel
+from repro.errors import SimulationError
+from repro.machines import CORE2_E6600, CORE_I7_X980, MIC_KNF
+from repro.simulator import simulate
+from tests.conftest import (
+    build_aos_norm,
+    build_branchy,
+    build_descent,
+    build_dot,
+    build_saxpy,
+    build_soa_norm,
+)
+
+SERIAL = CompilerOptions.naive_serial()
+PARALLEL = CompilerOptions.parallel_only()
+BEST = CompilerOptions.best_traditional()
+NINJA = CompilerOptions.ninja_options()
+N = {"n": 2_000_000}
+
+
+def run(kernel, options, machine=CORE_I7_X980, params=N, threads=None):
+    compiled = compile_kernel(kernel, options, machine)
+    return simulate(compiled, machine, params, threads)
+
+
+class TestLadderMonotonicity:
+    def test_each_rung_is_no_slower(self):
+        times = [
+            run(build_soa_norm(), options).time_s
+            for _label, options in EFFORT_LADDER
+        ]
+        for earlier, later in zip(times, times[1:]):
+            assert later <= earlier * 1.02
+
+    def test_parallel_speedup_compute_bound(self):
+        """A compute-heavy kernel should scale close to core count."""
+        from repro.ir import F32, KernelBuilder, sqrt
+
+        b = KernelBuilder("heavy")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        y = b.array("y", F32, (n,))
+        with b.loop("i", n, parallel=True) as i:
+            v = x[i]
+            for _ in range(4):
+                v = sqrt(v * v + 1.0)
+            b.assign(y[i], v)
+        kernel = b.build()
+        serial = run(kernel, SERIAL)
+        parallel = run(kernel, PARALLEL)
+        speedup = serial.time_s / parallel.time_s
+        assert 4.0 <= speedup <= 8.0  # ~6 cores, bounded by imbalance/SMT
+
+    def test_vector_speedup_bounded_by_lanes(self):
+        serial_par = run(build_soa_norm(), PARALLEL)
+        vector = run(build_soa_norm(), CompilerOptions.auto_vec())
+        speedup = serial_par.time_s / vector.time_s
+        assert 1.0 <= speedup <= 4.5
+
+
+class TestBandwidthSaturation:
+    def test_streaming_kernel_hits_dram_roof(self):
+        result = run(build_saxpy(), BEST)
+        assert result.bottleneck == "DRAM"
+        achieved = result.dram_bandwidth_bytes_per_s
+        assert achieved <= CORE_I7_X980.dram_bandwidth_bytes_per_s * 1.001
+        assert achieved >= 0.5 * CORE_I7_X980.dram_bandwidth_bytes_per_s
+
+    def test_single_core_cannot_saturate(self):
+        serial = run(build_saxpy(), SERIAL)
+        chip = CORE_I7_X980.dram_bandwidth_bytes_per_s
+        assert serial.dram_bandwidth_bytes_per_s < 0.6 * chip
+
+    def test_ninja_streaming_stores_cut_traffic(self):
+        best = run(build_saxpy(), BEST)
+        ninja = run(build_saxpy(), NINJA)
+        assert ninja.traffic_bytes[-1] < best.traffic_bytes[-1]
+
+
+class TestLayoutEffects:
+    def test_soa_beats_aos_when_compute_bound(self):
+        """In-cache workload, one core: SOA vectorizes, AOS stays scalar."""
+        small = {"n": 30_000}
+        aos = run(build_aos_norm(), BEST, params=small, threads=1)
+        soa = run(build_soa_norm(), BEST, params=small, threads=1)
+        assert soa.time_s < 0.95 * aos.time_s
+
+    def test_full_struct_reads_cost_the_same_traffic(self):
+        """Reading every field of an AOS struct moves the same bytes as
+        the SOA planes — the layout penalty is computational there."""
+        aos = run(build_aos_norm(), BEST)
+        soa = run(build_soa_norm(), BEST)
+        assert aos.traffic_bytes[-1] == pytest.approx(
+            soa.traffic_bytes[-1], rel=0.1
+        )
+
+    def test_partial_struct_reads_waste_line_bandwidth(self):
+        """Reading one field of a wide AOS struct drags whole lines in."""
+        from repro.ir import F32, KernelBuilder
+
+        def one_field(layout):
+            b = KernelBuilder(f"one_field_{layout}")
+            n = b.param("n")
+            pts = b.array("pts", F32, (n,),
+                          fields=("a", "c", "d", "e", "f", "g"), layout=layout)
+            out = b.array("out", F32, (n,))
+            with b.loop("i", n, parallel=True, simd=True) as i:
+                b.assign(out[i], pts[i].a * 2.0)
+            return b.build()
+
+        aos = run(one_field("aos"), BEST)
+        soa = run(one_field("soa"), BEST)
+        # 6-field struct: reads waste 6x, the write stream is shared, so
+        # the end-to-end ratio lands between 2x and 6x.
+        assert aos.traffic_bytes[-1] > 2.0 * soa.traffic_bytes[-1]
+
+
+class TestMachines:
+    def test_mic_beats_westmere_on_parallel_compute(self):
+        kernel = build_soa_norm()
+        cpu = run(kernel, BEST, CORE_I7_X980)
+        mic = run(kernel, BEST, MIC_KNF)
+        assert mic.time_s < cpu.time_s
+
+    def test_old_machine_is_slower(self):
+        kernel = build_soa_norm()
+        new = run(kernel, BEST, CORE_I7_X980)
+        old = run(kernel, BEST, CORE2_E6600)
+        assert old.time_s > new.time_s
+
+    def test_wrong_isa_rejected(self):
+        compiled = compile_kernel(build_saxpy(), BEST, CORE_I7_X980)
+        with pytest.raises(SimulationError, match="recompile"):
+            simulate(compiled, MIC_KNF, N)
+
+    def test_thread_bounds_checked(self):
+        compiled = compile_kernel(build_saxpy(), BEST, CORE_I7_X980)
+        with pytest.raises(SimulationError):
+            simulate(compiled, CORE_I7_X980, N, threads=0)
+        with pytest.raises(SimulationError):
+            simulate(compiled, CORE_I7_X980, N, threads=1000)
+
+    def test_missing_params_rejected(self):
+        compiled = compile_kernel(build_saxpy(), BEST, CORE_I7_X980)
+        with pytest.raises(SimulationError, match="missing"):
+            simulate(compiled, CORE_I7_X980, {})
+
+
+class TestRandomAccess:
+    def test_descent_scales_with_tree_size(self):
+        kernel = build_descent()
+        small = run(kernel, BEST, params={"nq": 100_000, "depth": 10,
+                                          "nn": (1 << 11) - 1})
+        large = run(kernel, BEST, params={"nq": 100_000, "depth": 24,
+                                          "nn": (1 << 25) - 1})
+        # 2.4x the probes but far more than 2.4x the time: cache misses.
+        assert large.time_s > 2.4 * small.time_s
+
+    def test_branchy_mispredicts_cost_scalar_time(self):
+        biased = build_branchy()
+        result = run(biased, SERIAL)
+        assert result.time_s > 0
+
+
+class TestResultInvariants:
+    def test_roofline_respected(self):
+        """No configuration exceeds the compute or bandwidth roof."""
+        for _label, options in EFFORT_LADDER:
+            result = run(build_soa_norm(), options)
+            assert result.gflops * 1e9 <= CORE_I7_X980.peak_flops_sp() * 1.001
+
+    def test_traffic_monotone_across_levels(self):
+        result = run(build_saxpy(), BEST)
+        traffic = result.traffic_bytes
+        for inner, outer in zip(traffic, traffic[1:]):
+            assert outer <= inner * 1.001
+
+    def test_describe_mentions_kernel(self):
+        result = run(build_saxpy(), BEST)
+        assert "saxpy" in result.describe()
+
+    def test_speedup_over(self):
+        a = run(build_saxpy(), SERIAL)
+        b = run(build_saxpy(), BEST)
+        assert b.speedup_over(a) == pytest.approx(a.time_s / b.time_s)

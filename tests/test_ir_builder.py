@@ -1,0 +1,233 @@
+"""Tests for the kernel builder DSL and validation."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir import (
+    Assign,
+    Decl,
+    F32,
+    For,
+    I32,
+    If,
+    Kernel,
+    KernelBuilder,
+    Load,
+    LoopPragma,
+    ScalarTarget,
+    StoreTarget,
+    VarRef,
+    validate_kernel,
+)
+from tests.conftest import build_branchy, build_descent, build_saxpy
+
+
+class TestDeclarations:
+    def test_param_and_array(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        assert x.name == "x"
+        kernel = b.build()
+        assert kernel.params == ("n",)
+
+    def test_duplicate_names_rejected(self):
+        b = KernelBuilder("k")
+        b.param("n")
+        with pytest.raises(IRError):
+            b.param("n")
+        with pytest.raises(IRError):
+            b.array("n", F32, (4,))
+
+    def test_invalid_identifier(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            b.param("2bad")
+
+    def test_record_array_field_access(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        pts = b.array("pts", F32, (n,), fields=("x", "y"), layout="aos")
+        load = pts[0].x
+        assert isinstance(load, Load)
+        assert load.array_field == "x"
+
+    def test_unknown_field_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        pts = b.array("pts", F32, (n,), fields=("x", "y"))
+        with pytest.raises(IRError):
+            pts[0].w
+
+    def test_wrong_arity_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        grid = b.array("grid", F32, (n, n))
+        with pytest.raises(IRError):
+            grid[0]
+
+    def test_float_subscript_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with pytest.raises(TypeMismatchError):
+            x[VarRef("f", F32)]
+
+
+class TestStatements:
+    def test_assign_to_load_becomes_store(self):
+        kernel = build_saxpy()
+        loop = kernel.loops()[0]
+        assign = loop.body[0]
+        assert isinstance(assign, Assign)
+        assert isinstance(assign.target, StoreTarget)
+        assert assign.target.array == "y"
+
+    def test_let_and_inc(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        acc = b.let("acc", 0.0, F32)
+        with b.loop("i", n) as i:
+            b.inc(acc, x[i])
+        kernel = b.build()
+        decl = kernel.body[0]
+        assert isinstance(decl, Decl)
+        assert decl.dtype == F32
+
+    def test_assign_to_loop_var_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            with pytest.raises(IRError):
+                b.assign(i, 0)
+            b.assign(x[i], 0.0)
+
+    def test_assign_to_param_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        with pytest.raises(IRError):
+            b.assign(n, 0)
+
+    def test_assign_to_undeclared_local_rejected(self):
+        b = KernelBuilder("k")
+        b.param("n")
+        with pytest.raises(IRError):
+            b.assign(VarRef("ghost", F32), 1.0)
+
+    def test_value_cast_to_target_dtype(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], i)  # i64 -> f32 inserted cast
+        kernel = b.build()
+        validate_kernel(kernel)
+
+
+class TestLoops:
+    def test_pragmas_recorded(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n, parallel=True, simd=True, unroll=4) as i:
+            b.assign(x[i], 0.0)
+        loop = b.build().loops()[0]
+        assert loop.pragma == LoopPragma(parallel=True, simd=True, unroll=4)
+
+    def test_shadowing_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            with pytest.raises(IRError):
+                with b.loop("i", n):
+                    pass
+            b.assign(x[i], 0.0)
+
+    def test_conflicting_pragmas_rejected(self):
+        with pytest.raises(IRError):
+            LoopPragma(simd=True, novector=True)
+
+    def test_triangular_extent_allowed(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            with b.loop("j", n - i) as j:
+                b.assign(x[j], 0.0)
+        kernel = b.build()
+        assert len(kernel.loops()) == 2
+
+
+class TestConditionals:
+    def test_iff_otherwise(self):
+        kernel = build_branchy()
+        stmt = kernel.loops()[0].body[0]
+        assert isinstance(stmt, If)
+        assert stmt.probability == 0.3
+        assert stmt.then_body and stmt.else_body
+
+    def test_otherwise_without_iff_rejected(self):
+        b = KernelBuilder("k")
+        b.param("n")
+        with pytest.raises(IRError):
+            with b.otherwise():
+                pass
+
+    def test_bad_probability_rejected(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with pytest.raises(IRError):
+            with b.iff(x[0].gt(0.0), probability=1.5):
+                b.assign(x[0], 1.0)
+
+
+class TestBuildAndValidate:
+    def test_double_build_rejected(self):
+        b = KernelBuilder("k")
+        b.param("n")
+        b.build()
+        with pytest.raises(IRError):
+            b.build()
+
+    def test_descent_kernel_builds(self):
+        kernel = build_descent()
+        assert kernel.array("keys").skew == "tree_bfs"
+        assert len(kernel.loops()) == 2
+
+    def test_validate_catches_unbound_var(self):
+        bad = Kernel(
+            name="bad",
+            params=("n",),
+            arrays=(),
+            body=(Decl("t", F32, VarRef("ghost", F32)),),
+        )
+        with pytest.raises(IRError, match="ghost"):
+            validate_kernel(bad)
+
+    def test_validate_catches_undeclared_array(self):
+        bad = Kernel(
+            name="bad",
+            params=("n",),
+            arrays=(),
+            body=(
+                Assign(
+                    StoreTarget("missing", (VarRef("n", VarRef("n", F32).dtype),), F32),
+                    VarRef("n", F32),
+                ),
+            ),
+        )
+        with pytest.raises(IRError):
+            validate_kernel(bad)
+
+    def test_kernel_helpers(self):
+        kernel = build_saxpy()
+        assert kernel.accessed_arrays() == {"x", "y"}
+        assert kernel.loop("i").var == "i"
+        with pytest.raises(IRError):
+            kernel.loop("z")
+        with pytest.raises(IRError):
+            kernel.array("ghost")

@@ -1,0 +1,73 @@
+"""Tests for integer expression evaluation (extents, shapes)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Const, F32, I64, VarRef, cast
+from repro.ir.evaluate import eval_bool_expr, eval_int_expr, log2_int
+
+N = VarRef("n", I64)
+I = VarRef("i", I64)
+
+
+class TestEvalInt:
+    def test_arithmetic(self):
+        expr = (N // 2 + I * 3) % 7
+        assert eval_int_expr(expr, {"n": 10, "i": 4}) == (5 + 12) % 7
+
+    def test_min_max_pow(self):
+        from repro.ir import maximum, minimum, power
+
+        assert eval_int_expr(minimum(N, 5), {"n": 9}) == 5
+        assert eval_int_expr(maximum(N, 5), {"n": 9}) == 9
+        assert eval_int_expr(power(N, 2), {"n": 3}) == 9
+
+    def test_neg_abs(self):
+        from repro.ir import absval
+
+        assert eval_int_expr(-N, {"n": 4}) == -4
+        assert eval_int_expr(absval(-N), {"n": 4}) == 4
+
+    def test_int_cast_passthrough(self):
+        assert eval_int_expr(cast(N + 1, I64), {"n": 4}) == 5
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(IRError, match="unbound"):
+            eval_int_expr(N, {})
+
+    def test_float_const_rejected(self):
+        with pytest.raises(IRError):
+            eval_int_expr(Const(1.5, F32), {})
+
+    def test_load_rejected(self):
+        from repro.ir import Load
+
+        with pytest.raises(IRError, match="loads"):
+            eval_int_expr(Load("a", (Const(0, I64),), I64, None), {})
+
+    def test_select_on_condition(self):
+        from repro.ir import select
+
+        expr = select(N.gt(5), N, Const(5, I64))
+        assert eval_int_expr(expr, {"n": 9}) == 9
+        assert eval_int_expr(expr, {"n": 2}) == 5
+
+
+class TestEvalBool:
+    def test_comparisons(self):
+        assert eval_bool_expr(N.lt(5), {"n": 3})
+        assert not eval_bool_expr(N.ge(5), {"n": 3})
+        assert eval_bool_expr(N.eq(3), {"n": 3})
+        assert eval_bool_expr(N.ne(4), {"n": 3})
+
+
+class TestLog2:
+    def test_powers(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_non_powers_rejected(self):
+        with pytest.raises(IRError):
+            log2_int(12)
+        with pytest.raises(IRError):
+            log2_int(0)

@@ -1,0 +1,186 @@
+"""Tests for IR expression construction and typing."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.ir import (
+    BOOL,
+    BinOp,
+    Compare,
+    Const,
+    F32,
+    F64,
+    I32,
+    I64,
+    Load,
+    Select,
+    UnOp,
+    VarRef,
+    absval,
+    as_expr,
+    cast,
+    erf,
+    exp,
+    land,
+    lnot,
+    log,
+    lor,
+    maximum,
+    minimum,
+    power,
+    promote,
+    rsqrt,
+    select,
+    sqrt,
+)
+
+
+class TestPromotion:
+    def test_same_type(self):
+        assert promote(F32, F32) == F32
+
+    def test_float_beats_int(self):
+        assert promote(F32, I64) == F32
+        assert promote(I32, F64) == F64
+
+    def test_wider_wins(self):
+        assert promote(F32, F64) == F64
+        assert promote(I32, I64) == I64
+
+    def test_bool_refuses_arithmetic(self):
+        with pytest.raises(TypeMismatchError):
+            promote(BOOL, F32)
+
+
+class TestOperatorOverloads:
+    def test_add_builds_binop(self):
+        x = VarRef("x", F32)
+        expr = x + 1.0
+        assert isinstance(expr, BinOp)
+        assert expr.kind == "+"
+        assert expr.dtype == F32
+        assert expr.rhs == Const(1.0, F32)
+
+    def test_radd_coerces_left_literal(self):
+        x = VarRef("x", F32)
+        expr = 2.0 * x
+        assert isinstance(expr, BinOp)
+        assert expr.lhs == Const(2.0, F32)
+
+    def test_int_literal_against_float_var_promotes(self):
+        x = VarRef("x", F32)
+        expr = x + 1
+        assert expr.dtype == F32
+
+    def test_division_and_floordiv(self):
+        i = VarRef("i", I64)
+        assert (i / 2).kind == "/"
+        assert (i // 2).kind == "//"
+        assert (i % 4).kind == "%"
+
+    def test_neg(self):
+        x = VarRef("x", F32)
+        expr = -x
+        assert isinstance(expr, UnOp)
+        assert expr.kind == "neg"
+
+    def test_comparison_methods(self):
+        x = VarRef("x", F32)
+        cmp = x.lt(3.0)
+        assert isinstance(cmp, Compare)
+        assert cmp.dtype == BOOL
+        assert x.ge(0.0).kind == ">="
+        assert x.eq(1.0).kind == "=="
+
+    def test_structural_equality(self):
+        a = VarRef("x", F32) + 1.0
+        b = VarRef("x", F32) + 1.0
+        assert a == b
+
+    def test_walk_visits_all_nodes(self):
+        x = VarRef("x", F32)
+        expr = (x + 1.0) * (x - 2.0)
+        names = [n for n in expr.walk() if isinstance(n, VarRef)]
+        assert len(names) == 2
+
+
+class TestMathHelpers:
+    def test_sqrt_keeps_dtype(self):
+        assert sqrt(VarRef("x", F64)).dtype == F64
+
+    def test_math_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            exp(VarRef("i", I64))
+
+    def test_all_helpers_build_unops(self):
+        x = VarRef("x", F32)
+        for helper, kind in [
+            (sqrt, "sqrt"), (rsqrt, "rsqrt"), (exp, "exp"),
+            (log, "log"), (erf, "erf"),
+        ]:
+            node = helper(x)
+            assert isinstance(node, UnOp)
+            assert node.kind == kind
+
+    def test_min_max_pow(self):
+        x = VarRef("x", F32)
+        assert minimum(x, 0.0).kind == "min"
+        assert maximum(x, 0.0).kind == "max"
+        assert power(x, 2.0).kind == "pow"
+
+    def test_abs(self):
+        assert absval(VarRef("i", I64)).dtype == I64
+
+    def test_cast(self):
+        node = cast(VarRef("i", I64), F32)
+        assert node.kind == "cast"
+        assert node.dtype == F32
+
+
+class TestSelectAndLogic:
+    def test_select_types(self):
+        x = VarRef("x", F32)
+        node = select(x.gt(0.0), x, 0.0)
+        assert isinstance(node, Select)
+        assert node.dtype == F32
+
+    def test_select_arm_mismatch(self):
+        x = VarRef("x", F32)
+        with pytest.raises(TypeMismatchError):
+            Select(x.gt(0.0), x, VarRef("i", I64), F32)
+
+    def test_select_requires_bool_condition(self):
+        x = VarRef("x", F32)
+        with pytest.raises(TypeMismatchError):
+            Select(x, x, x, F32)
+
+    def test_logical_ops(self):
+        x = VarRef("x", F32)
+        a, b = x.gt(0.0), x.lt(1.0)
+        assert land(a, b).kind == "and"
+        assert lor(a, b).kind == "or"
+        assert lnot(a).kind == "not"
+
+    def test_logical_requires_bool(self):
+        x = VarRef("x", F32)
+        with pytest.raises(TypeMismatchError):
+            land(x, x.gt(0.0))
+
+
+class TestAsExpr:
+    def test_int_default_is_i64(self):
+        assert as_expr(3).dtype == I64
+
+    def test_float_default_is_f32(self):
+        assert as_expr(3.5).dtype == F32
+
+    def test_bool(self):
+        assert as_expr(True).dtype == BOOL
+
+    def test_float_literal_rejects_int_hint(self):
+        with pytest.raises(TypeMismatchError):
+            as_expr(3.5, I64)
+
+    def test_passthrough(self):
+        x = VarRef("x", F32)
+        assert as_expr(x) is x

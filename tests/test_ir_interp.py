@@ -1,0 +1,178 @@
+"""Tests for the functional IR interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import F32, I32, KernelBuilder, run_kernel, select, sqrt, zeros_for
+from tests.conftest import (
+    build_branchy,
+    build_descent,
+    build_dot,
+    build_saxpy,
+)
+
+
+class TestBasics:
+    def test_saxpy_matches_numpy(self, rng):
+        kernel = build_saxpy()
+        x = rng.standard_normal(64).astype(np.float32)
+        y = rng.standard_normal(64).astype(np.float32)
+        expected = (2.0 * x + y).astype(np.float32)
+        run_kernel(kernel, {"n": 64}, {"x": x, "y": y})
+        np.testing.assert_allclose(y, expected, rtol=1e-6)
+
+    def test_dot_reduction(self, rng):
+        kernel = build_dot()
+        x = rng.standard_normal(128).astype(np.float32)
+        y = rng.standard_normal(128).astype(np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        run_kernel(kernel, {"n": 128}, {"x": x, "y": y, "out": out})
+        assert out[0] == pytest.approx(float(np.dot(x, y)), rel=1e-4)
+
+    def test_branchy_both_paths(self, rng):
+        kernel = build_branchy()
+        x = rng.standard_normal(50).astype(np.float32)
+        y = np.zeros(50, dtype=np.float32)
+        run_kernel(kernel, {"n": 50}, {"x": x, "y": y})
+        expected = np.where(x > 0, x * 2.0, -x).astype(np.float32)
+        np.testing.assert_allclose(y, expected)
+
+    def test_record_arrays_by_field_dict(self, rng):
+        b = KernelBuilder("swap")
+        n = b.param("n")
+        pts = b.array("pts", F32, (n,), fields=("x", "y"), layout="aos")
+        with b.loop("i", n) as i:
+            t = b.let("t", pts[i].x, F32)
+            b.assign(pts[i].x, pts[i].y)
+            b.assign(pts[i].y, t)
+        kernel = b.build()
+        xs = rng.standard_normal(10).astype(np.float32)
+        ys = rng.standard_normal(10).astype(np.float32)
+        storage = {"pts": {"x": xs.copy(), "y": ys.copy()}}
+        run_kernel(kernel, {"n": 10}, storage)
+        np.testing.assert_array_equal(storage["pts"]["x"], ys)
+        np.testing.assert_array_equal(storage["pts"]["y"], xs)
+
+    def test_descent_walks_tree(self):
+        kernel = build_descent()
+        depth, nn, nq = 3, 15, 4
+        keys = np.array(
+            [8, 4, 12, 2, 6, 10, 14, 1, 3, 5, 7, 9, 11, 13, 15],
+            dtype=np.float32,
+        )
+        queries = np.array([0.5, 4.5, 8.5, 15.5], dtype=np.float32)
+        out = np.zeros(nq, dtype=np.int32)
+        run_kernel(
+            kernel,
+            {"nq": nq, "depth": depth, "nn": nn},
+            {"keys": keys, "queries": queries, "out": out},
+        )
+        # Descending 3 levels of the BST lands on leaf slots 7..14.
+        assert out.tolist() == [7, 9, 11, 14]
+
+
+class TestFloat32Semantics:
+    def test_f32_rounding_matches_numpy(self):
+        b = KernelBuilder("acc")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        out = b.array("out", F32, (1,))
+        acc = b.let("acc", 0.0, F32)
+        with b.loop("i", n) as i:
+            b.inc(acc, x[i])
+        b.assign(out[0], acc)
+        kernel = b.build()
+        x_data = np.full(1000, 0.1, dtype=np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        run_kernel(kernel, {"n": 1000}, {"x": x_data, "out": out})
+        expected = np.float32(0.0)
+        for value in x_data:
+            expected = np.float32(expected + value)
+        assert out[0] == expected
+
+    def test_math_functions(self):
+        b = KernelBuilder("m")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        y = b.array("y", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(y[i], sqrt(x[i]))
+        kernel = b.build()
+        xs = np.array([1.0, 4.0, 9.0], dtype=np.float32)
+        ys = np.zeros(3, dtype=np.float32)
+        run_kernel(kernel, {"n": 3}, {"x": xs, "y": ys})
+        np.testing.assert_allclose(ys, [1, 2, 3])
+
+
+class TestGuards:
+    def test_out_of_bounds_raises(self):
+        b = KernelBuilder("oob")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i + 1], 0.0)
+        kernel = b.build()
+        with pytest.raises(SimulationError, match="out of bounds"):
+            run_kernel(kernel, {"n": 4}, {"x": np.zeros(4, dtype=np.float32)})
+
+    def test_missing_param(self):
+        kernel = build_saxpy()
+        with pytest.raises(SimulationError, match="missing"):
+            run_kernel(kernel, {}, {"x": np.zeros(1, np.float32),
+                                    "y": np.zeros(1, np.float32)})
+
+    def test_wrong_dtype_rejected(self):
+        kernel = build_saxpy()
+        with pytest.raises(SimulationError, match="dtype"):
+            run_kernel(
+                kernel, {"n": 4},
+                {"x": np.zeros(4, np.float64), "y": np.zeros(4, np.float32)},
+            )
+
+    def test_wrong_shape_rejected(self):
+        kernel = build_saxpy()
+        with pytest.raises(SimulationError, match="shape"):
+            run_kernel(
+                kernel, {"n": 4},
+                {"x": np.zeros(5, np.float32), "y": np.zeros(4, np.float32)},
+            )
+
+    def test_statement_budget(self):
+        kernel = build_saxpy()
+        with pytest.raises(SimulationError, match="statements"):
+            run_kernel(
+                kernel, {"n": 100},
+                {"x": np.zeros(100, np.float32), "y": np.zeros(100, np.float32)},
+                max_statements=10,
+            )
+
+
+class TestZerosFor:
+    def test_allocates_declared_shapes(self):
+        kernel = build_descent()
+        storage = zeros_for(kernel, {"nq": 8, "depth": 3, "nn": 15})
+        assert storage["keys"].shape == (15,)
+        assert storage["out"].dtype == np.int32
+
+    def test_record_arrays_get_field_dicts(self, rng):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        b.array("pts", F32, (n,), fields=("x", "y"))
+        kernel = b.build()
+        storage = zeros_for(kernel, {"n": 5})
+        assert set(storage["pts"]) == {"x", "y"}
+
+    def test_access_hook_sees_all_accesses(self, rng):
+        kernel = build_saxpy()
+        events = []
+        x = np.zeros(8, np.float32)
+        y = np.zeros(8, np.float32)
+        run_kernel(
+            kernel, {"n": 8}, {"x": x, "y": y},
+            on_access=lambda *e: events.append(e),
+        )
+        reads = [e for e in events if not e[3]]
+        writes = [e for e in events if e[3]]
+        assert len(reads) == 16  # x[i] and y[i] per iteration
+        assert len(writes) == 8

@@ -1,0 +1,84 @@
+"""Tests for the C-like kernel pretty printer."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    I64,
+    KernelBuilder,
+    VarRef,
+    cast,
+    exp,
+    format_expr,
+    format_kernel,
+    land,
+    lnot,
+    select,
+    sqrt,
+)
+from tests.conftest import build_branchy, build_saxpy
+
+X = VarRef("x", F32)
+I = VarRef("i", I64)
+
+
+class TestFormatExpr:
+    def test_arithmetic(self):
+        assert format_expr(X + 1.0) == "(x + 1f)"
+        assert format_expr(X * X - 2.0) == "((x * x) - 2f)"
+
+    def test_math_calls(self):
+        assert format_expr(sqrt(X)) == "sqrt(x)"
+        assert format_expr(exp(-X)) == "exp((-x))"
+
+    def test_min_max_prefix_form(self):
+        from repro.ir import minimum
+
+        assert format_expr(minimum(X, 0.0)) == "min(x, 0f)"
+
+    def test_comparison_and_logic(self):
+        cond = land(X.gt(0.0), lnot(X.ge(1.0)))
+        assert format_expr(cond) == "((x > 0f) && !((x >= 1f)))"
+
+    def test_select_ternary(self):
+        assert format_expr(select(X.gt(0.0), X, 0.0)) == "((x > 0f) ? x : 0f)"
+
+    def test_cast(self):
+        assert format_expr(cast(I, F32)) == "(f32)i"
+
+    def test_load_with_field(self):
+        from repro.ir import Load
+
+        load = Load("pts", (I,), F32, "y")
+        assert format_expr(load) == "pts[i].y"
+
+
+class TestFormatKernel:
+    def test_saxpy_rendering(self):
+        text = format_kernel(build_saxpy())
+        assert "void saxpy(int64 n)" in text
+        assert "#pragma omp parallel for" in text
+        assert "for (i = 0; i < n; i++) {" in text
+        assert "y[i] =" in text
+
+    def test_branch_rendering(self):
+        text = format_kernel(build_branchy())
+        assert "if (x[i] > 0f) {" in text
+        assert "} else {" in text
+
+    def test_simd_pragma_rendering(self):
+        text = format_kernel(build_saxpy(simd=True))
+        assert "#pragma simd" in text
+
+    def test_record_array_comment(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        pts = b.array("pts", F32, (n,), fields=("x", "y"), layout="aos")
+        with b.loop("i", n) as i:
+            b.assign(pts[i].x, pts[i].y)
+        text = format_kernel(b.build())
+        assert "/* aos {x, y} */" in text
+
+    def test_doc_comment(self):
+        text = format_kernel(build_saxpy())
+        assert text.startswith("// y = 2x + y")

@@ -1,0 +1,99 @@
+"""Tests for the extension kernels (tiled NBody, f64 BlackScholes) and the
+workload-sensitivity experiments."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.experiments import run_experiment
+from repro.ir import run_kernel
+from repro.kernels import BlackScholes, NBody
+from repro.machines import CORE_I7_X980
+from repro.simulator import simulate
+
+BEST = CompilerOptions.best_traditional()
+
+
+class TestTiledNBody:
+    def test_tiled_matches_reference(self):
+        """The tiled kernel computes the same accelerations."""
+        bench = NBody()
+        params = {"n": 48, "tile": 8}
+        rng = np.random.default_rng(3)
+        problem = bench.make_problem(params, rng)
+        storage = bench.bind("optimized", problem, params)
+        run_kernel(bench.build_tiled(), params, storage)
+        actual = bench.extract("optimized", storage)
+        expected = bench.reference(problem, params)
+        np.testing.assert_allclose(actual, expected, rtol=5e-3, atol=5e-3)
+
+    def test_tiling_removes_dram_bottleneck_at_scale(self):
+        bench = NBody()
+        n = 1 << 20
+        untiled = simulate(
+            compile_kernel(bench.kernel("optimized"), BEST, CORE_I7_X980),
+            CORE_I7_X980, {"n": n},
+        )
+        tiled = simulate(
+            compile_kernel(bench.build_tiled(), BEST, CORE_I7_X980),
+            CORE_I7_X980, {"n": n, "tile": 1 << 16},
+        )
+        assert untiled.bottleneck == "DRAM"
+        assert tiled.bottleneck == "compute"
+        assert tiled.time_s < untiled.time_s / 2
+        assert tiled.traffic_bytes[-1] < untiled.traffic_bytes[-1] / 100
+
+    def test_tiling_neutral_when_data_fits(self):
+        """At the paper's 16K bodies everything is cache-resident and
+        tiling neither helps nor hurts much."""
+        bench = NBody()
+        n = 16384
+        untiled = simulate(
+            compile_kernel(bench.kernel("optimized"), BEST, CORE_I7_X980),
+            CORE_I7_X980, {"n": n},
+        )
+        tiled = simulate(
+            compile_kernel(bench.build_tiled(), BEST, CORE_I7_X980),
+            CORE_I7_X980, {"n": n, "tile": 4096},
+        )
+        assert tiled.time_s == pytest.approx(untiled.time_s, rel=0.25)
+
+
+class TestDoublePrecision:
+    def test_f64_kernel_validates_and_halves_lanes(self):
+        kernel = BlackScholes().build_double_precision()
+        compiled = compile_kernel(kernel, BEST, CORE_I7_X980)
+        assert max(l.vector_lanes for l in compiled.all_loops()) == 2
+
+    def test_f64_slower_than_f32(self):
+        bench = BlackScholes()
+        n = {"n": 1_000_000}
+        f32 = simulate(
+            compile_kernel(bench.kernel("optimized"), BEST, CORE_I7_X980),
+            CORE_I7_X980, n,
+        )
+        f64 = simulate(
+            compile_kernel(bench.build_double_precision(), BEST, CORE_I7_X980),
+            CORE_I7_X980, n,
+        )
+        assert 1.5 <= f64.time_s / f32.time_s <= 3.0
+
+
+class TestWorkloadExperiments:
+    def test_worksize_speedup_grows_then_plateaus(self):
+        result = run_experiment("abl_worksize")
+        speedups = [row[3] for row in result.rows]
+        assert speedups[0] < speedups[-1]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] == pytest.approx(speedups[-2], rel=0.05)
+
+    def test_precision_rows(self):
+        result = run_experiment("abl_precision")
+        assert result.rows[0][1] == 4
+        assert result.rows[1][1] == 2
+
+    def test_nbody_tile_interior_optimum_or_flat(self):
+        result = run_experiment("abl_nbody_tile")
+        untiled_time = result.rows[0][1]
+        best_tiled = min(row[1] for row in result.rows[1:])
+        assert best_tiled < untiled_time / 2

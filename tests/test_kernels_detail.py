@@ -1,0 +1,177 @@
+"""Deeper per-kernel semantic tests beyond the reference comparison."""
+
+import numpy as np
+import pytest
+
+from repro.ir import run_kernel
+from repro.kernels import (
+    LBM,
+    BackProjection,
+    BlackScholes,
+    ComplexConv,
+    Conv2D,
+    Libor,
+    NBody,
+    Stencil,
+    VolumeRender,
+)
+
+
+class TestBlackScholesDetail:
+    def test_prices_are_nonnegative(self):
+        bench = BlackScholes()
+        actual, _ = bench.run_functional("optimized")
+        assert np.all(actual >= -1e-4)
+
+    def test_deep_in_the_money_call_approaches_intrinsic(self):
+        bench = BlackScholes()
+        problem = {
+            "spot": np.array([100.0], np.float32),
+            "strike": np.array([10.0], np.float32),
+            "time": np.array([0.25], np.float32),
+        }
+        out = bench.reference(problem, {"n": 1})
+        call = out[0, 0]
+        intrinsic = 100.0 - 10.0 * np.exp(-0.02 * 0.25)
+        assert call == pytest.approx(intrinsic, rel=1e-3)
+
+
+class TestLBMDetail:
+    def test_weights_sum_to_one(self):
+        from repro.kernels.lbm import WEIGHTS
+
+        assert sum(WEIGHTS) == pytest.approx(1.0)
+
+    def test_equilibrium_is_fixed_point(self):
+        """Starting exactly at a uniform equilibrium, one step is identity
+        (up to f32 rounding) in the interior."""
+        bench = LBM()
+        params = {"n": 8}
+        from repro.kernels.lbm import FIELDS, WEIGHTS
+
+        problem = {
+            FIELDS[k]: np.full((8, 8), WEIGHTS[k], np.float32)
+            for k in range(9)
+        }
+        storage = bench.bind("optimized", problem, params)
+        phase = bench.phases("optimized", params)[0]
+        run_kernel(phase.kernel, phase.params, storage)
+        out = bench.extract("optimized", storage)
+        for k in range(9):
+            np.testing.assert_allclose(out[k], WEIGHTS[k], rtol=1e-5)
+
+    def test_positive_densities_preserved_near_equilibrium(self):
+        bench = LBM()
+        actual, _ = bench.run_functional("naive")
+        assert np.all(actual > 0)
+
+
+class TestStencilDetail:
+    def test_constant_field_is_scaled_by_coefficient_sum(self):
+        from repro.kernels.stencil import C_CENTER, C_NEIGHBOR
+
+        bench = Stencil()
+        params = bench.test_params()
+        n = params["n"]
+        problem = {"grid": np.full((n, n, n), 2.0, np.float32)}
+        expected = 2.0 * (C_CENTER + 6 * C_NEIGHBOR)
+        out = bench.reference(problem, params)
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_blocked_equals_naive_functionally(self):
+        bench = Stencil()
+        rng = np.random.default_rng(11)
+        naive, _ = bench.run_functional("naive", rng=rng)
+        rng = np.random.default_rng(11)
+        blocked, _ = bench.run_functional("optimized", rng=rng)
+        np.testing.assert_allclose(naive, blocked, rtol=1e-6)
+
+
+class TestConv2dDetail:
+    def test_identity_filter(self):
+        bench = Conv2D()
+        params = bench.test_params()
+        h, w = params["h"], params["w"]
+        rng = np.random.default_rng(0)
+        img = rng.standard_normal((h + 4, w + 4)).astype(np.float32)
+        coef = np.zeros((5, 5), np.float32)
+        coef[2, 2] = 1.0
+        out = bench.reference({"img": img, "coef": coef}, params)
+        np.testing.assert_allclose(out, img[2:-2, 2:-2], rtol=1e-6)
+
+
+class TestComplexConvDetail:
+    def test_single_tap_is_complex_scale(self):
+        bench = ComplexConv()
+        params = {"n": 16, "taps": 1}
+        rng = np.random.default_rng(0)
+        problem = bench.make_problem(params, rng)
+        expected = problem["signal"][:16] * problem["coef"][0]
+        out = bench.reference(problem, params)
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+
+class TestLiborDetail:
+    def test_zero_volatility_paths_are_deterministic(self):
+        import math
+
+        from repro.kernels.libor import DISCOUNT, MU, R0, SIGMA, STRIKE
+
+        bench = Libor()
+        params = {"npaths": 4, "nsteps": 8}
+        problem = {"z": np.zeros((4, 8), np.float32)}
+        out = bench.reference(problem, params)
+        rate = R0
+        payoff = 0.0
+        for _ in range(8):
+            rate *= math.exp(MU)
+            payoff += max(rate - STRIKE, 0.0)
+        np.testing.assert_allclose(out, payoff * DISCOUNT, rtol=1e-5)
+
+
+class TestVolumeRenderDetail:
+    def test_opacity_saturation_stops_accumulation(self):
+        """With a fully opaque volume, late steps contribute nothing."""
+        bench = VolumeRender()
+        # opacity = 1-(1-0.08)^k crosses the 0.95 limit near k=36: by 60
+        # steps every ray has terminated, so 60 and 80 steps agree exactly.
+        params = {"width": 4, "nvox": 8, "steps": 80}
+        rng = np.random.default_rng(0)
+        problem = bench.make_problem(params, rng)
+        problem["volume"][:] = 1.0  # max density
+        short = bench.reference(problem, dict(params, steps=60))
+        long = bench.reference(problem, params)
+        np.testing.assert_allclose(short, long, rtol=1e-5)
+
+    def test_empty_volume_renders_black(self):
+        bench = VolumeRender()
+        params = bench.test_params()
+        rng = np.random.default_rng(0)
+        problem = bench.make_problem(params, rng)
+        problem["volume"][:] = 0.0
+        out = bench.reference(problem, params)
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestBackProjectionDetail:
+    def test_uniform_sinogram_gives_uniform_image(self):
+        bench = BackProjection()
+        params = bench.test_params()
+        rng = np.random.default_rng(0)
+        problem = bench.make_problem(params, rng)
+        problem["sino"][:] = 1.0
+        out = bench.reference(problem, params)
+        np.testing.assert_allclose(out, params["nang"], rtol=1e-5)
+
+
+class TestNBodyDetail:
+    def test_net_force_is_zero(self):
+        """Momentum conservation: total mass-weighted acceleration ~ 0."""
+        bench = NBody()
+        params = {"n": 32}
+        rng = np.random.default_rng(5)
+        problem = bench.make_problem(params, rng)
+        acc = bench.reference(problem, params).astype(np.float64)
+        total = (problem["mass"][:, None].astype(np.float64) * acc).sum(axis=0)
+        scale = np.abs(problem["mass"][:, None] * acc).sum()
+        assert np.all(np.abs(total) < 1e-5 * scale)

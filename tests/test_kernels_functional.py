@@ -1,0 +1,105 @@
+"""Functional correctness: every variant of every benchmark must agree
+with its numpy reference — the proof that the paper's algorithmic changes
+preserve semantics."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import BENCHMARK_CLASSES, VARIANT_NAMES, all_benchmarks
+
+CASES = [
+    (cls, variant) for cls in BENCHMARK_CLASSES for variant in VARIANT_NAMES
+]
+
+
+@pytest.mark.parametrize(
+    "bench_cls,variant",
+    CASES,
+    ids=[f"{cls.name}-{variant}" for cls, variant in CASES],
+)
+def test_variant_matches_reference(bench_cls, variant):
+    bench = bench_cls()
+    actual, expected = bench.run_functional(variant)
+    assert actual.shape == expected.shape
+    assert actual.dtype == expected.dtype
+    if np.issubdtype(actual.dtype, np.integer):
+        np.testing.assert_array_equal(actual, expected)
+    elif np.issubdtype(actual.dtype, np.complexfloating):
+        np.testing.assert_allclose(actual, expected, rtol=2e-3, atol=2e-3)
+    else:
+        np.testing.assert_allclose(actual, expected, rtol=5e-3, atol=5e-3)
+
+
+@pytest.mark.parametrize(
+    "bench_cls", BENCHMARK_CLASSES, ids=[c.name for c in BENCHMARK_CLASSES]
+)
+class TestBenchmarkContract:
+    def test_metadata_complete(self, bench_cls):
+        bench = bench_cls()
+        assert bench.name and bench.title
+        assert bench.category in ("compute", "bandwidth", "irregular")
+        assert bench.paper_change
+
+    def test_loc_deltas_ordered(self, bench_cls):
+        """Optimized variants are cheap; ninja variants are expensive."""
+        bench = bench_cls()
+        assert bench.loc_delta("naive") == 0
+        assert 0 < bench.loc_delta("optimized") <= 100
+        assert bench.loc_delta("ninja") >= 3 * bench.loc_delta("optimized")
+
+    def test_paper_params_larger_than_test_params(self, bench_cls):
+        bench = bench_cls()
+        assert bench.elements(bench.paper_params()) > bench.elements(
+            bench.test_params()
+        )
+
+    def test_phases_cover_every_variant(self, bench_cls):
+        bench = bench_cls()
+        for variant in VARIANT_NAMES:
+            phases = bench.phases(variant, bench.paper_params())
+            assert phases
+            for phase in phases:
+                assert phase.count > 0
+                # Phase params must satisfy the phase kernel.
+                missing = set(phase.kernel.params) - set(phase.params)
+                assert not missing
+
+    def test_kernel_cache_returns_same_object(self, bench_cls):
+        bench = bench_cls()
+        assert bench.kernel("naive") is bench.kernel("naive")
+
+    def test_unknown_variant_rejected(self, bench_cls):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            bench_cls().kernel("heroic")
+
+
+def test_registry_round_trip():
+    from repro.kernels import get_benchmark
+
+    for bench in all_benchmarks():
+        assert get_benchmark(bench.name).name == bench.name
+
+
+def test_registry_rejects_unknown():
+    from repro.errors import WorkloadError
+    from repro.kernels import get_benchmark
+
+    with pytest.raises(WorkloadError):
+        get_benchmark("linpack")
+
+
+def test_suite_covers_all_categories():
+    categories = {bench.category for bench in all_benchmarks()}
+    assert categories == {"compute", "bandwidth", "irregular"}
+
+
+def test_deterministic_problems():
+    """make_problem with the same rng seed yields identical data."""
+    from repro.kernels import NBody
+
+    bench = NBody()
+    one = bench.make_problem(bench.test_params(), np.random.default_rng(5))
+    two = bench.make_problem(bench.test_params(), np.random.default_rng(5))
+    np.testing.assert_array_equal(one["pos"], two["pos"])

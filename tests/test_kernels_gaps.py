@@ -1,0 +1,122 @@
+"""End-to-end gap-shape tests: the paper's qualitative results must hold.
+
+These are the reproduction's acceptance tests — they assert the *shape*
+of every headline claim (who wins, by roughly what factor), not absolute
+times.
+"""
+
+import pytest
+
+from repro.analysis import breakdown, measure_ladder, measure_suite
+from repro.kernels import all_benchmarks, get_benchmark
+from repro.machines import CORE_I7_X980, GENERATIONS, MIC_KNF
+
+
+@pytest.fixture(scope="module")
+def westmere_suite():
+    return measure_suite(all_benchmarks(), CORE_I7_X980)
+
+
+class TestHeadlineClaims:
+    def test_mean_ninja_gap_in_paper_band(self, westmere_suite):
+        """Paper: average 24X on the 6-core Westmere."""
+        assert 18.0 <= westmere_suite.mean_ninja_gap <= 32.0
+
+    def test_max_ninja_gap_in_paper_band(self, westmere_suite):
+        """Paper: up to 53X."""
+        assert 45.0 <= westmere_suite.max_ninja_gap <= 65.0
+
+    def test_mean_residual_gap_close_to_paper(self, westmere_suite):
+        """Paper: algorithmic changes + compiler get within 1.3X."""
+        assert 1.05 <= westmere_suite.mean_residual_gap <= 1.45
+
+    def test_every_residual_gap_small(self, westmere_suite):
+        for ladder in westmere_suite.ladders:
+            assert ladder.residual_gap <= 2.0, ladder.benchmark
+
+    def test_every_gap_exceeds_parallelism_floor(self, westmere_suite):
+        """Every kernel leaves at least the threading factor on the table."""
+        for ladder in westmere_suite.ladders:
+            assert ladder.ninja_gap >= 2.0, ladder.benchmark
+
+
+class TestPerCategoryShapes:
+    def test_compute_kernels_have_largest_gaps(self, westmere_suite):
+        by_name = {l.benchmark: l for l in westmere_suite.ladders}
+        compute_gaps = [
+            by_name[name].ninja_gap
+            for name in ("nbody", "blackscholes", "libor")
+        ]
+        bandwidth_gaps = [
+            by_name[name].ninja_gap for name in ("stencil", "mergesort")
+        ]
+        assert min(compute_gaps) > max(bandwidth_gaps)
+
+    def test_transcendental_kernels_near_the_top(self, westmere_suite):
+        ranked = sorted(
+            westmere_suite.ladders, key=lambda l: l.ninja_gap, reverse=True
+        )
+        top3 = {ladder.benchmark for ladder in ranked[:3]}
+        assert top3 & {"blackscholes", "libor", "nbody"}
+
+    def test_bandwidth_kernels_end_dram_bound(self, westmere_suite):
+        """Once vectorized+blocked, the bandwidth category hits the memory
+        wall (ninja may claw back to balanced via NT stores)."""
+        for name in ("stencil", "lbm"):
+            ladder = westmere_suite.ladder_for(name)
+            assert ladder.rungs["traditional"].bottleneck == "DRAM"
+
+    def test_breakdown_components_multiply_to_gap(self, westmere_suite):
+        for ladder in westmere_suite.ladders:
+            parts = breakdown(ladder)
+            assert parts.total == pytest.approx(ladder.ninja_gap, rel=1e-6)
+
+    def test_threading_is_dominant_for_most(self, westmere_suite):
+        dominant = [breakdown(l).dominant for l in westmere_suite.ladders]
+        assert dominant.count("threading") >= 4
+
+
+class TestLadderMonotone:
+    @pytest.mark.parametrize(
+        "name", [b.name for b in all_benchmarks()]
+    )
+    def test_rungs_never_regress(self, name, westmere_suite):
+        ladder = westmere_suite.ladder_for(name)
+        order = ("serial", "parallel", "autovec", "traditional", "ninja")
+        times = [ladder.time(label) for label in order]
+        for earlier, later in zip(times, times[1:]):
+            assert later <= earlier * 1.05, (name, times)
+
+
+class TestGenerationTrend:
+    def test_gap_grows_with_parallel_resources(self):
+        """Paper Fig. 2: the unaddressed gap grows every generation."""
+        means = []
+        benches = [
+            get_benchmark(name)
+            for name in ("nbody", "blackscholes", "stencil", "treesearch")
+        ]
+        for machine in GENERATIONS:
+            suite = measure_suite(benches, machine)
+            means.append(suite.mean_ninja_gap)
+        assert means[0] < means[1] < means[2]
+
+
+class TestMic:
+    @pytest.mark.parametrize("name", ["nbody", "blackscholes", "treesearch"])
+    def test_mic_residual_small(self, name):
+        ladder = measure_ladder(get_benchmark(name), MIC_KNF)
+        assert ladder.residual_gap <= 1.8
+
+    def test_mic_ninja_faster_than_cpu_on_compute(self):
+        bench = get_benchmark("nbody")
+        mic = measure_ladder(bench, MIC_KNF)
+        cpu = measure_ladder(bench, CORE_I7_X980)
+        assert mic.rungs["ninja"].time_s < cpu.rungs["ninja"].time_s
+
+    def test_mic_naive_serial_is_terrible(self):
+        """A single in-order MIC core running scalar code: the naive gap
+        explodes, which is the paper's 'will inevitably increase' warning
+        taken to the manycore limit."""
+        ladder = measure_ladder(get_benchmark("nbody"), MIC_KNF)
+        assert ladder.ninja_gap > 100.0

@@ -1,0 +1,186 @@
+"""Structural assertions: each benchmark exercises the compiler path the
+paper describes for it (vectorizer verdicts, access patterns, layouts)."""
+
+import pytest
+
+from repro.compiler import (
+    AccessPattern,
+    CompilerOptions,
+    compile_kernel,
+    plan_vectorization,
+)
+from repro.compiler.unroll import fully_unroll_const_loops
+from repro.kernels import (
+    LBM,
+    BackProjection,
+    BlackScholes,
+    ComplexConv,
+    Conv2D,
+    Libor,
+    MergeSort,
+    NBody,
+    Stencil,
+    TreeSearch,
+    VolumeRender,
+)
+from repro.machines import CORE_I7_X980, MIC_KNF
+
+AUTO = CompilerOptions.auto_vec()
+BEST = CompilerOptions.best_traditional()
+WESTMERE = CORE_I7_X980.core
+
+
+def plans_for(kernel, options, core=WESTMERE):
+    plans, report = plan_vectorization(
+        fully_unroll_const_loops(kernel), options, core
+    )
+    return plans, report
+
+
+class TestAosKernelsDeclineAutoVec:
+    """The paper's central compiler observation: AOS layouts defeat the
+    SSE auto-vectorizer; the SOA variants vectorize."""
+
+    @pytest.mark.parametrize(
+        "bench_cls,loop_var",
+        [(NBody, "j"), (BlackScholes, "i"), (ComplexConv, "k"), (LBM, "x0")],
+        ids=["nbody", "blackscholes", "cconv", "lbm"],
+    )
+    def test_naive_declined_optimized_vectorized(self, bench_cls, loop_var):
+        bench = bench_cls()
+        naive_plans, naive_report = plans_for(bench.kernel("naive"), AUTO)
+        assert not naive_report.vectorized_loops()
+        reason = naive_report.decision_for(loop_var).reason
+        assert "gather" in reason or "inefficient" in reason
+        opt_plans, _ = plans_for(bench.kernel("optimized"), BEST)
+        assert opt_plans  # something vectorized
+
+    def test_naive_nbody_vectorizes_on_mic(self):
+        """Hardware gather flips the auto-vec verdict (paper §6)."""
+        plans, _ = plans_for(NBody().kernel("naive"), AUTO, MIC_KNF.core)
+        assert plans["j"].lanes == 16
+
+
+class TestSequentialInnerLoops:
+    def test_libor_step_loop_is_sequential(self):
+        _plans, report = plans_for(Libor().kernel("naive"), AUTO)
+        assert "scalar dependence" in report.decision_for("m").reason
+
+    def test_libor_optimized_vectorizes_paths(self):
+        plans, _ = plans_for(Libor().kernel("optimized"), BEST)
+        assert plans["p"].lanes == 4
+
+    def test_treesearch_descent_is_sequential(self):
+        _plans, report = plans_for(TreeSearch().kernel("naive"), AUTO)
+        assert "scalar dependence" in report.decision_for("d").reason
+
+    def test_treesearch_optimized_vectorizes_queries_with_gathers(self):
+        bench = TreeSearch()
+        compiled = compile_kernel(bench.kernel("optimized"), BEST, CORE_I7_X980)
+        outer = compiled.roots[0]
+        assert outer.vector_lanes == 4
+        inner = outer.children[0]
+        patterns = {a.pattern for a in inner.accesses}
+        assert AccessPattern.GATHER in patterns
+
+
+class TestLayouts:
+    def test_nbody_variants_differ_only_in_layout(self):
+        bench = NBody()
+        naive = bench.kernel("naive")
+        optimized = bench.kernel("optimized")
+        assert naive.array("body").layout == "aos"
+        assert optimized.array("body").layout == "soa"
+
+    def test_lbm_distribution_planes(self):
+        bench = LBM()
+        assert bench.kernel("naive").array("fsrc").num_fields == 9
+        assert bench.kernel("optimized").array("fsrc").layout == "soa"
+
+    def test_treesearch_tree_skew(self):
+        assert TreeSearch().kernel("naive").array("keys").skew == "tree_bfs"
+
+    def test_volume_skew_spatial(self):
+        assert VolumeRender().kernel("naive").array("volume").skew == "spatial"
+
+
+class TestStencilBlocking:
+    def test_blocked_kernel_has_five_loops(self):
+        kernel = Stencil().kernel("optimized")
+        assert len(kernel.loops()) == 5
+
+    def test_naive_kernel_has_three_loops(self):
+        kernel = Stencil().kernel("naive")
+        assert len(kernel.loops()) == 3
+
+    def test_block_params_injected_by_phases(self):
+        bench = Stencil()
+        phase = bench.phases("optimized", {"n": 514})[0]
+        assert phase.params["by"] == bench.BLOCK
+        assert phase.params["bx"] == bench.BLOCK
+
+
+class TestConv2dUnrolling:
+    def test_naive_tap_loops_flatten(self):
+        kernel = fully_unroll_const_loops(Conv2D().kernel("naive"))
+        loop_vars = [loop.var for loop in kernel.loops()]
+        assert "ky" not in loop_vars
+        assert "kx" not in loop_vars
+
+    def test_x_loop_vectorizes_after_unroll(self):
+        plans, _ = plans_for(Conv2D().kernel("naive"), AUTO)
+        assert "x" in plans
+
+
+class TestMergeSortPhases:
+    def test_naive_pass_count(self):
+        bench = MergeSort()
+        phases = bench.phases("naive", {"n": 1 << 10})
+        assert len(phases) == 10
+        widths = [phase.params["width"] for phase in phases]
+        assert widths == [1 << level for level in range(10)]
+
+    def test_optimized_block_then_merges(self):
+        bench = MergeSort()
+        phases = bench.phases("optimized", {"n": 1 << 10})
+        assert phases[0].kernel.name.startswith("bitonic_block")
+        assert len(phases) == 1 + 10 - 4  # block levels are fused
+
+    def test_buffers_alternate(self):
+        bench = MergeSort()
+        phases = bench.phases("naive", {"n": 1 << 6})
+        names = [phase.kernel.name for phase in phases]
+        assert names[0] != names[1]
+        assert names[0] == names[2]
+
+    def test_power_of_two_enforced(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            MergeSort().phases("naive", {"n": 1000})
+
+
+class TestBranchyKernels:
+    def test_mergesort_naive_has_unpredictable_branch(self):
+        bench = MergeSort()
+        kernel = bench._merge_kernel("ab", branch_free=False)
+        compiled = compile_kernel(
+            kernel, CompilerOptions.naive_serial(), CORE_I7_X980
+        )
+        inner = compiled.roots[0].children[0]
+        assert inner.branch_mispredicts == pytest.approx(0.5)
+
+    def test_volume_render_early_out_probability(self):
+        from repro.ir import If
+
+        kernel = VolumeRender().kernel("naive")
+        guards = [s for s in kernel.walk_statements() if isinstance(s, If)]
+        assert guards and guards[0].probability == pytest.approx(0.55)
+
+    def test_backprojection_gathers_under_simd(self):
+        compiled = compile_kernel(
+            BackProjection().kernel("optimized"), BEST, CORE_I7_X980
+        )
+        loops = list(compiled.all_loops())
+        patterns = {a.pattern for loop in loops for a in loop.accesses}
+        assert AccessPattern.GATHER in patterns

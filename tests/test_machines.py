@@ -1,0 +1,158 @@
+"""Tests for machine specs, presets, and op cost tables."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MachineSpecError
+from repro.machines import (
+    CORE2_E6600,
+    CORE_I7_960,
+    CORE_I7_2600,
+    CORE_I7_X980,
+    GENERATIONS,
+    MIC_KNF,
+    OpClass,
+    PRESETS,
+    get_machine,
+)
+from repro.machines.ops import sse42_cost_table
+from repro.machines.spec import CacheSpec, CoreSpec, MachineSpec, VectorISA
+from repro.units import ghz, kib
+
+
+class TestCacheSpec:
+    def test_num_sets(self):
+        cache = CacheSpec("L1D", kib(32), 64, 8, 4)
+        assert cache.num_sets == 64
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(MachineSpecError):
+            CacheSpec("L1D", kib(32), 48, 8, 4)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(MachineSpecError):
+            CacheSpec("L1D", kib(32), 64, 0, 4)
+        with pytest.raises(MachineSpecError):
+            CacheSpec("L1D", kib(32), 64, 1024, 4)
+
+    def test_describe_mentions_geometry(self):
+        text = CacheSpec("L2", kib(256), 64, 8, 10).describe()
+        assert "256 KiB" in text
+        assert "8-way" in text
+
+
+class TestVectorISA:
+    def test_lanes_by_element_size(self):
+        isa = CORE_I7_X980.core.isa
+        assert isa.lanes(4) == 4   # f32 on 128-bit SSE
+        assert isa.lanes(8) == 2   # f64
+        assert MIC_KNF.core.isa.lanes(4) == 16
+
+    def test_lanes_never_below_one(self):
+        assert CORE_I7_X980.core.isa.lanes(64) == 1
+
+    def test_rejects_weird_width(self):
+        with pytest.raises(MachineSpecError):
+            VectorISA("bogus", 96, sse42_cost_table())
+
+    def test_mic_has_gather_and_fma(self):
+        assert MIC_KNF.core.isa.has_hw_gather
+        assert MIC_KNF.core.isa.has_fma
+        assert not CORE_I7_X980.core.isa.has_hw_gather
+
+
+class TestMachineSpec:
+    def test_westmere_headline_numbers(self):
+        m = CORE_I7_X980
+        assert m.num_cores == 6
+        assert m.total_threads == 12
+        assert m.simd_lanes(4) == 4
+        # 6 cores * 3.33 GHz * 4 lanes * 2 pipes ≈ 160 GFLOP/s SP
+        assert m.peak_flops_sp() == pytest.approx(159.84e9, rel=1e-3)
+
+    def test_mic_peak_is_teraflop_class(self):
+        assert MIC_KNF.peak_flops_sp() == pytest.approx(1.2288e12, rel=1e-3)
+
+    def test_line_bytes_uniform(self):
+        for machine in PRESETS.values():
+            assert machine.line_bytes == 64
+
+    def test_generations_are_ordered_by_year(self):
+        years = [m.year for m in GENERATIONS]
+        assert years == sorted(years)
+
+    def test_generations_grow_in_parallelism(self):
+        resources = [
+            m.num_cores * m.simd_lanes(4) for m in GENERATIONS
+        ]
+        assert resources == sorted(resources)
+        assert resources[0] < resources[-1]
+
+    def test_with_overrides_makes_copy(self):
+        doubled = CORE_I7_X980.with_overrides(num_cores=12)
+        assert doubled.num_cores == 12
+        assert CORE_I7_X980.num_cores == 6
+
+    def test_rejects_decreasing_capacities(self):
+        with pytest.raises(MachineSpecError):
+            dataclasses.replace(
+                CORE_I7_X980,
+                caches=(CORE_I7_X980.caches[2], CORE_I7_X980.caches[0]),
+            )
+
+    def test_describe_lists_every_level(self):
+        text = CORE_I7_X980.describe()
+        for cache in CORE_I7_X980.caches:
+            assert cache.name in text
+
+
+class TestGetMachine:
+    def test_canonical_name(self):
+        assert get_machine("Core i7 X980") is CORE_I7_X980
+
+    def test_aliases(self):
+        assert get_machine("westmere") is CORE_I7_X980
+        assert get_machine("MIC") is MIC_KNF
+        assert get_machine("nehalem") is CORE_I7_960
+        assert get_machine("avx") is CORE_I7_2600
+        assert get_machine("core2") is CORE2_E6600
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(MachineSpecError, match="known:"):
+            get_machine("itanium")
+
+
+class TestCostTables:
+    @pytest.mark.parametrize("machine", list(PRESETS.values()), ids=lambda m: m.name)
+    def test_tables_are_complete(self, machine):
+        table = machine.core.isa.cost_table
+        for op in OpClass:
+            assert table.cost(op, vector=False).rtp > 0
+            assert table.cost(op, vector=True).rtp > 0
+
+    def test_vector_math_is_cheaper_per_element(self):
+        """SVML-class vector transcendentals beat scalar libm per element."""
+        for machine in PRESETS.values():
+            isa = machine.core.isa
+            lanes = isa.lanes(4)
+            if lanes == 1:
+                continue
+            table = isa.cost_table
+            for op in (OpClass.EXP, OpClass.LOG, OpClass.ERF):
+                scalar = table.cost(op, vector=False).rtp
+                vector = table.cost(op, vector=True).rtp / lanes
+                assert vector < scalar, (machine.name, op)
+
+    def test_mic_gather_is_cheaper_per_lane_than_sse(self):
+        sse = CORE_I7_X980.core.isa.cost_table.cost(OpClass.GATHER_LANE, True).rtp
+        mic = MIC_KNF.core.isa.cost_table.cost(OpClass.GATHER_LANE, True).rtp
+        assert mic < sse
+
+    def test_divide_slower_than_multiply(self):
+        for machine in PRESETS.values():
+            table = machine.core.isa.cost_table
+            assert (
+                table.cost(OpClass.FDIV, False).rtp
+                > table.cost(OpClass.FMUL, False).rtp
+            )

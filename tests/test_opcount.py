@@ -1,0 +1,89 @@
+"""Tests for the expression → op-count lowering."""
+
+import pytest
+
+from repro.compiler.opcount import FLOP_CLASSES, lower_expr
+from repro.ir import F32, I64, VarRef, erf, exp, log, select, sqrt
+from repro.machines import OpClass
+
+X = VarRef("x", F32)
+Y = VarRef("y", F32)
+I = VarRef("i", I64)
+
+
+class TestArithmetic:
+    def test_add_mul(self):
+        lowering = lower_expr(X * Y + X)
+        assert lowering.ops.get(OpClass.FADD) == 1
+        assert lowering.ops.get(OpClass.FMUL) == 1
+
+    def test_fma_pair_detected(self):
+        lowering = lower_expr(X * Y + X)
+        assert lowering.ops.fma_pairs == 1
+
+    def test_no_fma_pair_for_plain_add(self):
+        lowering = lower_expr(X + Y)
+        assert lowering.ops.fma_pairs == 0
+
+    def test_divide_default_is_fdiv(self):
+        lowering = lower_expr(X / Y)
+        assert lowering.ops.get(OpClass.FDIV) == 1
+
+    def test_divide_fast_math_uses_rcp(self):
+        lowering = lower_expr(X / Y, fast_math=True)
+        assert lowering.ops.get(OpClass.FDIV) == 0
+        assert lowering.ops.get(OpClass.FRCP) == 1
+
+    def test_rsqrt_substitution(self):
+        lowering = lower_expr(X / sqrt(Y), fast_math=True)
+        assert lowering.ops.get(OpClass.FRSQRT) == 1
+        assert lowering.ops.get(OpClass.FSQRT) == 0
+        assert lowering.ops.get(OpClass.FDIV) == 0
+
+    def test_sqrt_without_fast_math(self):
+        lowering = lower_expr(X / sqrt(Y))
+        assert lowering.ops.get(OpClass.FSQRT) == 1
+        assert lowering.ops.get(OpClass.FDIV) == 1
+
+    def test_int_ops(self):
+        lowering = lower_expr(I * 4 + 1)
+        assert lowering.ops.get(OpClass.IMUL) == 1
+        assert lowering.ops.get(OpClass.IADD) == 1
+
+    def test_int_division_is_expensive(self):
+        lowering = lower_expr(I // 3)
+        assert lowering.ops.get(OpClass.IMUL) > 1
+
+
+class TestTranscendentals:
+    @pytest.mark.parametrize(
+        "helper,opclass",
+        [(exp, OpClass.EXP), (log, OpClass.LOG), (erf, OpClass.ERF)],
+    )
+    def test_mapping(self, helper, opclass):
+        lowering = lower_expr(helper(X))
+        assert lowering.ops.get(opclass) == 1
+
+    def test_flop_classes_include_transcendentals(self):
+        assert OpClass.EXP in FLOP_CLASSES
+        assert OpClass.GATHER_LANE not in FLOP_CLASSES
+        assert OpClass.LOAD not in FLOP_CLASSES
+
+
+class TestControlAndLoads:
+    def test_select_is_blend(self):
+        lowering = lower_expr(select(X.gt(0.0), X, Y))
+        assert lowering.ops.get(OpClass.BLEND) == 1
+        assert lowering.ops.get(OpClass.CMP) == 1
+
+    def test_loads_collected_not_priced(self):
+        from repro.ir import Load
+
+        load = Load("a", (I,), F32, None)
+        lowering = lower_expr(load + X)
+        assert lowering.loads == [load]
+        assert lowering.ops.get(OpClass.LOAD) == 0  # caller prices accesses
+
+    def test_flops_counts_float_work(self):
+        lowering = lower_expr(X * Y + X / Y)
+        assert lowering.flops() == 3  # mul, add, div

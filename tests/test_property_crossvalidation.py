@@ -1,0 +1,96 @@
+"""Property-based cross-validation of the analytic memory model.
+
+Generates random (but well-formed) affine loop nests, interprets them to
+produce ground-truth address traces through the set-associative cache
+simulator, and checks the analytic model's DRAM traffic lands within a
+constant factor — the strongest evidence that the figures built on the
+analytic model are not artifacts of its approximations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.ir import F32, KernelBuilder
+from repro.ir.interp import zeros_for
+from repro.machines import CORE_I7_X980
+from repro.simulator import simulate, trace_kernel
+
+
+@st.composite
+def random_affine_kernel(draw):
+    """A random 1- or 2-deep affine loop nest over 1-3 arrays."""
+    n_outer = draw(st.integers(64, 256))
+    n_inner = draw(st.integers(4, 32))
+    two_levels = draw(st.booleans())
+    stride = draw(st.sampled_from([1, 1, 1, 2, 4]))  # mostly unit
+    offset = draw(st.integers(0, 3))
+    reuse_inner = draw(st.booleans())
+
+    b = KernelBuilder("rand")
+    n = b.param("n")
+    m = b.param("m")
+    size = n_outer * stride + offset + n_inner + 8
+    src = b.array("src", F32, (size,))
+    dst = b.array("dst", F32, (n,))
+    with b.loop("i", n) as i:
+        if two_levels:
+            acc = b.let("acc", 0.0, F32)
+            with b.loop("j", m) as j:
+                index = (i * stride + offset + (j if reuse_inner else 0))
+                b.inc(acc, src[index] * 2.0)
+            b.assign(dst[i], acc)
+        else:
+            b.assign(dst[i], src[i * stride + offset] * 2.0)
+    kernel = b.build()
+    params = {"n": n_outer, "m": n_inner}
+    return kernel, params
+
+
+class TestAnalyticVsTrace:
+    @given(random_affine_kernel())
+    @settings(max_examples=25, deadline=None)
+    def test_dram_traffic_within_constant_factor(self, case):
+        kernel, params = case
+        storage = zeros_for(kernel, params)
+        for name, plane in storage.items():
+            if isinstance(plane, np.ndarray):
+                plane += 1.0
+        traced = trace_kernel(kernel, params, storage, CORE_I7_X980)
+        truth = traced.hierarchy.total_dram_bytes()
+
+        compiled = compile_kernel(
+            kernel, CompilerOptions.naive_serial(), CORE_I7_X980
+        )
+        analytic = simulate(compiled, CORE_I7_X980, params, threads=1)
+        model = analytic.traffic_bytes[-1]
+
+        assert truth > 0
+        ratio = model / truth
+        assert 0.3 <= ratio <= 3.0, (params, model, truth)
+
+    @given(random_affine_kernel())
+    @settings(max_examples=25, deadline=None)
+    def test_traffic_at_least_compulsory_lines(self, case):
+        """The model never reports less than the written footprint."""
+        kernel, params = case
+        compiled = compile_kernel(
+            kernel, CompilerOptions.naive_serial(), CORE_I7_X980
+        )
+        analytic = simulate(compiled, CORE_I7_X980, params, threads=1)
+        written = params["n"] * 4  # dst is written once per i
+        assert analytic.traffic_bytes[-1] >= written
+
+    @given(random_affine_kernel())
+    @settings(max_examples=15, deadline=None)
+    def test_l1_traffic_not_below_dram_traffic(self, case):
+        kernel, params = case
+        compiled = compile_kernel(
+            kernel, CompilerOptions.naive_serial(), CORE_I7_X980
+        )
+        analytic = simulate(compiled, CORE_I7_X980, params, threads=1)
+        levels = analytic.traffic_bytes
+        for inner, outer in zip(levels, levels[1:]):
+            assert outer <= inner * 1.0001

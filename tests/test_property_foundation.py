@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) on the foundation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.affine import analyze_affine
+from repro.ir import F32, I64, KernelBuilder, VarRef, run_kernel
+from repro.ir.expr import BinOp, Const, Expr
+from repro.machines.spec import CacheSpec
+from repro.simulator import Cache, random_miss_rate, tree_descent_misses
+from repro.units import kib
+
+# -- strategies ------------------------------------------------------------
+
+LOOP_VARS = ("i", "j", "k")
+
+
+@st.composite
+def affine_exprs(draw, depth=0) -> Expr:
+    """Random integer expressions guaranteed affine in the loop vars."""
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return Const(draw(st.integers(-100, 100)), I64)
+        if choice == 1:
+            return VarRef(draw(st.sampled_from(LOOP_VARS)), I64)
+        return VarRef("n", I64)
+    kind = draw(st.sampled_from(["+", "-", "*"]))
+    lhs = draw(affine_exprs(depth=depth + 1))
+    rhs = draw(affine_exprs(depth=depth + 1))
+    if kind == "*":
+        rhs = Const(draw(st.integers(-8, 8)), I64)
+    return BinOp(kind, lhs, rhs, I64)
+
+
+def eval_expr(expr: Expr, env: dict[str, int]) -> int:
+    from repro.ir.evaluate import eval_int_expr
+
+    return eval_int_expr(expr, env)
+
+
+class TestAffineProperties:
+    @given(affine_exprs(), st.integers(0, 50), st.integers(0, 50),
+           st.integers(0, 50), st.integers(1, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_affine_form_agrees_with_direct_evaluation(self, expr, i, j, k, n):
+        """The extracted form must evaluate identically to the expression."""
+        form = analyze_affine(expr, frozenset(LOOP_VARS))
+        assert form is not None  # construction guarantees affinity
+        env = {"i": i, "j": j, "k": k, "n": n}
+        direct = eval_expr(expr, env)
+        params = {"n": n}
+        via_form = form.const_value(params) + sum(
+            form.coeff_value(var, params) * env[var] for var in LOOP_VARS
+        )
+        assert via_form == direct
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 14), st.booleans()),
+            min_size=1, max_size=300,
+        ),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_counters_consistent(self, trace, ways):
+        cache = Cache(CacheSpec("T", kib(2), 64, ways, 1))
+        for addr, is_write in trace:
+            cache.access(addr, is_write)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(trace)
+        assert 0.0 <= stats.miss_rate <= 1.0
+        # Cannot write back more lines than were ever dirtied.
+        writes = sum(1 for _a, w in trace if w)
+        assert stats.writebacks <= writes
+
+    @given(
+        st.lists(st.integers(0, 1 << 12), min_size=1, max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_repeat_of_trace_in_fitting_cache_all_hits(self, addrs):
+        """If the whole footprint fits, a second pass never misses."""
+        unique_lines = {a // 64 for a in addrs}
+        cache = Cache(
+            CacheSpec("T", kib(64), 64, len(unique_lines) + 1
+                      if kib(64) // 64 % (len(unique_lines) + 1) == 0
+                      else kib(64) // 64, 1)
+        )
+        for a in addrs:
+            cache.access(a, False)
+        before = cache.stats.misses
+        for a in addrs:
+            cache.access(a, False)
+        assert cache.stats.misses == before
+
+    @given(st.integers(1, 1 << 20), st.integers(1, 1 << 22))
+    @settings(max_examples=200, deadline=None)
+    def test_miss_rate_monotone_in_capacity(self, region, capacity):
+        rate_small = random_miss_rate(region, capacity)
+        rate_large = random_miss_rate(region, capacity * 2)
+        assert 0.0 <= rate_large <= rate_small <= 1.0
+
+    @given(st.integers(1, 24), st.integers(10, 26), st.integers(12, 24))
+    @settings(max_examples=100, deadline=None)
+    def test_tree_descent_bounded_by_depth(self, depth, tree_log, cap_log):
+        region = 4 * (1 << tree_log)
+        misses = tree_descent_misses(depth, 4, region, 1 << cap_log)
+        assert 0.0 <= misses <= depth
+
+
+class TestInterpreterProperties:
+    @given(
+        st.lists(st.floats(-100, 100, width=32), min_size=1, max_size=40),
+        st.floats(-4, 4, width=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_kernel_matches_numpy(self, values, scale):
+        b = KernelBuilder("scale")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], x[i] * float(scale))
+        kernel = b.build()
+        data = np.array(values, dtype=np.float32)
+        expected = (data * np.float32(scale)).astype(np.float32)
+        run_kernel(kernel, {"n": len(values)}, {"x": data})
+        np.testing.assert_array_equal(data, expected)

@@ -1,0 +1,136 @@
+"""Property-based tests on the benchmark kernels' semantic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import run_kernel
+from repro.kernels import MergeSort, TreeSearch, get_benchmark
+
+
+def sort_with_variant(bench: MergeSort, variant: str, keys: np.ndarray):
+    problem = {"keys": keys}
+    params = {"n": len(keys)}
+    storage = bench.bind(variant, problem, params)
+    for phase in bench.phases(variant, params):
+        run_kernel(phase.kernel, phase.params, storage)
+    return bench.extract(variant, storage)
+
+
+class TestMergeSortProperties:
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, width=32), min_size=32, max_size=32
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_naive_merge_sorts_anything(self, values):
+        keys = np.array(values, np.float32)
+        result = sort_with_variant(MergeSort(), "naive", keys)
+        np.testing.assert_array_equal(result, np.sort(keys))
+
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, width=32), min_size=64, max_size=64
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bitonic_pipeline_sorts_anything(self, values):
+        keys = np.array(values, np.float32)
+        result = sort_with_variant(MergeSort(), "optimized", keys)
+        np.testing.assert_array_equal(result, np.sort(keys))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sort_is_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.standard_normal(128).astype(np.float32)
+        result = sort_with_variant(MergeSort(), "optimized", keys)
+        np.testing.assert_array_equal(np.sort(result), np.sort(keys))
+
+
+class TestTreeSearchProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_descent_lands_on_a_leaf_slot(self, seed):
+        bench = TreeSearch()
+        params = {"nq": 16, "depth": 5, "nn": (1 << 6) - 1}
+        rng = np.random.default_rng(seed)
+        problem = bench.make_problem(params, rng)
+        storage = bench.bind("naive", problem, params)
+        phase = bench.phases("naive", params)[0]
+        run_kernel(phase.kernel, phase.params, storage)
+        out = bench.extract("naive", storage)
+        # depth-5 descent from the root lands in BFS slots [2^5-1, 2^6-1).
+        assert np.all(out >= (1 << 5) - 1)
+        assert np.all(out < (1 << 6) - 1)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_bst_descent_brackets_the_query(self, seed):
+        """The key at the visited leaf is the closest separator: the query
+        lies between the leaf's key and one neighbour in sorted order."""
+        bench = TreeSearch()
+        params = bench.test_params()
+        rng = np.random.default_rng(seed)
+        problem = bench.make_problem(params, rng)
+        expected = bench.reference(problem, params)
+        storage = bench.bind("naive", problem, params)
+        phase = bench.phases("naive", params)[0]
+        run_kernel(phase.kernel, phase.params, storage)
+        np.testing.assert_array_equal(bench.extract("naive", storage), expected)
+
+
+class TestConservationProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_lbm_conserves_mass(self, seed):
+        """Collision relaxes toward equilibrium at the *same* density: the
+        total mass of fdst equals the pulled mass (interior cells)."""
+        bench = get_benchmark("lbm")
+        params = bench.test_params()
+        rng = np.random.default_rng(seed)
+        problem = bench.make_problem(params, rng)
+        out = bench.reference(problem, params)
+
+        n = params["n"]
+        from repro.kernels.lbm import DIRS, FIELDS
+
+        f = np.stack([problem[name].astype(np.float64) for name in FIELDS])
+        pulled_mass = 0.0
+        for k, (dx, dy) in enumerate(DIRS):
+            pulled_mass += f[k][1 - dy : n - 1 - dy, 1 - dx : n - 1 - dx].sum()
+        assert out.sum() == pytest.approx(pulled_mass, rel=1e-4)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_nbody_forces_antisymmetric_for_pair(self, seed):
+        """Two equal-mass bodies accelerate toward each other equally."""
+        bench = get_benchmark("nbody")
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(-1, 1, (2, 3)).astype(np.float32)
+        problem = {"pos": pos, "mass": np.ones(2, np.float32)}
+        acc = bench.reference(problem, {"n": 2})
+        np.testing.assert_allclose(acc[0], -acc[1], rtol=1e-4, atol=1e-5)
+
+    @given(
+        st.floats(5.0, 50.0), st.floats(5.0, 50.0), st.floats(0.3, 2.0)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_blackscholes_put_call_parity(self, spot, strike, time):
+        """call - put = S - K e^{-rT}: an exact identity of the model."""
+        import math
+
+        from repro.kernels.blackscholes import RISK_FREE, BlackScholes
+
+        bench = BlackScholes()
+        problem = {
+            "spot": np.array([spot], np.float32),
+            "strike": np.array([strike], np.float32),
+            "time": np.array([time], np.float32),
+        }
+        out = bench.reference(problem, {"n": 1})
+        call, put = float(out[0, 0]), float(out[0, 1])
+        parity = spot - strike * math.exp(-RISK_FREE * time)
+        assert call - put == pytest.approx(parity, rel=1e-3, abs=1e-3)

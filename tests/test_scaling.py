@@ -1,0 +1,104 @@
+"""Tests for the thread-scaling analysis and the extension experiments."""
+
+import pytest
+
+from repro.analysis import thread_scaling
+from repro.analysis.scaling import saturation_threads
+from repro.compiler import CompilerOptions
+from repro.experiments import run_experiment
+from repro.kernels import get_benchmark
+from repro.machines import CORE_I7_X980, MIC_KNF
+
+
+class TestThreadScaling:
+    def test_compute_kernel_scales_to_cores(self):
+        points = thread_scaling(
+            get_benchmark("blackscholes"), CORE_I7_X980,
+            thread_counts=(1, 2, 6),
+        )
+        by_threads = {point.threads: point for point in points}
+        assert by_threads[2].speedup == pytest.approx(2.0, rel=0.1)
+        assert by_threads[6].speedup == pytest.approx(6.0, rel=0.15)
+
+    def test_bandwidth_kernel_saturates(self):
+        points = thread_scaling(
+            get_benchmark("lbm"), CORE_I7_X980, thread_counts=(1, 2, 4, 6, 12)
+        )
+        assert saturation_threads(points) <= 6
+        last = points[-1]
+        assert last.speedup < 4.0  # DRAM wall well below 12x
+
+    def test_speedups_monotone_nondecreasing(self):
+        points = thread_scaling(
+            get_benchmark("nbody"), CORE_I7_X980, thread_counts=(1, 2, 4, 6)
+        )
+        speeds = [point.speedup for point in points]
+        assert speeds == sorted(speeds)
+
+    def test_efficiency_bounded(self):
+        points = thread_scaling(
+            get_benchmark("conv2d"), CORE_I7_X980, thread_counts=(1, 2, 4)
+        )
+        for point in points:
+            assert point.efficiency <= 1.1
+
+    def test_default_thread_counts_cover_machine(self):
+        points = thread_scaling(get_benchmark("conv2d"), MIC_KNF)
+        assert points[0].threads == 1
+        assert points[-1].threads == MIC_KNF.total_threads
+
+    def test_smt_helps_latency_bound_kernels(self):
+        """TreeSearch gains from SMT beyond the core count."""
+        points = thread_scaling(
+            get_benchmark("treesearch"), CORE_I7_X980, thread_counts=(6, 12)
+        )
+        assert points[-1].time_s < points[0].time_s
+
+
+class TestResidualDecomposition:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl_residual")
+
+    def test_rows_monotone_toward_parity(self, result):
+        """Adding each ninja extra never makes any kernel slower."""
+        columns = range(1, len(result.headers))
+        for col in columns:
+            values = [row[col] for row in result.rows]
+            for earlier, later in zip(values, values[1:]):
+                assert later <= earlier + 0.02
+
+    def test_final_row_is_parity(self, result):
+        assert all(value == pytest.approx(1.0, abs=0.05)
+                   for value in result.rows[-1][1:])
+
+    def test_streaming_stores_matter_for_bandwidth_kernels(self, result):
+        headers = result.headers
+        stencil_col = headers.index("stencil")
+        before = next(r for r in result.rows if r[0] == "+ aligned data")
+        after = next(r for r in result.rows if r[0] == "+ streaming stores")
+        assert after[stencil_col] < before[stencil_col] - 0.1
+
+
+class TestFutureArchitecture:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig9_future")
+
+    def test_avx_residual_stays_small(self, result):
+        # Geomean row: (label, _, _, _, resid AVX, resid AVX2, _).
+        assert result.rows[-1][4] <= 1.5
+        assert result.rows[-1][5] <= 1.5
+
+    def test_compute_gap_grows_with_lanes(self, result):
+        by_name = {row[0]: row for row in result.rows[:-1]}
+        for name in ("nbody", "blackscholes", "libor"):
+            assert by_name[name][2] > by_name[name][1]
+
+
+class TestTreeSizeSweep:
+    def test_cost_per_probe_grows_with_tree(self):
+        result = run_experiment("abl_treesize")
+        per_probe = [row[3] for row in result.rows]
+        assert per_probe == sorted(per_probe)
+        assert per_probe[-1] > 1.5 * per_probe[0]

@@ -1,0 +1,129 @@
+"""Tests for resolved stream geometry and the random-access models."""
+
+import pytest
+
+from repro.compiler import AccessContext, classify_access
+from repro.ir import F32, I64, KernelBuilder, VarRef
+from repro.ir.expr import as_expr
+from repro.ir.kernel import ArrayDecl
+from repro.simulator import (
+    random_miss_rate,
+    resolve_stream,
+    spatial_miss_factor,
+    tree_descent_misses,
+)
+
+I = VarRef("i", I64)
+J = VarRef("j", I64)
+
+
+def make_stream(index, decl, params, dynamic=()):
+    ctx = AccessContext(
+        loop_vars=frozenset({"i", "j"}), dynamic_names=frozenset(dynamic)
+    )
+    access = classify_access(decl, decl.fields[0] if decl.fields else None,
+                             index, False, ctx)
+    return resolve_stream(access, decl, params)
+
+
+class TestResolveStream:
+    def test_unit_stride_geometry(self):
+        decl = ArrayDecl("a", F32, (VarRef("n", I64),))
+        stream = make_stream((I,), decl, {"n": 1000})
+        assert stream.affine
+        assert stream.coeffs == {"i": 1}
+        assert stream.byte_stride == 4
+        assert stream.region_bytes == 4000
+
+    def test_2d_linearization(self):
+        n = VarRef("n", I64)
+        decl = ArrayDecl("g", F32, (n, n))
+        stream = make_stream((I, J), decl, {"n": 64})
+        assert stream.coeffs == {"i": 64, "j": 1}
+
+    def test_aos_stride_is_struct(self):
+        decl = ArrayDecl("p", F32, (VarRef("n", I64),), fields=("x", "y", "z"),
+                         layout="aos")
+        stream = make_stream((I,), decl, {"n": 100})
+        assert stream.byte_stride == 12
+        assert stream.region_bytes == 1200
+
+    def test_soa_stride_is_element(self):
+        decl = ArrayDecl("p", F32, (VarRef("n", I64),), fields=("x", "y", "z"),
+                         layout="soa")
+        stream = make_stream((I,), decl, {"n": 100})
+        assert stream.byte_stride == 4
+
+    def test_dynamic_index_is_random(self):
+        decl = ArrayDecl("a", F32, (VarRef("n", I64),))
+        stream = make_stream((VarRef("node", I64),), decl, {"n": 100},
+                             dynamic=("node",))
+        assert not stream.affine
+
+
+class TestLinesTouched:
+    def decl(self):
+        return ArrayDecl("a", F32, (VarRef("n", I64),))
+
+    def test_unit_stride_lines(self):
+        stream = make_stream((I,), self.decl(), {"n": 100_000})
+        lines = stream.lines_touched({"i": 1024}, 64)
+        assert lines == pytest.approx(1024 * 4 / 64 + 1, rel=0.01)
+
+    def test_large_stride_one_line_each(self):
+        stream = make_stream((I * 64,), self.decl(), {"n": 100_000})
+        lines = stream.lines_touched({"i": 100}, 64)
+        assert lines == pytest.approx(100, rel=0.1)
+
+    def test_small_stride_shares_lines(self):
+        stream = make_stream((I * 2,), self.decl(), {"n": 100_000})
+        lines = stream.lines_touched({"i": 100}, 64)
+        # Stride-2 f32: 8 elements' span per line.
+        assert lines == pytest.approx(2 * 100 * 4 / 64, rel=0.2)
+
+    def test_unlisted_vars_do_not_contribute(self):
+        n = VarRef("n", I64)
+        decl = ArrayDecl("g", F32, (n, n))
+        stream = make_stream((I, J), decl, {"n": 1000})
+        row_lines = stream.lines_touched({"j": 1000}, 64)
+        assert row_lines == pytest.approx(1000 * 4 / 64 + 1, rel=0.02)
+
+    def test_footprint_of_random_stream_capped_by_region(self):
+        decl = ArrayDecl("a", F32, (VarRef("n", I64),))
+        stream = make_stream((VarRef("node", I64),), decl, {"n": 100},
+                             dynamic=("node",))
+        assert stream.footprint_bytes({"i": 10_000}, 64) == 400
+
+    def test_stride_wrt(self):
+        stream = make_stream((I * 3,), self.decl(), {"n": 100})
+        assert stream.stride_wrt("i") == 12
+        assert stream.stride_wrt("j") == 0
+
+
+class TestRandomModels:
+    def test_miss_rate_bounds(self):
+        assert random_miss_rate(0, 1024) == 0.0
+        assert random_miss_rate(1024, 2048) == 0.0
+        assert random_miss_rate(2048, 1024) == pytest.approx(0.5)
+        assert random_miss_rate(1e12, 1024) == pytest.approx(1.0, abs=1e-6)
+
+    def test_tree_descent_top_levels_free(self):
+        # 2^20 nodes of 4 bytes = 4 MiB tree, 32 KiB cache: the first
+        # ~13 levels fit, so ~7 of 20 probes miss.
+        misses = tree_descent_misses(20, 4, 4 * 2**20, 32 * 1024)
+        assert 4 <= misses <= 9
+
+    def test_tree_descent_all_hits_when_tree_fits(self):
+        misses = tree_descent_misses(10, 4, 4 * 2**10, 1 << 20)
+        assert misses == 0.0
+
+    def test_tree_misses_fewer_than_uniform(self):
+        region = 4 * 2**20
+        cap = 32 * 1024
+        tree = tree_descent_misses(20, 4, region, cap)
+        uniform = 20 * random_miss_rate(region, cap)
+        assert tree < uniform
+
+    def test_spatial_factor(self):
+        assert spatial_miss_factor(4, 64) == pytest.approx(1 / 16)
+        assert spatial_miss_factor(128, 64) == 1.0

@@ -1,0 +1,58 @@
+"""Tests for unit helpers."""
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_hz,
+    fmt_seconds,
+    gb_per_s,
+    ghz,
+    kib,
+    mib,
+)
+
+
+def test_byte_scales_are_binary():
+    assert KIB == 1024
+    assert MIB == 1024**2
+    assert GIB == 1024**3
+
+
+def test_kib_mib_constructors():
+    assert kib(32) == 32 * 1024
+    assert mib(12) == 12 * 1024 * 1024
+    assert kib(0.5) == 512
+
+
+def test_ghz_is_hertz():
+    assert ghz(3.33) == 3.33e9
+
+
+def test_gb_per_s_is_decimal():
+    assert gb_per_s(24) == 24e9
+
+
+def test_fmt_bytes_picks_unit():
+    assert fmt_bytes(32 * 1024) == "32 KiB"
+    assert fmt_bytes(12 * 1024 * 1024) == "12 MiB"
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(3 * 1024**3) == "3 GiB"
+
+
+def test_fmt_hz():
+    assert fmt_hz(3.33e9) == "3.33 GHz"
+    assert fmt_hz(800e6) == "800 MHz"
+
+
+def test_fmt_bandwidth():
+    assert fmt_bandwidth(24e9) == "24.0 GB/s"
+
+
+def test_fmt_seconds_ranges():
+    assert fmt_seconds(1.5).endswith(" s")
+    assert fmt_seconds(1.5e-3).endswith(" ms")
+    assert fmt_seconds(1.5e-6).endswith(" us")
+    assert fmt_seconds(1.5e-9).endswith(" ns")

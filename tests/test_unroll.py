@@ -1,0 +1,106 @@
+"""Tests for the constant-trip full-unrolling pass."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.unroll import MAX_FULL_UNROLL_TRIPS, fully_unroll_const_loops
+from repro.ir import Decl, F32, For, KernelBuilder, run_kernel, zeros_for
+
+
+def build_const_loop_kernel(trips: int, parallel: bool = False):
+    b = KernelBuilder("k")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    with b.loop("i", n, parallel=parallel) as i:
+        acc = b.let("acc", 0.0, F32)
+        with b.loop("k", trips) as k:
+            b.inc(acc, x[i] * 2.0)
+        b.assign(x[i], acc)
+    return b.build()
+
+
+class TestUnrolling:
+    def test_small_const_loop_flattens(self):
+        kernel = fully_unroll_const_loops(build_const_loop_kernel(5))
+        assert [loop.var for loop in kernel.loops()] == ["i"]
+
+    def test_large_const_loop_kept(self):
+        kernel = fully_unroll_const_loops(
+            build_const_loop_kernel(MAX_FULL_UNROLL_TRIPS + 1)
+        )
+        assert len(kernel.loops()) == 2
+
+    def test_symbolic_extent_kept(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], 0.0)
+        kernel = fully_unroll_const_loops(b.build())
+        assert len(kernel.loops()) == 1
+
+    def test_no_change_returns_same_object(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], 1.0)
+        kernel = b.build()
+        assert fully_unroll_const_loops(kernel) is kernel
+
+    def test_locals_renamed_apart(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            with b.loop("k", 3) as k:
+                t = b.let("t", x[i] + 1.0, F32)
+                b.assign(x[i], t * 2.0)
+        kernel = fully_unroll_const_loops(b.build())
+        decls = {s.name for s in kernel.walk_statements() if isinstance(s, Decl)}
+        assert len(decls) == 3  # one 't' per unrolled copy
+
+    def test_semantics_preserved(self, rng):
+        """The unrolled kernel computes exactly what the original did."""
+        b = KernelBuilder("poly")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        y = b.array("y", F32, (n,))
+        with b.loop("i", n) as i:
+            acc = b.let("acc", 0.0, F32)
+            with b.loop("k", 4) as k:
+                b.inc(acc, x[i] * (k + 1))
+        # acc = x*1 + x*2 + x*3 + x*4 = 10x
+            b.assign(y[i], acc)
+        original = b.build()
+        unrolled = fully_unroll_const_loops(original)
+
+        data = rng.standard_normal(16).astype(np.float32)
+        out_a = np.zeros(16, np.float32)
+        out_b = np.zeros(16, np.float32)
+        run_kernel(original, {"n": 16}, {"x": data.copy(), "y": out_a})
+        run_kernel(unrolled, {"n": 16}, {"x": data.copy(), "y": out_b})
+        np.testing.assert_allclose(out_a, out_b, rtol=1e-6)
+        np.testing.assert_allclose(out_a, 10 * data, rtol=1e-5)
+
+    def test_nested_const_loops_flatten_fully(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (n,))
+        with b.loop("i", n) as i:
+            acc = b.let("acc", 0.0, F32)
+            with b.loop("a", 2):
+                with b.loop("c", 3):
+                    b.inc(acc, x[i])
+            b.assign(x[i], acc)
+        kernel = fully_unroll_const_loops(b.build())
+        assert [loop.var for loop in kernel.loops()] == ["i"]
+
+    def test_parallel_loop_never_unrolled(self):
+        b = KernelBuilder("k")
+        n = b.param("n")
+        x = b.array("x", F32, (4,))
+        with b.loop("i", 4, parallel=True) as i:
+            b.assign(x[i], 1.0)
+        kernel = fully_unroll_const_loops(b.build())
+        assert len(kernel.loops()) == 1

@@ -1,0 +1,152 @@
+"""Tests for the vectorization planner: legality, profitability, pragmas."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_kernel, plan_vectorization
+from repro.errors import VectorizationError
+from repro.ir import F32, F64, KernelBuilder
+from repro.machines import CORE_I7_X980, MIC_KNF
+from tests.conftest import (
+    build_aos_norm,
+    build_descent,
+    build_dot,
+    build_prefix_dep,
+    build_saxpy,
+    build_soa_norm,
+)
+
+AUTO = CompilerOptions.auto_vec()
+BEST = CompilerOptions.best_traditional()
+SERIAL = CompilerOptions.naive_serial()
+WESTMERE = CORE_I7_X980.core
+
+
+class TestAutoVectorizer:
+    def test_saxpy_vectorizes(self):
+        plans, report = plan_vectorization(build_saxpy(), AUTO, WESTMERE)
+        assert plans["i"].lanes == 4
+        assert report.decision_for("i").vectorized
+
+    def test_disabled_without_flag(self):
+        plans, report = plan_vectorization(build_saxpy(), SERIAL, WESTMERE)
+        assert not plans
+        assert "disabled" in report.decision_for("i").reason
+
+    def test_carried_dependence_refused(self):
+        kernel = build_prefix_dep()
+        plans, report = plan_vectorization(kernel, AUTO, WESTMERE)
+        assert not plans
+        assert "dependence" in report.decision_for("i").reason
+
+    def test_aos_declined_as_inefficient(self):
+        """The icc behaviour the paper leans on: gather-synthesised AOS
+        loops fail the profitability model on SSE."""
+        plans, report = plan_vectorization(build_aos_norm(), AUTO, WESTMERE)
+        assert "i" not in plans
+        assert "inefficient" in report.decision_for("i").reason
+
+    def test_soa_version_vectorizes(self):
+        plans, _report = plan_vectorization(build_soa_norm(), AUTO, WESTMERE)
+        assert plans["i"].lanes == 4
+
+    def test_aos_vectorizes_on_mic(self):
+        """Hardware gather changes the profitability verdict (paper §6)."""
+        plans, _report = plan_vectorization(build_aos_norm(), AUTO, MIC_KNF.core)
+        assert plans["i"].lanes == 16
+
+    def test_outer_loop_not_considered(self):
+        kernel = build_descent()
+        no_pragma = CompilerOptions.auto_vec()
+        plans, report = plan_vectorization(kernel, no_pragma, WESTMERE)
+        assert "q" not in plans
+        assert "innermost" in report.decision_for("q").reason
+
+    def test_inner_scalar_chain_refused(self):
+        kernel = build_descent()
+        plans, report = plan_vectorization(kernel, AUTO, WESTMERE)
+        assert "d" not in plans
+        assert "scalar dependence" in report.decision_for("d").reason
+
+    def test_f64_halves_lanes(self):
+        b = KernelBuilder("dbl")
+        n = b.param("n")
+        x = b.array("x", F64, (n,))
+        with b.loop("i", n) as i:
+            b.assign(x[i], x[i] * 2.0)
+        plans, _ = plan_vectorization(b.build(), AUTO, WESTMERE)
+        assert plans["i"].lanes == 2
+
+    def test_reduction_vectorizes(self):
+        plans, _ = plan_vectorization(build_dot(), AUTO, WESTMERE)
+        assert plans["i"].lanes == 4
+
+
+class TestPragmaSimd:
+    def test_pragma_unlocks_outer_loop(self):
+        kernel = build_descent()  # query loop carries pragma simd
+        plans, report = plan_vectorization(kernel, BEST, WESTMERE)
+        assert plans["q"].lanes == 4
+        assert plans["q"].forced
+        assert report.decision_for("q").reason == "pragma simd"
+
+    def test_pragma_ignored_below_best_rung(self):
+        kernel = build_descent()
+        plans, _ = plan_vectorization(kernel, AUTO, WESTMERE)
+        assert "q" not in plans
+
+    def test_pragma_on_proven_dependence_raises(self):
+        b = KernelBuilder("bad")
+        n = b.param("n")
+        a = b.array("a", F32, (n,))
+        c = b.array("c", F32, (n,))
+        with b.loop("i", n - 1, simd=True) as i:
+            b.assign(a[i + 1], a[i] + c[i])
+        with pytest.raises(VectorizationError, match="proven"):
+            plan_vectorization(b.build(), BEST, WESTMERE)
+
+    def test_pragma_with_divergent_inner_loop_raises(self):
+        b = KernelBuilder("diverge")
+        n = b.param("n")
+        a = b.array("a", F32, (n,))
+        c = b.array("c", F32, (n,))
+        with b.loop("i", n, simd=True) as i:
+            with b.loop("j", i + 1) as j:
+                b.assign(a[i], a[i] + c[j])
+        with pytest.raises(VectorizationError, match="varies"):
+            plan_vectorization(b.build(), BEST, WESTMERE)
+
+    def test_novector_respected(self):
+        kernel = build_saxpy()
+        loop = kernel.loops()[0]
+        from dataclasses import replace
+
+        from repro.ir import Kernel, LoopPragma
+
+        pinned = Kernel(
+            kernel.name, kernel.params, kernel.arrays,
+            (loop.with_pragma(LoopPragma(parallel=True, novector=True)),),
+        )
+        plans, report = plan_vectorization(pinned, BEST, WESTMERE)
+        assert not plans
+        assert "novector" in report.decision_for("i").reason
+
+
+class TestNestedVectorization:
+    def test_inner_loops_skip_under_vectorized_outer(self):
+        kernel = build_descent()
+        _plans, report = plan_vectorization(kernel, BEST, WESTMERE)
+        assert "enclosing" in report.decision_for("d").reason
+
+
+class TestReportRendering:
+    def test_render_mentions_every_loop(self):
+        _plans, report = plan_vectorization(build_descent(), BEST, WESTMERE)
+        text = report.render()
+        assert "loop over 'q'" in text
+        assert "loop over 'd'" in text
+        assert "VECTORIZED" in text
+
+    def test_unknown_loop_lookup_raises(self):
+        _plans, report = plan_vectorization(build_saxpy(), AUTO, WESTMERE)
+        with pytest.raises(KeyError):
+            report.decision_for("zz")
