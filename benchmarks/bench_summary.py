@@ -1,8 +1,38 @@
-"""S0: the headline reproduction summary (README banner table)."""
+"""S0: the headline reproduction summary (README banner table).
+
+Besides asserting the headline claims, this target parses them into
+``BENCH_summary.json`` — the perf-trajectory record (mean/max naive gap,
+residual, generation trend) that downstream tracking diffs across PRs.
+"""
+
+from conftest import write_bench_json
+
+
+def _parse_x(cell: str) -> float:
+    return float(cell.rstrip("X"))
 
 
 def test_summary(artifact):
     result = artifact("summary")
     by_claim = {row[0]: row for row in result.rows}
-    mean = float(by_claim["mean Ninja gap (Core i7 X980)"][2].rstrip("X"))
+    mean = _parse_x(by_claim["mean Ninja gap (Core i7 X980)"][2])
+    max_gap = _parse_x(by_claim["max Ninja gap"][2])
+    residual = _parse_x(by_claim["residual after changes"][2])
+    trend = [
+        _parse_x(step)
+        for step in by_claim["gap across generations"][2].split(" -> ")
+    ]
+    mic_residual = _parse_x(by_claim["MIC residual"][2])
+    write_bench_json(
+        "summary",
+        {
+            "headline": {
+                "mean_ninja_gap": mean,
+                "max_ninja_gap": max_gap,
+                "residual_gap": residual,
+                "generation_trend": trend,
+                "mic_residual": mic_residual,
+            }
+        },
+    )
     assert 18.0 <= mean <= 32.0

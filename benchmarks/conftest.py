@@ -4,26 +4,103 @@ Each ``bench_*`` file regenerates one paper table or figure: the harness
 times the regeneration once (these are simulations, not microbenchmarks)
 and prints the artifact's rows so ``pytest benchmarks/ --benchmark-only -s``
 reproduces the paper's evaluation verbatim.
+
+Every run also emits machine-readable artifacts next to the repo root
+(override with ``REPRO_BENCH_DIR``):
+
+* ``BENCH_<id>.json`` — wall time, headline numbers, and the artifact's
+  rows (the perf-trajectory record downstream tooling tracks);
+* ``BENCH_<id>.trace.json`` — a Chrome trace-event profile of every
+  compiler pass and simulator stage, loadable in Perfetto.
+
+Set ``REPRO_BENCH_NO_ARTIFACTS=1`` to suppress both (e.g. read-only CI).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
+from repro import __version__
 from repro.experiments import run_experiment
 from repro.experiments.base import ExperimentResult
+from repro.observability import to_chrome_trace, tracing
+
+
+def bench_output_dir() -> Path:
+    """Where BENCH_*.json artifacts land (repo root by default)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    out = Path(override) if override else Path(__file__).resolve().parent.parent
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def _artifacts_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_NO_ARTIFACTS", "") != "1"
+
+
+def write_bench_json(experiment_id: str, payload: dict) -> Path | None:
+    """Write (or update) one ``BENCH_<id>.json`` artifact; returns its path."""
+    if not _artifacts_enabled():
+        return None
+    path = bench_output_dir() / f"BENCH_{experiment_id}.json"
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    path.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 @pytest.fixture
 def artifact(benchmark):
-    """Run one experiment under pytest-benchmark and print its rows."""
+    """Run one experiment under pytest-benchmark and print its rows.
+
+    Tracing is enabled for the run: alongside the printed table the
+    fixture records ``BENCH_<id>.json`` (timings + headline numbers) and
+    ``BENCH_<id>.trace.json`` (Chrome trace events).
+    """
 
     def runner(experiment_id: str) -> ExperimentResult:
-        result = benchmark.pedantic(
-            run_experiment, args=(experiment_id,), rounds=1, iterations=1
-        )
+        with tracing() as tracer:
+            started = time.perf_counter()
+            result = benchmark.pedantic(
+                run_experiment, args=(experiment_id,), rounds=1, iterations=1
+            )
+            wall_s = time.perf_counter() - started
         print()
         print(result.render())
+        if _artifacts_enabled():
+            write_bench_json(
+                experiment_id,
+                {
+                    "id": result.experiment_id,
+                    "title": result.title,
+                    "version": __version__,
+                    "wall_s": wall_s,
+                    "spans": len(tracer.spans),
+                    "headers": list(result.headers),
+                    "rows": [list(row) for row in result.rows],
+                    "paper_claims": list(result.paper_claims),
+                    "measured_claims": list(result.measured_claims),
+                },
+            )
+            trace_path = (
+                bench_output_dir() / f"BENCH_{experiment_id}.trace.json"
+            )
+            trace = to_chrome_trace(
+                tracer, metadata={"experiment": experiment_id}
+            )
+            trace_path.write_text(
+                json.dumps(trace, indent=1) + "\n", encoding="utf-8"
+            )
         return result
 
     return runner

@@ -57,9 +57,24 @@ from repro.machines import (
     MachineSpec,
     get_machine,
 )
+from repro.observability import SimProfile, Tracer, tracing
 from repro.simulator import SimResult, simulate, trace_kernel
 
-__version__ = "1.0.0"
+
+def _read_version() -> str:
+    """Package version from installed metadata, falling back to the
+    source default for PYTHONPATH=src checkouts."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+    except Exception:  # pragma: no cover - exotic metadata failures
+        return "1.0.0"
+
+
+__version__ = _read_version()
 
 __all__ = [
     "Benchmark",
@@ -81,8 +96,11 @@ __all__ = [
     "MachineSpec",
     "ReproError",
     "RungResult",
+    "SimProfile",
     "SimResult",
     "SuiteGaps",
+    "Tracer",
+    "tracing",
     "all_benchmarks",
     "breakdown",
     "compile_kernel",

@@ -114,8 +114,14 @@ def run_rung(
     params: Mapping[str, int] | None = None,
     threads: int | None = None,
     _cache: dict | None = None,
+    collect: list[SimResult] | None = None,
 ) -> RungResult:
-    """Compile and simulate one benchmark variant (all phases)."""
+    """Compile and simulate one benchmark variant (all phases).
+
+    When *collect* is given, every phase's :class:`SimResult` (profile
+    included) is appended to it — the observability CLI and report
+    renderers use this to attribute bottlenecks per kernel×rung.
+    """
     params = dict(params or benchmark.paper_params())
     compiled: dict[str, CompiledKernel] = _cache if _cache is not None else {}
     total_time = 0.0
@@ -129,6 +135,8 @@ def run_rung(
         if key not in compiled:
             compiled[key] = compile_kernel(phase.kernel, options, machine)
         result: SimResult = simulate(compiled[key], machine, phase.params, threads)
+        if collect is not None:
+            collect.append(result)
         total_time += result.time_s * phase.count
         total_flops += result.flops * phase.count
         total_dram += result.traffic_bytes[-1] * phase.count

@@ -190,6 +190,25 @@ class LoopDecision:
             return f"loop over {self.loop_var!r}: VECTORIZED ({self.lanes} lanes) — {self.reason}"
         return f"loop over {self.loop_var!r}: not vectorized — {self.reason}"
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "loop_var": self.loop_var,
+            "vectorized": self.vectorized,
+            "lanes": self.lanes,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LoopDecision":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            loop_var=str(data["loop_var"]),
+            vectorized=bool(data["vectorized"]),
+            lanes=int(data["lanes"]),
+            reason=str(data["reason"]),
+        )
+
 
 @dataclass(frozen=True)
 class VectorizationReport:
@@ -211,6 +230,22 @@ class VectorizationReport:
     def render(self) -> str:
         """Multi-line report text."""
         return "\n".join(d.render() for d in self.decisions)
+
+    def to_dict(self) -> dict:
+        """Structured (JSON-serializable) form of the vec-report."""
+        return {
+            "decisions": [d.to_dict() for d in self.decisions],
+            "vectorized_loops": list(self.vectorized_loops()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VectorizationReport":
+        """Inverse of :meth:`to_dict` (``vectorized_loops`` is derived)."""
+        return cls(
+            decisions=tuple(
+                LoopDecision.from_dict(d) for d in data["decisions"]
+            )
+        )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from repro.compiler.vectorize import plan_vectorization
 from repro.ir.kernel import Kernel
 from repro.ir.validate import validate_kernel
 from repro.machines.spec import MachineSpec
+from repro.observability.tracer import span
 
 
 def compile_kernel(
@@ -21,12 +22,28 @@ def compile_kernel(
     lane counts, gather synthesis costs, and alignment penalties all come
     from the target's :class:`~repro.machines.spec.VectorISA`.
 
+    Each pass runs under a tracing span (``compile.validate``,
+    ``compile.unroll``, ``compile.vectorize``, ``compile.lower``) so
+    profiled runs attribute compile time per pass.
+
     Raises:
         VectorizationError: if a ``pragma simd`` loop is provably illegal.
         IRError: if the kernel fails validation.
     """
-    validate_kernel(kernel)
-    kernel = fully_unroll_const_loops(kernel)
-    plans, report = plan_vectorization(kernel, options, machine.core)
-    generator = CodeGenerator(kernel, options, machine.core.isa, plans, report)
-    return generator.lower()
+    with span(
+        "compile",
+        kernel=kernel.name,
+        options=options.label,
+        isa=machine.core.isa.name,
+    ):
+        with span("compile.validate"):
+            validate_kernel(kernel)
+        with span("compile.unroll"):
+            kernel = fully_unroll_const_loops(kernel)
+        with span("compile.vectorize"):
+            plans, report = plan_vectorization(kernel, options, machine.core)
+        with span("compile.lower"):
+            generator = CodeGenerator(
+                kernel, options, machine.core.isa, plans, report
+            )
+            return generator.lower()

@@ -4,20 +4,33 @@ Usage::
 
     ninja-gap list                         # show all artifact ids
     ninja-gap run fig1                     # one artifact
+    ninja-gap run fig1 --json              # ... machine-readable
+    ninja-gap run fig1 --profile           # ... plus span/timing report
+    ninja-gap run fig1 --trace-out t.json  # ... plus Perfetto-loadable trace
     ninja-gap all                          # everything (the full evaluation)
     ninja-gap ladder blackscholes          # one benchmark's effort ladder
     ninja-gap ladder nbody --machine mic   # ... on another machine
+    ninja-gap ladder nbody --profile       # ... with bottleneck attribution
     ninja-gap report nbody                 # vectorization reports per rung
+    ninja-gap report nbody --json          # ... as structured JSON
+    ninja-gap --version
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
 
 from repro.experiments.base import experiment_ids, run_experiment
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,6 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the tables and figures of the Ninja-gap "
         "paper (Satish et al., ISCA 2012) on simulated machines.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list artifact ids")
     run = sub.add_parser("run", help="run one artifact")
@@ -34,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--json", action="store_true", help="emit the artifact as JSON"
     )
+    _add_profile_flags(run)
     sub.add_parser("all", help="run every artifact")
     ladder = sub.add_parser(
         "ladder", help="run one benchmark up the effort ladder"
@@ -43,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine", default="westmere",
         help="machine name or alias (default: westmere)",
     )
+    ladder.add_argument(
+        "--json", action="store_true",
+        help="emit the ladder (with per-rung profiles) as JSON",
+    )
+    _add_profile_flags(ladder)
     report = sub.add_parser(
         "report", help="print per-rung vectorization reports for a benchmark"
     )
@@ -51,17 +73,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine", default="westmere",
         help="machine name or alias (default: westmere)",
     )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the vectorization reports as structured JSON",
+    )
     return parser
 
 
-def _print_ladder(benchmark_name: str, machine_name: str) -> None:
-    from repro.analysis import RUNG_LABELS, breakdown, format_table, measure_ladder
+def _add_profile_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--profile", action="store_true",
+        help="collect tracing spans and model counters; print a report",
+    )
+    sub.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON (open in Perfetto) to PATH",
+    )
+
+
+def _ladder_data(benchmark_name: str, machine_name: str) -> dict:
+    """Run the full ladder collecting per-phase SimResults (with profiles)."""
+    from repro.analysis import breakdown
+    from repro.analysis.gap import LADDER_RUNGS, Ladder, run_rung
     from repro.kernels import get_benchmark
     from repro.machines import get_machine
 
     bench = get_benchmark(benchmark_name)
     machine = get_machine(machine_name)
-    ladder = measure_ladder(bench, machine)
+    compiled_cache: dict = {}
+    rungs = {}
+    collected: dict[str, list] = {}
+    for label, variant, options in LADDER_RUNGS:
+        collect: list = []
+        rungs[label] = run_rung(
+            bench, variant, options, machine,
+            label=label, _cache=compiled_cache, collect=collect,
+        )
+        collected[label] = collect
+    ladder = Ladder(benchmark=bench.name, machine=machine.name, rungs=rungs)
+    parts = breakdown(ladder)
+    return {
+        "benchmark": bench.name,
+        "title": bench.title,
+        "machine": machine.name,
+        "ladder": ladder,
+        "results": collected,
+        "breakdown": parts,
+    }
+
+
+def _print_ladder(data: dict, profile: bool) -> None:
+    from repro.analysis import RUNG_LABELS, format_table
+
+    ladder = data["ladder"]
+    parts = data["breakdown"]
     rows = []
     for label in RUNG_LABELS:
         rung = ladder.rungs[label]
@@ -79,10 +144,9 @@ def _print_ladder(benchmark_name: str, machine_name: str) -> None:
         format_table(
             ("rung", "source", "time (ms)", "GFLOP/s", "speedup", "bound by"),
             rows,
-            title=f"{bench.title} on {machine.name}",
+            title=f"{data['title']} on {data['machine']}",
         )
     )
-    parts = breakdown(ladder)
     print(
         f"\nninja gap {ladder.ninja_gap:.1f}X = "
         f"threading {parts.threading:.2f} x vectorization "
@@ -90,9 +154,50 @@ def _print_ladder(benchmark_name: str, machine_name: str) -> None:
         f"x ninja extras {parts.ninja_extras:.2f}"
     )
     print(f"residual after low-effort changes: {ladder.residual_gap:.2f}X")
+    if profile:
+        from repro.analysis import RUNG_LABELS as labels
+        from repro.observability import render_bottlenecks
+
+        results = [r for label in labels for r in data["results"][label]]
+        print()
+        print(
+            render_bottlenecks(
+                results,
+                title=f"bottleneck attribution: {data['benchmark']} on "
+                f"{data['machine']}",
+            )
+        )
 
 
-def _print_reports(benchmark_name: str, machine_name: str) -> None:
+def _ladder_json(data: dict) -> dict:
+    ladder = data["ladder"]
+    parts = data["breakdown"]
+    return {
+        "benchmark": data["benchmark"],
+        "machine": data["machine"],
+        "ninja_gap": ladder.ninja_gap,
+        "residual_gap": ladder.residual_gap,
+        "breakdown": {
+            "threading": parts.threading,
+            "vectorization": parts.vectorization,
+            "algorithmic": parts.algorithmic,
+            "ninja_extras": parts.ninja_extras,
+        },
+        "rungs": {
+            label: {
+                "variant": rung.variant,
+                "time_s": rung.time_s,
+                "gflops": rung.gflops,
+                "bottleneck": rung.bottleneck,
+                "threads": rung.threads,
+                "results": [r.to_dict() for r in data["results"][label]],
+            }
+            for label, rung in ladder.rungs.items()
+        },
+    }
+
+
+def _print_reports(benchmark_name: str, machine_name: str, as_json: bool) -> int:
     from repro.analysis import LADDER_RUNGS
     from repro.compiler import compile_kernel
     from repro.kernels import get_benchmark
@@ -100,11 +205,47 @@ def _print_reports(benchmark_name: str, machine_name: str) -> None:
 
     bench = get_benchmark(benchmark_name)
     machine = get_machine(machine_name)
+    reports = []
     for label, variant, options in LADDER_RUNGS:
         compiled = compile_kernel(bench.kernel(variant), options, machine)
-        print(f"== {label} ({variant} source, {options.label} options) ==")
-        print(compiled.report.render() or "(no loops)")
+        reports.append((label, variant, options.label, compiled.report))
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "benchmark": bench.name,
+                    "machine": machine.name,
+                    "reports": [
+                        {
+                            "rung": label,
+                            "variant": variant,
+                            "options": options_label,
+                            **report.to_dict(),
+                        }
+                        for label, variant, options_label, report in reports
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for label, variant, options_label, report in reports:
+        print(f"== {label} ({variant} source, {options_label} options) ==")
+        print(report.render() or "(no loops)")
         print()
+    return 0
+
+
+def _finish_profiled(tracer, profile: bool, trace_out: str | None) -> None:
+    """Print the span report and/or export the Chrome trace."""
+    from repro.observability import render_spans, write_chrome_trace
+
+    if profile:
+        print()
+        print(render_spans(tracer))
+    if trace_out:
+        write_chrome_trace(trace_out, tracer)
+        print(f"wrote Chrome trace ({len(tracer.spans)} spans) to {trace_out}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -115,22 +256,46 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        started = time.perf_counter()
-        result = run_experiment(args.experiment)
-        if args.json:
-            import json
+        from repro.observability import tracing
 
+        enabled = args.profile or bool(args.trace_out)
+        started = time.perf_counter()
+        with tracing(enabled=enabled) as tracer:
+            result = run_experiment(args.experiment)
+        if args.json:
             print(json.dumps(result.to_dict(), indent=2))
         else:
             print(result.render())
             print(f"({time.perf_counter() - started:.1f}s)")
+        _finish_profiled(tracer, args.profile, args.trace_out)
         return 0
     if args.command == "ladder":
-        _print_ladder(args.benchmark, args.machine)
+        from repro.observability import tracing
+
+        enabled = args.profile or bool(args.trace_out)
+        with tracing(enabled=enabled) as tracer:
+            data = _ladder_data(args.benchmark, args.machine)
+        if args.json:
+            print(json.dumps(_ladder_json(data), indent=2))
+        else:
+            _print_ladder(data, profile=args.profile)
+        if args.profile and not args.json:
+            print()
+            from repro.observability import render_spans
+
+            print(render_spans(tracer))
+        if args.trace_out:
+            from repro.observability import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, tracer)
+            if not args.json:
+                print(
+                    f"wrote Chrome trace ({len(tracer.spans)} spans) "
+                    f"to {args.trace_out}"
+                )
         return 0
     if args.command == "report":
-        _print_reports(args.benchmark, args.machine)
-        return 0
+        return _print_reports(args.benchmark, args.machine, args.json)
     assert args.command == "all"
     for experiment_id in experiment_ids():
         started = time.perf_counter()

@@ -1,0 +1,63 @@
+"""Observability layer: tracing spans, model counters, and exporters.
+
+Three pieces, deliberately small:
+
+* :mod:`repro.observability.tracer` — nested wall-clock spans with a
+  disabled-by-default global tracer (:func:`span` is a no-op until a tool
+  opts in via :func:`tracing` / :func:`set_tracer`);
+* :mod:`repro.observability.profile` — :class:`SimProfile`, the model
+  counters (port cycles, cache hit/miss, bandwidth utilization, SIMD lane
+  statistics) attached to every simulation result;
+* :mod:`repro.observability.sinks` / :mod:`~repro.observability.report` —
+  Chrome trace-event JSON (Perfetto-loadable), JSONL structured logs, and
+  plain-text renderers.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and counter glossary.
+"""
+
+from repro.observability.counters import Counters
+from repro.observability.profile import CacheLevelProfile, SimProfile
+from repro.observability.report import (
+    render_bottlenecks,
+    render_counters,
+    render_profile,
+    render_spans,
+)
+from repro.observability.sinks import (
+    JsonlSink,
+    chrome_trace_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.tracer import (
+    Span,
+    Tracer,
+    add_counter,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "CacheLevelProfile",
+    "Counters",
+    "JsonlSink",
+    "SimProfile",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "chrome_trace_events",
+    "get_tracer",
+    "render_bottlenecks",
+    "render_counters",
+    "render_profile",
+    "render_spans",
+    "set_tracer",
+    "span",
+    "to_chrome_trace",
+    "tracing",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,70 @@
+"""Named counters: the accumulator behind model statistics.
+
+A :class:`Counters` is a string→float multiset with merge and prefix
+queries.  The simulator's :class:`~repro.observability.profile.SimProfile`
+and the tracer's ambient counters both use it, so every layer reports
+statistics in one shape and the report renderer needs exactly one table
+formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+
+class Counters:
+    """A mapping of counter name → accumulated value."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, float] | None = None):
+        self._values: dict[str, float] = dict(values or {})
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate *value* into counter *name*."""
+        self._values[name] = self._values.get(name, 0.0) + value
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter *name*."""
+        self._values[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Current value of one counter."""
+        return self._values.get(name, default)
+
+    def merge(self, other: "Counters | Mapping[str, float]") -> None:
+        """Accumulate every counter of *other* into this one."""
+        items = (
+            other._values.items()
+            if isinstance(other, Counters)
+            else other.items()
+        )
+        for name, value in items:
+            self.add(name, value)
+
+    def with_prefix(self, prefix: str) -> "Counters":
+        """The sub-mapping of counters whose names start with *prefix*."""
+        return Counters(
+            {k: v for k, v in self._values.items() if k.startswith(prefix)}
+        )
+
+    def items(self) -> Iterable[tuple[str, float]]:
+        """(name, value) pairs in sorted-name order."""
+        return sorted(self._values.items())
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict copy (JSON-serializable)."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.items())
+        return f"Counters({inner})"

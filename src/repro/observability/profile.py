@@ -1,0 +1,150 @@
+"""Model-counter profile attached to every simulation result.
+
+The analytic simulator already computes the paper's attribution
+quantities — per-port busy cycles, per-cache-level misses, per-boundary
+traffic, SIMD lane occupancy — on the way to a single time number.
+:class:`SimProfile` is where they stop being discarded: the executor
+fills one in for every :class:`~repro.simulator.result.SimResult`, and
+the trace-driven cache simulator produces the same shape from its exact
+hit/miss counters, so the two can be diffed level by level.
+
+Conservation invariants (enforced by :meth:`SimProfile.validate` and the
+test suite):
+
+* at every cache level, ``hits + misses == accesses``;
+* accesses at level *i+1* equal misses at level *i* (the miss stream is
+  the next level's access stream);
+* ``traffic_bytes`` per boundary equal the owning ``SimResult``'s
+  ``traffic_bytes`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class CacheLevelProfile:
+    """Counters for one cache boundary.
+
+    Attributes:
+        name: cache level name (``"L1"``, ``"L2"``, ... ``"DRAM"`` is not
+            a level — the last level's misses go to DRAM).
+        accesses: accesses presented to this level (element granularity).
+        hits: accesses satisfied at this level.
+        misses: accesses passed to the next level / DRAM.
+        traffic_bytes: bytes fetched across this boundary, including the
+            write-allocate factor (matches ``SimResult.traffic_bytes``).
+        time_s: bandwidth-limited time attributable to this boundary.
+        utilization: fraction of modelled wall-clock this boundary's
+            traffic would occupy at full bandwidth (1.0 = the bottleneck).
+    """
+
+    name: str
+    accesses: float
+    hits: float
+    misses: float
+    traffic_bytes: float
+    time_s: float = 0.0
+    utilization: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this level's accesses that hit."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "traffic_bytes": self.traffic_bytes,
+            "time_s": self.time_s,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """Everything the model knew but the headline time number hides.
+
+    Attributes:
+        port_cycles: per-execution-port busy cycles over the whole kernel
+            (single-core totals, before thread division) — the paper's
+            "where do the issue slots go" attribution.
+        cache_levels: per-boundary counters, innermost first.
+        mem_accesses: element-granularity memory accesses entering L1.
+        lane_utilization: useful SIMD lane slots over issued lane slots
+            across all vectorized loops (1.0 when nothing is vectorized —
+            scalar code wastes no lanes).
+        mask_density: fraction of issued vector lane slots masked off by
+            if-conversion or remainder handling (``1 - lane_utilization``
+            restricted to vector execution).
+        gather_elements: per-lane gather/scatter element accesses issued
+            by vectorized code (0 for pure unit-stride kernels).
+        compute_utilization: compute-time over wall-clock fraction.
+        counters: any extra named statistics (extensible).
+    """
+
+    port_cycles: Mapping[str, float]
+    cache_levels: tuple[CacheLevelProfile, ...]
+    mem_accesses: float
+    lane_utilization: float
+    mask_density: float
+    gather_elements: float
+    compute_utilization: float = 0.0
+    counters: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck_port(self) -> str:
+        """The execution port with the most bound work."""
+        if not self.port_cycles:
+            return "none"
+        return max(self.port_cycles, key=self.port_cycles.get)  # type: ignore[arg-type]
+
+    @property
+    def traffic_bytes(self) -> tuple[float, ...]:
+        """Per-boundary traffic, innermost first (mirrors SimResult)."""
+        return tuple(level.traffic_bytes for level in self.cache_levels)
+
+    @property
+    def bandwidth_utilization(self) -> tuple[float, ...]:
+        """Per-boundary bandwidth-utilization fractions."""
+        return tuple(level.utilization for level in self.cache_levels)
+
+    def validate(self, rel_tol: float = 1e-9) -> None:
+        """Check counter conservation; raises ``ValueError`` on violation."""
+        upstream = self.mem_accesses
+        for level in self.cache_levels:
+            if abs(level.accesses - upstream) > rel_tol * max(1.0, upstream):
+                raise ValueError(
+                    f"{level.name}: {level.accesses} accesses but upstream "
+                    f"misses were {upstream}"
+                )
+            total = level.hits + level.misses
+            if abs(total - level.accesses) > rel_tol * max(1.0, level.accesses):
+                raise ValueError(
+                    f"{level.name}: hits {level.hits} + misses {level.misses}"
+                    f" != accesses {level.accesses}"
+                )
+            if level.hits < 0 or level.misses < 0:
+                raise ValueError(f"{level.name}: negative counter")
+            upstream = level.misses
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "port_cycles": dict(self.port_cycles),
+            "bottleneck_port": self.bottleneck_port,
+            "cache_levels": [level.to_dict() for level in self.cache_levels],
+            "mem_accesses": self.mem_accesses,
+            "lane_utilization": self.lane_utilization,
+            "mask_density": self.mask_density,
+            "gather_elements": self.gather_elements,
+            "compute_utilization": self.compute_utilization,
+            "counters": dict(self.counters),
+        }

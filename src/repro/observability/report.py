@@ -1,0 +1,165 @@
+"""Text rendering for spans, counters, and simulation profiles.
+
+Everything here formats data the rest of the package collects; nothing
+mutates state, so the CLI and the benchmark harness can call these on the
+same objects they serialize to JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.observability.counters import Counters
+from repro.observability.tracer import Tracer
+from repro.units import fmt_seconds
+
+
+def format_table(headers, rows, title=None) -> str:
+    """Aligned monospace table (lazy import: ``repro.analysis`` pulls in
+    the simulator, whose results carry profiles from this package)."""
+    from repro.analysis.tables import format_table as render
+
+    return render(headers, rows, title=title)
+
+
+def render_spans(tracer: Tracer, top: int = 15) -> str:
+    """Top-N span summary, aggregated by span name.
+
+    ``self`` time excludes child spans, so a parent that merely wraps its
+    children does not dominate the table.
+    """
+    if not tracer.spans:
+        return "(no spans recorded)"
+    child_ns: dict[int, int] = {}
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            child_ns[span.parent_id] = (
+                child_ns.get(span.parent_id, 0) + span.duration_ns
+            )
+    by_name: dict[str, list[float]] = {}
+    for span in tracer.spans:
+        total, self_time, count = by_name.get(span.name, (0.0, 0.0, 0))
+        self_ns = max(0, span.duration_ns - child_ns.get(span.span_id, 0))
+        by_name[span.name] = [
+            total + span.duration_ns / 1e9,
+            self_time + self_ns / 1e9,
+            count + 1,
+        ]
+    ranked = sorted(by_name.items(), key=lambda kv: -kv[1][1])[:top]
+    rows = [
+        (
+            name,
+            count,
+            fmt_seconds(total),
+            fmt_seconds(self_time),
+            fmt_seconds(total / count),
+        )
+        for name, (total, self_time, count) in ranked
+    ]
+    return format_table(
+        ("span", "count", "total", "self", "mean"),
+        rows,
+        title=f"top {len(rows)} spans by self time "
+        f"({len(tracer.spans)} spans recorded)",
+    )
+
+
+def render_counters(counters: Counters, title: str = "counters") -> str:
+    """All counters as a two-column table."""
+    if not len(counters):
+        return "(no counters recorded)"
+    rows = [(name, f"{value:,.6g}") for name, value in counters.items()]
+    return format_table(("counter", "value"), rows, title=title)
+
+
+def render_profile(result) -> str:
+    """Full profile report for one :class:`~repro.simulator.result.SimResult`.
+
+    Sections: headline, per-port busy cycles, per-cache-level counters
+    with bandwidth utilization, and SIMD/vector statistics.
+    """
+    profile = result.profile
+    parts = [result.describe()]
+    if profile is None:
+        parts.append("(no profile attached — simulate() collects one by default)")
+        return "\n".join(parts)
+    port_rows = [
+        (port, f"{cycles:,.0f}")
+        for port, cycles in sorted(
+            profile.port_cycles.items(), key=lambda kv: -kv[1]
+        )
+        if cycles > 0
+    ]
+    if port_rows:
+        parts.append(
+            format_table(
+                ("port", "busy cycles"), port_rows,
+                title=f"execution ports (bottleneck: {profile.bottleneck_port})",
+            )
+        )
+    level_rows = [
+        (
+            level.name,
+            f"{level.accesses:,.0f}",
+            f"{level.hit_rate * 100:.1f}%",
+            f"{level.misses:,.0f}",
+            f"{level.traffic_bytes / 1e6:,.1f}",
+            f"{level.utilization * 100:.1f}%",
+        )
+        for level in profile.cache_levels
+    ]
+    if level_rows:
+        parts.append(
+            format_table(
+                ("boundary", "accesses", "hit rate", "misses",
+                 "traffic (MB)", "bw util"),
+                level_rows,
+                title="memory hierarchy",
+            )
+        )
+    parts.append(
+        "vector: "
+        f"lane utilization {profile.lane_utilization * 100:.1f}%, "
+        f"mask density {profile.mask_density * 100:.1f}%, "
+        f"gather elements {profile.gather_elements:,.0f}; "
+        f"compute utilization {profile.compute_utilization * 100:.1f}%"
+    )
+    extra = Counters(dict(profile.counters))
+    if len(extra):
+        parts.append(render_counters(extra, title="model counters"))
+    return "\n".join(parts)
+
+
+def render_bottlenecks(results: Iterable, title: str | None = None) -> str:
+    """Bottleneck attribution across many results (kernel × rung table).
+
+    Each row names the binding resource twice: the roofline component
+    (``compute``/``L2``/``L3``/``DRAM``) and, for compute-bound rows, the
+    busiest execution port.
+    """
+    rows = []
+    for result in results:
+        profile = result.profile
+        port = profile.bottleneck_port if profile else "?"
+        dram_util = (
+            profile.cache_levels[-1].utilization if profile
+            and profile.cache_levels else 0.0
+        )
+        lane = profile.lane_utilization if profile else 0.0
+        rows.append(
+            (
+                result.kernel_name,
+                result.options_label,
+                fmt_seconds(result.time_s),
+                result.bottleneck,
+                port if result.bottleneck == "compute" else "-",
+                f"{dram_util * 100:.0f}%",
+                f"{lane * 100:.0f}%",
+            )
+        )
+    return format_table(
+        ("kernel", "rung", "time", "bound by", "hot port",
+         "DRAM util", "lane util"),
+        rows,
+        title=title or "bottleneck attribution",
+    )

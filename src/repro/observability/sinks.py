@@ -1,0 +1,120 @@
+"""Span exporters: Chrome trace-event JSON (Perfetto) and JSONL logs.
+
+The Chrome trace-event format is the lowest-common-denominator profile
+interchange format: ``chrome://tracing``, Perfetto (ui.perfetto.dev) and
+speedscope all load it.  Spans become complete (``"ph": "X"``) events with
+microsecond timestamps relative to the first span, so the flame graph
+starts at t=0.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence, TextIO
+
+from repro.observability.tracer import Span, Tracer
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one attribute value to something json.dump accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> list[dict]:
+    """Spans as Chrome trace-event dicts (complete events, µs units)."""
+    if not spans:
+        return []
+    origin_ns = min(s.start_ns for s in spans)
+    events = []
+    for s in sorted(spans, key=lambda s: s.start_ns):
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": (s.start_ns - origin_ns) / 1e3,
+                "dur": s.duration_ns / 1e3,
+                "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    tracer: Tracer, metadata: Mapping[str, Any] | None = None
+) -> dict:
+    """The full Chrome trace JSON object for one tracer's spans."""
+    trace: dict[str, Any] = {
+        "traceEvents": chrome_trace_events(tracer.spans),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.observability",
+            **{k: _jsonable(v) for k, v in (metadata or {}).items()},
+        },
+    }
+    if len(tracer.counters):
+        trace["otherData"]["counters"] = tracer.counters.as_dict()
+    return trace
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, metadata: Mapping[str, Any] | None = None
+) -> None:
+    """Serialize one tracer's spans to *path* as Chrome trace JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer, metadata), handle, indent=1)
+
+
+class JsonlSink:
+    """Structured-log sink: one JSON object per line.
+
+    Accepts spans (via :meth:`write_spans`) and free-form events (via
+    :meth:`event`); both carry a ``"type"`` discriminator so downstream
+    ``jq``/pandas pipelines can filter without schema knowledge.
+    """
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self.records = 0
+
+    def event(self, kind: str, **payload: Any) -> None:
+        """Append one structured event line."""
+        record = {"type": kind}
+        record.update({k: _jsonable(v) for k, v in payload.items()})
+        self._write(record)
+
+    def write_spans(self, spans: Iterable[Span]) -> None:
+        """Append one line per span."""
+        for span in spans:
+            record = span.to_dict()
+            record["type"] = "span"
+            record["attrs"] = {
+                k: _jsonable(v) for k, v in record["attrs"].items()
+            }
+            self._write(record)
+
+    def write_tracer(self, tracer: Tracer) -> None:
+        """Append a tracer's spans plus one counters summary line."""
+        self.write_spans(tracer.spans)
+        if len(tracer.counters):
+            self.event("counters", counters=tracer.counters.as_dict())
+
+    def _write(self, record: dict) -> None:
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records += 1
+
+
+def write_jsonl(path: str, tracer: Tracer) -> int:
+    """Dump one tracer to a JSONL file; returns the record count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        sink = JsonlSink(handle)
+        sink.write_tracer(tracer)
+        return sink.records

@@ -1,0 +1,186 @@
+"""Lightweight tracing: nested wall-clock spans with near-zero disabled cost.
+
+The instrumented layers (compiler passes, trace generation, cache replay,
+the executor's composition step) call :func:`span` around their work::
+
+    with span("compile.vectorize", kernel=kernel.name):
+        ...
+
+Spans nest: the tracer keeps an explicit stack, so a span opened inside
+another records its parent and depth, and the Chrome-trace exporter can
+reconstruct the flame graph.  When tracing is disabled (the default) the
+:func:`span` fast path returns a shared no-op context manager without
+allocating anything, keeping instrumentation overhead in the noise.
+
+The module-level *active tracer* is what library code reports to; tools
+swap it via :func:`set_tracer` or the :func:`tracing` context manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from contextlib import contextmanager
+
+from repro.observability.counters import Counters
+
+
+@dataclass
+class Span:
+    """One timed region of work.
+
+    Attributes:
+        name: dotted span name (``"compile.vectorize"``).
+        span_id: unique id within the owning tracer.
+        parent_id: id of the enclosing span (None at top level).
+        depth: nesting depth (0 at top level).
+        start_ns: :func:`time.perf_counter_ns` at entry.
+        end_ns: exit timestamp (0 while the span is open).
+        attrs: user attributes attached at entry.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_ns: int
+    end_ns: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall-clock nanoseconds spent in the span."""
+        return max(0, self.end_ns - self.start_ns)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock seconds spent in the span."""
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the JSONL sink)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects completed :class:`Span` records and ambient counters."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.counters = Counters()
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; timing runs until the ``with`` block exits."""
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            start_ns=time.perf_counter_ns(),
+            attrs=dict(attrs),
+        )
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end_ns = time.perf_counter_ns()
+            self._stack.pop()
+            self.spans.append(record)
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        """Bump one ambient counter."""
+        self.counters.add(name, value)
+
+    def clear(self) -> None:
+        """Drop all recorded spans and counters (open spans survive)."""
+        self.spans.clear()
+        self.counters = Counters()
+
+    def total_time_s(self, prefix: str = "") -> float:
+        """Sum of top-level span durations, optionally name-filtered."""
+        return sum(
+            s.duration_s
+            for s in self.spans
+            if s.parent_id is None and s.name.startswith(prefix)
+        )
+
+
+class _NullSpanContext:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+#: The tracer library code reports to.  Disabled by default so the
+#: simulator costs nothing unless a tool opts in.
+_ACTIVE = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the active one; returns the previous tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer (no-op when tracing is disabled)."""
+    tracer = _ACTIVE
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def add_counter(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the active tracer (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer.enabled:
+        tracer.counters.add(name, value)
+
+
+@contextmanager
+def tracing(enabled: bool = True) -> Iterator[Tracer]:
+    """Install a fresh tracer for the duration of a ``with`` block.
+
+    Yields the new tracer so the caller can export its spans afterwards::
+
+        with tracing() as tracer:
+            simulate(compiled, machine, params)
+        write_chrome_trace("trace.json", tracer)
+    """
+    tracer = Tracer(enabled=enabled)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -35,7 +35,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.compiler.compiled import CompiledKernel, CompiledLoop
+from repro.compiler.compiled import AccessPattern, CompiledKernel, CompiledLoop
 from repro.compiler.opcount import FLOP_CLASSES
 from repro.errors import SimulationError
 from repro.ir.evaluate import eval_int_expr
@@ -138,6 +138,27 @@ class ChipTotals:
     #: traffic_bytes[i] = bytes missing cache level i (fetched from i+1 /
     #: DRAM for the last level).
     traffic_bytes: list[float] = field(default_factory=list)
+    #: per-execution-port busy cycles (issue-model attribution).
+    port_cycles: dict[str, float] = field(default_factory=dict)
+    #: element-granularity accesses entering the innermost cache level.
+    mem_accesses: float = 0.0
+    #: element-granularity misses per level, monotone along the hierarchy
+    #: (the miss stream of level i is the access stream of level i+1).
+    level_misses: list[float] = field(default_factory=list)
+    #: SIMD lane slots issued by vectorized loops (execs × lanes).
+    vector_lane_slots: float = 0.0
+    #: useful lane slots (elements actually processed by vector code).
+    vector_useful_lanes: float = 0.0
+    #: per-lane gather/scatter element accesses issued by vector code.
+    gather_elements: float = 0.0
+
+    def add_port_cycles(self, cycles: Mapping[str, float], scale: float) -> None:
+        """Accumulate one priced bundle's port occupancy, scaled."""
+        for port, busy in cycles.items():
+            if busy:
+                self.port_cycles[port] = (
+                    self.port_cycles.get(port, 0.0) + busy * scale
+                )
 
 
 class AnalyticModel:
@@ -157,7 +178,8 @@ class AnalyticModel:
         self.isa = machine.core.isa
         self.line = machine.line_bytes
         self.totals = ChipTotals(
-            traffic_bytes=[0.0] * len(machine.caches)
+            traffic_bytes=[0.0] * len(machine.caches),
+            level_misses=[0.0] * len(machine.caches),
         )
         # Threads spread across physical cores first (OpenMP scatter
         # affinity); SMT siblings only fill once every core has a thread.
@@ -270,6 +292,7 @@ class AnalyticModel:
         )
         self.totals.serial_cycles += bundle.cycles
         self.totals.instructions += bundle.instructions
+        self.totals.add_port_cycles(bundle.port_cycles, 1.0)
 
     def _price_node(self, node: _Node) -> None:
         loop = node.loop
@@ -303,7 +326,20 @@ class AnalyticModel:
         if loop.parallel:
             self.totals.parallel_entries += node.entries
         self.totals.instructions += instructions
+        self.totals.add_port_cycles(bundle.port_cycles, node.body_execs * inefficiency)
+        self.totals.add_port_cycles(entry_bundle.port_cycles, node.entries)
         self.totals.flops += flops
+        if loop.is_vectorized:
+            # Lane occupancy: issued slots vs elements actually processed
+            # (the remainder iteration pads the last vector with idle lanes).
+            self.totals.vector_lane_slots += node.body_execs * loop.vector_lanes
+            self.totals.vector_useful_lanes += node.entries * node.elem_trips
+        if loop.vector_context > 1:
+            for access in loop.accesses:
+                if access.pattern in (AccessPattern.STRIDED, AccessPattern.GATHER):
+                    self.totals.gather_elements += (
+                        node.body_execs * access.count * loop.vector_context
+                    )
         if loop.is_vectorized or not node.children:
             # Useful elements are counted at vectorized loops and at
             # scalar innermost loops.
@@ -428,6 +464,8 @@ class AnalyticModel:
             and merged.stream.coeffs.get(parallel_var, 0) == 0
         )
         full_path: tuple[_Node, ...] = path if path[-1] is node else path + (node,)
+        self.totals.mem_accesses += accesses
+        prev_misses = accesses
         for level in range(len(self.machine.caches)):
             capacity = self._capacity(level, shared_stream)
             if total_ws <= capacity:
@@ -453,6 +491,11 @@ class AnalyticModel:
                 misses = best
             misses = min(misses, accesses)
             self.totals.traffic_bytes[level] += misses * self.line * write_factor
+            # Counter bookkeeping only (does not alter traffic/time): the
+            # miss stream of level i is level i+1's access stream, so the
+            # per-level miss counters are clamped to be monotone.
+            prev_misses = min(misses, prev_misses)
+            self.totals.level_misses[level] += prev_misses
         # Affine streams are assumed prefetchable: no latency exposure.
 
     def _trips_from(
@@ -487,6 +530,7 @@ class AnalyticModel:
             if decl.skew == "spatial"
             else 1.0
         )
+        self.totals.mem_accesses += accesses
         prev_misses = accesses
         for level in range(len(self.machine.caches)):
             capacity = self._capacity(level, shared_stream)
@@ -504,6 +548,7 @@ class AnalyticModel:
                 misses = accesses * rate * spatial
             misses = min(misses, prev_misses)
             self.totals.traffic_bytes[level] += misses * self.line * write_factor
+            self.totals.level_misses[level] += misses
             prev_misses = misses
         stalls = self._random_stalls(
             accesses, stream, decl, node, merged, shared_stream

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.machines.spec import CacheSpec, MachineSpec
+from repro.observability.profile import CacheLevelProfile
 
 
 @dataclass
@@ -127,6 +128,24 @@ class CacheHierarchy:
     def traffic_bytes(self) -> tuple[int, ...]:
         """Per-level fetched bytes (misses × line), innermost first."""
         return tuple(cache.miss_traffic_bytes for cache in self.levels)
+
+    def level_profiles(self) -> tuple[CacheLevelProfile, ...]:
+        """Exact per-level counters in the shared profile shape.
+
+        The replay walks levels until one hits, so each level's accesses
+        are exactly the previous level's misses — conservation holds by
+        construction (flushes add writebacks, never accesses).
+        """
+        return tuple(
+            CacheLevelProfile(
+                name=cache.spec.name,
+                accesses=float(cache.stats.accesses),
+                hits=float(cache.stats.hits),
+                misses=float(cache.stats.misses),
+                traffic_bytes=float(cache.miss_traffic_bytes),
+            )
+            for cache in self.levels
+        )
 
     def total_dram_bytes(self, include_writebacks: bool = True) -> int:
         """Bytes exchanged with DRAM (last-level misses + writebacks)."""

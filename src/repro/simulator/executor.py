@@ -23,6 +23,8 @@ from typing import Mapping
 from repro.compiler.compiled import CompiledKernel
 from repro.errors import SimulationError
 from repro.machines.spec import MachineSpec
+from repro.observability.profile import CacheLevelProfile, SimProfile
+from repro.observability.tracer import span
 from repro.simulator.analytic import AnalyticModel, ChipTotals
 from repro.simulator.result import SimResult
 
@@ -73,9 +75,18 @@ def simulate(
     if missing:
         raise SimulationError(f"missing parameters: {sorted(missing)}")
 
-    model = AnalyticModel(compiled, machine, params, threads)
-    totals = model.run()
-    return _compose(compiled, machine, params, threads, model, totals)
+    with span(
+        "simulate",
+        kernel=compiled.kernel.name,
+        rung=compiled.options.label,
+        machine=machine.name,
+        threads=threads,
+    ):
+        with span("simulate.analytic"):
+            model = AnalyticModel(compiled, machine, params, threads)
+            totals = model.run()
+        with span("simulate.compose"):
+            return _compose(compiled, machine, params, threads, model, totals)
 
 
 def _compose(
@@ -126,6 +137,8 @@ def _compose(
     bottleneck = max(components, key=components.get)  # type: ignore[arg-type]
     time_s = max(components.values())
 
+    profile = _build_profile(machine, totals, level_times, compute_time, time_s,
+                             barrier)
     return SimResult(
         kernel_name=compiled.kernel.name,
         options_label=compiled.options.label,
@@ -139,4 +152,59 @@ def _compose(
         elements=totals.elements,
         instructions=totals.instructions,
         bottleneck=bottleneck,
+        profile=profile,
+    )
+
+
+def _build_profile(
+    machine: MachineSpec,
+    totals: ChipTotals,
+    level_times: list[float],
+    compute_time: float,
+    time_s: float,
+    barrier_cycles: float,
+) -> SimProfile:
+    """Package the model's internal counters into a :class:`SimProfile`.
+
+    The per-level access chain is exact by construction: level 0 sees
+    every element access, and each level's misses are the next level's
+    accesses (``ChipTotals.level_misses`` is accumulated monotone).
+    """
+    levels = []
+    upstream = totals.mem_accesses
+    for index, cache in enumerate(machine.caches):
+        misses = min(totals.level_misses[index], upstream)
+        levels.append(
+            CacheLevelProfile(
+                name=cache.name,
+                accesses=upstream,
+                hits=upstream - misses,
+                misses=misses,
+                traffic_bytes=totals.traffic_bytes[index],
+                time_s=level_times[index],
+                utilization=level_times[index] / time_s if time_s > 0 else 0.0,
+            )
+        )
+        upstream = misses
+    slots = totals.vector_lane_slots
+    useful = min(totals.vector_useful_lanes, slots)
+    lane_utilization = useful / slots if slots > 0 else 1.0
+    return SimProfile(
+        port_cycles=dict(totals.port_cycles),
+        cache_levels=tuple(levels),
+        mem_accesses=totals.mem_accesses,
+        lane_utilization=lane_utilization,
+        mask_density=1.0 - lane_utilization if slots > 0 else 0.0,
+        gather_elements=totals.gather_elements,
+        compute_utilization=compute_time / time_s if time_s > 0 else 0.0,
+        counters={
+            "cycles.serial": totals.serial_cycles,
+            "cycles.parallel": totals.parallel_cycles,
+            "cycles.stall.serial": totals.serial_stall_cycles,
+            "cycles.stall.parallel": totals.parallel_stall_cycles,
+            "cycles.barrier": barrier_cycles,
+            "parallel.entries": totals.parallel_entries,
+            "vector.lane_slots": slots,
+            "vector.useful_lanes": useful,
+        },
     )

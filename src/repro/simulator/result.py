@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.observability.profile import SimProfile
 from repro.units import fmt_seconds
 
 
@@ -26,6 +27,8 @@ class SimResult:
         elements: elements of useful work processed (kernel-defined).
         instructions: dynamic instruction estimate.
         bottleneck: ``"compute"``, ``"L2"``, ``"L3"`` or ``"DRAM"``.
+        profile: model counters (ports, cache levels, SIMD statistics) —
+            see :class:`~repro.observability.profile.SimProfile`.
     """
 
     kernel_name: str
@@ -40,6 +43,7 @@ class SimResult:
     elements: float
     instructions: float
     bottleneck: str
+    profile: SimProfile | None = field(default=None, compare=False)
 
     @property
     def gflops(self) -> float:
@@ -58,6 +62,26 @@ class SimResult:
     def speedup_over(self, other: "SimResult") -> float:
         """How much faster this run is than *other*."""
         return other.time_s / self.time_s
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (profile included when collected)."""
+        return {
+            "kernel": self.kernel_name,
+            "rung": self.options_label,
+            "machine": self.machine_name,
+            "threads": self.threads,
+            "time_s": self.time_s,
+            "compute_time_s": self.compute_time_s,
+            "level_times_s": list(self.level_times_s),
+            "traffic_bytes": list(self.traffic_bytes),
+            "flops": self.flops,
+            "elements": self.elements,
+            "instructions": self.instructions,
+            "bottleneck": self.bottleneck,
+            "gflops": self.gflops,
+            "dram_bandwidth_bytes_per_s": self.dram_bandwidth_bytes_per_s,
+            "profile": self.profile.to_dict() if self.profile else None,
+        }
 
     def describe(self) -> str:
         """One-line summary for logs and examples."""

@@ -14,6 +14,8 @@ from typing import Mapping
 
 from repro.ir.interp import ArrayStorage, run_kernel
 from repro.ir.kernel import Kernel
+from repro.observability.profile import SimProfile
+from repro.observability.tracer import span
 from repro.simulator.cache import CacheHierarchy
 
 #: Pad between arrays so distinct arrays never share a cache line.
@@ -76,6 +78,22 @@ class TraceResult:
         """Per-level fetched bytes."""
         return self.hierarchy.traffic_bytes()
 
+    def profile(self) -> SimProfile:
+        """Exact replay counters in the shared :class:`SimProfile` shape.
+
+        Port/vector statistics are zeroed — the replay is a scalar
+        interpretation; its value is the ground-truth cache counters.
+        """
+        return SimProfile(
+            port_cycles={},
+            cache_levels=self.hierarchy.level_profiles(),
+            mem_accesses=float(self.accesses),
+            lane_utilization=1.0,
+            mask_density=0.0,
+            gather_elements=0.0,
+            counters={"trace.accesses": float(self.accesses)},
+        )
+
 
 def trace_kernel(
     kernel: Kernel,
@@ -90,15 +108,18 @@ def trace_kernel(
     The interpreter also produces the kernel's real outputs in *arrays*,
     so one call both checks semantics and measures locality.
     """
-    address_map = AddressMap(kernel, params)
-    hierarchy = CacheHierarchy(machine)
-    count = 0
+    with span("trace", kernel=kernel.name, machine=machine.name):
+        with span("trace.layout"):
+            address_map = AddressMap(kernel, params)
+            hierarchy = CacheHierarchy(machine)
+        count = 0
 
-    def on_access(array: str, array_field: str | None, linear: int, is_write: bool):
-        nonlocal count
-        count += 1
-        hierarchy.access(address_map.address(array, array_field, linear), is_write)
+        def on_access(array: str, array_field: str | None, linear: int, is_write: bool):
+            nonlocal count
+            count += 1
+            hierarchy.access(address_map.address(array, array_field, linear), is_write)
 
-    run_kernel(kernel, params, arrays, on_access, max_statements)
-    hierarchy.flush()
-    return TraceResult(hierarchy=hierarchy, accesses=count)
+        with span("trace.replay"):
+            run_kernel(kernel, params, arrays, on_access, max_statements)
+            hierarchy.flush()
+        return TraceResult(hierarchy=hierarchy, accesses=count)

@@ -17,6 +17,17 @@ class TestParser:
     def test_ladder_defaults(self):
         args = build_parser().parse_args(["ladder", "nbody"])
         assert args.machine == "westmere"
+        assert not args.profile
+        assert args.trace_out is None
+        assert not args.json
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestCommands:
@@ -53,6 +64,62 @@ class TestCommands:
 
         with pytest.raises(WorkloadError):
             main(["ladder", "hpl"])
+
+
+class TestObservabilityFlags:
+    def test_ladder_profile_json(self, capsys):
+        import json
+
+        assert main(["ladder", "conv2d", "--profile", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "conv2d"
+        assert set(data["rungs"]) == {
+            "serial", "parallel", "autovec", "traditional", "ninja",
+        }
+        serial = data["rungs"]["serial"]
+        assert serial["results"], "per-phase SimResults missing"
+        profile = serial["results"][0]["profile"]
+        assert profile is not None
+        levels = profile["cache_levels"]
+        for level in levels:
+            assert level["hits"] + level["misses"] == pytest.approx(
+                level["accesses"]
+            )
+
+    def test_ladder_profile_text(self, capsys):
+        assert main(["ladder", "conv2d", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck attribution" in out
+        assert "compile.vectorize" in out  # span table
+
+    def test_ladder_trace_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["ladder", "conv2d", "--trace-out", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "compile.vectorize" in names
+        assert "simulate.analytic" in names
+
+    def test_run_profile(self, capsys):
+        # table2 is a spec table (no simulation), so the span report may
+        # legitimately be empty — the smoke checks the section renders.
+        assert main(["run", "table2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+
+    def test_report_json(self, capsys):
+        import json
+
+        assert main(["report", "nbody", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "nbody"
+        rungs = [entry["rung"] for entry in data["reports"]]
+        assert rungs == ["serial", "parallel", "autovec", "traditional", "ninja"]
+        decisions = data["reports"][-1]["decisions"]
+        assert any(d["vectorized"] for d in decisions)
 
 
 class TestCompiledDescribe:

@@ -1,0 +1,264 @@
+"""Tests for the observability layer: spans, counters, sinks, renderers."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.compiler import (
+    CompilerOptions,
+    LoopDecision,
+    VectorizationReport,
+    compile_kernel,
+)
+from repro.machines import CORE_I7_X980
+from repro.observability import (
+    Counters,
+    JsonlSink,
+    Tracer,
+    add_counter,
+    get_tracer,
+    render_counters,
+    render_spans,
+    set_tracer,
+    span,
+    to_chrome_trace,
+    tracing,
+    write_chrome_trace,
+)
+
+
+class TestTracer:
+    def test_span_records_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("work") as record:
+            pass
+        assert record.end_ns >= record.start_ns
+        assert tracer.spans == [record]
+        assert record.duration_s >= 0.0
+
+    def test_nesting_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.depth == 0
+        assert outer.parent_id is None
+        # Children close first, so completion order is inner, outer.
+        assert tracer.spans == [inner, outer]
+
+    def test_parent_encloses_child_timing(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+        assert inner.duration_ns <= outer.duration_ns
+
+    def test_sibling_timing_monotone(self):
+        tracer = Tracer()
+        records = []
+        for i in range(3):
+            with tracer.span(f"s{i}") as r:
+                records.append(r)
+        starts = [r.start_ns for r in records]
+        assert starts == sorted(starts)
+        for r in records:
+            assert r.end_ns >= r.start_ns
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("compile", kernel="saxpy", lanes=4) as record:
+            pass
+        assert record.attrs == {"kernel": "saxpy", "lanes": 4}
+
+    def test_total_time_prefix_filter(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        with tracer.span("simulate"):
+            pass
+        assert tracer.total_time_s("compile") <= tracer.total_time_s()
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.add_counter("n", 2.0)
+        tracer.clear()
+        assert tracer.spans == []
+        assert len(tracer.counters) == 0
+
+
+class TestGlobalTracer:
+    def test_disabled_by_default_is_noop(self):
+        assert not get_tracer().enabled
+        before = list(get_tracer().spans)
+        with span("should.not.record"):
+            pass
+        add_counter("should.not.record")
+        assert get_tracer().spans == before
+
+    def test_disabled_span_returns_shared_null(self):
+        first = span("a")
+        second = span("b")
+        assert first is second  # no allocation on the fast path
+
+    def test_tracing_context_installs_and_restores(self):
+        previous = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            with span("recorded", tag=1):
+                add_counter("hits", 3.0)
+        assert get_tracer() is previous
+        assert [s.name for s in tracer.spans] == ["recorded"]
+        assert tracer.counters.get("hits") == 3.0
+
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+
+
+class TestCounters:
+    def test_add_get(self):
+        c = Counters()
+        c.add("a")
+        c.add("a", 2.0)
+        assert c.get("a") == 3.0
+        assert c.get("missing") == 0.0
+
+    def test_merge_and_prefix(self):
+        a = Counters({"x.one": 1.0, "y.two": 2.0})
+        b = Counters({"x.one": 4.0})
+        a.merge(b)
+        assert a.get("x.one") == 5.0
+        assert set(a.with_prefix("x.")) == {"x.one"}
+
+    def test_as_dict_is_copy(self):
+        c = Counters({"a": 1.0})
+        d = c.as_dict()
+        d["a"] = 99.0
+        assert c.get("a") == 1.0
+
+
+class TestChromeTrace:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("compile", kernel="saxpy"):
+            with tracer.span("compile.vectorize"):
+                pass
+        with tracer.span("simulate"):
+            pass
+        return tracer
+
+    def test_schema(self):
+        trace = to_chrome_trace(self._traced())
+        assert set(trace) >= {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert set(event) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        # Events are emitted in start-time order, starting at t=0.
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+        assert stamps[0] == 0.0
+
+    def test_json_serializable_with_nonjson_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", obj=object()):
+            pass
+        text = json.dumps(to_chrome_trace(tracer))
+        assert "traceEvents" in text
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), self._traced(), metadata={"run": "t"})
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["run"] == "t"
+        assert len(loaded["traceEvents"]) == 3
+
+    def test_empty_tracer(self):
+        assert to_chrome_trace(Tracer())["traceEvents"] == []
+
+
+class TestJsonlSink:
+    def test_spans_and_events_one_json_per_line(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.add_counter("n", 1.0)
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.write_tracer(tracer)
+        sink.event("note", detail="done")
+        lines = [l for l in buffer.getvalue().splitlines() if l]
+        assert sink.records == len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["span", "counters", "note"]
+        assert records[0]["name"] == "a"
+        assert records[1]["counters"] == {"n": 1.0}
+
+
+class TestRenderers:
+    def test_render_spans_empty(self):
+        assert "no spans" in render_spans(Tracer())
+
+    def test_render_spans_top_n(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        text = render_spans(tracer, top=2)
+        assert "top 2 spans" in text
+        assert "3 spans recorded" in text
+
+    def test_render_counters(self):
+        text = render_counters(Counters({"cache.hits": 10.0}))
+        assert "cache.hits" in text
+        assert "10" in text
+
+
+class TestCompilerInstrumentation:
+    def test_compile_emits_pass_spans(self, saxpy):
+        with tracing() as tracer:
+            compile_kernel(saxpy, CompilerOptions.auto_vec(), CORE_I7_X980)
+        names = [s.name for s in tracer.spans]
+        for expected in (
+            "compile.validate",
+            "compile.unroll",
+            "compile.vectorize",
+            "compile.lower",
+            "compile",
+        ):
+            assert expected in names
+        top = [s for s in tracer.spans if s.name == "compile"]
+        assert top[0].attrs["kernel"] == "saxpy"
+
+
+class TestVectorizationReportJson:
+    def test_round_trip(self, saxpy):
+        compiled = compile_kernel(
+            saxpy, CompilerOptions.auto_vec(), CORE_I7_X980
+        )
+        report = compiled.report
+        data = json.loads(json.dumps(report.to_dict()))
+        restored = VectorizationReport.from_dict(data)
+        assert restored == report
+        assert restored.render() == report.render()
+        assert data["vectorized_loops"] == list(report.vectorized_loops())
+
+    def test_decision_round_trip(self):
+        decision = LoopDecision("i", False, 1, "pragma novector")
+        assert LoopDecision.from_dict(decision.to_dict()) == decision

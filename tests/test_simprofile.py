@@ -1,0 +1,200 @@
+"""Tests for SimProfile model counters: conservation, serialization, and
+agreement between the analytic model and the exact cache replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.kernels import get_benchmark
+from repro.machines import CORE_I7_X980, MIC_KNF
+from repro.observability import CacheLevelProfile, SimProfile
+from repro.simulator import simulate, trace_kernel
+
+from tests.conftest import build_descent, build_saxpy
+
+
+def _simulate(kernel, options=None, machine=CORE_I7_X980, params=None):
+    compiled = compile_kernel(
+        kernel, options or CompilerOptions.auto_vec(), machine
+    )
+    return simulate(compiled, machine, params or {"n": 1 << 16})
+
+
+class TestProfileAttachment:
+    def test_profile_present_and_valid(self, saxpy):
+        result = _simulate(saxpy)
+        assert result.profile is not None
+        result.profile.validate()
+
+    def test_levels_match_machine(self, saxpy):
+        result = _simulate(saxpy)
+        names = [level.name for level in result.profile.cache_levels]
+        assert names == [cache.name for cache in CORE_I7_X980.caches]
+
+    def test_traffic_matches_result_exactly(self, saxpy):
+        result = _simulate(saxpy)
+        assert result.profile.traffic_bytes == result.traffic_bytes
+
+    def test_conservation_hits_plus_misses(self, saxpy):
+        profile = _simulate(saxpy).profile
+        upstream = profile.mem_accesses
+        for level in profile.cache_levels:
+            assert level.hits + level.misses == pytest.approx(level.accesses)
+            assert level.accesses == pytest.approx(upstream)
+            upstream = level.misses
+
+    def test_misses_monotone_down_the_hierarchy(self, saxpy):
+        profile = _simulate(saxpy).profile
+        misses = [level.accesses for level in profile.cache_levels]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_bottleneck_utilization_is_full(self, saxpy):
+        result = _simulate(saxpy)
+        utils = list(result.profile.bandwidth_utilization)
+        utils.append(result.profile.compute_utilization)
+        assert max(utils) == pytest.approx(1.0)
+
+    def test_port_cycles_nonempty_and_positive(self, saxpy):
+        profile = _simulate(saxpy).profile
+        assert profile.port_cycles
+        assert all(c >= 0 for c in profile.port_cycles.values())
+        assert profile.bottleneck_port in profile.port_cycles
+
+
+class TestVectorStatistics:
+    def test_scalar_code_has_full_lane_utilization(self, saxpy):
+        result = _simulate(saxpy, CompilerOptions.naive_serial())
+        assert result.profile.lane_utilization == 1.0
+        assert result.profile.mask_density == 0.0
+        assert result.profile.counters["vector.lane_slots"] == 0.0
+
+    def test_vectorized_saxpy_counts_lane_slots(self, saxpy):
+        result = _simulate(saxpy)
+        profile = result.profile
+        assert profile.counters["vector.lane_slots"] > 0
+        assert 0.0 < profile.lane_utilization <= 1.0
+        assert profile.mask_density == pytest.approx(
+            1.0 - profile.lane_utilization
+        )
+
+    def test_remainder_loop_wastes_lanes(self):
+        # 65 elements over 4 lanes → 17 vector bodies, 68 slots, 65 useful.
+        result = _simulate(build_saxpy(), params={"n": 65})
+        profile = result.profile
+        assert profile.counters["vector.lane_slots"] == pytest.approx(68.0)
+        assert profile.counters["vector.useful_lanes"] == pytest.approx(65.0)
+        assert profile.lane_utilization == pytest.approx(65.0 / 68.0)
+
+    def test_gather_counted_for_data_dependent_stream(self):
+        result = _simulate(
+            build_descent(),
+            CompilerOptions.best_traditional(),
+            params={"nq": 4096, "depth": 8, "nn": 1 << 12},
+        )
+        assert result.profile.gather_elements > 0
+
+    def test_unit_stride_kernel_has_no_gathers(self, saxpy):
+        assert _simulate(saxpy).profile.gather_elements == 0.0
+
+
+class TestSerialization:
+    def test_result_to_dict_json_round_trip(self, saxpy):
+        result = _simulate(saxpy)
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["kernel"] == result.kernel_name
+        assert data["time_s"] == pytest.approx(result.time_s)
+        assert data["traffic_bytes"] == [pytest.approx(t) for t in result.traffic_bytes]
+        profile = data["profile"]
+        assert profile is not None
+        assert profile["bottleneck_port"] == result.profile.bottleneck_port
+        assert len(profile["cache_levels"]) == len(CORE_I7_X980.caches)
+
+    def test_profile_to_dict_fields(self, saxpy):
+        data = _simulate(saxpy).profile.to_dict()
+        assert set(data) >= {
+            "port_cycles",
+            "cache_levels",
+            "mem_accesses",
+            "lane_utilization",
+            "mask_density",
+            "gather_elements",
+            "compute_utilization",
+            "counters",
+        }
+        for level in data["cache_levels"]:
+            assert set(level) >= {"name", "accesses", "hits", "misses",
+                                  "traffic_bytes", "utilization"}
+
+    def test_validate_rejects_broken_conservation(self):
+        profile = SimProfile(
+            port_cycles={},
+            cache_levels=(
+                CacheLevelProfile(
+                    name="L1", accesses=10.0, hits=3.0, misses=4.0,
+                    traffic_bytes=0.0,
+                ),
+            ),
+            mem_accesses=10.0,
+            lane_utilization=1.0,
+            mask_density=0.0,
+            gather_elements=0.0,
+        )
+        with pytest.raises(ValueError):
+            profile.validate()
+
+
+class TestTraceProfile:
+    def test_exact_replay_profile_conserves(self, saxpy, rng):
+        n = 4096
+        arrays = {
+            "x": rng.standard_normal(n).astype(np.float32),
+            "y": rng.standard_normal(n).astype(np.float32),
+        }
+        traced = trace_kernel(saxpy, {"n": n}, arrays, CORE_I7_X980)
+        profile = traced.profile()
+        profile.validate()
+        assert profile.mem_accesses == float(traced.accesses)
+        assert profile.traffic_bytes == tuple(
+            float(b) for b in traced.traffic_bytes()
+        )
+
+    def test_replay_and_analytic_levels_align(self, saxpy, rng):
+        n = 4096
+        arrays = {
+            "x": rng.standard_normal(n).astype(np.float32),
+            "y": rng.standard_normal(n).astype(np.float32),
+        }
+        traced = trace_kernel(saxpy, {"n": n}, arrays, CORE_I7_X980)
+        analytic = _simulate(
+            saxpy, CompilerOptions.naive_serial(), params={"n": n}
+        )
+        replay_names = [l.name for l in traced.profile().cache_levels]
+        model_names = [l.name for l in analytic.profile.cache_levels]
+        assert replay_names == model_names
+
+
+class TestAcrossTheLadder:
+    @pytest.mark.parametrize(
+        "rung", ["naive_serial", "auto_vec", "ninja_options"]
+    )
+    def test_real_benchmark_conserves(self, rung):
+        bench = get_benchmark("blackscholes")
+        options = getattr(CompilerOptions, rung)()
+        variant = "ninja" if rung == "ninja_options" else "naive"
+        compiled = compile_kernel(bench.kernel(variant), options, CORE_I7_X980)
+        phase = next(iter(bench.phases(variant, bench.paper_params())))
+        result = simulate(compiled, CORE_I7_X980, phase.params)
+        result.profile.validate()
+        assert result.profile.traffic_bytes == result.traffic_bytes
+
+    def test_mic_machine_profiles(self, saxpy):
+        compiled = compile_kernel(
+            saxpy, CompilerOptions.ninja_options(), MIC_KNF
+        )
+        result = simulate(compiled, MIC_KNF, {"n": 1 << 18})
+        result.profile.validate()
+        assert len(result.profile.cache_levels) == len(MIC_KNF.caches)
