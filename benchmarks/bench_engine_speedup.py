@@ -1,0 +1,115 @@
+"""E0: the experiment engine's own speedups, measured honestly.
+
+Runs the full Figure-1 suite (all benchmarks, Core i7 X980) three ways:
+
+* serial, uncached — the pre-engine baseline;
+* ``jobs=4`` into a cold memo cache — the parallel fan-out path;
+* serial rerun against the now-warm cache — the incremental path.
+
+All three must produce *identical* ladders (the engine's parity
+guarantee); the measured wall-clock ratios land in ``BENCH_engine.json``
+and the ``engine`` block of ``BENCH_summary.json``.  On a single-core
+container the jobs ratio is recorded but not asserted — process fan-out
+cannot beat serial without a second CPU.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from conftest import write_bench_json
+
+from repro.analysis.gap import clear_ladder_cache, measure_suite
+from repro.engine import engine_session
+from repro.kernels import all_benchmarks
+from repro.machines import CORE_I7_X980
+
+
+def _run_suite(jobs: int, cache_dir: str | None, cache: bool):
+    """One timed, freshly-laddered suite run under its own engine session."""
+    clear_ladder_cache()
+    with engine_session(jobs=jobs, cache_dir=cache_dir, cache=cache) as cfg:
+        started = time.perf_counter()
+        suite = measure_suite(all_benchmarks(), CORE_I7_X980)
+        wall_s = time.perf_counter() - started
+        report = cfg.report()
+    return suite, wall_s, report
+
+
+def _assert_identical(base, other, label: str) -> None:
+    assert len(base.ladders) == len(other.ladders), label
+    for lb, lo in zip(base.ladders, other.ladders):
+        assert lb.benchmark == lo.benchmark, label
+        for rung_label in lb.rungs:
+            assert lb.rungs[rung_label] == lo.rungs[rung_label], (
+                label, lb.benchmark, rung_label,
+            )
+    assert base.mean_ninja_gap == other.mean_ninja_gap, label
+
+
+def test_engine_speedup(benchmark):
+    serial_holder = {}
+
+    def serial_cold():
+        suite, wall_s, _report = _run_suite(jobs=1, cache_dir=None, cache=False)
+        serial_holder["suite"] = suite
+        serial_holder["wall_s"] = wall_s
+        return suite
+
+    benchmark.pedantic(serial_cold, rounds=1, iterations=1)
+    base = serial_holder["suite"]
+
+    with tempfile.TemporaryDirectory(prefix="ninja-gap-bench-memo-") as d:
+        jobs_suite, jobs_wall, jobs_report = _run_suite(
+            jobs=4, cache_dir=d, cache=True
+        )
+        warm_suite, warm_wall, warm_report = _run_suite(
+            jobs=1, cache_dir=d, cache=True
+        )
+
+    _assert_identical(base, jobs_suite, "jobs=4 cold")
+    _assert_identical(base, warm_suite, "warm cache")
+
+    serial_wall = serial_holder["wall_s"]
+    jobs_speedup = serial_wall / jobs_wall
+    warm_speedup = serial_wall / warm_wall
+    payload = {
+        "suite": "fig1 (all benchmarks, Core i7 X980)",
+        "cpu_count": os.cpu_count(),
+        "serial_cold_s": serial_wall,
+        "jobs4_cold_s": jobs_wall,
+        "warm_serial_s": warm_wall,
+        "jobs4_speedup": jobs_speedup,
+        "warm_speedup": warm_speedup,
+        "jobs4_memo": jobs_report["memo"],
+        "warm_memo": warm_report["memo"],
+        "parity": "identical ladders across all three runs",
+    }
+    write_bench_json("engine", payload)
+    write_bench_json(
+        "summary",
+        {
+            "headline": {
+                "engine_warm_cache_speedup": warm_speedup,
+                "engine_jobs4_cold_speedup": jobs_speedup,
+            },
+            "engine_runs": {
+                "cpu_count": os.cpu_count(),
+                "serial_cold_s": serial_wall,
+                "jobs4_cold_s": jobs_wall,
+                "warm_serial_s": warm_wall,
+            },
+        },
+    )
+    print(
+        f"\nserial cold {serial_wall:.2f}s | jobs=4 cold {jobs_wall:.2f}s "
+        f"({jobs_speedup:.2f}x) | warm serial {warm_wall:.2f}s "
+        f"({warm_speedup:.2f}x)"
+    )
+
+    assert warm_report["memo"]["misses"] == 0, "warm run should be all hits"
+    assert warm_speedup > 1.0
+    if (os.cpu_count() or 1) > 1:
+        assert jobs_speedup > 1.0

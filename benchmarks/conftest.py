@@ -14,6 +14,16 @@ Every run also emits machine-readable artifacts next to the repo root
   compiler pass and simulator stage, loadable in Perfetto.
 
 Set ``REPRO_BENCH_NO_ARTIFACTS=1`` to suppress both (e.g. read-only CI).
+
+The harness runs under an engine session (see :mod:`repro.engine`):
+
+* ``REPRO_BENCH_JOBS=N`` — fan simulation grids out over N processes;
+* ``REPRO_CACHE_DIR=PATH`` — memo-cache location (default:
+  ``<bench output dir>/.repro-memo``, so a rerun is incremental);
+* ``REPRO_BENCH_NO_CACHE=1`` — disable the memo cache.
+
+Each ``BENCH_<id>.json`` gains an ``engine`` block: jobs, memo hit/miss
+counters, and per-task wall-clock timings for the run.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from pathlib import Path
 import pytest
 
 from repro import __version__
+from repro.engine import engine_session
 from repro.experiments import run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.observability import to_chrome_trace, tracing
@@ -43,6 +54,21 @@ def _artifacts_enabled() -> bool:
     return os.environ.get("REPRO_BENCH_NO_ARTIFACTS", "") != "1"
 
 
+def _deep_update(target: dict, updates: dict) -> dict:
+    """Merge *updates* into *target* recursively (dicts merge, rest replace).
+
+    Lets independent bench targets contribute sibling keys to one block —
+    e.g. the engine-speedup ratios and the gap numbers both land in
+    ``BENCH_summary.json``'s ``headline`` regardless of run order.
+    """
+    for key, value in updates.items():
+        if isinstance(value, dict) and isinstance(target.get(key), dict):
+            _deep_update(target[key], value)
+        else:
+            target[key] = value
+    return target
+
+
 def write_bench_json(experiment_id: str, payload: dict) -> Path | None:
     """Write (or update) one ``BENCH_<id>.json`` artifact; returns its path."""
     if not _artifacts_enabled():
@@ -54,13 +80,29 @@ def write_bench_json(experiment_id: str, payload: dict) -> Path | None:
             existing = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             existing = {}
-    existing.update(payload)
+    _deep_update(existing, payload)
     path.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
     return path
 
 
+@pytest.fixture(scope="session", autouse=True)
+def engine():
+    """One engine session for the whole benchmark run.
+
+    Defaults to serial with a memo cache under the bench output dir, so
+    repeating ``pytest benchmarks/`` reuses every prior simulation.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    use_cache = os.environ.get("REPRO_BENCH_NO_CACHE", "") != "1"
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(
+        bench_output_dir() / ".repro-memo"
+    )
+    with engine_session(jobs=jobs, cache_dir=cache_dir, cache=use_cache) as cfg:
+        yield cfg
+
+
 @pytest.fixture
-def artifact(benchmark):
+def artifact(benchmark, engine):
     """Run one experiment under pytest-benchmark and print its rows.
 
     Tracing is enabled for the run: alongside the printed table the
@@ -69,6 +111,7 @@ def artifact(benchmark):
     """
 
     def runner(experiment_id: str) -> ExperimentResult:
+        engine.reset_stats()
         with tracing() as tracer:
             started = time.perf_counter()
             result = benchmark.pedantic(
@@ -86,6 +129,7 @@ def artifact(benchmark):
                     "version": __version__,
                     "wall_s": wall_s,
                     "spans": len(tracer.spans),
+                    "engine": engine.report(),
                     "headers": list(result.headers),
                     "rows": [list(row) for row in result.rows],
                     "paper_claims": list(result.paper_claims),

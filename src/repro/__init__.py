@@ -42,6 +42,7 @@ from repro.analysis import (
     measure_suite,
 )
 from repro.compiler import CompilerOptions, compile_kernel
+from repro.engine import MemoCache, cached_simulate, engine_session
 from repro.errors import ReproError
 from repro.experiments import experiment_ids, run_experiment
 from repro.ir import F32, F64, I32, I64, Kernel, KernelBuilder, run_kernel
@@ -94,6 +95,7 @@ __all__ = [
     "Ladder",
     "MIC_KNF",
     "MachineSpec",
+    "MemoCache",
     "ReproError",
     "RungResult",
     "SimProfile",
@@ -103,7 +105,9 @@ __all__ = [
     "tracing",
     "all_benchmarks",
     "breakdown",
+    "cached_simulate",
     "compile_kernel",
+    "engine_session",
     "experiment_ids",
     "get_benchmark",
     "get_machine",

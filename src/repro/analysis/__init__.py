@@ -12,6 +12,7 @@ from repro.analysis.gap import (
     geometric_mean,
     measure_ladder,
     measure_suite,
+    prewarm_ladders,
     run_rung,
 )
 from repro.analysis.scaling import (
@@ -47,6 +48,7 @@ __all__ = [
     "measure_ladder",
     "measure_suite",
     "place",
+    "prewarm_ladders",
     "productivity_ratio",
     "ridge_point",
     "run_rung",

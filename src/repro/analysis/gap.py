@@ -22,12 +22,15 @@ import statistics
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.compiler import CompilerOptions, compile_kernel
+from repro.compiler import CompilerOptions
 from repro.compiler.compiled import CompiledKernel
+from repro.engine.config import get_config
+from repro.engine.scheduler import GridTask, preset_name, run_grid
+from repro.engine.sim import cached_simulate
 from repro.errors import ExperimentError
 from repro.kernels.base import Benchmark
 from repro.machines.spec import MachineSpec
-from repro.simulator import SimResult, simulate
+from repro.simulator import SimResult
 
 #: (rung label, source variant, compiler options) in evaluation order.
 LADDER_RUNGS: tuple[tuple[str, str, CompilerOptions], ...] = (
@@ -131,10 +134,10 @@ def run_rung(
     bottleneck_time = -1.0
     bottleneck = "compute"
     for phase in benchmark.phases(variant, params):
-        key = f"{phase.kernel.name}|{options.label}|{machine.name}"
-        if key not in compiled:
-            compiled[key] = compile_kernel(phase.kernel, options, machine)
-        result: SimResult = simulate(compiled[key], machine, phase.params, threads)
+        result: SimResult = cached_simulate(
+            phase.kernel, options, machine, phase.params,
+            threads=threads, compiled_cache=compiled,
+        )
         if collect is not None:
             collect.append(result)
         total_time += result.time_s * phase.count
@@ -195,6 +198,61 @@ def measure_ladder(
     return ladder
 
 
+def prewarm_ladders(
+    benchmarks,
+    machines,
+    params_overrides: Mapping[str, Mapping[str, int]] | None = None,
+) -> int:
+    """Fan the (benchmark × rung × machine) grid out over the engine pool.
+
+    Each rung becomes one :class:`~repro.engine.scheduler.GridTask`;
+    workers populate the shared memo cache, and the subsequent serial
+    :func:`measure_ladder` calls assemble ladders through memo hits —
+    identical results, most of the wall-clock spent in parallel.
+
+    A no-op (returns 0) when the engine is serial or uncached, or for
+    machines that are not registry presets (those cannot travel to a
+    worker and fall back to in-process simulation — still memoized).
+    Returns the number of tasks fanned out.
+    """
+    config = get_config()
+    if config.jobs <= 1 or config.cache is None:
+        return 0
+    overrides = params_overrides or {}
+    tasks: list[GridTask] = []
+    warmed = []
+    for machine in machines:
+        name = preset_name(machine)
+        if name is None:
+            continue
+        for bench in benchmarks:
+            override = overrides.get(bench.name)
+            if override is None and (bench.name, machine.name) in _LADDER_CACHE:
+                continue
+            params = (
+                tuple(sorted(override.items())) if override is not None else None
+            )
+            grid_key = (bench.name, machine.name, params)
+            if grid_key in config.prewarmed:
+                continue
+            warmed.append(grid_key)
+            for label, variant, options in LADDER_RUNGS:
+                tasks.append(
+                    GridTask(
+                        benchmark=bench.name,
+                        label=label,
+                        variant=variant,
+                        options=options,
+                        machine=name,
+                        params=params,
+                    )
+                )
+    if tasks:
+        run_grid(tasks)
+        config.prewarmed.update(warmed)
+    return len(tasks)
+
+
 def geometric_mean(values: list[float]) -> float:
     """Geometric mean (the paper-style average for speedup ratios)."""
     if not values:
@@ -237,7 +295,14 @@ def measure_suite(
     machine: MachineSpec,
     params_overrides: Mapping[str, Mapping[str, int]] | None = None,
 ) -> SuiteGaps:
-    """Run the ladder for a collection of benchmarks."""
+    """Run the ladder for a collection of benchmarks.
+
+    With an engine session active (``jobs > 1`` and a memo cache), the
+    whole grid is prewarmed through the process pool first; the serial
+    assembly below then runs entirely on memo hits.
+    """
+    benchmarks = list(benchmarks)
+    prewarm_ladders(benchmarks, [machine], params_overrides)
     overrides = params_overrides or {}
     ladders = tuple(
         measure_ladder(bench, machine, overrides.get(bench.name))

@@ -1,0 +1,58 @@
+"""Parallel + incremental experiment engine.
+
+The paper's whole evaluation is a grid sweep — every kernel × optimization
+rung × machine generation.  This package makes walking that grid cheap:
+
+* :mod:`repro.engine.keys` — content-addressed memo keys: SHA-256 over the
+  printed kernel IR, params, compiler options, the full machine spec, the
+  simulator kind, the package version, and a digest of the model source;
+* :mod:`repro.engine.memo` — the disk store (atomic JSON files, sharded by
+  key prefix) holding ``SimResult.to_dict()`` round trips;
+* :mod:`repro.engine.sim` — :func:`cached_simulate`, the memoized
+  per-grid-point entry ``run_rung`` uses everywhere;
+* :mod:`repro.engine.scheduler` — :class:`GridTask` fan-out over a
+  ``concurrent.futures`` process pool with deterministic result ordering;
+* :mod:`repro.engine.config` — the opt-in session config (``--jobs N``,
+  ``--cache-dir``, ``--no-cache`` on the CLI; ``REPRO_BENCH_JOBS`` /
+  ``REPRO_CACHE_DIR`` on the benchmark harness).
+
+See ``docs/PERFORMANCE.md`` for the key scheme and measured speedups.
+"""
+
+from repro.engine.config import (
+    EngineConfig,
+    configure,
+    engine_session,
+    get_config,
+    set_config,
+)
+from repro.engine.keys import (
+    MEMO_SCHEMA,
+    code_fingerprint,
+    fingerprint,
+    kernel_fingerprint,
+    sim_memo_key,
+)
+from repro.engine.memo import MemoCache, MemoStats, default_cache_dir
+from repro.engine.scheduler import GridTask, preset_name, run_grid
+from repro.engine.sim import cached_simulate
+
+__all__ = [
+    "EngineConfig",
+    "GridTask",
+    "MEMO_SCHEMA",
+    "MemoCache",
+    "MemoStats",
+    "cached_simulate",
+    "code_fingerprint",
+    "configure",
+    "default_cache_dir",
+    "engine_session",
+    "fingerprint",
+    "get_config",
+    "kernel_fingerprint",
+    "preset_name",
+    "run_grid",
+    "set_config",
+    "sim_memo_key",
+]

@@ -1,0 +1,128 @@
+"""Engine configuration: the active job count, memo cache, and task log.
+
+The engine is opt-in.  The library default — ``jobs=1``, no cache — is
+byte-for-byte the pre-engine behaviour, so unit tests and library users
+see no change unless a tool installs a config via :func:`configure` or
+the :func:`engine_session` context manager (the CLI's ``--jobs`` /
+``--cache-dir`` / ``--no-cache`` flags and the benchmark harness both
+do).
+
+Parallel fan-out requires a cache: workers hand results back through the
+content-addressed memo store, so ``engine_session(jobs=4, cache=False)``
+transparently uses an ephemeral cache directory for the session.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.memo import MemoCache, default_cache_dir
+from repro.errors import ReproError
+
+
+@dataclass
+class EngineConfig:
+    """The engine state library code consults.
+
+    Attributes:
+        jobs: process-pool width for grid fan-out (1 = in-process serial).
+        cache: the active memo cache, or ``None`` when memoization is off.
+        task_log: per-task records (name, wall-clock, memo deltas) appended
+            by the scheduler and the memoized simulate path.
+        prewarmed: (benchmark, machine, params) grids already fanned out
+            this session — experiments sharing ladders skip re-spawning a
+            pool whose every task would be a memo hit.
+    """
+
+    jobs: int = 1
+    cache: MemoCache | None = None
+    task_log: list[dict] = field(default_factory=list)
+    prewarmed: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ReproError(f"engine jobs must be >= 1, got {self.jobs}")
+
+    def log_task(self, record: dict) -> None:
+        """Append one task record (bounded; oldest entries drop first)."""
+        self.task_log.append(record)
+        if len(self.task_log) > 10_000:
+            del self.task_log[: -10_000]
+
+    def report(self) -> dict:
+        """Machine-readable engine statistics for benchmark artifacts."""
+        memo = self.cache.stats.as_dict() if self.cache is not None else None
+        if memo is not None:
+            # Fold in the memo work done inside pool workers (their cache
+            # objects die with the worker; deltas ride back on the records).
+            for record in self.task_log:
+                for name, value in record.get("worker_memo", {}).items():
+                    memo[name] = memo.get(name, 0) + value
+        return {
+            "jobs": self.jobs,
+            "cache_dir": (
+                str(self.cache.root) if self.cache is not None else None
+            ),
+            "memo": memo,
+            "tasks": list(self.task_log),
+        }
+
+    def reset_stats(self) -> None:
+        """Clear the task log and memo counters (entries stay on disk)."""
+        self.task_log.clear()
+        if self.cache is not None:
+            self.cache.stats = type(self.cache.stats)()
+
+
+_ACTIVE = EngineConfig()
+
+
+def get_config() -> EngineConfig:
+    """The currently active engine configuration."""
+    return _ACTIVE
+
+
+def set_config(config: EngineConfig) -> EngineConfig:
+    """Install *config*; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = config
+    return previous
+
+
+def configure(
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache: bool = True,
+) -> EngineConfig:
+    """Build and install an :class:`EngineConfig`; returns the previous one.
+
+    With ``cache=True`` the memo store lives at *cache_dir* (default:
+    :func:`~repro.engine.memo.default_cache_dir`).  With ``cache=False``
+    memoization is off — unless ``jobs > 1``, which needs a store to move
+    worker results, so an ephemeral directory is used instead.
+    """
+    memo: MemoCache | None = None
+    if cache:
+        memo = MemoCache(cache_dir or default_cache_dir())
+    elif jobs > 1:
+        memo = MemoCache(tempfile.mkdtemp(prefix="ninja-gap-memo-"))
+    return set_config(EngineConfig(jobs=jobs, cache=memo))
+
+
+@contextmanager
+def engine_session(
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache: bool = True,
+) -> Iterator[EngineConfig]:
+    """Install an engine config for a ``with`` block; restores the previous
+    config (library default: serial, uncached) on exit."""
+    previous = configure(jobs=jobs, cache_dir=cache_dir, cache=cache)
+    try:
+        yield get_config()
+    finally:
+        set_config(previous)

@@ -1,0 +1,133 @@
+"""Content-addressed memo keys for simulation results.
+
+A simulation is a pure function of its inputs: the kernel IR, the concrete
+parameter bindings, the compiler options, the machine description, the
+simulator kind, and the model code itself.  :func:`sim_memo_key` folds all
+of them into one SHA-256 digest, so a disk cache keyed by it can never
+serve a stale result — any change to the kernel, the flags, the machine,
+the package version, or the model source produces a different key.
+
+The fingerprint components:
+
+* **kernel** — the printed C-ish source (:func:`repro.ir.printer.format_kernel`
+  covers body, pragmas, dtypes, shapes, layouts and fields) plus the
+  per-array ``alignment``/``skew`` attributes the printer omits;
+* **params** — the sorted concrete parameter bindings;
+* **options** — every :class:`~repro.compiler.options.CompilerOptions` field;
+* **machine** — the full :class:`~repro.machines.spec.MachineSpec`,
+  including nested cost tables (so ablation machines built with
+  ``with_overrides`` key differently from their presets);
+* **simulator** — ``"analytic"`` or ``"trace"``;
+* **version / code** — ``repro.__version__`` plus a digest of the model
+  source trees (``ir``, ``compiler``, ``simulator``, ``machines``), so a
+  code change invalidates the cache even without a version bump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.compiler.options import CompilerOptions
+from repro.ir.kernel import Kernel
+from repro.ir.printer import format_kernel
+from repro.machines.spec import MachineSpec
+
+#: Bump to invalidate every existing cache entry on a format change.
+MEMO_SCHEMA = 1
+
+#: Model subpackages whose source participates in the code fingerprint.
+_CODE_SUBPACKAGES = ("ir", "compiler", "simulator", "machines")
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def fingerprint(value: object) -> object:
+    """Recursively convert *value* to canonical JSON-able plain data.
+
+    Dataclasses become field dicts, enums their values, mappings sorted
+    dicts; anything else falls back to ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: fingerprint(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (dict, MappingProxyType)):
+        items = [(str(fingerprint(k)), fingerprint(v)) for k, v in value.items()]
+        return dict(sorted(items))
+    if isinstance(value, (list, tuple)):
+        return [fingerprint(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def kernel_fingerprint(kernel: Kernel) -> dict:
+    """The kernel identity the memo key hashes.
+
+    The printed source captures body, pragmas, dtypes, shapes, layouts and
+    field lists; alignment and access-skew hints are appended explicitly
+    because the printer does not render them (and both change simulated
+    behaviour).
+    """
+    return {
+        "source": format_kernel(kernel),
+        "arrays": [
+            {"name": a.name, "alignment": a.alignment, "skew": a.skew}
+            for a in kernel.arrays
+        ],
+    }
+
+
+def code_fingerprint() -> str:
+    """Digest of the model source trees (computed once per process)."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        digest = hashlib.sha256()
+        package_root = Path(__file__).resolve().parent.parent
+        for subpackage in _CODE_SUBPACKAGES:
+            directory = package_root / subpackage
+            for path in sorted(directory.glob("*.py")):
+                digest.update(path.name.encode("utf-8"))
+                digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def _package_version() -> str:
+    from repro import __version__  # lazy: repro/__init__ imports this module
+
+    return __version__
+
+
+def sim_memo_key(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    options: CompilerOptions,
+    machine: MachineSpec,
+    simulator: str = "analytic",
+    threads: int | None = None,
+    version: str | None = None,
+) -> str:
+    """SHA-256 memo key for one simulation grid point."""
+    payload = {
+        "schema": MEMO_SCHEMA,
+        "version": version if version is not None else _package_version(),
+        "code": code_fingerprint(),
+        "simulator": simulator,
+        "kernel": kernel_fingerprint(kernel),
+        "params": {name: int(params[name]) for name in sorted(params)},
+        "options": fingerprint(options),
+        "machine": fingerprint(machine),
+        "threads": threads,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

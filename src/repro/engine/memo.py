@@ -1,0 +1,125 @@
+"""Content-addressed disk memo cache for simulation results.
+
+One cache entry is one JSON file named by its memo key (sharded by the
+first two hex digits, git-object style).  Values are plain dicts — in
+practice ``SimResult.to_dict()`` output — and round-trip bit-exactly
+through JSON because every float is serialized via ``repr``.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent engine
+workers sharing one cache directory can never observe a torn entry; a
+corrupt or unreadable file is treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.observability.tracer import add_counter
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss accounting for one :class:`MemoCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "errors": self.errors,
+        }
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        """Current values (for delta accounting across a task)."""
+        return (self.hits, self.misses, self.puts, self.errors)
+
+    def since(self, snapshot: tuple[int, int, int, int]) -> dict:
+        """Counter deltas since a :meth:`snapshot`."""
+        return {
+            "hits": self.hits - snapshot[0],
+            "misses": self.misses - snapshot[1],
+            "puts": self.puts - snapshot[2],
+            "errors": self.errors - snapshot[3],
+        }
+
+
+class MemoCache:
+    """A content-addressed key → JSON-dict store on disk."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.stats = MemoStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Look one entry up; ``None`` (and a miss) when absent/corrupt."""
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            add_counter("engine.memo.miss")
+            return None
+        try:
+            value = json.loads(text)
+            if not isinstance(value, dict):
+                raise ValueError("memo entry is not an object")
+        except ValueError:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            add_counter("engine.memo.error")
+            add_counter("engine.memo.miss")
+            return None
+        self.stats.hits += 1
+        add_counter("engine.memo.hit")
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        """Store one entry atomically (safe under concurrent writers)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(value), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        add_counter("engine.memo.put")
+
+    def clear(self) -> None:
+        """Delete every entry (the directory itself survives)."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"MemoCache({str(self.root)!r}, {self.stats})"
+
+
+def default_cache_dir() -> Path:
+    """Where the memo cache lives unless told otherwise.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise the XDG cache home (or
+    ``~/.cache``) under ``ninja-gap/memo``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "ninja-gap" / "memo"

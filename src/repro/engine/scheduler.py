@@ -1,0 +1,151 @@
+"""Process-pool grid scheduler: fan (benchmark, rung, machine) tasks out.
+
+A :class:`GridTask` names one ladder rung of one benchmark on one preset
+machine — everything a worker needs is picklable (benchmarks and machines
+travel by registry name; :class:`CompilerOptions` is a plain dataclass).
+Workers run the ordinary :func:`~repro.analysis.gap.run_rung` path with a
+worker-local engine config pointed at the shared memo-cache directory, so
+every simulated point lands in the content-addressed store; the parent
+then assembles ladders through the same memoized path, which makes the
+parallel results *definitionally* identical to serial ones (both are the
+same ``SimResult.to_dict()`` round trip) and the result ordering
+deterministic regardless of completion order.
+
+Non-preset machines (ablation one-offs built with ``with_overrides``)
+simply skip the fan-out and compute in-process — still memoized, keyed by
+their full spec fingerprint.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.compiler.options import CompilerOptions
+from repro.engine.config import configure, get_config
+from repro.machines.spec import MachineSpec
+from repro.observability.tracer import add_counter, span
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One independent unit of grid work: a benchmark × rung × machine.
+
+    Attributes:
+        benchmark: benchmark registry name (``"nbody"``).
+        label: rung label (``"serial"`` ... ``"ninja"``).
+        variant: source variant the rung compiles (``"naive"`` ...).
+        options: the rung's compiler options.
+        machine: preset machine name (worker resolves via ``get_machine``).
+        params: explicit workload override as sorted items, or ``None``
+            for the benchmark's paper workload.
+        threads: explicit thread count, or ``None`` for the default.
+    """
+
+    benchmark: str
+    label: str
+    variant: str
+    options: CompilerOptions
+    machine: str
+    params: tuple[tuple[str, int], ...] | None = None
+    threads: int | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name for spans and task logs."""
+        return f"{self.benchmark}|{self.label}|{self.machine}"
+
+
+def preset_name(machine: MachineSpec) -> str | None:
+    """The registry name resolving to exactly *machine*, if any."""
+    from repro.machines import get_machine
+    from repro.errors import MachineSpecError
+
+    try:
+        if get_machine(machine.name) == machine:
+            return machine.name
+    except MachineSpecError:
+        pass
+    return None
+
+
+def _init_worker(cache_dir: str | None) -> None:
+    """Pool initializer: point the worker at the shared memo cache."""
+    configure(jobs=1, cache_dir=cache_dir, cache=cache_dir is not None)
+
+
+def _execute_task(task: GridTask) -> dict:
+    """Run one grid task in the current process; returns a task record."""
+    from repro.analysis.gap import run_rung
+    from repro.kernels import get_benchmark
+    from repro.machines import get_machine
+
+    cache = get_config().cache
+    before = cache.stats.snapshot() if cache is not None else None
+    started = time.perf_counter()
+    rung = run_rung(
+        get_benchmark(task.benchmark),
+        task.variant,
+        task.options,
+        get_machine(task.machine),
+        label=task.label,
+        params=dict(task.params) if task.params is not None else None,
+        threads=task.threads,
+    )
+    record = {
+        "task": task.name,
+        "kind": "grid",
+        "wall_s": time.perf_counter() - started,
+        "time_s": rung.time_s,
+    }
+    if cache is not None and before is not None:
+        record["worker_memo"] = cache.stats.since(before)
+    return record
+
+
+def run_grid(tasks: list[GridTask], jobs: int | None = None) -> list[dict]:
+    """Execute *tasks*; returns their records in submission order.
+
+    With ``jobs > 1`` the tasks run on a ``ProcessPoolExecutor`` sharing
+    the active memo-cache directory; otherwise they run in-process under
+    the active config.  Either way, each task gets an ``engine.task`` span
+    and a task-log record, and results keep the input ordering.
+    """
+    config = get_config()
+    if jobs is None:
+        jobs = config.jobs
+    records: list[dict] = []
+    with span("engine.grid", tasks=len(tasks), jobs=jobs):
+        if jobs <= 1 or len(tasks) < 2:
+            for task in tasks:
+                with span(
+                    "engine.task",
+                    benchmark=task.benchmark, rung=task.label,
+                    machine=task.machine,
+                ):
+                    records.append(_execute_task(task))
+        else:
+            cache_dir = (
+                str(config.cache.root) if config.cache is not None else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                initializer=_init_worker,
+                initargs=(cache_dir,),
+            ) as pool:
+                futures = [pool.submit(_execute_task, task) for task in tasks]
+                for task, future in zip(tasks, futures):
+                    with span(
+                        "engine.task",
+                        benchmark=task.benchmark, rung=task.label,
+                        machine=task.machine,
+                    ) as record:
+                        result = future.result()
+                        if record is not None:
+                            record.attrs["worker_wall_s"] = result["wall_s"]
+                        records.append(result)
+    for record in records:
+        config.log_task(record)
+    add_counter("engine.tasks", float(len(tasks)))
+    return records

@@ -1,0 +1,106 @@
+"""Memoized simulation: the engine's per-grid-point fast path.
+
+:func:`cached_simulate` is what :func:`repro.analysis.gap.run_rung` (and
+therefore every figure, table, ladder and benchmark) calls instead of the
+raw ``compile_kernel`` + ``simulate`` pair.  On a memo hit the compiled
+kernel is never built — the cached :class:`SimResult` round-trips from
+its ``to_dict()`` form, which is verified byte-identical by the parity
+tests.  With no active cache the behaviour (and the floats) are exactly
+the uncached pipeline's.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.compiler import compile_kernel
+from repro.compiler.compiled import CompiledKernel
+from repro.compiler.options import CompilerOptions
+from repro.engine.config import get_config
+from repro.engine.keys import sim_memo_key
+from repro.ir.kernel import Kernel
+from repro.machines.spec import MachineSpec
+from repro.observability.tracer import span
+from repro.simulator import SimResult, simulate
+
+
+def _compiled(
+    kernel: Kernel,
+    options: CompilerOptions,
+    machine: MachineSpec,
+    compiled_cache: dict | None,
+) -> CompiledKernel:
+    """Compile (or reuse a caller-scoped compilation of) one kernel."""
+    if compiled_cache is None:
+        return compile_kernel(kernel, options, machine)
+    key = f"{kernel.name}|{options.label}|{machine.name}"
+    if key not in compiled_cache:
+        compiled_cache[key] = compile_kernel(kernel, options, machine)
+    return compiled_cache[key]
+
+
+def cached_simulate(
+    kernel: Kernel,
+    options: CompilerOptions,
+    machine: MachineSpec,
+    params: Mapping[str, int],
+    threads: int | None = None,
+    compiled_cache: dict | None = None,
+) -> SimResult:
+    """Simulate one (kernel, options, machine, params) grid point,
+    consulting the engine's memo cache when one is active.
+
+    Args:
+        kernel: the *source* kernel (compilation happens only on a miss).
+        options: compiler rung.
+        machine: target machine model.
+        params: concrete parameter bindings.
+        threads: hardware threads (``None`` = the simulator's default).
+        compiled_cache: optional caller-scoped dict reusing compilations
+            across phases of one rung (same scheme ``run_rung`` used
+            before the engine existed).
+    """
+    cache = get_config().cache
+    if cache is None:
+        return simulate(
+            _compiled(kernel, options, machine, compiled_cache),
+            machine, params, threads,
+        )
+    started = time.perf_counter()
+    key = sim_memo_key(
+        kernel, params, options, machine, simulator="analytic", threads=threads
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        result = SimResult.from_dict(cached)
+        _log_point(kernel, options, machine, "hit", started)
+        return result
+    with span(
+        "engine.point",
+        kernel=kernel.name, rung=options.label, machine=machine.name,
+    ):
+        result = simulate(
+            _compiled(kernel, options, machine, compiled_cache),
+            machine, params, threads,
+        )
+    cache.put(key, result.to_dict())
+    _log_point(kernel, options, machine, "miss", started)
+    return result
+
+
+def _log_point(
+    kernel: Kernel,
+    options: CompilerOptions,
+    machine: MachineSpec,
+    memo: str,
+    started: float,
+) -> None:
+    get_config().log_task(
+        {
+            "task": f"{kernel.name}|{options.label}|{machine.name}",
+            "kind": "point",
+            "memo": memo,
+            "wall_s": time.perf_counter() - started,
+        }
+    )

@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.analysis.tables import format_table
 from repro.errors import ExperimentError
+from repro.observability.tracer import span
 
 
 @dataclass(frozen=True)
@@ -98,7 +99,8 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner()
+    with span("experiment", id=experiment_id):
+        return runner()
 
 
 def _load_all() -> None:

@@ -8,6 +8,7 @@ from repro.analysis import (
     geometric_mean,
     measure_ladder,
     measure_suite,
+    prewarm_ladders,
     productivity_ratio,
 )
 from repro.compiler import CompilerOptions, plan_vectorization
@@ -61,7 +62,9 @@ def fig3_compiler_only() -> ExperimentResult:
     """Figure 3: how far compiler flags alone get on *unchanged* code."""
     rows = []
     gaps = []
-    for bench in all_benchmarks():
+    benchmarks = all_benchmarks()
+    prewarm_ladders(benchmarks, [CORE_I7_X980])
+    for bench in benchmarks:
         ladder = measure_ladder(bench, CORE_I7_X980)
         gap = ladder.compiler_only_gap
         gaps.append(gap)
@@ -128,7 +131,9 @@ def fig4_algorithmic() -> ExperimentResult:
 def fig5_simd_efficiency() -> ExperimentResult:
     """Figure 5: what the vectorizer does per benchmark (vec-report view)."""
     rows = []
-    for bench in all_benchmarks():
+    benchmarks = all_benchmarks()
+    prewarm_ladders(benchmarks, [CORE_I7_X980])
+    for bench in benchmarks:
         naive_kernel = bench.kernel("naive")
         opt_kernel = bench.kernel("optimized")
         from repro.compiler.unroll import fully_unroll_const_loops
@@ -182,7 +187,9 @@ def fig7_effort() -> ExperimentResult:
     """Figure 7: performance vs programming effort."""
     rows = []
     ratios = []
-    for bench in all_benchmarks():
+    benchmarks = all_benchmarks()
+    prewarm_ladders(benchmarks, [CORE_I7_X980])
+    for bench in benchmarks:
         ladder = measure_ladder(bench, CORE_I7_X980)
         points = effort_curve(bench, ladder)
         by_label = {point.label: point for point in points}

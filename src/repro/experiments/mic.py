@@ -8,7 +8,7 @@ with higher absolute throughput on the parallel-friendly kernels.
 
 from __future__ import annotations
 
-from repro.analysis import geometric_mean, measure_ladder
+from repro.analysis import geometric_mean, measure_ladder, prewarm_ladders
 from repro.experiments.base import ExperimentResult, register
 from repro.kernels import all_benchmarks
 from repro.machines import CORE_I7_X980, MIC_KNF
@@ -19,7 +19,10 @@ def fig6_mic() -> ExperimentResult:
     """Figure 6: per-benchmark residual gaps and MIC/CPU throughput."""
     rows = []
     residuals = []
-    for bench in all_benchmarks():
+    benchmarks = all_benchmarks()
+    # Both machines in one grid: the MIC and CPU ladders fan out together.
+    prewarm_ladders(benchmarks, [MIC_KNF, CORE_I7_X980])
+    for bench in benchmarks:
         mic_ladder = measure_ladder(bench, MIC_KNF)
         cpu_ladder = measure_ladder(bench, CORE_I7_X980)
         residuals.append(mic_ladder.residual_gap)

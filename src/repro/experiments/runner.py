@@ -51,7 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the artifact as JSON"
     )
     _add_profile_flags(run)
-    sub.add_parser("all", help="run every artifact")
+    _add_engine_flags(run)
+    run_all = sub.add_parser("all", help="run every artifact")
+    _add_engine_flags(run_all)
     ladder = sub.add_parser(
         "ladder", help="run one benchmark up the effort ladder"
     )
@@ -65,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the ladder (with per-rung profiles) as JSON",
     )
     _add_profile_flags(ladder)
+    _add_engine_flags(ladder)
     report = sub.add_parser(
         "report", help="print per-rung vectorization reports for a benchmark"
     )
@@ -91,15 +94,37 @@ def _add_profile_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the simulation grid out over N worker processes",
+    )
+    sub.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="memo-cache directory for simulation results "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/ninja-gap/memo)",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the simulation memo cache for this invocation",
+    )
+
+
 def _ladder_data(benchmark_name: str, machine_name: str) -> dict:
     """Run the full ladder collecting per-phase SimResults (with profiles)."""
     from repro.analysis import breakdown
-    from repro.analysis.gap import LADDER_RUNGS, Ladder, run_rung
+    from repro.analysis.gap import (
+        LADDER_RUNGS,
+        Ladder,
+        prewarm_ladders,
+        run_rung,
+    )
     from repro.kernels import get_benchmark
     from repro.machines import get_machine
 
     bench = get_benchmark(benchmark_name)
     machine = get_machine(machine_name)
+    prewarm_ladders([bench], [machine])
     compiled_cache: dict = {}
     rungs = {}
     collected: dict[str, list] = {}
@@ -248,9 +273,32 @@ def _finish_profiled(tracer, profile: bool, trace_out: str | None) -> None:
         print(f"wrote Chrome trace ({len(tracer.spans)} spans) to {trace_out}")
 
 
+def _engine_line(engine) -> str:
+    """One-line memo/jobs summary for ``--profile`` output."""
+    report = engine.report()
+    memo = report["memo"] or {}
+    return (
+        f"engine: jobs={report['jobs']} "
+        f"memo hits={memo.get('hits', 0)} misses={memo.get('misses', 0)} "
+        f"cache={report['cache_dir'] or 'off'}"
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.engine import engine_session
+
+    # list/report take no engine flags; they run serial and uncached.
+    with engine_session(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        cache=hasattr(args, "no_cache") and not args.no_cache,
+    ) as engine:
+        return _dispatch(args, engine)
+
+
+def _dispatch(args, engine) -> int:
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
@@ -267,6 +315,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print(result.render())
             print(f"({time.perf_counter() - started:.1f}s)")
+        if args.profile:
+            print(_engine_line(engine))
         _finish_profiled(tracer, args.profile, args.trace_out)
         return 0
     if args.command == "ladder":
@@ -280,6 +330,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             _print_ladder(data, profile=args.profile)
         if args.profile and not args.json:
+            print(_engine_line(engine))
             print()
             from repro.observability import render_spans
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.analysis import measure_ladder
+from repro.analysis import measure_ladder, prewarm_ladders
 from repro.experiments.base import ExperimentResult, register
 from repro.kernels import all_benchmarks
 from repro.machines import CORE_I7_X980, MIC_KNF, PRESETS
@@ -73,7 +73,9 @@ def table2_platforms() -> ExperimentResult:
 def table3_changes() -> ExperimentResult:
     """Table 3: algorithmic change + effort + what it buys, per benchmark."""
     rows = []
-    for bench in all_benchmarks():
+    benchmarks = all_benchmarks()
+    prewarm_ladders(benchmarks, [CORE_I7_X980])
+    for bench in benchmarks:
         ladder = measure_ladder(bench, CORE_I7_X980)
         rows.append(
             (

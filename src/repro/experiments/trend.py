@@ -7,7 +7,7 @@ on three generations whose cores x SIMD-lanes product keeps growing.
 
 from __future__ import annotations
 
-from repro.analysis import measure_suite
+from repro.analysis import measure_suite, prewarm_ladders
 from repro.experiments.base import ExperimentResult, register
 from repro.kernels import all_benchmarks
 from repro.machines import GENERATIONS
@@ -18,6 +18,9 @@ def fig2_gap_trend() -> ExperimentResult:
     """Figure 2: mean Ninja gap per processor generation."""
     rows = []
     means = []
+    # One fan-out covering every generation: the per-machine suites below
+    # then assemble from memo hits.
+    prewarm_ladders(all_benchmarks(), GENERATIONS)
     for machine in GENERATIONS:
         suite = measure_suite(all_benchmarks(), machine)
         means.append(suite.mean_ninja_gap)

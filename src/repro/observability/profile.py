@@ -67,6 +67,19 @@ class CacheLevelProfile:
             "utilization": self.utilization,
         }
 
+    @staticmethod
+    def from_dict(data: dict) -> "CacheLevelProfile":
+        """Rebuild from :meth:`to_dict` output (``hit_rate`` is derived)."""
+        return CacheLevelProfile(
+            name=data["name"],
+            accesses=data["accesses"],
+            hits=data["hits"],
+            misses=data["misses"],
+            traffic_bytes=data["traffic_bytes"],
+            time_s=data["time_s"],
+            utilization=data["utilization"],
+        )
+
 
 @dataclass(frozen=True)
 class SimProfile:
@@ -148,3 +161,25 @@ class SimProfile:
             "compute_utilization": self.compute_utilization,
             "counters": dict(self.counters),
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimProfile":
+        """Rebuild from :meth:`to_dict` output.
+
+        Derived keys (``bottleneck_port``) are recomputed, so the round
+        trip ``SimProfile.from_dict(p.to_dict()).to_dict() == p.to_dict()``
+        is exact — the memo cache's parity guarantee.
+        """
+        return SimProfile(
+            port_cycles=dict(data["port_cycles"]),
+            cache_levels=tuple(
+                CacheLevelProfile.from_dict(level)
+                for level in data["cache_levels"]
+            ),
+            mem_accesses=data["mem_accesses"],
+            lane_utilization=data["lane_utilization"],
+            mask_density=data["mask_density"],
+            gather_elements=data["gather_elements"],
+            compute_utilization=data["compute_utilization"],
+            counters=dict(data["counters"]),
+        )

@@ -42,6 +42,12 @@ class Cache:
     def __init__(self, spec: CacheSpec):
         self.spec = spec
         self.stats = CacheStats()
+        # Hot-loop constants hoisted off the (frozen-dataclass) spec: the
+        # replay calls ``access`` per element, and attribute chains through
+        # ``self.spec`` dominate its profile otherwise.
+        self._line_bytes = spec.line_bytes
+        self._num_sets = spec.num_sets
+        self._associativity = spec.associativity
         self._sets: list[dict[int, bool]] = [
             {} for _ in range(spec.num_sets)
         ]  # tag -> dirty, insertion order is LRU order (dict preserves it)
@@ -54,24 +60,49 @@ class Cache:
         """
         if address < 0:
             raise SimulationError(f"negative address {address}")
-        line = address // self.spec.line_bytes
-        set_index = line % self.spec.num_sets
-        tag = line // self.spec.num_sets
+        line = address // self._line_bytes
+        set_index = line % self._num_sets
+        tag = line // self._num_sets
         ways = self._sets[set_index]
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if tag in ways:
-            self.stats.hits += 1
-            dirty = ways.pop(tag) or is_write
-            ways[tag] = dirty  # move to MRU position
+            stats.hits += 1
+            if is_write:
+                ways.pop(tag)
+                ways[tag] = True  # move to MRU position, now dirty
+            else:
+                dirty = ways.pop(tag)
+                ways[tag] = dirty  # move to MRU position
             return True
-        self.stats.misses += 1
-        if len(ways) >= self.spec.associativity:
-            victim_tag = next(iter(ways))
-            victim_dirty = ways.pop(victim_tag)
+        stats.misses += 1
+        if len(ways) >= self._associativity:
+            victim_dirty = ways.pop(next(iter(ways)))
             if victim_dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
         ways[tag] = is_write
         return False
+
+    def touch_mru(self, address: int, count: int, is_write: bool) -> None:
+        """Apply *count* guaranteed hits to the line holding *address*.
+
+        Only valid when that line is resident (the coalescing replay calls
+        this immediately after accessing the same line, so it sits at the
+        MRU position already — no reordering needed).  Counter effects are
+        identical to *count* individual :meth:`access` hits: accesses and
+        hits advance together and a write marks the line dirty.
+        """
+        line = address // self._line_bytes
+        ways = self._sets[line % self._num_sets]
+        tag = line // self._num_sets
+        if tag not in ways:
+            raise SimulationError(
+                f"touch_mru on non-resident line {line} (address {address})"
+            )
+        self.stats.accesses += count
+        self.stats.hits += count
+        if is_write:
+            ways[tag] = True
 
     def flush_dirty(self) -> int:
         """Write back all dirty lines (end-of-run accounting); returns count."""

@@ -83,6 +83,32 @@ class SimResult:
             "profile": self.profile.to_dict() if self.profile else None,
         }
 
+    @staticmethod
+    def from_dict(data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The round trip is exact: JSON floats serialize via ``repr``, so
+        ``SimResult.from_dict(r.to_dict()).to_dict() == r.to_dict()``
+        bit for bit — the property the engine's memo cache relies on
+        (derived fields like ``gflops`` are recomputed, not stored).
+        """
+        profile_data = data.get("profile")
+        return SimResult(
+            kernel_name=data["kernel"],
+            options_label=data["rung"],
+            machine_name=data["machine"],
+            threads=int(data["threads"]),
+            time_s=data["time_s"],
+            compute_time_s=data["compute_time_s"],
+            level_times_s=tuple(data["level_times_s"]),
+            traffic_bytes=tuple(data["traffic_bytes"]),
+            flops=data["flops"],
+            elements=data["elements"],
+            instructions=data["instructions"],
+            bottleneck=data["bottleneck"],
+            profile=SimProfile.from_dict(profile_data) if profile_data else None,
+        )
+
     def describe(self) -> str:
         """One-line summary for logs and examples."""
         return (

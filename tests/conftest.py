@@ -101,6 +101,14 @@ def build_descent():
     return b.build()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_memo_cache(tmp_path, monkeypatch):
+    """Keep engine memo caches per-test: anything resolving the default
+    cache directory (the CLI, ``engine_session()`` defaults) lands in a
+    fresh tmp dir instead of the user's ``~/.cache``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+
+
 @pytest.fixture
 def saxpy():
     return build_saxpy()

@@ -1,0 +1,294 @@
+"""The experiment engine: memo keys, the disk cache, and the scheduler.
+
+The load-bearing property throughout is *parity*: a memoized or
+parallelized run must produce byte-identical ``SimResult.to_dict()``
+output (and therefore identical figures) to the plain serial pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.gap import (
+    LADDER_RUNGS,
+    clear_ladder_cache,
+    measure_ladder,
+    measure_suite,
+    prewarm_ladders,
+)
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.engine import (
+    GridTask,
+    MemoCache,
+    cached_simulate,
+    configure,
+    engine_session,
+    get_config,
+    kernel_fingerprint,
+    preset_name,
+    run_grid,
+    set_config,
+    sim_memo_key,
+)
+from repro.errors import ReproError
+from repro.kernels import get_benchmark
+from repro.machines import CORE_I7_X980, MIC_KNF, get_machine
+from repro.simulator import SimResult, simulate
+
+
+def _nbody_point():
+    bench = get_benchmark("nbody")
+    phase = bench.phases("naive", bench.test_params())[0]
+    return phase.kernel, phase.params
+
+
+class TestMemoKeys:
+    def test_stable_across_calls(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        key1 = sim_memo_key(kernel, params, options, CORE_I7_X980)
+        key2 = sim_memo_key(kernel, params, options, CORE_I7_X980)
+        assert key1 == key2
+        assert len(key1) == 64  # sha256 hex
+
+    def test_invalidates_on_options(self):
+        kernel, params = _nbody_point()
+        base = sim_memo_key(
+            kernel, params, CompilerOptions.naive_serial(), CORE_I7_X980
+        )
+        other = sim_memo_key(
+            kernel, params, CompilerOptions.ninja_options(), CORE_I7_X980
+        )
+        assert base != other
+
+    def test_invalidates_on_machine(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        assert sim_memo_key(kernel, params, options, CORE_I7_X980) != (
+            sim_memo_key(kernel, params, options, MIC_KNF)
+        )
+
+    def test_invalidates_on_machine_overrides(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        tweaked = CORE_I7_X980.with_overrides(name=CORE_I7_X980.name)
+        assert tweaked == CORE_I7_X980  # same spec -> same key
+        assert sim_memo_key(kernel, params, options, tweaked) == (
+            sim_memo_key(kernel, params, options, CORE_I7_X980)
+        )
+        faster = CORE_I7_X980.with_overrides(
+            dram_bandwidth_bytes_per_s=2 * CORE_I7_X980.dram_bandwidth_bytes_per_s
+        )
+        assert sim_memo_key(kernel, params, options, faster) != (
+            sim_memo_key(kernel, params, options, CORE_I7_X980)
+        )
+
+    def test_invalidates_on_params_and_threads(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        base = sim_memo_key(kernel, params, options, CORE_I7_X980)
+        grown = dict(params)
+        grown[next(iter(grown))] *= 2
+        assert base != sim_memo_key(kernel, grown, options, CORE_I7_X980)
+        assert base != sim_memo_key(
+            kernel, params, options, CORE_I7_X980, threads=1
+        )
+
+    def test_invalidates_on_version(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        base = sim_memo_key(kernel, params, options, CORE_I7_X980)
+        bumped = sim_memo_key(
+            kernel, params, options, CORE_I7_X980, version="99.0.0"
+        )
+        assert base != bumped
+
+    def test_kernel_fingerprint_sees_ir_and_layout(self):
+        kernel, _params = _nbody_point()
+        bench = get_benchmark("nbody")
+        ninja = bench.phases("ninja", bench.test_params())[0].kernel
+        assert kernel_fingerprint(kernel) != kernel_fingerprint(ninja)
+
+
+class TestMemoCache:
+    def test_round_trip(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        payload = {"a": 1.5, "b": [1, 2], "c": "x"}
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, payload)
+        assert cache.get("k" * 64) == payload
+        assert len(cache) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        cache.put("k" * 64, {"a": 1})
+        path = cache._path("k" * 64)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get("k" * 64) is None
+        assert cache.stats.errors == 1
+
+    def test_clear(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        cache.put("a" * 64, {})
+        cache.put("b" * 64, {})
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCachedSimulate:
+    def test_hit_is_byte_identical(self, tmp_path):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        plain = simulate(
+            compile_kernel(kernel, options, CORE_I7_X980),
+            CORE_I7_X980, params,
+        )
+        with engine_session(jobs=1, cache_dir=str(tmp_path)):
+            miss = cached_simulate(kernel, options, CORE_I7_X980, params)
+            hit = cached_simulate(kernel, options, CORE_I7_X980, params)
+            assert get_config().cache.stats.hits == 1
+        for result in (miss, hit):
+            assert json.dumps(result.to_dict(), sort_keys=True) == (
+                json.dumps(plain.to_dict(), sort_keys=True)
+            )
+
+    def test_no_cache_matches_plain_pipeline(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        plain = simulate(
+            compile_kernel(kernel, options, CORE_I7_X980),
+            CORE_I7_X980, params,
+        )
+        with engine_session(jobs=1, cache=False):
+            result = cached_simulate(kernel, options, CORE_I7_X980, params)
+        assert result.to_dict() == plain.to_dict()
+
+    def test_sim_result_from_dict_round_trip(self):
+        kernel, params = _nbody_point()
+        options = CompilerOptions.naive_serial()
+        plain = simulate(
+            compile_kernel(kernel, options, CORE_I7_X980),
+            CORE_I7_X980, params,
+        )
+        rebuilt = SimResult.from_dict(
+            json.loads(json.dumps(plain.to_dict()))
+        )
+        assert rebuilt.to_dict() == plain.to_dict()
+        assert rebuilt == plain
+
+
+class TestEngineConfig:
+    def test_default_is_serial_uncached(self):
+        config = get_config()
+        assert config.jobs == 1
+        assert config.cache is None
+
+    def test_engine_session_restores(self, tmp_path):
+        before = get_config()
+        with engine_session(jobs=2, cache_dir=str(tmp_path)) as config:
+            assert get_config() is config
+            assert config.jobs == 2
+        assert get_config() is before
+
+    def test_jobs_above_one_forces_a_cache(self):
+        previous = configure(jobs=2, cache=False)
+        try:
+            assert get_config().cache is not None  # ephemeral store
+        finally:
+            set_config(previous)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ReproError):
+            configure(jobs=0)
+
+    def test_report_folds_worker_deltas(self, tmp_path):
+        with engine_session(jobs=1, cache_dir=str(tmp_path)) as config:
+            config.log_task(
+                {"task": "t", "kind": "grid",
+                 "worker_memo": {"hits": 2, "misses": 3}}
+            )
+            report = config.report()
+        assert report["memo"]["hits"] == 2
+        assert report["memo"]["misses"] == 3
+        assert report["tasks"][0]["task"] == "t"
+
+
+class TestScheduler:
+    def test_preset_name(self):
+        assert preset_name(CORE_I7_X980) == CORE_I7_X980.name
+        custom = CORE_I7_X980.with_overrides(
+            dram_bandwidth_bytes_per_s=1.0
+        )
+        assert preset_name(custom) is None
+
+    def test_parallel_grid_matches_serial_ladder(self, tmp_path):
+        bench = get_benchmark("blackscholes")
+        machine = get_machine("x980")
+        params = bench.test_params()
+        clear_ladder_cache()
+        baseline = measure_ladder(bench, machine, params)
+        clear_ladder_cache()
+        with engine_session(jobs=2, cache_dir=str(tmp_path)) as config:
+            fanned = prewarm_ladders(
+                [bench], [machine], {bench.name: params}
+            )
+            assert fanned == len(LADDER_RUNGS)
+            ladder = measure_ladder(bench, machine, params)
+            report = config.report()
+        assert report["memo"]["hits"] >= len(LADDER_RUNGS)
+        for label in baseline.rungs:
+            assert ladder.rungs[label] == baseline.rungs[label]
+        clear_ladder_cache()
+
+    def test_grid_records_keep_submission_order(self, tmp_path):
+        bench = get_benchmark("blackscholes")
+        params = tuple(sorted(bench.test_params().items()))
+        tasks = [
+            GridTask(
+                benchmark=bench.name, label=label, variant=variant,
+                options=options, machine=CORE_I7_X980.name, params=params,
+            )
+            for label, variant, options in LADDER_RUNGS
+        ]
+        with engine_session(jobs=2, cache_dir=str(tmp_path)):
+            records = run_grid(tasks)
+        assert [r["task"] for r in records] == [t.name for t in tasks]
+
+    def test_prewarm_requires_parallel_cached_engine(self):
+        bench = get_benchmark("blackscholes")
+        assert prewarm_ladders([bench], [CORE_I7_X980]) == 0
+
+    def test_prewarm_skips_already_warm_grids(self, tmp_path):
+        bench = get_benchmark("blackscholes")
+        machine = get_machine("x980")
+        params = bench.test_params()
+        clear_ladder_cache()
+        with engine_session(jobs=2, cache_dir=str(tmp_path)):
+            first = prewarm_ladders([bench], [machine], {bench.name: params})
+            second = prewarm_ladders([bench], [machine], {bench.name: params})
+        assert first == len(LADDER_RUNGS)
+        assert second == 0
+        clear_ladder_cache()
+
+
+class TestSuiteParity:
+    def test_suite_identical_serial_vs_cached(self, tmp_path):
+        benchmarks = [get_benchmark("blackscholes"), get_benchmark("stencil")]
+        overrides = {b.name: b.test_params() for b in benchmarks}
+        clear_ladder_cache()
+        base = measure_suite(benchmarks, CORE_I7_X980, overrides)
+        clear_ladder_cache()
+        with engine_session(jobs=2, cache_dir=str(tmp_path)):
+            cold = measure_suite(benchmarks, CORE_I7_X980, overrides)
+            clear_ladder_cache()
+            warm = measure_suite(benchmarks, CORE_I7_X980, overrides)
+        for other in (cold, warm):
+            assert other.mean_ninja_gap == base.mean_ninja_gap
+            for lb, lo in zip(base.ladders, other.ladders):
+                assert lb.rungs == lo.rungs
+        clear_ladder_cache()

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.compiler import CompilerOptions, compile_kernel
 from repro.ir import F32, KernelBuilder
 from repro.ir.interp import zeros_for
+from repro.kernels.registry import BENCHMARK_CLASSES
 from repro.machines import CORE_I7_X980
 from repro.simulator import simulate, trace_kernel
 
@@ -94,3 +95,64 @@ class TestAnalyticVsTrace:
         levels = analytic.traffic_bytes
         for inner, outer in zip(levels, levels[1:]):
             assert outer <= inner * 1.0001
+
+
+def _assert_trace_counters_equal(slow, fast, context) -> None:
+    assert slow.accesses == fast.accesses, context
+    for cache_slow, cache_fast in zip(
+        slow.hierarchy.levels, fast.hierarchy.levels
+    ):
+        s, f = cache_slow.stats, cache_fast.stats
+        assert (s.accesses, s.hits, s.misses, s.writebacks) == (
+            f.accesses, f.hits, f.misses, f.writebacks,
+        ), (context, cache_slow.spec.name)
+    assert slow.hierarchy.total_dram_bytes() == fast.hierarchy.total_dram_bytes()
+    assert slow.profile().to_dict() == fast.profile().to_dict(), context
+
+
+class TestCoalescedReplayParity:
+    """The stride-coalescing replay fast path is counter-exact.
+
+    Every trace below runs twice — access-at-a-time and coalesced — and
+    must produce identical hit/miss/writeback/traffic counters at every
+    cache level.
+    """
+
+    @given(random_affine_kernel())
+    @settings(max_examples=25, deadline=None)
+    def test_random_affine_kernels(self, case):
+        kernel, params = case
+        storage_slow = zeros_for(kernel, params)
+        storage_fast = zeros_for(kernel, params)
+        slow = trace_kernel(
+            kernel, params, storage_slow, CORE_I7_X980, coalesce=False
+        )
+        fast = trace_kernel(
+            kernel, params, storage_fast, CORE_I7_X980, coalesce=True
+        )
+        _assert_trace_counters_equal(slow, fast, params)
+        for name in storage_slow:
+            np.testing.assert_array_equal(
+                storage_slow[name], storage_fast[name]
+            )
+
+    @pytest.mark.parametrize(
+        "bench_name", [cls.name for cls in BENCHMARK_CLASSES]
+    )
+    def test_registered_benchmarks(self, bench_name):
+        from repro.kernels import get_benchmark
+
+        bench = get_benchmark(bench_name)
+        params = bench.test_params()
+        for phase in bench.phases("naive", params):
+            storage_slow = zeros_for(phase.kernel, phase.params)
+            storage_fast = zeros_for(phase.kernel, phase.params)
+            slow = trace_kernel(
+                phase.kernel, phase.params, storage_slow,
+                CORE_I7_X980, coalesce=False,
+            )
+            fast = trace_kernel(
+                phase.kernel, phase.params, storage_fast,
+                CORE_I7_X980, coalesce=True,
+            )
+            _assert_trace_counters_equal(slow, fast, phase.kernel.name)
