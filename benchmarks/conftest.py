@@ -20,10 +20,13 @@ The harness runs under an engine session (see :mod:`repro.engine`):
 * ``REPRO_BENCH_JOBS=N`` — fan simulation grids out over N processes;
 * ``REPRO_CACHE_DIR=PATH`` — memo-cache location (default:
   ``<bench output dir>/.repro-memo``, so a rerun is incremental);
-* ``REPRO_BENCH_NO_CACHE=1`` — disable the memo cache.
+* ``REPRO_BENCH_NO_CACHE=1`` — disable the memo cache;
+* ``REPRO_TASK_TIMEOUT=SECONDS`` / ``REPRO_TASK_RETRIES=N`` — per-task
+  timeout and bounded retries for the fan-out (docs/ROBUSTNESS.md).
 
 Each ``BENCH_<id>.json`` gains an ``engine`` block: jobs, memo hit/miss
-counters, and per-task wall-clock timings for the run.
+(and quarantine) counters, fault-recovery events, and per-task
+wall-clock timings for the run.
 """
 
 from __future__ import annotations

@@ -7,16 +7,21 @@ rung × machine generation.  This package makes walking that grid cheap:
   printed kernel IR, params, compiler options, the full machine spec, the
   simulator kind, the package version, and a digest of the model source;
 * :mod:`repro.engine.memo` — the disk store (atomic JSON files, sharded by
-  key prefix) holding ``SimResult.to_dict()`` round trips;
+  key prefix) holding ``SimResult.to_dict()`` round trips inside checksum
+  envelopes; corrupt entries self-heal via ``quarantine/`` + recompute;
 * :mod:`repro.engine.sim` — :func:`cached_simulate`, the memoized
   per-grid-point entry ``run_rung`` uses everywhere;
 * :mod:`repro.engine.scheduler` — :class:`GridTask` fan-out over a
-  ``concurrent.futures`` process pool with deterministic result ordering;
+  ``concurrent.futures`` process pool with deterministic result ordering,
+  per-task timeout/retry, and serial fallback on repeated pool death;
 * :mod:`repro.engine.config` — the opt-in session config (``--jobs N``,
-  ``--cache-dir``, ``--no-cache`` on the CLI; ``REPRO_BENCH_JOBS`` /
-  ``REPRO_CACHE_DIR`` on the benchmark harness).
+  ``--cache-dir``, ``--no-cache``, ``--task-timeout``, ``--retries`` on
+  the CLI; ``REPRO_BENCH_JOBS`` / ``REPRO_CACHE_DIR`` /
+  ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES`` on the benchmark
+  harness).
 
-See ``docs/PERFORMANCE.md`` for the key scheme and measured speedups.
+See ``docs/PERFORMANCE.md`` for the key scheme and measured speedups, and
+``docs/ROBUSTNESS.md`` for the fault-tolerance story.
 """
 
 from repro.engine.config import (

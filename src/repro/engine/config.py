@@ -14,6 +14,7 @@ transparently uses an ephemeral cache directory for the session.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -21,6 +22,7 @@ from typing import Iterator
 
 from repro.engine.memo import MemoCache, default_cache_dir
 from repro.errors import ReproError
+from repro.observability.tracer import add_counter
 
 
 @dataclass
@@ -30,21 +32,43 @@ class EngineConfig:
     Attributes:
         jobs: process-pool width for grid fan-out (1 = in-process serial).
         cache: the active memo cache, or ``None`` when memoization is off.
+        task_timeout: per-task wall-clock budget in seconds for pool
+            fan-out, or ``None`` for no timeout.
+        task_retries: bounded retries per grid task after a timeout,
+            worker crash, or transient error.
         task_log: per-task records (name, wall-clock, memo deltas) appended
             by the scheduler and the memoized simulate path.
         prewarmed: (benchmark, machine, params) grids already fanned out
             this session — experiments sharing ladders skip re-spawning a
             pool whose every task would be a memo hit.
+        faults: recovery counters (quarantines aside, which live on the
+            cache stats): timeouts, retries, pool deaths, fallbacks.
     """
 
     jobs: int = 1
     cache: MemoCache | None = None
+    task_timeout: float | None = None
+    task_retries: int = 2
     task_log: list[dict] = field(default_factory=list)
     prewarmed: set = field(default_factory=set)
+    faults: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ReproError(f"engine jobs must be >= 1, got {self.jobs}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ReproError(
+                f"task timeout must be > 0 seconds, got {self.task_timeout}"
+            )
+        if self.task_retries < 0:
+            raise ReproError(
+                f"task retries must be >= 0, got {self.task_retries}"
+            )
+
+    def count_fault(self, name: str) -> None:
+        """Record one fault/recovery event (also a tracer counter)."""
+        self.faults[name] = self.faults.get(name, 0) + 1
+        add_counter(f"engine.fault.{name}")
 
     def log_task(self, record: dict) -> None:
         """Append one task record (bounded; oldest entries drop first)."""
@@ -67,12 +91,14 @@ class EngineConfig:
                 str(self.cache.root) if self.cache is not None else None
             ),
             "memo": memo,
+            "faults": dict(self.faults),
             "tasks": list(self.task_log),
         }
 
     def reset_stats(self) -> None:
-        """Clear the task log and memo counters (entries stay on disk)."""
+        """Clear the task log and memo/fault counters (entries stay on disk)."""
         self.task_log.clear()
+        self.faults.clear()
         if self.cache is not None:
             self.cache.stats = type(self.cache.stats)()
 
@@ -93,10 +119,38 @@ def set_config(config: EngineConfig) -> EngineConfig:
     return previous
 
 
+def _env_task_timeout() -> float | None:
+    """``REPRO_TASK_TIMEOUT`` in seconds, or ``None`` when unset/empty."""
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ReproError(
+            f"REPRO_TASK_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+
+
+def _env_task_retries() -> int:
+    """``REPRO_TASK_RETRIES``, defaulting to 2 bounded retries."""
+    raw = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+    if not raw:
+        return 2
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            f"REPRO_TASK_RETRIES must be an integer, got {raw!r}"
+        ) from None
+
+
 def configure(
     jobs: int = 1,
     cache_dir: str | None = None,
     cache: bool = True,
+    task_timeout: float | None = None,
+    task_retries: int | None = None,
 ) -> EngineConfig:
     """Build and install an :class:`EngineConfig`; returns the previous one.
 
@@ -104,13 +158,30 @@ def configure(
     :func:`~repro.engine.memo.default_cache_dir`).  With ``cache=False``
     memoization is off — unless ``jobs > 1``, which needs a store to move
     worker results, so an ephemeral directory is used instead.
+
+    ``task_timeout`` and ``task_retries`` default to the
+    ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES`` environment knobs
+    (no timeout, 2 retries when unset).
     """
     memo: MemoCache | None = None
     if cache:
         memo = MemoCache(cache_dir or default_cache_dir())
     elif jobs > 1:
         memo = MemoCache(tempfile.mkdtemp(prefix="ninja-gap-memo-"))
-    return set_config(EngineConfig(jobs=jobs, cache=memo))
+    return set_config(
+        EngineConfig(
+            jobs=jobs,
+            cache=memo,
+            task_timeout=(
+                task_timeout if task_timeout is not None
+                else _env_task_timeout()
+            ),
+            task_retries=(
+                task_retries if task_retries is not None
+                else _env_task_retries()
+            ),
+        )
+    )
 
 
 @contextmanager
@@ -118,10 +189,15 @@ def engine_session(
     jobs: int = 1,
     cache_dir: str | None = None,
     cache: bool = True,
+    task_timeout: float | None = None,
+    task_retries: int | None = None,
 ) -> Iterator[EngineConfig]:
     """Install an engine config for a ``with`` block; restores the previous
     config (library default: serial, uncached) on exit."""
-    previous = configure(jobs=jobs, cache_dir=cache_dir, cache=cache)
+    previous = configure(
+        jobs=jobs, cache_dir=cache_dir, cache=cache,
+        task_timeout=task_timeout, task_retries=task_retries,
+    )
     try:
         yield get_config()
     finally:

@@ -39,7 +39,8 @@ from repro.ir.printer import format_kernel
 from repro.machines.spec import MachineSpec
 
 #: Bump to invalidate every existing cache entry on a format change.
-MEMO_SCHEMA = 1
+#: 2: entries gained the checksum envelope ({"sha256", "payload"}).
+MEMO_SCHEMA = 2
 
 #: Model subpackages whose source participates in the code fingerprint.
 _CODE_SUBPACKAGES = ("ir", "compiler", "simulator", "machines")

@@ -6,19 +6,31 @@ practice ``SimResult.to_dict()`` output — and round-trip bit-exactly
 through JSON because every float is serialized via ``repr``.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent engine
-workers sharing one cache directory can never observe a torn entry; a
-corrupt or unreadable file is treated as a miss and overwritten.
+workers sharing one cache directory can never observe a torn entry.
+
+Entries are **self-healing**: each file is an envelope carrying a SHA-256
+checksum of its canonical payload JSON.  A read that finds a truncated,
+garbage, or checksum-mismatched file moves it to
+``<cache-dir>/quarantine/`` (preserving the evidence for post-mortems),
+counts the event, and reports a miss — the caller recomputes and the next
+write replaces the entry.  A corrupted cache can therefore degrade a warm
+run to a partial recompute but can never corrupt a result.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.errors import CacheCorruptionError
 from repro.observability.tracer import add_counter
+
+#: Name of the sub-directory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -29,6 +41,7 @@ class MemoStats:
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         """JSON-serializable form."""
@@ -37,20 +50,27 @@ class MemoStats:
             "misses": self.misses,
             "puts": self.puts,
             "errors": self.errors,
+            "quarantined": self.quarantined,
         }
 
-    def snapshot(self) -> tuple[int, int, int, int]:
+    def snapshot(self) -> tuple[int, ...]:
         """Current values (for delta accounting across a task)."""
-        return (self.hits, self.misses, self.puts, self.errors)
+        return (self.hits, self.misses, self.puts, self.errors,
+                self.quarantined)
 
-    def since(self, snapshot: tuple[int, int, int, int]) -> dict:
+    def since(self, snapshot: tuple[int, ...]) -> dict:
         """Counter deltas since a :meth:`snapshot`."""
+        names = ("hits", "misses", "puts", "errors", "quarantined")
         return {
-            "hits": self.hits - snapshot[0],
-            "misses": self.misses - snapshot[1],
-            "puts": self.puts - snapshot[2],
-            "errors": self.errors - snapshot[3],
+            name: value - before
+            for name, value, before in zip(names, self.snapshot(), snapshot)
         }
+
+
+def _payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical payload JSON (what :meth:`put` stores)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class MemoCache:
@@ -63,20 +83,43 @@ class MemoCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_root(self) -> Path:
+        """Where corrupt entries end up."""
+        return self.root / QUARANTINE_DIR
+
     def get(self, key: str) -> dict | None:
-        """Look one entry up; ``None`` (and a miss) when absent/corrupt."""
+        """Look one entry up; ``None`` (and a miss) when absent.
+
+        A present-but-corrupt entry (unparseable, wrong shape, checksum
+        mismatch) is quarantined and reported as a miss, so the caller
+        transparently recomputes it.
+        """
         path = self._path(key)
         try:
-            text = path.read_text(encoding="utf-8")
+            raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             add_counter("engine.memo.miss")
             return None
         try:
-            value = json.loads(text)
-            if not isinstance(value, dict):
+            # json.loads decodes the bytes itself; undecodable garbage
+            # raises UnicodeDecodeError, a ValueError — corruption too.
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
                 raise ValueError("memo entry is not an object")
-        except ValueError:
+            payload = envelope["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("memo payload is not an object")
+            stored = envelope["sha256"]
+            actual = _payload_checksum(payload)
+            if stored != actual:
+                raise ValueError(
+                    f"memo checksum mismatch: stored {stored!r:.20} != "
+                    f"computed {actual!r:.20}"
+                )
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, key, exc)
             self.stats.errors += 1
             self.stats.misses += 1
             add_counter("engine.memo.error")
@@ -84,17 +127,38 @@ class MemoCache:
             return None
         self.stats.hits += 1
         add_counter("engine.memo.hit")
-        return value
+        return payload
 
     def put(self, key: str, value: dict) -> None:
         """Store one entry atomically (safe under concurrent writers)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"sha256": _payload_checksum(value), "payload": value}
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(value), encoding="utf-8")
+        tmp.write_text(json.dumps(envelope), encoding="utf-8")
         os.replace(tmp, path)
         self.stats.puts += 1
         add_counter("engine.memo.put")
+
+    def _quarantine(self, path: Path, key: str, exc: Exception) -> None:
+        """Move a corrupt entry aside; never lets it be read again."""
+        target = self.quarantine_root / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except FileNotFoundError:
+            return  # lost a race with another reader's quarantine: fine
+        except OSError as move_exc:
+            # Can't preserve the evidence; at minimum stop serving it.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                raise CacheCorruptionError(
+                    f"memo entry {key} is corrupt ({exc}) and could not be "
+                    f"quarantined or removed: {move_exc}"
+                ) from move_exc
+        self.stats.quarantined += 1
+        add_counter("engine.memo.quarantine")
 
     def clear(self) -> None:
         """Delete every entry (the directory itself survives)."""
@@ -105,7 +169,8 @@ class MemoCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        # Two-character shards only: the quarantine dir never counts.
+        return sum(1 for _ in self.root.glob("??/*.json"))
 
     def __repr__(self) -> str:
         return f"MemoCache({str(self.root)!r}, {self.stats})"

@@ -14,18 +14,48 @@ deterministic regardless of completion order.
 Non-preset machines (ablation one-offs built with ``with_overrides``)
 simply skip the fan-out and compute in-process — still memoized, keyed by
 their full spec fingerprint.
+
+The fan-out is **fault tolerant**.  Three failure modes are handled, in
+escalating order:
+
+* a task exceeding the per-task timeout (``EngineConfig.task_timeout``)
+  is resubmitted with exponential backoff, up to
+  ``EngineConfig.task_retries`` retries, then raises
+  :class:`~repro.errors.TaskTimeoutError`;
+* a crashed worker (``BrokenProcessPool`` — killed, OOMed, segfaulted)
+  tears the pool down; the remaining tasks are resubmitted to a fresh
+  pool, again with bounded retries per task;
+* a pool that dies repeatedly (more than :data:`POOL_REBUILDS` times)
+  triggers graceful degradation: the remaining tasks run serially
+  in-process, which cannot crash-loop.
+
+Every recovery is counted in ``EngineConfig.faults`` (and as tracer
+counters), so a run that needed healing says so in its engine report.
+Because workers only ever *publish results through the memo store*, a
+retried or serially-degraded task produces byte-identical output to a
+clean run — the fault-injection suite asserts exactly that.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.compiler.options import CompilerOptions
-from repro.engine.config import configure, get_config
+from repro.engine.config import EngineConfig, configure, get_config
+from repro.errors import ReproError, TaskTimeoutError, WorkerFailureError
 from repro.machines.spec import MachineSpec
 from repro.observability.tracer import add_counter, span
+from repro.robustness.faults import on_task_start
+
+#: Pool deaths tolerated before degrading the rest of the grid to serial.
+POOL_REBUILDS = 2
+
+#: First-retry backoff in seconds; doubles per attempt.
+BACKOFF_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -81,6 +111,7 @@ def _execute_task(task: GridTask) -> dict:
     from repro.kernels import get_benchmark
     from repro.machines import get_machine
 
+    on_task_start(task.name)
     cache = get_config().cache
     before = cache.stats.snapshot() if cache is not None else None
     started = time.perf_counter()
@@ -108,44 +139,143 @@ def run_grid(tasks: list[GridTask], jobs: int | None = None) -> list[dict]:
     """Execute *tasks*; returns their records in submission order.
 
     With ``jobs > 1`` the tasks run on a ``ProcessPoolExecutor`` sharing
-    the active memo-cache directory; otherwise they run in-process under
-    the active config.  Either way, each task gets an ``engine.task`` span
-    and a task-log record, and results keep the input ordering.
+    the active memo-cache directory, with per-task timeout/retry and a
+    serial fallback when the pool keeps dying; otherwise they run
+    in-process under the active config.  Either way, each task gets an
+    ``engine.task`` span and a task-log record, and results keep the
+    input ordering.
     """
     config = get_config()
     if jobs is None:
         jobs = config.jobs
-    records: list[dict] = []
+    records: list[dict | None] = [None] * len(tasks)
     with span("engine.grid", tasks=len(tasks), jobs=jobs):
         if jobs <= 1 or len(tasks) < 2:
-            for task in tasks:
+            for i, task in enumerate(tasks):
                 with span(
                     "engine.task",
                     benchmark=task.benchmark, rung=task.label,
                     machine=task.machine,
                 ):
-                    records.append(_execute_task(task))
+                    records[i] = _execute_task(task)
         else:
-            cache_dir = (
-                str(config.cache.root) if config.cache is not None else None
-            )
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(tasks)),
-                initializer=_init_worker,
-                initargs=(cache_dir,),
-            ) as pool:
-                futures = [pool.submit(_execute_task, task) for task in tasks]
-                for task, future in zip(tasks, futures):
-                    with span(
-                        "engine.task",
-                        benchmark=task.benchmark, rung=task.label,
-                        machine=task.machine,
-                    ) as record:
-                        result = future.result()
-                        if record is not None:
-                            record.attrs["worker_wall_s"] = result["wall_s"]
-                        records.append(result)
+            _run_parallel(tasks, records, jobs, config)
     for record in records:
         config.log_task(record)
     add_counter("engine.tasks", float(len(tasks)))
-    return records
+    return records  # type: ignore[return-value]  # every slot is filled
+
+
+def _run_parallel(
+    tasks: list[GridTask],
+    records: list[dict | None],
+    jobs: int,
+    config: EngineConfig,
+) -> None:
+    """Fault-tolerant pool fan-out; fills *records* in task order."""
+    cache_dir = str(config.cache.root) if config.cache is not None else None
+    timeout = config.task_timeout
+    retries = config.task_retries
+    attempts = [0] * len(tasks)
+    pool_deaths = 0
+    pool: ProcessPoolExecutor | None = None
+    futures: dict[int, object] = {}
+
+    def remaining() -> list[int]:
+        return [i for i in range(len(tasks)) if records[i] is None]
+
+    def start_pool() -> None:
+        nonlocal pool, futures
+        todo = remaining()
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(todo)),
+            initializer=_init_worker,
+            initargs=(cache_dir,),
+        )
+        futures = {i: pool.submit(_execute_task, tasks[i]) for i in todo}
+
+    def stop_pool() -> None:
+        # wait=False so a hung worker cannot wedge the parent; the
+        # leaked process exits when its (bounded) task does.
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def backoff(attempt: int) -> None:
+        time.sleep(BACKOFF_S * (2 ** max(0, attempt - 1)))
+
+    start_pool()
+    serial = False
+    try:
+        for i, task in enumerate(tasks):
+            with span(
+                "engine.task",
+                benchmark=task.benchmark, rung=task.label,
+                machine=task.machine,
+            ) as task_span:
+                while records[i] is None and not serial:
+                    try:
+                        records[i] = futures[i].result(timeout=timeout)  # type: ignore[union-attr]
+                    except FutureTimeout:
+                        attempts[i] += 1
+                        config.count_fault("task_timeout")
+                        if attempts[i] > retries:
+                            raise TaskTimeoutError(
+                                f"grid task {task.name} exceeded the "
+                                f"{timeout}s task timeout on all "
+                                f"{attempts[i]} attempts",
+                                task=task.name, attempts=attempts[i],
+                            ) from None
+                        config.count_fault("task_retry")
+                        backoff(attempts[i])
+                        # The hung attempt is abandoned (it still holds a
+                        # worker until its sleep/loop ends); a fresh
+                        # submission races it through the memo store.
+                        futures[i] = pool.submit(_execute_task, task)  # type: ignore[union-attr]
+                    except BrokenProcessPool:
+                        pool_deaths += 1
+                        config.count_fault("pool_broken")
+                        stop_pool()
+                        if pool_deaths > POOL_REBUILDS:
+                            config.count_fault("serial_fallback")
+                            serial = True
+                            break
+                        attempts[i] += 1
+                        if attempts[i] > retries:
+                            raise WorkerFailureError(
+                                f"grid task {task.name} crashed its worker "
+                                f"on all {attempts[i]} attempts",
+                                task=task.name, attempts=attempts[i],
+                            ) from None
+                        config.count_fault("task_retry")
+                        backoff(pool_deaths)
+                        start_pool()
+                    except ReproError:
+                        # Deterministic library errors (bad workload,
+                        # inconsistent machine spec) are not transient:
+                        # retrying cannot help, so surface them as-is.
+                        raise
+                    except Exception as exc:
+                        attempts[i] += 1
+                        config.count_fault("task_error")
+                        if attempts[i] > retries:
+                            raise WorkerFailureError(
+                                f"grid task {task.name} failed on all "
+                                f"{attempts[i]} attempts: {exc}",
+                                task=task.name, attempts=attempts[i],
+                            ) from exc
+                        config.count_fault("task_retry")
+                        backoff(attempts[i])
+                        futures[i] = pool.submit(_execute_task, task)  # type: ignore[union-attr]
+                if records[i] is None:
+                    # Serial degradation: the pool kept dying, so the
+                    # rest of the grid computes in-process (memoized,
+                    # hence still byte-identical).
+                    record = _execute_task(task)
+                    record["fallback"] = "serial"
+                    records[i] = record
+                if task_span is not None:
+                    task_span.attrs["worker_wall_s"] = records[i]["wall_s"]
+                    if attempts[i]:
+                        task_span.attrs["attempts"] = attempts[i] + 1
+    finally:
+        stop_pool()

@@ -41,3 +41,53 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured incorrectly."""
+
+
+class RobustnessError(ReproError):
+    """Base class for fault-tolerance failures (cache, workers, numerics).
+
+    Raised only when the robustness layer has *exhausted* its recovery
+    options — transparent recoveries (quarantine + recompute, task retry,
+    serial fallback) are counted, not raised.
+    """
+
+
+class CacheCorruptionError(RobustnessError):
+    """A memo-cache entry failed its integrity check and could not be
+    quarantined (e.g. the quarantine move itself failed)."""
+
+
+class WorkerFailureError(RobustnessError):
+    """A grid task kept failing after every retry and fallback."""
+
+    def __init__(self, message: str, task: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.task = task
+        self.attempts = attempts
+
+
+class TaskTimeoutError(WorkerFailureError):
+    """A grid task exceeded its per-task timeout on every attempt."""
+
+
+class NumericFaultError(RobustnessError):
+    """Kernel interpretation hit a numeric fault (div-zero/NaN/overflow).
+
+    Carries the evaluation context numpy's anonymous ``RuntimeWarning``
+    loses: which kernel, which operation, the operand values, and the
+    loop indices live at the faulting statement.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kernel: str = "",
+        op: str = "",
+        statement: int = 0,
+        indices: dict | None = None,
+    ):
+        super().__init__(message)
+        self.kernel = kernel
+        self.op = op
+        self.statement = statement
+        self.indices = dict(indices or {})

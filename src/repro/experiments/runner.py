@@ -108,6 +108,16 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the simulation memo cache for this invocation",
     )
+    sub.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget for parallel grid tasks "
+        "(default: $REPRO_TASK_TIMEOUT, or no timeout)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="bounded retries per grid task after a timeout or worker "
+        "crash (default: $REPRO_TASK_RETRIES, or 2)",
+    )
 
 
 def _ladder_data(benchmark_name: str, machine_name: str) -> dict:
@@ -277,11 +287,19 @@ def _engine_line(engine) -> str:
     """One-line memo/jobs summary for ``--profile`` output."""
     report = engine.report()
     memo = report["memo"] or {}
-    return (
+    line = (
         f"engine: jobs={report['jobs']} "
         f"memo hits={memo.get('hits', 0)} misses={memo.get('misses', 0)} "
         f"cache={report['cache_dir'] or 'off'}"
     )
+    if memo.get("quarantined"):
+        line += f" quarantined={memo['quarantined']}"
+    if report["faults"]:
+        events = ", ".join(
+            f"{name}={count}" for name, count in sorted(report["faults"].items())
+        )
+        line += f" faults: {events}"
+    return line
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -294,6 +312,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
         cache=hasattr(args, "no_cache") and not args.no_cache,
+        task_timeout=getattr(args, "task_timeout", None),
+        task_retries=getattr(args, "retries", None),
     ) as engine:
         return _dispatch(args, engine)
 

@@ -12,17 +12,26 @@ Executes a kernel elementwise over numpy storage.  It serves two purposes:
 Scalar arithmetic uses numpy scalar types so f32 kernels round like f32 C
 code.  The interpreter is deliberately simple and slow; a step budget
 guards against accidentally interpreting benchmark-scale inputs.
+
+Numeric faults (division by zero, invalid operations, overflow) are
+governed by the :mod:`repro.robustness.numeric` policy: the whole run
+executes under ``np.errstate(... "raise")`` so the non-faulting path pays
+nothing, and a faulting ``BinOp``/``UnOp`` reports the kernel, operation,
+operand values, statement number, and live loop indices instead of
+numpy's anonymous ``RuntimeWarning``.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping, MutableMapping
 
 import numpy as np
 
-from repro.errors import IRError, SimulationError
+from repro.errors import IRError, NumericFaultError, SimulationError
+from repro.robustness.numeric import NumericFaultWarning, get_numeric_policy
 from repro.ir.expr import (
     BinOp,
     Compare,
@@ -65,6 +74,7 @@ class Interpreter:
         arrays: ArrayStorage,
         on_access: AccessHook | None = None,
         max_statements: int = 20_000_000,
+        numeric: str | None = None,
     ):
         missing = set(kernel.params) - set(params)
         if missing:
@@ -74,13 +84,20 @@ class Interpreter:
         self.arrays = arrays
         self.on_access = on_access
         self.max_statements = max_statements
+        self.numeric = numeric if numeric is not None else get_numeric_policy()
         self.stats = InterpStats()
+        self._loop_vars: list[str] = []
+        self._warned_sites: set[int] = set()
         self._check_storage()
 
     def run(self) -> InterpStats:
         """Execute the kernel body; returns dynamic statistics."""
         env: dict[str, object] = dict(self.params)
-        self._exec_block(self.kernel.body, env)
+        # Underflow stays at numpy's default: gradual underflow to zero is
+        # normal f32 behaviour (exp(-large)), not a fault.
+        state = "ignore" if self.numeric == "ignore" else "raise"
+        with np.errstate(divide=state, invalid=state, over=state):
+            self._exec_block(self.kernel.body, env)
         return self.stats
 
     # -- storage helpers -------------------------------------------------
@@ -173,9 +190,13 @@ class Interpreter:
                     self.on_access(decl.name, stmt.target.array_field, linear, True)
         elif isinstance(stmt, For):
             extent = eval_int_expr(stmt.extent, _int_env(env))
-            for i in range(extent):
-                env[stmt.var] = np.int64(i)
-                self._exec_block(stmt.body, env)
+            self._loop_vars.append(stmt.var)
+            try:
+                for i in range(extent):
+                    env[stmt.var] = np.int64(i)
+                    self._exec_block(stmt.body, env)
+            finally:
+                self._loop_vars.pop()
             env.pop(stmt.var, None)
         elif isinstance(stmt, If):
             if bool(self._eval(stmt.cond, env)):
@@ -232,59 +253,123 @@ class Interpreter:
     def _eval_binop(self, expr: BinOp, env: dict[str, object]):
         lhs = self._eval(expr.lhs, env)
         rhs = self._eval(expr.rhs, env)
-        np_type = expr.dtype.numpy.type
-        kind = expr.kind
-        if kind == "+":
-            return np_type(lhs + rhs)
-        if kind == "-":
-            return np_type(lhs - rhs)
-        if kind == "*":
-            return np_type(lhs * rhs)
-        if kind == "/":
-            if expr.dtype.is_float:
-                return np_type(lhs / rhs)
-            return np_type(int(lhs) // int(rhs))
-        if kind == "//":
-            return np_type(int(lhs) // int(rhs))
-        if kind == "%":
-            return np_type(int(lhs) % int(rhs))
-        if kind == "min":
-            return np_type(min(lhs, rhs))
-        if kind == "max":
-            return np_type(max(lhs, rhs))
-        if kind == "pow":
-            return np_type(lhs**rhs)
-        raise IRError(f"unhandled binop {kind!r}")
+        try:
+            return _apply_binop(expr.kind, lhs, rhs, expr.dtype.numpy.type)
+        except (FloatingPointError, ZeroDivisionError) as exc:
+            return self._numeric_fault(
+                expr, exc, env,
+                operands=f"lhs={lhs!r} rhs={rhs!r}",
+                retry=lambda: _apply_binop(
+                    expr.kind, lhs, rhs, expr.dtype.numpy.type
+                ),
+            )
 
     def _eval_unop(self, expr: UnOp, env: dict[str, object]):
         value = self._eval(expr.operand, env)
-        np_type = expr.dtype.numpy.type
-        kind = expr.kind
-        if kind == "neg":
-            return np_type(-value)
-        if kind == "abs":
-            return np_type(abs(value))
-        if kind == "sqrt":
-            return np_type(np.sqrt(value))
-        if kind == "rsqrt":
-            return np_type(1.0 / np.sqrt(value))
-        if kind == "rcp":
-            return np_type(1.0 / value)
-        if kind == "exp":
-            return np_type(np.exp(value))
-        if kind == "log":
-            return np_type(np.log(value))
-        if kind == "sin":
-            return np_type(np.sin(value))
-        if kind == "cos":
-            return np_type(np.cos(value))
-        if kind == "erf":
-            return np_type(math.erf(float(value)))
-        if kind == "floor":
-            return np_type(np.floor(value))
-        if kind == "cast":
-            return np_type(value)
-        raise IRError(f"unhandled unop {kind!r}")
+        try:
+            return _apply_unop(expr.kind, value, expr.dtype.numpy.type)
+        except (FloatingPointError, ZeroDivisionError) as exc:
+            return self._numeric_fault(
+                expr, exc, env,
+                operands=f"operand={value!r}",
+                retry=lambda: _apply_unop(
+                    expr.kind, value, expr.dtype.numpy.type
+                ),
+            )
+
+    def _numeric_fault(
+        self,
+        expr: BinOp | UnOp,
+        exc: Exception,
+        env: dict[str, object],
+        operands: str,
+        retry: Callable[[], object],
+    ):
+        """Handle one numeric fault according to the active policy.
+
+        ``raise`` (and any integer division by zero, which has no IEEE
+        result to flow on with) raises :class:`NumericFaultError` with
+        full context; ``warn`` issues a contextual warning once per
+        faulting expression site and recomputes the IEEE value under
+        ``errstate("ignore")``.  ``ignore`` never reaches here for float
+        ops (the run's errstate already suppresses them).
+        """
+        op = f"{type(expr).__name__} {expr.kind!r} ({expr.dtype.name})"
+        indices = {
+            var: int(env[var]) for var in self._loop_vars if var in env
+        }
+        where = ", ".join(f"{var}={idx}" for var, idx in indices.items())
+        message = (
+            f"kernel {self.kernel.name!r}: numeric fault in {op}: {exc}; "
+            f"{operands} at statement #{self.stats.statements}"
+            + (f", indices {where}" if where else "")
+        )
+        integer_div = isinstance(exc, ZeroDivisionError)
+        if self.numeric == "raise" or integer_div:
+            raise NumericFaultError(
+                message,
+                kernel=self.kernel.name,
+                op=expr.kind,
+                statement=self.stats.statements,
+                indices=indices,
+            ) from exc
+        if id(expr) not in self._warned_sites:
+            self._warned_sites.add(id(expr))
+            warnings.warn(NumericFaultWarning(message), stacklevel=2)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return retry()
+
+
+def _apply_binop(kind: str, lhs, rhs, np_type):
+    if kind == "+":
+        return np_type(lhs + rhs)
+    if kind == "-":
+        return np_type(lhs - rhs)
+    if kind == "*":
+        return np_type(lhs * rhs)
+    if kind == "/":
+        if np.issubdtype(np_type, np.floating):
+            return np_type(lhs / rhs)
+        return np_type(int(lhs) // int(rhs))
+    if kind == "//":
+        return np_type(int(lhs) // int(rhs))
+    if kind == "%":
+        return np_type(int(lhs) % int(rhs))
+    if kind == "min":
+        return np_type(min(lhs, rhs))
+    if kind == "max":
+        return np_type(max(lhs, rhs))
+    if kind == "pow":
+        return np_type(lhs**rhs)
+    raise IRError(f"unhandled binop {kind!r}")
+
+
+def _apply_unop(kind: str, value, np_type):
+    if kind == "neg":
+        return np_type(-value)
+    if kind == "abs":
+        return np_type(abs(value))
+    if kind == "sqrt":
+        return np_type(np.sqrt(value))
+    if kind == "rsqrt":
+        return np_type(1.0 / np.sqrt(value))
+    if kind == "rcp":
+        return np_type(1.0 / value)
+    if kind == "exp":
+        return np_type(np.exp(value))
+    if kind == "log":
+        return np_type(np.log(value))
+    if kind == "sin":
+        return np_type(np.sin(value))
+    if kind == "cos":
+        return np_type(np.cos(value))
+    if kind == "erf":
+        return np_type(math.erf(float(value)))
+    if kind == "floor":
+        return np_type(np.floor(value))
+    if kind == "cast":
+        return np_type(value)
+    raise IRError(f"unhandled unop {kind!r}")
 
 
 def _int_env(env: Mapping[str, object]) -> dict[str, int]:
@@ -302,9 +387,12 @@ def run_kernel(
     arrays: ArrayStorage,
     on_access: AccessHook | None = None,
     max_statements: int = 20_000_000,
+    numeric: str | None = None,
 ) -> InterpStats:
     """Convenience wrapper: build an :class:`Interpreter` and run it."""
-    interp = Interpreter(kernel, params, arrays, on_access, max_statements)
+    interp = Interpreter(
+        kernel, params, arrays, on_access, max_statements, numeric
+    )
     return interp.run()
 
 

@@ -24,7 +24,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.ir.interp import ArrayStorage, run_kernel
+from repro.ir.interp import ArrayStorage, run_kernel, zeros_for
 from repro.ir.kernel import Kernel
 
 VARIANT_NAMES = ("naive", "optimized", "ninja")
@@ -86,6 +86,19 @@ class Benchmark(abc.ABC):
     def phases(self, variant: str, params: Mapping[str, int]) -> tuple[Phase, ...]:
         """The invocation plan for one run (single phase by default)."""
         return (Phase(self.kernel(variant), dict(params)),)
+
+    def trace_storage(self, phase: Phase) -> ArrayStorage:
+        """Storage that is *numerically safe* to interpret for tracing.
+
+        Address tracing only needs the kernel's access pattern, but the
+        interpreter computes real values along the way — so the inputs
+        must keep every arithmetic path finite (no division by a
+        zero-initialized field).  The default, zero-filled storage, is
+        safe for most kernels; benchmarks whose kernels divide by an
+        input-derived quantity (e.g. LBM's density) override this with a
+        physically valid initialization.
+        """
+        return zeros_for(phase.kernel, phase.params)
 
     # -- workloads -----------------------------------------------------
     @abc.abstractmethod

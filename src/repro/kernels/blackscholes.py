@@ -13,13 +13,20 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.ir import F32, KernelBuilder, erf, exp, log, sqrt
+from repro.ir import F32, KernelBuilder, erf, exp, log, maximum, sqrt
 from repro.ir.interp import ArrayStorage
 from repro.kernels.base import Benchmark
 
 RISK_FREE = 0.02
 VOLATILITY = 0.30
 _INV_SQRT2 = 1.0 / math.sqrt(2.0)
+#: Denominator clamp.  Real workloads have spot/strike >= 10 and expiry
+#: >= 0.25 years, so ``max(x, _SAFE_MIN)`` is the identity on them — but
+#: it keeps ``log(s/k)`` and the ``1/sig_rt`` division finite when the
+#: kernel is interpreted over neutral (zero-filled) tracing storage,
+#: where both Select-style blend arms and every statement execute
+#: unconditionally.
+_SAFE_MIN = 1e-30
 
 
 class BlackScholes(Benchmark):
@@ -45,9 +52,9 @@ class BlackScholes(Benchmark):
         res = b.array("res", dtype, (n,), fields=("call", "put"),
                       layout=layout)
         with b.loop("i", n, parallel=True, simd=simd) as i:
-            s = b.let("s0", opt[i].s, dtype)
-            k = b.let("k0", opt[i].k, dtype)
-            t = b.let("t0", opt[i].t, dtype)
+            s = b.let("s0", maximum(opt[i].s, _SAFE_MIN), dtype)
+            k = b.let("k0", maximum(opt[i].k, _SAFE_MIN), dtype)
+            t = b.let("t0", maximum(opt[i].t, _SAFE_MIN), dtype)
             sig_rt = b.let("sig_rt", VOLATILITY * sqrt(t), dtype)
             d1 = b.let(
                 "d1",

@@ -17,8 +17,8 @@ from typing import Mapping
 import numpy as np
 
 from repro.ir import F32, KernelBuilder
-from repro.ir.interp import ArrayStorage
-from repro.kernels.base import Benchmark
+from repro.ir.interp import ArrayStorage, zeros_for
+from repro.kernels.base import Benchmark, Phase
 
 #: D2Q9 direction vectors and weights.
 DIRS = (
@@ -91,6 +91,23 @@ class LBM(Benchmark):
                         f[k] + OMEGA * (feq - f[k]),
                     )
         return b.build()
+
+    def trace_storage(self, phase: Phase) -> ArrayStorage:
+        """Equilibrium-weight distributions instead of zeros.
+
+        The collision step divides by the cell density ``rho`` (the sum
+        of the nine distributions), so zero-filled tracing inputs put a
+        silent ``1/0 -> inf`` and ``0*inf -> NaN`` through every cell.
+        Seeding ``fsrc`` with the lattice weights — the zero-velocity
+        equilibrium, ``rho == 1`` everywhere — keeps densities strictly
+        positive while touching exactly the same addresses.
+        """
+        storage = zeros_for(phase.kernel, phase.params)
+        fsrc = storage["fsrc"]
+        assert isinstance(fsrc, dict)
+        for k, field_name in enumerate(FIELDS):
+            fsrc[field_name].fill(np.float32(WEIGHTS[k]))
+        return storage
 
     def paper_params(self) -> dict[str, int]:
         return {"n": 2050}

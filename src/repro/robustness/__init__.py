@@ -1,0 +1,64 @@
+"""Fault tolerance and numeric safety for the reproduction pipeline.
+
+The layer has three legs, each threaded through an existing subsystem:
+
+* **numeric safety** (:mod:`repro.robustness.numeric`) — the interpreter
+  evaluates every kernel under a div-zero/NaN/overflow policy
+  (``raise``/``warn``/``ignore``) and reports faults with kernel,
+  statement, and loop-index context instead of numpy's anonymous
+  ``RuntimeWarning``;
+* **cache self-healing** (:mod:`repro.engine.memo`) — memo entries carry
+  a checksum envelope; corrupted/truncated/garbage entries are moved to
+  ``<cache-dir>/quarantine/`` and recomputed transparently;
+* **scheduler resilience** (:mod:`repro.engine.scheduler`) — grid tasks
+  get per-task timeouts, bounded retries with exponential backoff on
+  worker crashes, and a graceful serial fallback when the process pool
+  dies repeatedly.
+
+Structured failures raise :class:`~repro.errors.RobustnessError`
+subtypes; recoveries are counted (engine ``faults`` report, tracer
+counters) rather than raised.  :mod:`repro.robustness.faults` provides
+the deterministic fault injection the test harness uses.
+
+See ``docs/ROBUSTNESS.md`` for the full story and the knobs.
+"""
+
+from repro.errors import (
+    CacheCorruptionError,
+    NumericFaultError,
+    RobustnessError,
+    TaskTimeoutError,
+    WorkerFailureError,
+)
+from repro.robustness.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    clear_faults,
+    install_fault,
+    on_task_start,
+)
+from repro.robustness.numeric import (
+    NUMERIC_POLICIES,
+    NumericFaultWarning,
+    get_numeric_policy,
+    numeric_policy,
+    set_numeric_policy,
+)
+
+__all__ = [
+    "CacheCorruptionError",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "NUMERIC_POLICIES",
+    "NumericFaultError",
+    "NumericFaultWarning",
+    "RobustnessError",
+    "TaskTimeoutError",
+    "WorkerFailureError",
+    "clear_faults",
+    "get_numeric_policy",
+    "install_fault",
+    "numeric_policy",
+    "on_task_start",
+    "set_numeric_policy",
+]

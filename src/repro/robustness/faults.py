@@ -1,0 +1,94 @@
+"""Fault injection for exercising the robustness layer.
+
+Tests (and the CI robustness job) need deterministic worker crashes,
+hangs, and errors *inside* pool workers.  A plan installed here in the
+parent process is inherited by forked workers, and its once-only
+semantics survive the process boundary through a marker file: the first
+process to atomically create the marker fires the fault, every later
+attempt (the retry) runs clean.
+
+The scheduler calls :func:`on_task_start` at the top of every grid task;
+with no plans installed (the production state) that is one truthiness
+check on an empty list.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Fault kinds: kill the worker process, hang past the task timeout, or
+#: raise an ordinary exception from the task body.
+FAULT_KINDS = ("kill", "hang", "error")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One armed fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        match: substring of the task name that triggers the fault.
+        marker: path of the once-only marker file.  The fault fires only
+            in the process that wins the atomic create; pass a fresh path
+            (e.g. under ``tmp_path``) per scenario.  An empty marker
+            means *always fire* — for exercising retry exhaustion.
+        hang_s: sleep duration for ``hang`` faults.
+    """
+
+    kind: str
+    match: str
+    marker: str
+    hang_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}"
+            )
+
+
+_PLANS: list[FaultPlan] = []
+
+
+def install_fault(plan: FaultPlan) -> None:
+    """Arm one fault plan (process-wide, inherited by forked workers)."""
+    _PLANS.append(plan)
+
+
+def clear_faults() -> None:
+    """Disarm every fault plan in this process."""
+    _PLANS.clear()
+
+
+def _claim(marker: str) -> bool:
+    """Atomically claim the once-only marker; True if this call won."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def on_task_start(task_name: str) -> None:
+    """Fire any armed fault matching *task_name* (scheduler hook)."""
+    if not _PLANS:
+        return
+    for plan in _PLANS:
+        if plan.match not in task_name:
+            continue
+        if plan.marker and not _claim(plan.marker):
+            continue
+        if plan.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif plan.kind == "hang":
+            time.sleep(plan.hang_s)
+        else:
+            raise RuntimeError(
+                f"injected fault in task {task_name!r} (plan {plan.match!r})"
+            )

@@ -1,0 +1,90 @@
+"""Numeric-safety policy for kernel interpretation.
+
+The interpreter evaluates kernels with numpy scalar arithmetic, so a
+division by zero or an invalid operation would normally surface as an
+anonymous ``RuntimeWarning: divide by zero encountered in scalar divide``
+pointing at the interpreter — no kernel, no statement, no loop indices.
+Worse, under the default warning filters the NaN keeps flowing and ends
+up inside the very results the paper's gap numbers are computed from.
+
+This module owns the policy for what happens instead:
+
+* ``"raise"`` (the default) — the faulting ``BinOp``/``UnOp`` raises
+  :class:`~repro.errors.NumericFaultError` carrying the kernel name, the
+  operation, the operand values, the dynamic statement number, and the
+  live loop indices.
+* ``"warn"``  — a :class:`NumericFaultWarning` with the same context is
+  issued once per faulting site and the IEEE result (inf/NaN) flows on,
+  matching what compiled C would produce.
+* ``"ignore"`` — pre-robustness behaviour: silent IEEE semantics.
+
+The policy is a process-wide setting (like the engine config) read at
+:class:`~repro.ir.interp.Interpreter` construction; tools override it via
+:func:`set_numeric_policy`, the :func:`numeric_policy` context manager, or
+the ``REPRO_NUMERIC_POLICY`` environment variable.
+
+Implementation note: enforcement costs nothing on the non-faulting path.
+The interpreter runs under ``np.errstate(divide="raise", invalid="raise",
+over="raise")`` so numpy itself detects the fault (no per-operation
+``isfinite`` checks), and only the rare handler recomputes the value under
+``errstate("ignore")`` for the ``warn`` policy.  Underflow stays at
+numpy's default: gradual underflow to zero is normal f32 kernel behaviour
+(``exp(-large)``), not a fault.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ReproError
+
+#: The accepted policy names.
+NUMERIC_POLICIES = ("raise", "warn", "ignore")
+
+_ENV_KNOB = "REPRO_NUMERIC_POLICY"
+
+
+class NumericFaultWarning(RuntimeWarning):
+    """A kernel numeric fault under the ``warn`` policy.
+
+    Subclasses ``RuntimeWarning`` so existing ``filterwarnings`` rules
+    targeting numpy's category keep matching, but the message carries the
+    kernel/statement/index context numpy omits.
+    """
+
+
+def _validated(policy: str) -> str:
+    if policy not in NUMERIC_POLICIES:
+        raise ReproError(
+            f"unknown numeric policy {policy!r}; "
+            f"expected one of {NUMERIC_POLICIES}"
+        )
+    return policy
+
+
+_ACTIVE = _validated(os.environ.get(_ENV_KNOB) or "raise")
+
+
+def get_numeric_policy() -> str:
+    """The currently active numeric-safety policy."""
+    return _ACTIVE
+
+
+def set_numeric_policy(policy: str) -> str:
+    """Install *policy* process-wide; returns the previous policy."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = _validated(policy)
+    return previous
+
+
+@contextmanager
+def numeric_policy(policy: str) -> Iterator[str]:
+    """Temporarily install *policy* for a ``with`` block."""
+    previous = set_numeric_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_numeric_policy(previous)

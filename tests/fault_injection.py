@@ -1,0 +1,108 @@
+"""Fault-injection helpers shared by the robustness tests and CI.
+
+Two families:
+
+* **cache corruption** — damage a live :class:`~repro.engine.memo.MemoCache`
+  entry in every way a disk can (truncation, garbage bytes, checksum
+  tamper, wrong JSON shape) and let the self-healing reader prove it
+  quarantines + recomputes;
+* **worker faults** — thin wrappers over
+  :mod:`repro.robustness.faults` plans (kill/hang/error inside pool
+  workers, armed in the parent and inherited across ``fork``).
+
+These are deliberately *helpers*, not tests: ``tests/test_robustness.py``
+and the CI ``robustness`` job compose scenarios from them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.engine.memo import MemoCache
+from repro.robustness.faults import FaultPlan, install_fault
+
+#: Every way `corrupt_entry` can damage a cache file.
+CORRUPTION_MODES = ("truncate", "garbage", "tamper", "wrong_shape")
+
+
+def entry_paths(cache: MemoCache) -> list[Path]:
+    """All live entry files of *cache*, sorted (quarantine excluded)."""
+    return sorted(cache.root.glob("??/*.json"))
+
+
+def corrupt_entry(path: Path, mode: str) -> Path:
+    """Damage one entry file in place; returns *path*.
+
+    Modes:
+        truncate: cut the file mid-JSON (a torn write / full disk);
+        garbage: replace the contents with non-JSON bytes (bit rot);
+        tamper: keep valid JSON but break the checksum (silent flip);
+        wrong_shape: valid JSON of the wrong type (a foreign file).
+    """
+    if mode == "truncate":
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+    elif mode == "garbage":
+        path.write_bytes(b"\x00\xffnot json at all\x93")
+    elif mode == "tamper":
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["sha256"] = "0" * 64
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+    elif mode == "wrong_shape":
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path
+
+
+def corrupt_all_entries(cache: MemoCache, mode: str = "tamper") -> int:
+    """Damage every live entry of *cache*; returns how many."""
+    paths = entry_paths(cache)
+    for path in paths:
+        corrupt_entry(path, mode)
+    return len(paths)
+
+
+def kill_worker_once(match: str, marker_dir: Path) -> FaultPlan:
+    """Arm a one-shot SIGKILL for the first worker running *match*."""
+    plan = FaultPlan(
+        kind="kill", match=match,
+        marker=str(marker_dir / f"kill-{_slug(match)}.marker"),
+    )
+    install_fault(plan)
+    return plan
+
+
+def hang_worker_once(
+    match: str, marker_dir: Path, hang_s: float = 2.0
+) -> FaultPlan:
+    """Arm a one-shot hang (past any task timeout) for *match*."""
+    plan = FaultPlan(
+        kind="hang", match=match,
+        marker=str(marker_dir / f"hang-{_slug(match)}.marker"),
+        hang_s=hang_s,
+    )
+    install_fault(plan)
+    return plan
+
+
+def error_worker_once(match: str, marker_dir: Path) -> FaultPlan:
+    """Arm a one-shot in-task ``RuntimeError`` for *match*."""
+    plan = FaultPlan(
+        kind="error", match=match,
+        marker=str(marker_dir / f"error-{_slug(match)}.marker"),
+    )
+    install_fault(plan)
+    return plan
+
+
+def always_fault(kind: str, match: str, hang_s: float = 1.0) -> FaultPlan:
+    """Arm a fault that fires on *every* attempt (retry exhaustion)."""
+    plan = FaultPlan(kind=kind, match=match, marker="", hang_s=hang_s)
+    install_fault(plan)
+    return plan
+
+
+def _slug(match: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in match)

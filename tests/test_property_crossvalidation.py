@@ -145,8 +145,8 @@ class TestCoalescedReplayParity:
         bench = get_benchmark(bench_name)
         params = bench.test_params()
         for phase in bench.phases("naive", params):
-            storage_slow = zeros_for(phase.kernel, phase.params)
-            storage_fast = zeros_for(phase.kernel, phase.params)
+            storage_slow = bench.trace_storage(phase)
+            storage_fast = bench.trace_storage(phase)
             slow = trace_kernel(
                 phase.kernel, phase.params, storage_slow,
                 CORE_I7_X980, coalesce=False,

@@ -1,0 +1,489 @@
+"""The robustness layer: numeric safety, cache self-healing, scheduler
+fault tolerance.
+
+The load-bearing property mirrors the engine tests' parity invariant:
+every *recovered* run (quarantined cache entry, retried task, serially
+degraded grid) must produce byte-identical results to a clean serial
+uncached run — recovery may cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.fault_injection import (
+    CORRUPTION_MODES,
+    always_fault,
+    corrupt_entry,
+    entry_paths,
+    error_worker_once,
+    hang_worker_once,
+    kill_worker_once,
+)
+from repro.analysis.gap import LADDER_RUNGS, clear_ladder_cache, measure_ladder
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.engine import (
+    GridTask,
+    MemoCache,
+    cached_simulate,
+    configure,
+    engine_session,
+    run_grid,
+    set_config,
+)
+from repro.engine import scheduler as scheduler_mod
+from repro.errors import (
+    CacheCorruptionError,
+    NumericFaultError,
+    ReproError,
+    RobustnessError,
+    TaskTimeoutError,
+    WorkerFailureError,
+)
+from repro.experiments.runner import build_parser
+from repro.ir import F32, I64, KernelBuilder, run_kernel, zeros_for
+from repro.kernels import all_benchmarks, get_benchmark
+from repro.machines import CORE_I7_X980, get_machine
+from repro.robustness import (
+    FaultPlan,
+    NumericFaultWarning,
+    clear_faults,
+    get_numeric_policy,
+    install_fault,
+    numeric_policy,
+    set_numeric_policy,
+)
+from repro.simulator import simulate
+
+VARIANTS = ("naive", "optimized", "ninja")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+# -- numeric safety ------------------------------------------------------
+
+
+def _ratio_kernel(dtype, op="/"):
+    """``out[i] = a[i] <op> c[i]`` — the smallest faultable kernel."""
+    b = KernelBuilder("ratio", doc="elementwise ratio/product")
+    n = b.param("n")
+    a = b.array("a", dtype, (n,))
+    c = b.array("c", dtype, (n,))
+    out = b.array("out", dtype, (n,))
+    with b.loop("i", n) as i:
+        if op == "/":
+            b.assign(out[i], a[i] / c[i])
+        elif op == "//":
+            b.assign(out[i], a[i] // c[i])
+        else:
+            b.assign(out[i], a[i] * c[i])
+    return b.build()
+
+
+def _ratio_storage(dtype, num, den, n=4):
+    return {
+        "a": np.full((n,), num, dtype=dtype.numpy),
+        "c": np.full((n,), den, dtype=dtype.numpy),
+        "out": np.zeros((n,), dtype=dtype.numpy),
+    }
+
+
+class TestNumericPolicy:
+    def test_default_policy_is_raise(self):
+        assert get_numeric_policy() == "raise"
+
+    def test_divide_by_zero_raises_with_context(self):
+        kernel = _ratio_kernel(F32)
+        storage = _ratio_storage(F32, 1.0, 0.0)
+        with pytest.raises(NumericFaultError) as info:
+            run_kernel(kernel, {"n": 4}, storage, numeric="raise")
+        err = info.value
+        assert err.kernel == "ratio"
+        assert err.op == "/"
+        assert err.indices == {"i": 0}
+        message = str(err)
+        assert "ratio" in message
+        assert "statement #" in message
+        assert "i=0" in message
+
+    def test_invalid_op_raises(self):
+        kernel = _ratio_kernel(F32)
+        storage = _ratio_storage(F32, 0.0, 0.0)  # 0/0 -> invalid, not inf
+        with pytest.raises(NumericFaultError):
+            run_kernel(kernel, {"n": 4}, storage, numeric="raise")
+
+    def test_overflow_raises(self):
+        kernel = _ratio_kernel(F32, op="*")
+        storage = _ratio_storage(F32, 3e38, 3e38)
+        with pytest.raises(NumericFaultError):
+            run_kernel(kernel, {"n": 4}, storage, numeric="raise")
+
+    def test_warn_policy_warns_once_and_flows_ieee(self):
+        kernel = _ratio_kernel(F32)
+        storage = _ratio_storage(F32, 1.0, 0.0)
+        with pytest.warns(NumericFaultWarning) as caught:
+            run_kernel(kernel, {"n": 4}, storage, numeric="warn")
+        # One warning per faulting *site*, not per faulting iteration.
+        assert len(caught) == 1
+        assert "ratio" in str(caught[0].message)
+        assert np.all(np.isinf(storage["out"]))
+
+    def test_ignore_policy_is_silent_ieee(self):
+        kernel = _ratio_kernel(F32)
+        storage = _ratio_storage(F32, 1.0, 0.0)
+        # filterwarnings promotes RuntimeWarning to error, so mere
+        # completion proves nothing leaked through.
+        run_kernel(kernel, {"n": 4}, storage, numeric="ignore")
+        assert np.all(np.isinf(storage["out"]))
+
+    def test_integer_divide_by_zero_always_raises(self):
+        kernel = _ratio_kernel(I64, op="//")
+        for policy in ("raise", "warn", "ignore"):
+            storage = _ratio_storage(I64, 1, 0)
+            with pytest.raises(NumericFaultError):
+                run_kernel(kernel, {"n": 4}, storage, numeric=policy)
+
+    def test_policy_context_manager_restores(self):
+        assert get_numeric_policy() == "raise"
+        with numeric_policy("warn"):
+            assert get_numeric_policy() == "warn"
+        assert get_numeric_policy() == "raise"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ReproError):
+            set_numeric_policy("fingers-crossed")
+
+
+class TestLbmRegression:
+    """The motivating bug: lbm on zero-filled tracing storage divided by
+    a zero density and pushed silent NaNs through every cell."""
+
+    def test_zero_storage_is_detected_not_silent(self):
+        bench = get_benchmark("lbm")
+        phase = bench.phases("naive", bench.test_params())[0]
+        with pytest.raises(NumericFaultError) as info:
+            run_kernel(
+                phase.kernel, phase.params,
+                zeros_for(phase.kernel, phase.params), numeric="raise",
+            )
+        assert info.value.kernel == "lbm_naive"
+
+    def test_trace_storage_is_finite(self):
+        bench = get_benchmark("lbm")
+        for variant in VARIANTS:
+            for phase in bench.phases(variant, bench.test_params()):
+                storage = bench.trace_storage(phase)
+                run_kernel(
+                    phase.kernel, phase.params, storage, numeric="raise"
+                )
+                for name, bound in storage.items():
+                    planes = bound.values() if isinstance(bound, dict) else [bound]
+                    for plane in planes:
+                        assert np.isfinite(plane).all(), (variant, name)
+
+
+class TestTraceStorageAudit:
+    """Every registered kernel must interpret cleanly — and finitely —
+    on its tracing storage under the strict numeric policy, at every
+    rung variant.  This is the suite-wide version of the lbm and
+    blackscholes fixes: a kernel whose guards are not both-arm-safe (the
+    interpreter evaluates both ``Select`` arms, as vectorized blends do)
+    fails here before it can poison a trace."""
+
+    @pytest.mark.parametrize(
+        "bench", all_benchmarks(), ids=lambda b: b.name
+    )
+    def test_all_variants_interpret_finite(self, bench):
+        for variant in VARIANTS:
+            for phase in bench.phases(variant, bench.test_params()):
+                storage = bench.trace_storage(phase)
+                run_kernel(
+                    phase.kernel, phase.params, storage, numeric="raise"
+                )
+                for name, bound in storage.items():
+                    planes = bound.values() if isinstance(bound, dict) else [bound]
+                    for plane in planes:
+                        if np.issubdtype(plane.dtype, np.floating):
+                            assert np.isfinite(plane).all(), (
+                                bench.name, variant, phase.kernel.name, name
+                            )
+
+
+# -- memo-cache self-healing ---------------------------------------------
+
+
+def _bs_point():
+    bench = get_benchmark("blackscholes")
+    phase = bench.phases("naive", bench.test_params())[0]
+    return phase.kernel, phase.params
+
+
+class TestMemoSelfHealing:
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path, mode):
+        kernel, params = _bs_point()
+        options = CompilerOptions.naive_serial()
+        clean = simulate(
+            compile_kernel(kernel, options, CORE_I7_X980),
+            CORE_I7_X980, params,
+        )
+        with engine_session(jobs=1, cache_dir=str(tmp_path)) as config:
+            cached_simulate(kernel, options, CORE_I7_X980, params)
+            cache = config.cache
+            (entry,) = entry_paths(cache)
+            corrupt_entry(entry, mode)
+
+            healed = cached_simulate(kernel, options, CORE_I7_X980, params)
+            assert healed.to_dict() == clean.to_dict()
+            assert cache.stats.quarantined == 1
+            assert cache.stats.errors == 1
+            quarantined = list(cache.quarantine_root.iterdir())
+            assert [p.name for p in quarantined] == [entry.name]
+
+            # The recompute rewrote the entry: the warm rerun is all
+            # hits, zero misses, and quarantines nothing further.
+            before = cache.stats.snapshot()
+            warm = cached_simulate(kernel, options, CORE_I7_X980, params)
+            delta = cache.stats.since(before)
+        assert warm.to_dict() == clean.to_dict()
+        assert delta == {
+            "hits": 1, "misses": 0, "puts": 0, "errors": 0, "quarantined": 0,
+        }
+
+    def test_tampered_evidence_is_preserved(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        (entry,) = entry_paths(cache)
+        corrupt_entry(entry, "tamper")
+        tampered_text = entry.read_text(encoding="utf-8")
+        assert cache.get("a" * 64) is None
+        moved = cache.quarantine_root / entry.name
+        assert moved.read_text(encoding="utf-8") == tampered_text
+        assert not entry.exists()
+        assert len(cache) == 0
+
+    def test_quarantine_never_counts_as_an_entry(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        corrupt_entry(entry_paths(cache)[0], "garbage")
+        assert cache.get("a" * 64) is None
+        assert len(cache) == 0
+        cache.put("a" * 64, {"x": 1})
+        assert len(cache) == 1  # quarantine/ holds a file, but not an entry
+
+    def test_unquarantinable_entry_raises(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        cache = MemoCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        corrupt_entry(entry_paths(cache)[0], "garbage")
+
+        def deny(*_args, **_kwargs):
+            raise PermissionError("read-only filesystem")
+
+        monkeypatch.setattr(os_mod, "replace", deny)
+        monkeypatch.setattr(
+            "pathlib.Path.unlink", lambda *a, **k: deny()
+        )
+        with pytest.raises(CacheCorruptionError):
+            cache.get("a" * 64)
+
+
+# -- scheduler resilience ------------------------------------------------
+
+
+def _ladder_tasks():
+    bench = get_benchmark("blackscholes")
+    params = tuple(sorted(bench.test_params().items()))
+    return [
+        GridTask(
+            benchmark=bench.name, label=label, variant=variant,
+            options=options, machine=CORE_I7_X980.name, params=params,
+        )
+        for label, variant, options in LADDER_RUNGS
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline_ladder():
+    """The clean serial uncached ladder every recovery must reproduce."""
+    bench = get_benchmark("blackscholes")
+    clear_ladder_cache()
+    ladder = measure_ladder(
+        bench, get_machine(CORE_I7_X980.name), bench.test_params()
+    )
+    clear_ladder_cache()
+    return ladder
+
+
+def _healed_ladder():
+    """Measure the ladder through the active (warm) engine session."""
+    bench = get_benchmark("blackscholes")
+    clear_ladder_cache()
+    ladder = measure_ladder(
+        bench, get_machine(CORE_I7_X980.name), bench.test_params()
+    )
+    clear_ladder_cache()
+    return ladder
+
+
+@pytest.fixture(autouse=True)
+def _fast_backoff(monkeypatch):
+    monkeypatch.setattr(scheduler_mod, "BACKOFF_S", 0.005)
+
+
+class TestSchedulerResilience:
+    def test_killed_worker_is_retried_with_identical_results(
+        self, tmp_path, baseline_ladder
+    ):
+        tasks = _ladder_tasks()
+        with engine_session(
+            jobs=2, cache_dir=str(tmp_path / "cache"), task_retries=2
+        ) as config:
+            kill_worker_once(tasks[0].name, tmp_path)
+            records = run_grid(tasks)
+            assert config.faults.get("pool_broken", 0) >= 1
+            assert config.faults.get("task_retry", 0) >= 1
+            ladder = _healed_ladder()
+        assert [r["task"] for r in records] == [t.name for t in tasks]
+        assert ladder.rungs == baseline_ladder.rungs
+
+    def test_hung_worker_times_out_and_recovers(
+        self, tmp_path, baseline_ladder
+    ):
+        tasks = _ladder_tasks()
+        with engine_session(
+            jobs=2, cache_dir=str(tmp_path / "cache"),
+            task_timeout=0.4, task_retries=10,
+        ) as config:
+            hang_worker_once(tasks[0].name, tmp_path, hang_s=1.5)
+            records = run_grid(tasks)
+            assert config.faults.get("task_timeout", 0) >= 1
+            ladder = _healed_ladder()
+        assert all(record is not None for record in records)
+        assert ladder.rungs == baseline_ladder.rungs
+
+    def test_erroring_task_is_retried(self, tmp_path, baseline_ladder):
+        tasks = _ladder_tasks()
+        with engine_session(
+            jobs=2, cache_dir=str(tmp_path / "cache"), task_retries=2
+        ) as config:
+            error_worker_once(tasks[0].name, tmp_path)
+            records = run_grid(tasks)
+            assert config.faults.get("task_error", 0) == 1
+            assert config.faults.get("task_retry", 0) >= 1
+            ladder = _healed_ladder()
+        assert [r["task"] for r in records] == [t.name for t in tasks]
+        assert ladder.rungs == baseline_ladder.rungs
+
+    def test_repeated_pool_death_degrades_to_serial(
+        self, tmp_path, baseline_ladder
+    ):
+        tasks = _ladder_tasks()
+        # Three one-shot kills all aimed at the first task: every rebuilt
+        # pool starts it first and dies, so the third death trips the
+        # POOL_REBUILDS limit.  All three markers are claimed *before*
+        # the fallback starts, so the in-parent serial pass runs clean.
+        for attempt in range(scheduler_mod.POOL_REBUILDS + 1):
+            install_fault(
+                FaultPlan(
+                    kind="kill", match=tasks[0].name,
+                    marker=str(tmp_path / f"kill-{attempt}.marker"),
+                )
+            )
+        with engine_session(
+            jobs=2, cache_dir=str(tmp_path / "cache"), task_retries=2
+        ) as config:
+            records = run_grid(tasks)
+            assert config.faults.get("pool_broken") == 3
+            assert config.faults.get("serial_fallback") == 1
+            ladder = _healed_ladder()
+        assert all(record is not None for record in records)
+        assert records[0]["fallback"] == "serial"
+        assert ladder.rungs == baseline_ladder.rungs
+
+    def test_persistent_crash_exhausts_retries(self, tmp_path):
+        tasks = _ladder_tasks()
+        with engine_session(
+            jobs=2, cache_dir=str(tmp_path / "cache"), task_retries=1
+        ):
+            always_fault("error", tasks[0].name)
+            with pytest.raises(WorkerFailureError) as info:
+                run_grid(tasks)
+        assert info.value.task == tasks[0].name
+        assert info.value.attempts == 2  # first try + one retry
+        assert isinstance(info.value, RobustnessError)
+
+    def test_persistent_hang_exhausts_timeout_retries(self, tmp_path):
+        tasks = _ladder_tasks()
+        with engine_session(
+            jobs=2, cache_dir=str(tmp_path / "cache"),
+            task_timeout=0.2, task_retries=1,
+        ):
+            always_fault("hang", tasks[0].name, hang_s=1.0)
+            with pytest.raises(TaskTimeoutError) as info:
+                run_grid(tasks)
+        assert info.value.task == tasks[0].name
+        assert info.value.attempts == 2
+
+
+# -- configuration knobs -------------------------------------------------
+
+
+class TestRobustnessKnobs:
+    def test_env_knobs_flow_into_configure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "7")
+        previous = configure(jobs=1, cache=False)
+        try:
+            from repro.engine import get_config
+
+            assert get_config().task_timeout == 1.5
+            assert get_config().task_retries == 7
+        finally:
+            set_config(previous)
+
+    def test_explicit_args_beat_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "7")
+        with engine_session(
+            jobs=1, cache_dir=str(tmp_path),
+            task_timeout=9.0, task_retries=0,
+        ) as config:
+            assert config.task_timeout == 9.0
+            assert config.task_retries == 0
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [("REPRO_TASK_TIMEOUT", "soon"), ("REPRO_TASK_RETRIES", "many")],
+    )
+    def test_bad_env_knobs_raise(self, monkeypatch, name, value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ReproError):
+            set_config(configure(jobs=1, cache=False))
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ReproError):
+            configure(jobs=1, cache=False, task_timeout=0.0)
+        with pytest.raises(ReproError):
+            configure(jobs=1, cache=False, task_retries=-1)
+
+    def test_cli_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig1", "--task-timeout", "2.5", "--retries", "5"]
+        )
+        assert args.task_timeout == 2.5
+        assert args.retries == 5
+        args = build_parser().parse_args(["ladder", "nbody"])
+        assert args.task_timeout is None
+        assert args.retries is None
+
+    def test_fault_plan_rejects_unknown_kind(self, tmp_path):
+        with pytest.raises(ReproError):
+            FaultPlan(kind="meteor", match="x", marker=str(tmp_path / "m"))
