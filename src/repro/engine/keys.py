@@ -19,8 +19,9 @@ The fingerprint components:
   ``with_overrides`` key differently from their presets);
 * **simulator** — ``"analytic"`` or ``"trace"``;
 * **version / code** — ``repro.__version__`` plus a digest of the model
-  source trees (``ir``, ``compiler``, ``simulator``, ``machines``), so a
-  code change invalidates the cache even without a version bump.
+  source trees (``ir``, ``compiler``, ``simulator``, ``machines``,
+  ``jit``), so a code change — including a change to the generated-code
+  scheme — invalidates the cache even without a version bump.
 """
 
 from __future__ import annotations
@@ -43,7 +44,7 @@ from repro.machines.spec import MachineSpec
 MEMO_SCHEMA = 2
 
 #: Model subpackages whose source participates in the code fingerprint.
-_CODE_SUBPACKAGES = ("ir", "compiler", "simulator", "machines")
+_CODE_SUBPACKAGES = ("ir", "compiler", "simulator", "machines", "jit")
 
 _CODE_FINGERPRINT: str | None = None
 

@@ -88,7 +88,19 @@ class Interpreter:
         self.stats = InterpStats()
         self._loop_vars: list[str] = []
         self._warned_sites: set[int] = set()
+        #: per-array declared shape, resolved once (indexing hot path).
+        self._shapes: dict[str, tuple[int, ...]] = {}
         self._check_storage()
+        #: per-(array, field) flat views; None where the plane is not
+        #: viewable 1-D (then the legacy per-access reshape applies).
+        self._flats: dict[tuple[str, str | None], np.ndarray | None] = {}
+        for decl in kernel.arrays:
+            for array_field in decl.fields or (None,):
+                plane = self._plane(decl, array_field)
+                flat = plane.reshape(-1)
+                self._flats[(decl.name, array_field)] = (
+                    flat if np.shares_memory(flat, plane) else None
+                )
 
     def run(self) -> InterpStats:
         """Execute the kernel body; returns dynamic statistics."""
@@ -108,6 +120,7 @@ class Interpreter:
             shape = tuple(
                 eval_int_expr(dim, self.params) for dim in decl.shape
             )
+            self._shapes[decl.name] = shape
             bound = self.arrays[decl.name]
             if decl.fields:
                 if not isinstance(bound, dict):
@@ -147,13 +160,19 @@ class Interpreter:
         assert not isinstance(bound, dict)
         return bound
 
+    def _flat(self, decl: ArrayDecl, array_field: str | None) -> np.ndarray:
+        flat = self._flats[(decl.name, array_field)]
+        if flat is None:  # non-viewable plane: legacy per-access reshape
+            return self._plane(decl, array_field).reshape(-1)
+        return flat
+
     def _linear_index(self, decl: ArrayDecl, idx: tuple[int, ...]) -> int:
-        plane = self._plane(decl, decl.fields[0] if decl.fields else None)
+        shape = self._shapes[decl.name]
         linear = 0
-        for sub, dim in zip(idx, plane.shape):
+        for sub, dim in zip(idx, shape):
             if not 0 <= sub < dim:
                 raise SimulationError(
-                    f"array {decl.name!r}: index {idx} out of bounds for {plane.shape}"
+                    f"array {decl.name!r}: index {idx} out of bounds for {shape}"
                 )
             linear = linear * dim + sub
         return linear
@@ -182,9 +201,8 @@ class Interpreter:
                 idx = tuple(
                     int(self._eval(sub, env)) for sub in stmt.target.index
                 )
-                plane = self._plane(decl, stmt.target.array_field)
                 linear = self._linear_index(decl, idx)
-                plane.reshape(-1)[linear] = value
+                self._flat(decl, stmt.target.array_field)[linear] = value
                 self.stats.stores += 1
                 if self.on_access is not None:
                     self.on_access(decl.name, stmt.target.array_field, linear, True)
@@ -218,12 +236,11 @@ class Interpreter:
         if isinstance(expr, Load):
             decl = self.kernel.array(expr.array)
             idx = tuple(int(self._eval(sub, env)) for sub in expr.index)
-            plane = self._plane(decl, expr.array_field)
             linear = self._linear_index(decl, idx)
             self.stats.loads += 1
             if self.on_access is not None:
                 self.on_access(decl.name, expr.array_field, linear, False)
-            return plane.reshape(-1)[linear]
+            return self._flat(decl, expr.array_field)[linear]
         if isinstance(expr, BinOp):
             return self._eval_binop(expr, env)
         if isinstance(expr, UnOp):
@@ -389,10 +406,21 @@ def run_kernel(
     max_statements: int = 20_000_000,
     numeric: str | None = None,
 ) -> InterpStats:
-    """Convenience wrapper: build an :class:`Interpreter` and run it."""
+    """Convenience wrapper: build an :class:`Interpreter` and run it.
+
+    Hook-free runs go through the IR→Python specializing compiler when it
+    supports the kernel (see :mod:`repro.jit`): same outputs, stats, and
+    errors, minus the tree walk.  ``REPRO_NO_JIT=1`` forces interpretation.
+    """
     interp = Interpreter(
         kernel, params, arrays, on_access, max_statements, numeric
     )
+    if on_access is None:
+        from repro.jit.executor import try_run_jit  # lazy: avoids a cycle
+
+        stats = try_run_jit(interp)
+        if stats is not None:
+            return stats
     return interp.run()
 
 

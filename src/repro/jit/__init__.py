@@ -1,0 +1,30 @@
+"""IR→Python specializing compiler and its runtime.
+
+Closes our own Ninja gap: instead of tree-walking every kernel statement,
+:mod:`repro.jit.codegen` lowers a kernel to one generated Python function
+(native loops, inlined numpy-scalar arithmetic, affine address resolvers
+folded into induction variables, inline trace coalescing, and a
+vectorized fast path for branch-free innermost loops), and
+:mod:`repro.jit.executor` swaps it in behind :func:`run_kernel` /
+:func:`trace_kernel` with bit-identical outputs, counters, and errors.
+Set ``REPRO_NO_JIT=1`` to force the interpreter everywhere.
+"""
+
+from repro.jit.codegen import (
+    CompiledKernel,
+    Unsupported,
+    clear_code_cache,
+    get_compiled,
+)
+from repro.jit.executor import jit_enabled, no_jit, try_run_jit, try_trace_jit
+
+__all__ = [
+    "CompiledKernel",
+    "Unsupported",
+    "clear_code_cache",
+    "get_compiled",
+    "jit_enabled",
+    "no_jit",
+    "try_run_jit",
+    "try_trace_jit",
+]

@@ -1,0 +1,1291 @@
+"""IR→Python specializing compiler.
+
+Lowers one :class:`~repro.ir.kernel.Kernel` to a single generated Python
+function: loops become native ``for i in range(...)``, expressions inline
+to flat numpy-scalar arithmetic (no ``Expr`` tree walks), and array
+indexing folds the affine ``offset + linear * stride`` address resolvers
+directly into loop induction variables.  Three modes share one emitter:
+
+* ``"run"`` — functional execution only (the :func:`run_kernel` path).
+  Branch-free innermost loops additionally get a vectorized fast path
+  that executes the whole loop as numpy array ops.
+* ``"trace"`` — every array access also emits its byte address into the
+  cache hierarchy, with consecutive same-line accesses coalesced into
+  batched counter updates (inlined equivalent of the closure in
+  :mod:`repro.simulator.trace`).
+* ``"trace_raw"`` — one ``hierarchy.access`` call per element access
+  (the ``coalesce=False`` replay).
+
+Counter exactness is load-bearing: the generated code must reproduce the
+tree-walking interpreter bit for bit — outputs, ``InterpStats``, and the
+trace access stream (see docs/MODEL.md).  The emitter therefore mirrors
+``Interpreter._eval`` literally: every ``BinOp``/``UnOp`` result is wrapped
+in its IR dtype's numpy scalar constructor, constants are materialized as
+numpy scalars, loop variables appear as ``np.int64`` in value contexts,
+and parameters stay Python ints — so NEP-50 promotion behaves identically.
+Anything the emitter cannot prove it can reproduce exactly raises
+:class:`Unsupported` and the kernel stays on the interpreter.
+
+Statement/load/store counts are hoisted: each loop adds
+``extent * <static body counts>`` in O(1) instead of incrementing per
+statement; the step-budget check runs at loop entries and function exit.
+A budget/bounds/arithmetic fault in generated code never surfaces to the
+caller — the executor restores the input snapshot and re-runs the
+interpreter, which reproduces the canonical error (including the full
+``NumericFaultError`` context) or the canonical warn-policy behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Load,
+    Logical,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.kernel import ArrayDecl, Kernel
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
+from repro.ir.types import DType
+from repro.observability.tracer import add_counter, span
+
+__all__ = [
+    "BoundsFault",
+    "BudgetExceeded",
+    "CompiledKernel",
+    "Unsupported",
+    "clear_code_cache",
+    "get_compiled",
+]
+
+#: Compile modes.
+MODES = ("run", "trace", "trace_raw")
+
+#: Max cached (kernel, mode) entries before LRU eviction.
+_CACHE_CAP = 256
+
+
+class Unsupported(Exception):
+    """The kernel uses a shape the generator cannot reproduce exactly."""
+
+
+class BudgetExceeded(Exception):
+    """Generated code exceeded the statement budget (internal signal)."""
+
+
+class BoundsFault(Exception):
+    """Generated code detected an out-of-bounds index (internal signal)."""
+
+
+class _NotAffine(Exception):
+    """A subscript is not affine in the current loop variable."""
+
+
+class _VecFail(Exception):
+    """The loop body cannot be vectorized exactly; use the scalar loop."""
+
+
+#: Marks a scalar temp whose post-loop value the generated code does not
+#: track (it was materialized as a lane vector); any later reference makes
+#: the whole kernel Unsupported.
+_POISON = object()
+
+#: Runtime-dtype marker for plain Python ints (parameters).
+_PYINT = "pyint"
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _ckaff(a: int, b: int, extent: int, dim: int) -> None:
+    """Bounds-check the affine subscript ``a*i + b`` for ``i in [0, extent)``.
+
+    Affine subscripts are monotone in ``i``, so the two endpoints bound
+    every intermediate index.  Raising here sends the executor to the
+    interpreter, which reproduces the canonical error at the exact
+    faulting iteration.
+    """
+    if extent <= 0:
+        return
+    end = b + a * (extent - 1)
+    lo, hi = (b, end) if a >= 0 else (end, b)
+    if lo < 0 or hi >= dim:
+        raise BoundsFault()
+
+
+def _arange_i64(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+_BASE_GLOBALS = {
+    "np": np,
+    "_i64": np.int64,
+    "_np_bool": np.bool_,
+    "_Bdg": BudgetExceeded,
+    "_Bnd": BoundsFault,
+    "_ckaff": _ckaff,
+    "_sqrt": np.sqrt,
+    "_exp": np.exp,
+    "_log": np.log,
+    "_sin": np.sin,
+    "_cos": np.cos,
+    "_floor": np.floor,
+    "_erf": math.erf,
+    "_where": np.where,
+    "_arange": _arange_i64,
+}
+
+#: Float unary math ops sharing the ``_t(_fn(v))`` shape.
+_UNOP_FNS = {
+    "sqrt": "_sqrt",
+    "exp": "_exp",
+    "log": "_log",
+    "sin": "_sin",
+    "cos": "_cos",
+    "floor": "_floor",
+}
+
+#: Binops ``eval_int_expr`` accepts for loop extents, Python spellings.
+_EXTENT_BINOPS = {
+    "+": "({l}) + ({r})",
+    "-": "({l}) - ({r})",
+    "*": "({l}) * ({r})",
+    "/": "({l}) // ({r})",
+    "//": "({l}) // ({r})",
+    "%": "({l}) % ({r})",
+    "min": "min({l}, {r})",
+    "max": "max({l}, {r})",
+    "pow": "({l}) ** ({r})",
+}
+
+
+def _loads_in(expr: Expr) -> int:
+    """Number of ``Load`` nodes (each is one dynamic load + access)."""
+    return sum(1 for node in expr.walk() if isinstance(node, Load))
+
+
+def _block_counts(stmts: tuple[Stmt, ...]) -> tuple[int, int, int]:
+    """(statements, loads, stores) one execution of *stmts* contributes.
+
+    Excludes loop-body iterations and branch bodies — those are added
+    dynamically at their own entry points.  Mirrors the interpreter: every
+    statement counts one, every ``Load`` node one load, every store
+    target one store; loop extents cannot contain loads.
+    """
+    n, ld, st = len(stmts), 0, 0
+    for stmt in stmts:
+        if isinstance(stmt, Decl):
+            ld += _loads_in(stmt.init)
+        elif isinstance(stmt, Assign):
+            ld += _loads_in(stmt.value)
+            if isinstance(stmt.target, StoreTarget):
+                ld += sum(_loads_in(sub) for sub in stmt.target.index)
+                st += 1
+        elif isinstance(stmt, If):
+            ld += _loads_in(stmt.cond)
+    return n, ld, st
+
+
+def _add(a: str, b: str) -> str:
+    if a == "0":
+        return b
+    if b == "0":
+        return a
+    return f"({a}) + ({b})"
+
+
+def _sub(a: str, b: str) -> str:
+    if b == "0":
+        return a
+    if a == "0":
+        return f"-({b})"
+    return f"({a}) - ({b})"
+
+
+def _mul(a: str, b: str) -> str:
+    if a == "0" or b == "0":
+        return "0"
+    if a == "1":
+        return b
+    if b == "1":
+        return a
+    return f"({a}) * ({b})"
+
+
+@dataclass
+class _LoopCtx:
+    """Emission state for one active ``For``."""
+
+    var: str
+    ext_name: str
+    head: list[str]  # preheader lines (hoisted bounds checks, coefficients)
+    cond_depth: int  # If-nesting depth at loop entry (hoisting gate)
+
+
+@dataclass
+class CompiledKernel:
+    """One generated function plus everything needed to call it."""
+
+    kernel_name: str
+    mode: str
+    fn: object  # the generated callable
+    source: str  # generated Python source (debugging / tests)
+    plane_keys: tuple[tuple[str, str | None], ...]
+    vectorized_loops: int
+
+
+class _Codegen:
+    """Single-use emitter: one kernel, one mode, one generated function."""
+
+    def __init__(self, kernel: Kernel, mode: str):
+        assert mode in MODES
+        self.kernel = kernel
+        self.mode = mode
+        self.trace = mode in ("trace", "trace_raw")
+        self.coalesce = mode == "trace"
+        self._decls = {d.name: d for d in kernel.arrays}
+        self._tmp = 0
+        self._site = 0
+        self._loop_id = 0
+        self._loops: list[_LoopCtx] = []
+        self._cond_depth = 0
+        #: name -> np.dtype | _PYINT | None (unknown) | _POISON
+        self.scalar_types: dict[str, object] = {}
+        self.globals: dict[str, object] = dict(_BASE_GLOBALS)
+        self._consts: dict[tuple[str, str], str] = {}
+        self.vectorized_loops = 0
+        self._validate_names()
+
+    # -- setup ----------------------------------------------------------
+    def _validate_names(self) -> None:
+        names = list(self.kernel.params)
+        for decl in self.kernel.arrays:
+            names.append(decl.name)
+            names.extend(decl.fields)
+        for name in names:
+            if not _NAME_RE.match(name):
+                raise Unsupported(f"unmangleable identifier {name!r}")
+        # Record planes mangle field separators with "__"; reject the rare
+        # collision (array "p__x" vs record "p" field "x").
+        mangled = [self._plane_name(k) for k in self._plane_keys()]
+        if len(set(mangled)) != len(mangled):
+            raise Unsupported("array/field name mangling collision")
+
+    def _plane_keys(self) -> list[tuple[str, str | None]]:
+        keys: list[tuple[str, str | None]] = []
+        for decl in self.kernel.arrays:
+            for field in decl.fields or (None,):
+                keys.append((decl.name, field))
+        return keys
+
+    @staticmethod
+    def _plane_name(key: tuple[str, str | None]) -> str:
+        name, field = key
+        return f"A_{name}" if field is None else f"A_{name}__{field}"
+
+    def _tname(self, dtype: DType) -> str:
+        name = f"_t_{dtype.name}"
+        self.globals[name] = dtype.numpy.type
+        return name
+
+    def _dtname(self, dt: np.dtype) -> str:
+        name = f"_dt_{dt.name}"
+        self.globals[name] = dt
+        return name
+
+    def _const(self, expr: Const) -> str:
+        key = (repr(expr.value), expr.dtype.name)
+        name = self._consts.get(key)
+        if name is None:
+            name = f"_c{len(self._consts)}"
+            self._consts[key] = name
+            self.globals[name] = expr.dtype.numpy.type(expr.value)
+        return name
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"_v{self._tmp}"
+
+    # -- top level ------------------------------------------------------
+    def compile(self) -> CompiledKernel:
+        out: list[str] = []
+        body: list[str] = []
+        self.emit_block(self.kernel.body, body, 1)
+
+        args = "_arrs, _dims, _params, _max"
+        if self.trace:
+            args += ", _aff, _acc, _tch, _LB"
+        out.append(f"def _jit({args}):")
+        for param in self.kernel.params:
+            out.append(f"    P_{param} = _params[{param!r}]")
+        for key in self._plane_keys():
+            out.append(f"    {self._plane_name(key)} = _arrs[{key!r}]")
+            if self.trace:
+                mangled = self._plane_name(key)[2:]
+                out.append(f"    OF_{mangled}, SR_{mangled} = _aff[{key!r}]")
+        for decl in self.kernel.arrays:
+            ndim = len(decl.shape)
+            for k in range(ndim):
+                out.append(f"    D_{decl.name}_{k} = _dims[{decl.name!r}][{k}]")
+            # Row-major strides in elements: suffix products of the dims.
+            for k in range(ndim - 2, -1, -1):
+                out.append(
+                    f"    ST_{decl.name}_{k} = "
+                    f"{self._stride(decl, k + 1)} * D_{decl.name}_{k + 1}"
+                )
+        if self.coalesce:
+            out.append("    _pl = -1; _pa = 0; _pv = False; _px = 0; _pw = False")
+        n, ld, st = _block_counts(self.kernel.body)
+        out.append(f"    _n = {n}; _ld = {ld}; _st = {st}")
+        out.append("    if _n > _max: raise _Bdg()")
+        out.extend(body)
+        out.append("    if _n > _max: raise _Bdg()")
+        if self.coalesce:
+            out.append("    if _pl >= 0:")
+            out.append("        _acc(_pa, _pv)")
+            out.append("        if _px: _tch(_pa, _px, _pw)")
+        out.append("    return (_n, _ld, _st)")
+        source = "\n".join(out) + "\n"
+        namespace = dict(self.globals)
+        exec(  # noqa: S102 - the source is generated from validated IR
+            compile(source, f"<jit:{self.kernel.name}:{self.mode}>", "exec"),
+            namespace,
+        )
+        return CompiledKernel(
+            kernel_name=self.kernel.name,
+            mode=self.mode,
+            fn=namespace["_jit"],
+            source=source,
+            plane_keys=tuple(self._plane_keys()),
+            vectorized_loops=self.vectorized_loops,
+        )
+
+    def _stride(self, decl: ArrayDecl, k: int) -> str:
+        """Element stride of dimension *k* ("1" for the innermost)."""
+        return "1" if k == len(decl.shape) - 1 else f"ST_{decl.name}_{k}"
+
+    # -- statements -----------------------------------------------------
+    def emit_block(self, stmts: tuple[Stmt, ...], out: list[str], ind: int) -> None:
+        for stmt in stmts:
+            self.emit_stmt(stmt, out, ind)
+
+    def emit_stmt(self, stmt: Stmt, out: list[str], ind: int) -> None:
+        if isinstance(stmt, Decl):
+            self._emit_scalar_assign(stmt.name, stmt.init, out, ind)
+        elif isinstance(stmt, Assign):
+            if isinstance(stmt.target, ScalarTarget):
+                self._emit_scalar_assign(stmt.target.name, stmt.value, out, ind)
+            else:
+                self._emit_store(stmt.target, stmt.value, out, ind)
+        elif isinstance(stmt, For):
+            self._emit_for(stmt, out, ind)
+        elif isinstance(stmt, If):
+            self._emit_if(stmt, out, ind)
+        else:
+            raise Unsupported(f"cannot compile {type(stmt).__name__}")
+
+    def _emit_scalar_assign(
+        self, name: str, value: Expr, out: list[str], ind: int
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise Unsupported(f"unmangleable temp {name!r}")
+        if name in self.kernel.params or any(l.var == name for l in self._loops):
+            # The interpreter env would shadow a parameter or live loop
+            # variable; too entangled to reproduce — stay interpreted.
+            raise Unsupported(f"temp {name!r} shadows a parameter or loop var")
+        code = self.ev(value, out, ind)
+        out.append("    " * ind + f"S_{name} = {code}")
+        self.scalar_types[name] = self._runtime_dtype(value)
+
+    def _emit_store(
+        self, target: StoreTarget, value: Expr, out: list[str], ind: int
+    ) -> None:
+        pad = "    " * ind
+        decl = self._decl(target.array)
+        code = self.ev(value, out, ind)
+        vtmp = self.tmp()
+        out.append(pad + f"{vtmp} = {code}")  # value before index, like _eval
+        plane, lin, addr = self._emit_site(
+            decl, target.array_field, target.index, out, ind
+        )
+        out.append(pad + f"{plane}[{lin}] = {vtmp}")
+        if self.trace:
+            self._emit_access(addr, True, out, ind)
+
+    def _emit_for(self, stmt: For, out: list[str], ind: int) -> None:
+        pad = "    " * ind
+        var = stmt.var
+        if not _NAME_RE.match(var):
+            raise Unsupported(f"unmangleable loop var {var!r}")
+        if (
+            var in self.kernel.params
+            or var in self.scalar_types
+            or any(l.var == var for l in self._loops)
+        ):
+            raise Unsupported(f"loop var {var!r} shadows another binding")
+        self._loop_id += 1
+        ext = f"_e{self._loop_id}"
+        out.append(pad + f"{ext} = {self.emit_extent(stmt.extent)}")
+        n, ld, st = _block_counts(stmt.body)
+        bump = f"_n += {ext} * {n}"
+        if ld:
+            bump += f"; _ld += {ext} * {ld}"
+        if st:
+            bump += f"; _st += {ext} * {st}"
+        out.append(pad + bump)
+        out.append(pad + "if _n > _max: raise _Bdg()")
+
+        if self._try_vectorize(stmt, ext, out, ind):
+            return
+
+        ctx = _LoopCtx(var=var, ext_name=ext, head=[], cond_depth=self._cond_depth)
+        self._loops.append(ctx)
+        body: list[str] = []
+        try:
+            self.emit_block(stmt.body, body, ind + 1)
+        finally:
+            self._loops.pop()
+        out.extend(ctx.head)
+        out.append(pad + f"for L_{var} in range({ext}):")
+        if any(f"LV_{var}" in line for line in body):
+            body.insert(0, "    " * (ind + 1) + f"LV_{var} = _i64(L_{var})")
+        out.extend(body)
+
+    def _emit_if(self, stmt: If, out: list[str], ind: int) -> None:
+        pad = "    " * ind
+        cond = self.ev(stmt.cond, out, ind)
+        out.append(pad + f"if {cond}:")
+        base = dict(self.scalar_types)
+        self._cond_depth += 1
+        try:
+            self._emit_branch(stmt.then_body, out, ind + 1)
+            taken = self.scalar_types
+            self.scalar_types = dict(base)
+            if stmt.else_body:
+                out.append(pad + "else:")
+                self._emit_branch(stmt.else_body, out, ind + 1)
+        finally:
+            self._cond_depth -= 1
+        merged = dict(base)
+        missing = object()
+        for name in set(taken) | set(self.scalar_types):
+            a = taken.get(name, missing)
+            b = self.scalar_types.get(name, missing)
+            if a is _POISON or b is _POISON:
+                merged[name] = _POISON
+            elif a is b or (
+                isinstance(a, np.dtype) and isinstance(b, np.dtype) and a == b
+            ):
+                merged[name] = a
+            else:
+                merged[name] = None  # dtype depends on the branch taken
+        self.scalar_types = merged
+
+    def _emit_branch(self, stmts: tuple[Stmt, ...], out: list[str], ind: int) -> None:
+        pad = "    " * ind
+        n, ld, st = _block_counts(stmts)
+        bump = f"_n += {n}"
+        if ld:
+            bump += f"; _ld += {ld}"
+        if st:
+            bump += f"; _st += {st}"
+        out.append(pad + bump)
+        self.emit_block(stmts, out, ind)
+
+    # -- access sites ---------------------------------------------------
+    def _decl(self, array: str) -> ArrayDecl:
+        decl = self._decls.get(array)
+        if decl is None:
+            raise Unsupported(f"unknown array {array!r}")
+        return decl
+
+    def _emit_site(
+        self,
+        decl: ArrayDecl,
+        field: str | None,
+        subs: tuple[Expr, ...],
+        out: list[str],
+        ind: int,
+    ) -> tuple[str, str, str]:
+        """Emit one array-access site; returns (plane, linear, address).
+
+        ``address`` is an expression for the byte address (trace modes
+        only; ``""`` otherwise).  Unconditional accesses inside a loop get
+        their bounds checks and stride folds hoisted to the loop
+        preheader; everything else takes the checked per-access path.
+        """
+        if len(subs) != len(decl.shape):
+            raise Unsupported(
+                f"array {decl.name!r}: {len(subs)} subscripts for "
+                f"{len(decl.shape)} dims"
+            )
+        if decl.fields and field is None or field is not None and not decl.fields:
+            raise Unsupported(f"array {decl.name!r}: field mismatch")
+        if field is not None and field not in decl.fields:
+            raise Unsupported(f"array {decl.name!r}: no field {field!r}")
+        key = (decl.name, field)
+        plane = self._plane_name(key)
+        mangled = plane[2:]
+
+        if self._loops and self._cond_depth == self._loops[-1].cond_depth:
+            try:
+                return self._emit_affine_site(decl, plane, mangled, subs)
+            except _NotAffine:
+                pass
+        return self._emit_checked_site(decl, plane, mangled, subs, out, ind)
+
+    def _emit_affine_site(
+        self, decl: ArrayDecl, plane: str, mangled: str, subs: tuple[Expr, ...]
+    ) -> tuple[str, str, str]:
+        ctx = self._loops[-1]
+        # Preheader lines sit at the enclosing ``for`` statement's indent.
+        pad = "    " * (len(self._loops) - 1 + self._base_indent())
+        coeffs = [self._affine(sub, ctx.var) for sub in subs]
+        self._site += 1
+        s = self._site
+        lin_a, lin_b = "0", "0"
+        for k, (a, b) in enumerate(coeffs):
+            ctx.head.append(
+                pad + f"_ckaff({a}, {b}, {ctx.ext_name}, D_{decl.name}_{k})"
+            )
+            stride = self._stride(decl, k)
+            lin_a = _add(lin_a, _mul(a, stride))
+            lin_b = _add(lin_b, _mul(b, stride))
+        ctx.head.append(pad + f"_A{s} = {lin_a}")
+        ctx.head.append(pad + f"_B{s} = {lin_b}")
+        lin = f"_B{s} + _A{s} * L_{ctx.var}"
+        addr = ""
+        if self.trace:
+            ctx.head.append(pad + f"_AD{s} = OF_{mangled} + _B{s} * SR_{mangled}")
+            ctx.head.append(pad + f"_AS{s} = _A{s} * SR_{mangled}")
+            addr = f"_AD{s} + _AS{s} * L_{ctx.var}"
+        return plane, lin, addr
+
+    def _base_indent(self) -> int:
+        """Indent level of code outside all loops (function body = 1)."""
+        return 1 + self._cond_depth
+
+    def _emit_checked_site(
+        self,
+        decl: ArrayDecl,
+        plane: str,
+        mangled: str,
+        subs: tuple[Expr, ...],
+        out: list[str],
+        ind: int,
+    ) -> tuple[str, str, str]:
+        pad = "    " * ind
+        lin = "0"
+        for k, sub in enumerate(subs):
+            itmp = self.tmp()
+            out.append(pad + f"{itmp} = int({self.ev(sub, out, ind)})")
+            out.append(
+                pad
+                + f"if {itmp} < 0 or {itmp} >= D_{decl.name}_{k}: raise _Bnd()"
+            )
+            lin = itmp if lin == "0" else f"({lin}) * D_{decl.name}_{k} + {itmp}"
+        ltmp = self.tmp()
+        out.append(pad + f"{ltmp} = {lin}")
+        addr = ""
+        if self.trace:
+            atmp = self.tmp()
+            out.append(pad + f"{atmp} = OF_{mangled} + {ltmp} * SR_{mangled}")
+            addr = atmp
+        return plane, ltmp, addr
+
+    def _emit_access(self, addr: str, is_write: bool, out: list[str], ind: int) -> None:
+        """Inline the trace replay for one access (program order)."""
+        pad = "    " * ind
+        if not self.coalesce:
+            out.append(pad + f"_acc({addr}, {is_write})")
+            return
+        out.append(pad + f"_ad = {addr}")
+        out.append(pad + "_li = _ad // _LB")
+        out.append(pad + "if _li == _pl:")
+        out.append(pad + "    _px += 1")
+        if is_write:
+            out.append(pad + "    _pw = True")
+        out.append(pad + "else:")
+        out.append(pad + "    if _pl >= 0:")
+        out.append(pad + "        _acc(_pa, _pv)")
+        out.append(pad + "        if _px: _tch(_pa, _px, _pw)")
+        out.append(
+            pad + f"    _pl = _li; _pa = _ad; _pv = {is_write}; _px = 0; _pw = False"
+        )
+
+    # -- affine analysis ------------------------------------------------
+    def _affine(self, expr: Expr, var: str) -> tuple[str, str]:
+        """Decompose *expr* as ``a * var + b`` with loop-invariant a, b.
+
+        Coefficients are Python-int expressions over parameters, outer
+        loop variables, and integer constants.  Only ``i64`` nodes
+        qualify: the interpreter computes subscripts in wrapping numpy
+        arithmetic, and Python ints match it only while nothing wraps —
+        which holds for i64 index math on realistic shapes but not i32.
+        """
+        if isinstance(expr, Const):
+            if expr.dtype.is_float or expr.dtype.size != 8:
+                raise _NotAffine()
+            return "0", str(int(expr.value))
+        if isinstance(expr, VarRef):
+            if expr.name == var:
+                return "1", "0"
+            if any(l.var == expr.name for l in self._loops):
+                return "0", f"L_{expr.name}"
+            if expr.name not in self.scalar_types and expr.name in self.kernel.params:
+                return "0", f"P_{expr.name}"
+            raise _NotAffine()
+        if isinstance(expr, BinOp):
+            if expr.dtype.is_float or expr.dtype.size != 8:
+                raise _NotAffine()
+            if expr.kind in ("+", "-", "*"):
+                a1, b1 = self._affine(expr.lhs, var)
+                a2, b2 = self._affine(expr.rhs, var)
+                if expr.kind == "+":
+                    return _add(a1, a2), _add(b1, b2)
+                if expr.kind == "-":
+                    return _sub(a1, a2), _sub(b1, b2)
+                if a1 == "0":
+                    return _mul(b1, a2), _mul(b1, b2)
+                if a2 == "0":
+                    return _mul(a1, b2), _mul(b1, b2)
+                raise _NotAffine()  # var * var is not affine
+            if expr.kind in ("/", "//", "%", "min", "max"):
+                a1, b1 = self._affine(expr.lhs, var)
+                a2, b2 = self._affine(expr.rhs, var)
+                if a1 != "0" or a2 != "0":
+                    raise _NotAffine()  # only invariant subtrees fold
+                if expr.kind in ("/", "//"):
+                    return "0", f"({b1}) // ({b2})"
+                if expr.kind == "%":
+                    return "0", f"({b1}) % ({b2})"
+                return "0", f"{expr.kind}(({b1}), ({b2}))"
+            raise _NotAffine()  # pow: Python 2**-1 diverges from numpy
+        if isinstance(expr, UnOp):
+            if expr.dtype.is_float or expr.dtype.size != 8:
+                raise _NotAffine()
+            if expr.kind == "neg":
+                a, b = self._affine(expr.operand, var)
+                return _sub("0", a), _sub("0", b)
+            if expr.kind == "abs":
+                a, b = self._affine(expr.operand, var)
+                if a != "0":
+                    raise _NotAffine()
+                return "0", f"abs({b})"
+            if expr.kind == "cast":
+                return self._affine(expr.operand, var)
+        raise _NotAffine()
+
+    # -- loop extents ----------------------------------------------------
+    def emit_extent(self, expr: Expr) -> str:
+        """Pure Python-int expression mirroring ``eval_int_expr``."""
+        if isinstance(expr, Const):
+            if expr.dtype.is_float:
+                raise Unsupported("float constant in extent")
+            return str(int(expr.value))
+        if isinstance(expr, VarRef):
+            name = expr.name
+            if any(l.var == name for l in self._loops):
+                return f"L_{name}"
+            if name in self.scalar_types:
+                rt = self.scalar_types[name]
+                if rt is _PYINT or (
+                    isinstance(rt, np.dtype) and rt.kind in ("i", "u")
+                ):
+                    return f"int(S_{name})"
+                raise Unsupported(f"extent uses non-int temp {name!r}")
+            if name in self.kernel.params:
+                return f"P_{name}"
+            raise Unsupported(f"extent uses unbound name {name!r}")
+        if isinstance(expr, BinOp):
+            fmt = _EXTENT_BINOPS.get(expr.kind)
+            if fmt is None:
+                raise Unsupported(f"extent binop {expr.kind!r}")
+            return "(" + fmt.format(
+                l=self.emit_extent(expr.lhs), r=self.emit_extent(expr.rhs)
+            ) + ")"
+        if isinstance(expr, UnOp):
+            if expr.kind == "neg":
+                return f"(-({self.emit_extent(expr.operand)}))"
+            if expr.kind == "abs":
+                return f"abs({self.emit_extent(expr.operand)})"
+            if expr.kind == "cast" and not expr.dtype.is_float:
+                return self.emit_extent(expr.operand)
+            raise Unsupported(f"extent unop {expr.kind!r}")
+        if isinstance(expr, Select):
+            cond = self._emit_extent_bool(expr.cond)
+            t = self.emit_extent(expr.if_true)
+            f = self.emit_extent(expr.if_false)
+            return f"(({t}) if {cond} else ({f}))"
+        raise Unsupported(f"extent {type(expr).__name__}")
+
+    def _emit_extent_bool(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return str(bool(expr.value))
+        if isinstance(expr, Compare):
+            l = self.emit_extent(expr.lhs)
+            r = self.emit_extent(expr.rhs)
+            return f"(({l}) {expr.kind} ({r}))"
+        raise Unsupported(f"extent condition {type(expr).__name__}")
+
+    # -- scalar value emission -------------------------------------------
+    def ev(self, expr: Expr, out: list[str], ind: int) -> str:
+        """Emit *expr* in value context; may append prelude lines.
+
+        The returned expression evaluates to exactly the object
+        ``Interpreter._eval`` would return: numpy scalars for arithmetic,
+        Python ints for parameters, raw comparison results.
+        """
+        pad = "    " * ind
+        if isinstance(expr, Const):
+            return self._const(expr)
+        if isinstance(expr, VarRef):
+            name = expr.name
+            if any(l.var == name for l in self._loops):
+                return f"LV_{name}"
+            if name in self.scalar_types:
+                if self.scalar_types[name] is _POISON:
+                    raise Unsupported(f"temp {name!r} read after vectorized loop")
+                return f"S_{name}"
+            if name in self.kernel.params:
+                return f"P_{name}"
+            raise Unsupported(f"unbound variable {name!r}")
+        if isinstance(expr, Load):
+            decl = self._decl(expr.array)
+            plane, lin, addr = self._emit_site(
+                decl, expr.array_field, expr.index, out, ind
+            )
+            if not self.trace:
+                return f"{plane}[{lin}]"
+            # The interpreter counts + hooks before reading the element.
+            self._emit_access(addr, False, out, ind)
+            tmp = self.tmp()
+            out.append(pad + f"{tmp} = {plane}[{lin}]")
+            return tmp
+        if isinstance(expr, BinOp):
+            l = self.ev(expr.lhs, out, ind)
+            r = self.ev(expr.rhs, out, ind)
+            return _fmt_binop(expr.kind, self._tname(expr.dtype), l, r,
+                              expr.dtype.is_float)
+        if isinstance(expr, UnOp):
+            v = self.ev(expr.operand, out, ind)
+            return _fmt_unop(expr.kind, self._tname(expr.dtype), v)
+        if isinstance(expr, Compare):
+            l = self.ev(expr.lhs, out, ind)
+            r = self.ev(expr.rhs, out, ind)
+            return f"(({l}) {expr.kind} ({r}))"
+        if isinstance(expr, Logical):
+            bools = []
+            for op in expr.operands:  # all operands evaluate (no short-circuit)
+                code = self.ev(op, out, ind)
+                tmp = self.tmp()
+                out.append(pad + f"{tmp} = bool({code})")
+                bools.append(tmp)
+            if expr.kind == "not":
+                return f"_np_bool(not {bools[0]})"
+            return f"_np_bool({bools[0]} {expr.kind} {bools[1]})"
+        if isinstance(expr, Select):
+            cond = self.ev(expr.cond, out, ind)
+            ctmp = self.tmp()
+            out.append(pad + f"{ctmp} = bool({cond})")
+            ttmp = self.tmp()
+            out.append(pad + f"{ttmp} = {self.ev(expr.if_true, out, ind)}")
+            ftmp = self.tmp()
+            out.append(pad + f"{ftmp} = {self.ev(expr.if_false, out, ind)}")
+            return f"({ttmp} if {ctmp} else {ftmp})"
+        raise Unsupported(f"cannot compile {type(expr).__name__}")
+
+    def _runtime_dtype(self, expr: Expr):
+        """np.dtype the evaluated object will have, _PYINT, or None."""
+        if isinstance(expr, (BinOp, UnOp, Const, Load)):
+            return expr.dtype.numpy
+        if isinstance(expr, (Compare, Logical)):
+            return np.dtype(bool)
+        if isinstance(expr, VarRef):
+            if any(l.var == expr.name for l in self._loops):
+                return np.dtype(np.int64)
+            if expr.name in self.scalar_types:
+                rt = self.scalar_types[expr.name]
+                return None if rt is _POISON else rt
+            if expr.name in self.kernel.params:
+                return _PYINT
+            return None
+        if isinstance(expr, Select):
+            t = self._runtime_dtype(expr.if_true)
+            f = self._runtime_dtype(expr.if_false)
+            if t is not None and (t is f or t == f):
+                return t
+            return None
+        return None
+
+    # -- vectorized fast path --------------------------------------------
+    def _try_vectorize(self, stmt: For, ext: str, out: list[str], ind: int) -> bool:
+        """Emit *stmt* as whole-array numpy ops if provably exact.
+
+        In trace modes the compute block is followed by a pure-int replay
+        loop feeding the same per-iteration address sequence (loads in
+        evaluation order, then the store) into the hierarchy.  Decoupling
+        is exact: the cache counters are a function of the address stream
+        alone, every address here is affine in the induction variable, and
+        the stored values are those of the (exact) vectorized compute.
+        """
+        try:
+            vec = _Vectorizer(self, stmt, ext, ind + 1)
+            head, body = vec.emit()
+        except (_VecFail, _NotAffine):
+            return False
+        pad = "    " * ind
+        out.append(pad + f"if {ext} > 0:")
+        out.extend(head)
+        out.extend(body)
+        if self.trace:
+            pad1 = "    " * (ind + 1)
+            for site, mangled, _ in vec.access_order:
+                out.append(
+                    pad1 + f"_AD{site} = OF_{mangled} + _B{site} * SR_{mangled}"
+                )
+                out.append(pad1 + f"_AS{site} = _A{site} * SR_{mangled}")
+            var = stmt.var
+            out.append(pad1 + f"for L_{var} in range({ext}):")
+            for site, _, is_write in vec.access_order:
+                self._emit_access(
+                    f"_AD{site} + _AS{site} * L_{var}", is_write, out, ind + 2
+                )
+        self.vectorized_loops += 1
+        return True
+
+
+def _fmt_binop(kind: str, t: str, l: str, r: str, is_float: bool) -> str:
+    """Scalar binop, literally mirroring ``_apply_binop``."""
+    if kind in ("+", "-", "*"):
+        return f"{t}(({l}) {kind} ({r}))"
+    if kind == "/":
+        if is_float:
+            return f"{t}(({l}) / ({r}))"
+        return f"{t}(int({l}) // int({r}))"
+    if kind == "//":
+        return f"{t}(int({l}) // int({r}))"
+    if kind == "%":
+        return f"{t}(int({l}) % int({r}))"
+    if kind in ("min", "max"):
+        return f"{t}({kind}(({l}), ({r})))"
+    if kind == "pow":
+        return f"{t}(({l}) ** ({r}))"
+    raise Unsupported(f"binop {kind!r}")
+
+
+def _fmt_unop(kind: str, t: str, v: str) -> str:
+    """Scalar unop, literally mirroring ``_apply_unop``."""
+    if kind == "neg":
+        return f"{t}(-({v}))"
+    if kind == "abs":
+        return f"{t}(abs({v}))"
+    if kind == "rsqrt":
+        return f"{t}(1.0 / _sqrt({v}))"
+    if kind == "rcp":
+        return f"{t}(1.0 / ({v}))"
+    if kind == "erf":
+        return f"{t}(_erf(float({v})))"
+    if kind == "cast":
+        return f"{t}({v})"
+    fn = _UNOP_FNS.get(kind)
+    if fn is None:
+        raise Unsupported(f"unop {kind!r}")
+    return f"{t}({fn}({v}))"
+
+
+class _Vectorizer:
+    """Exact whole-array emission for one branch-free innermost loop.
+
+    Every lane of the vectorized execution must compute exactly what the
+    corresponding scalar iteration computes, and stores must be lanewise
+    independent.  Anything not provably so raises :class:`_VecFail` and
+    the caller falls back to the scalar loop (still compiled, still
+    exact — just element-at-a-time).
+    """
+
+    def __init__(self, gen: _Codegen, stmt: For, ext: str, ind: int):
+        self.g = gen
+        self.stmt = stmt
+        self.var = stmt.var
+        self.ext = ext
+        self.ind = ind
+        self.pad = "    " * ind
+        self.head: list[str] = []
+        self.body: list[str] = []
+        #: body-local vector temps -> np.dtype
+        self.vec_names: dict[str, np.dtype] = {}
+        #: every scalar name assigned anywhere in the body
+        self.assigned = {
+            s.name if isinstance(s, Decl) else s.target.name
+            for s in stmt.body
+            if isinstance(s, Decl)
+            or (isinstance(s, Assign) and isinstance(s.target, ScalarTarget))
+        }
+        #: names already bound by an earlier body statement
+        self.bound: set[str] = set()
+        #: (site id, mangled plane, is_write) per element access, in the
+        #: interpreter's per-iteration order (trace-mode replay loop).
+        self.access_order: list[tuple[int, str, bool]] = []
+        self._needs_ar = False
+        self._scalar_snapshot = dict(gen.scalar_types)
+
+    def emit(self) -> tuple[list[str], list[str]]:
+        try:
+            self._analyze()
+            for s in self.stmt.body:
+                self._emit_stmt(s)
+        except (_VecFail, _NotAffine):
+            self.g.scalar_types = self._scalar_snapshot
+            raise
+        if self._needs_ar:
+            self.head.insert(0, self.pad + f"_ar{self.g._loop_id} = _arange({self.ext})")
+        # The lane temps live on as arrays; the interpreter would keep the
+        # last iteration's scalar.  Poison them: any later read makes the
+        # whole kernel Unsupported (compile falls back to the interpreter).
+        for name in self.vec_names:
+            self.g.scalar_types[name] = _POISON
+        return self.head, self.body
+
+    # -- eligibility ----------------------------------------------------
+    def _analyze(self) -> None:
+        sigs: dict[tuple[str, str | None], set] = {}
+        stored: set[tuple[str, str | None]] = set()
+        for s in self.stmt.body:
+            if isinstance(s, Decl):
+                exprs = [s.init]
+            elif isinstance(s, Assign):
+                exprs = [s.value]
+                if isinstance(s.target, StoreTarget):
+                    decl = self.g._decl(s.target.array)
+                    key = (s.target.array, s.target.array_field)
+                    sig = self._site_sig(decl, s.target.index)
+                    if self._folded_a(decl, sig) == "0":
+                        raise _VecFail()  # invariant store: last-write order
+                    stored.add(key)
+                    sigs.setdefault(key, set()).add(sig)
+            else:
+                raise _VecFail()  # only straight-line Decl/Assign bodies
+        for s in self.stmt.body:
+            for expr in (
+                [s.init] if isinstance(s, Decl) else [s.value]
+            ):
+                for node in expr.walk():
+                    if isinstance(node, Load):
+                        decl = self.g._decl(node.array)
+                        key = (node.array, node.array_field)
+                        sig = self._site_sig(decl, node.index)
+                        sigs.setdefault(key, set()).add(sig)
+        # Lanewise independence: every access to a stored plane must use
+        # the same affine subscripts (lane i touches element of lane i
+        # only), and the linear coefficient must be nonzero (checked at
+        # runtime in the head for non-literal coefficients).
+        for key in stored:
+            if len(sigs[key]) != 1:
+                raise _VecFail()
+
+    def _site_sig(self, decl: ArrayDecl, subs: tuple[Expr, ...]):
+        if len(subs) != len(decl.shape):
+            raise Unsupported(
+                f"array {decl.name!r}: {len(subs)} subscripts for "
+                f"{len(decl.shape)} dims"
+            )
+        return tuple(self.g._affine(sub, self.var) for sub in subs)
+
+    def _folded_a(self, decl: ArrayDecl, sig) -> str:
+        a = "0"
+        for k, (ak, _) in enumerate(sig):
+            a = _add(a, _mul(ak, self.g._stride(decl, k)))
+        return a
+
+    def _folded_b(self, decl: ArrayDecl, sig) -> str:
+        b = "0"
+        for k, (_, bk) in enumerate(sig):
+            b = _add(b, _mul(bk, self.g._stride(decl, k)))
+        return b
+
+    # -- statements ------------------------------------------------------
+    def _emit_stmt(self, s: Stmt) -> None:
+        if isinstance(s, Decl) or (
+            isinstance(s, Assign) and isinstance(s.target, ScalarTarget)
+        ):
+            name = s.name if isinstance(s, Decl) else s.target.name
+            value = s.init if isinstance(s, Decl) else s.value
+            if not _NAME_RE.match(name) or name in self.g.kernel.params:
+                raise _VecFail()
+            code, kind = self.vemit(value)
+            if kind[0] == "vec":
+                if isinstance(value, Load):
+                    code = f"({code}).copy()"  # slices are views; snapshot
+                self.body.append(self.pad + f"SV_{name} = {code}")
+                self.vec_names[name] = kind[1]
+            else:
+                dt = kind[1] if kind[0] == "np" else _PYINT
+                self.body.append(self.pad + f"S_{name} = {code}")
+                self.g.scalar_types[name] = dt
+                self.vec_names.pop(name, None)
+            self.bound.add(name)
+            return
+        assert isinstance(s, Assign) and isinstance(s.target, StoreTarget)
+        decl = self.g._decl(s.target.array)
+        code, kind = self.vemit(s.value)
+        target = self._plane_index(decl, s.target.array_field, s.target.index,
+                                   guard_nonzero=True, is_write=True)
+        self.body.append(self.pad + f"{target} = {code}")
+
+    # -- loads / stores ---------------------------------------------------
+    def _plane_index(
+        self,
+        decl: ArrayDecl,
+        field: str | None,
+        subs: tuple[Expr, ...],
+        guard_nonzero: bool = False,
+        is_write: bool = False,
+    ) -> str:
+        """Hoist checks for one affine site; return its indexing expression."""
+        if (decl.fields and field is None) or (field is not None and not decl.fields):
+            raise Unsupported(f"array {decl.name!r}: field mismatch")
+        if field is not None and field not in decl.fields:
+            raise Unsupported(f"array {decl.name!r}: no field {field!r}")
+        plane = self.g._plane_name((decl.name, field))
+        sig = self._site_sig(decl, subs)
+        self.g._site += 1
+        n = self.g._site
+        self.access_order.append((n, plane[2:], is_write))
+        for k, (a, b) in enumerate(sig):
+            self.head.append(
+                self.pad + f"_ckaff({a}, {b}, {self.ext}, D_{decl.name}_{k})"
+            )
+        a = self._folded_a(decl, sig)
+        b = self._folded_b(decl, sig)
+        self.head.append(self.pad + f"_A{n} = {a}")
+        self.head.append(self.pad + f"_B{n} = {b}")
+        if guard_nonzero and a != "1":
+            self.head.append(self.pad + f"if _A{n} == 0: raise _Bnd()")
+        if a == "1":
+            return f"{plane}[_B{n}:_B{n} + {self.ext}]"
+        if a == "0":
+            return f"{plane}[_B{n}]"
+        self._needs_ar = True
+        return f"{plane}[_B{n} + _A{n} * _ar{self.g._loop_id}]"
+
+    # -- expressions -------------------------------------------------------
+    def _is_invariant(self, expr: Expr) -> bool:
+        for node in expr.walk():
+            if isinstance(node, Load):
+                return False
+            if isinstance(node, VarRef):
+                if node.name == self.var:
+                    return False
+                if node.name in self.assigned:
+                    return False
+        return True
+
+    def vemit(self, expr: Expr) -> tuple[str, tuple]:
+        """Emit in vector context; returns (code, kind).
+
+        kind is ``("vec", np.dtype)``, ``("np", np.dtype)`` or
+        ``("pyint",)``.  Loop-invariant subtrees delegate to the scalar
+        emitter (evaluated once, in the head) — their value is identical
+        on every iteration and loads never qualify as invariant.
+        """
+        if self._is_invariant(expr):
+            code = self.g.ev(expr, self.head, self.ind)
+            rt = self.g._runtime_dtype(expr)
+            if rt is _PYINT:
+                return code, ("pyint",)
+            if isinstance(rt, np.dtype):
+                if not code.isidentifier():
+                    tmp = self.g.tmp()
+                    self.head.append(self.pad + f"{tmp} = {code}")
+                    code = tmp
+                return code, ("np", rt)
+            raise _VecFail()  # unknown runtime dtype
+        if isinstance(expr, VarRef):
+            if expr.name == self.var:
+                self._needs_ar = True
+                return f"_ar{self.g._loop_id}", ("vec", np.dtype(np.int64))
+            if expr.name in self.vec_names:
+                return f"SV_{expr.name}", ("vec", self.vec_names[expr.name])
+            if expr.name in self.bound:  # scalar-kind body local
+                return f"S_{expr.name}", self._scalar_kind(expr.name)
+            raise _VecFail()  # read of a body-assigned name before binding
+        if isinstance(expr, Load):
+            decl = self.g._decl(expr.array)
+            code = self._plane_index(decl, expr.array_field, expr.index)
+            if code.endswith(f"]") and "[_B" in code and ":" not in code and "_ar" not in code:
+                return code, ("np", expr.dtype.numpy)  # invariant element
+            return code, ("vec", expr.dtype.numpy)
+        if isinstance(expr, BinOp):
+            return self._vec_binop(expr)
+        if isinstance(expr, UnOp):
+            return self._vec_unop(expr)
+        if isinstance(expr, Compare):
+            l, kl = self.vemit(expr.lhs)
+            r, kr = self.vemit(expr.rhs)
+            kind = ("vec", np.dtype(bool)) if "vec" in (kl[0], kr[0]) else ("np", np.dtype(bool))
+            return f"(({l}) {expr.kind} ({r}))", kind
+        if isinstance(expr, Logical):
+            parts = [self.vemit(op) for op in expr.operands]
+            if not any(k[0] == "vec" for _, k in parts):
+                raise _VecFail()  # scalar logicals go through bool(); rare
+            if expr.kind == "not":
+                return f"(~({parts[0][0]}))", ("vec", np.dtype(bool))
+            sym = "&" if expr.kind == "and" else "|"
+            return (
+                f"(({parts[0][0]}) {sym} ({parts[1][0]}))",
+                ("vec", np.dtype(bool)),
+            )
+        if isinstance(expr, Select):
+            c, kc = self.vemit(expr.cond)
+            t, kt = self.vemit(expr.if_true)
+            f, kf = self.vemit(expr.if_false)
+            if kt[0] == "pyint" or kf[0] == "pyint":
+                raise _VecFail()  # per-lane weak promotion is unknowable
+            promo = self._promo([kt, kf])
+            code = f"_where(({c}), ({t}), ({f}))"
+            return self._cast(code, promo, expr.dtype), (
+                "vec",
+                expr.dtype.numpy,
+            )
+        raise _VecFail()
+
+    def _scalar_kind(self, name: str) -> tuple:
+        rt = self.g.scalar_types.get(name)
+        if rt is _PYINT:
+            return ("pyint",)
+        if isinstance(rt, np.dtype):
+            return ("np", rt)
+        raise _VecFail()
+
+    def _promo(self, kinds) -> np.dtype:
+        """Result dtype of a numpy elementwise op over these operands."""
+        np_dts = [k[1] for k in kinds if k[0] in ("np", "vec")]
+        if not np_dts:
+            raise _VecFail()
+        result = np.result_type(*np_dts)
+        if any(k[0] == "pyint" for k in kinds) and result == np.dtype(bool):
+            raise _VecFail()  # pyint+bool promotion is value-dependent
+        return result
+
+    def _cast(self, code: str, promo: np.dtype, dtype: DType) -> str:
+        """Append ``astype`` iff the op's natural dtype differs from the
+        IR node dtype (the scalar path's wrap is an identity otherwise)."""
+        if promo == dtype.numpy:
+            return code
+        return f"({code}).astype({self.g._dtname(dtype.numpy)})"
+
+    def _vec_binop(self, expr: BinOp) -> tuple[str, tuple]:
+        l, kl = self.vemit(expr.lhs)
+        r, kr = self.vemit(expr.rhs)
+        if "vec" not in (kl[0], kr[0]):
+            # Non-invariant but scalar-valued (e.g. combines two invariant
+            # element loads): mirror the interpreter's scalar arithmetic.
+            code = _fmt_binop(expr.kind, self.g._tname(expr.dtype), l, r,
+                              expr.dtype.is_float)
+            return code, ("np", expr.dtype.numpy)
+        kind = expr.kind
+        if kind in ("+", "-", "*"):
+            promo = self._promo([kl, kr])
+            code = f"(({l}) {kind} ({r}))"
+            return self._cast(code, promo, expr.dtype), ("vec", expr.dtype.numpy)
+        if kind == "/":
+            if not expr.dtype.is_float:
+                raise _VecFail()  # per-element int(x) // int(y)
+            promo = self._promo([kl, kr])
+            if promo.kind in ("i", "u", "b"):
+                promo = np.dtype(np.float64)  # true_divide of integers
+            code = f"(({l}) / ({r}))"
+            return self._cast(code, promo, expr.dtype), ("vec", expr.dtype.numpy)
+        if kind in ("//", "%"):
+            raise _VecFail()
+        if kind in ("min", "max"):
+            ta, tb = self.g.tmp(), self.g.tmp()
+            self.body.append(self.pad + f"{ta} = {l}")
+            self.body.append(self.pad + f"{tb} = {r}")
+            cmp = "<" if kind == "min" else ">"
+            promo = self._promo([kl, kr])
+            code = f"_where({tb} {cmp} {ta}, {tb}, {ta})"
+            return self._cast(code, promo, expr.dtype), ("vec", expr.dtype.numpy)
+        if kind == "pow":
+            if not expr.dtype.is_float:
+                raise _VecFail()  # negative int exponents diverge
+            promo = self._promo([kl, kr])
+            code = f"(({l}) ** ({r}))"
+            return self._cast(code, promo, expr.dtype), ("vec", expr.dtype.numpy)
+        raise _VecFail()
+
+    def _vec_unop(self, expr: UnOp) -> tuple[str, tuple]:
+        v, kv = self.vemit(expr.operand)
+        if kv[0] != "vec":
+            code = _fmt_unop(expr.kind, self.g._tname(expr.dtype), v)
+            return code, ("np", expr.dtype.numpy)
+        operand_dt = kv[1]
+        kind = expr.kind
+        if kind == "neg":
+            return self._cast(f"(-({v}))", operand_dt, expr.dtype), (
+                "vec", expr.dtype.numpy)
+        if kind == "abs":
+            return self._cast(f"abs({v})", operand_dt, expr.dtype), (
+                "vec", expr.dtype.numpy)
+        if kind == "cast":
+            return self._cast(f"({v})", operand_dt, expr.dtype), (
+                "vec", expr.dtype.numpy)
+        if operand_dt.kind != "f":
+            raise _VecFail()  # integer transcendentals promote weirdly
+        if kind in _UNOP_FNS:
+            code = f"{_UNOP_FNS[kind]}({v})"
+            return self._cast(code, operand_dt, expr.dtype), (
+                "vec", expr.dtype.numpy)
+        if kind == "rsqrt":
+            code = f"(1.0 / _sqrt({v}))"
+            return self._cast(code, operand_dt, expr.dtype), (
+                "vec", expr.dtype.numpy)
+        if kind == "rcp":
+            code = f"(1.0 / ({v}))"
+            return self._cast(code, operand_dt, expr.dtype), (
+                "vec", expr.dtype.numpy)
+        raise _VecFail()  # erf has no ufunc; element loop only
+
+
+# -- compile cache -------------------------------------------------------
+_CACHE: OrderedDict[tuple[Kernel, str], CompiledKernel | None] = OrderedDict()
+
+
+def get_compiled(kernel: Kernel, mode: str) -> CompiledKernel | None:
+    """Compile (or fetch) the generated function for (kernel, mode).
+
+    Returns None when the kernel is unsupported; the result — including
+    the None — is cached, so repeated runs of one kernel pay compilation
+    once per process.
+    """
+    key = (kernel, mode)
+    if key in _CACHE:
+        _CACHE.move_to_end(key)
+        return _CACHE[key]
+    with span("jit.compile", kernel=kernel.name, mode=mode):
+        try:
+            compiled: CompiledKernel | None = _Codegen(kernel, mode).compile()
+            add_counter("jit.compiles")
+        except Unsupported:
+            compiled = None
+            add_counter("jit.unsupported")
+    _CACHE[key] = compiled
+    while len(_CACHE) > _CACHE_CAP:
+        _CACHE.popitem(last=False)
+    return compiled
+
+
+def clear_code_cache() -> None:
+    """Drop every cached compilation (tests)."""
+    _CACHE.clear()

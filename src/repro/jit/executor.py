@@ -1,0 +1,203 @@
+"""Runtime entry points for generated-code execution.
+
+The executor decides, per call, whether a kernel runs through generated
+code or the tree-walking interpreter, and guarantees the decision is
+unobservable apart from speed:
+
+* Outputs, :class:`InterpStats`, trace access streams, numeric-policy
+  behaviour, and every error are identical (docs/MODEL.md).
+* Any fault inside generated code — step budget, out-of-bounds index,
+  arithmetic fault, or an internal inconsistency — triggers a full
+  rollback: array storage is restored from a pre-run snapshot and the
+  caller re-runs the interpreter, which reproduces the canonical
+  behaviour (e.g. a :class:`NumericFaultError` with kernel/op/operands/
+  statement/loop-index context, or the warn-policy's contextual warning).
+
+Opt-out: set ``REPRO_NO_JIT=1`` in the environment, or use the
+:func:`no_jit` context manager for one scope.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir.evaluate import eval_int_expr
+from repro.ir.interp import ArrayStorage, Interpreter, InterpStats
+from repro.ir.kernel import Kernel
+from repro.jit.codegen import BoundsFault, BudgetExceeded, get_compiled
+from repro.observability.tracer import add_counter, span
+
+__all__ = ["jit_enabled", "no_jit", "try_run_jit", "try_trace_jit"]
+
+#: Every fault generated code may raise where the interpreter defines the
+#: canonical behaviour.  ``ArithmeticError`` covers FloatingPointError,
+#: ZeroDivisionError, and OverflowError; the name/index/type/key errors
+#: cover conditionally-bound temps and internal inconsistencies.  A fault
+#: here is never an answer — it means "roll back and re-run interpreted".
+#: Deliberately absent: ValueError (numpy integer negative-pow raises it
+#: identically on both paths, so it propagates raw).
+_FALLBACK_EXCEPTIONS = (
+    BudgetExceeded,
+    BoundsFault,
+    ArithmeticError,
+    NameError,
+    UnboundLocalError,
+    IndexError,
+    TypeError,
+    KeyError,
+)
+
+_disabled_depth = 0
+
+
+def jit_enabled() -> bool:
+    """True when generated-code execution is currently allowed."""
+    return _disabled_depth == 0 and os.environ.get("REPRO_NO_JIT") != "1"
+
+
+@contextmanager
+def no_jit():
+    """Force the interpreter within this scope (tests, cross-validation)."""
+    global _disabled_depth
+    _disabled_depth += 1
+    try:
+        yield
+    finally:
+        _disabled_depth -= 1
+
+
+def _flat_planes(
+    interp: Interpreter,
+) -> dict[tuple[str, str | None], np.ndarray] | None:
+    """The interpreter's cached 1-D plane views, or None if any plane is
+    not viewable (generated stores through a reshape copy would be lost)."""
+    flats = interp._flats
+    if any(flat is None for flat in flats.values()):
+        return None
+    return flats
+
+
+def _dims(interp: Interpreter) -> dict[str, tuple[int, ...]]:
+    return {
+        decl.name: tuple(
+            eval_int_expr(dim, interp.params) for dim in decl.shape
+        )
+        for decl in interp.kernel.arrays
+    }
+
+
+def _snapshot(
+    flats: Mapping[tuple[str, str | None], np.ndarray]
+) -> dict[tuple[str, str | None], np.ndarray]:
+    return {key: plane.copy() for key, plane in flats.items()}
+
+
+def _restore(
+    flats: Mapping[tuple[str, str | None], np.ndarray],
+    snapshot: Mapping[tuple[str, str | None], np.ndarray],
+) -> None:
+    for key, plane in flats.items():
+        np.copyto(plane, snapshot[key])
+
+
+def _errstate(interp: Interpreter):
+    # Mirrors Interpreter.run: underflow stays at numpy's default.
+    state = "ignore" if interp.numeric == "ignore" else "raise"
+    return np.errstate(divide=state, invalid=state, over=state)
+
+
+def try_run_jit(interp: Interpreter) -> InterpStats | None:
+    """Run *interp*'s kernel through generated code if possible.
+
+    Returns the stats (also assigned to ``interp.stats``) on success, or
+    None when the kernel must go through the interpreter — either because
+    generated execution is unsupported/disabled, or because it faulted
+    and rolled back.
+    """
+    if not jit_enabled():
+        return None
+    compiled = get_compiled(interp.kernel, "run")
+    if compiled is None:
+        return None
+    flats = _flat_planes(interp)
+    if flats is None:
+        return None
+    params = {name: int(value) for name, value in interp.params.items()}
+    snapshot = _snapshot(flats)
+    try:
+        with span("jit.exec", kernel=interp.kernel.name, mode="run"):
+            with _errstate(interp):
+                n, ld, st = compiled.fn(
+                    flats, _dims(interp), params, interp.max_statements
+                )
+    except _FALLBACK_EXCEPTIONS:
+        _restore(flats, snapshot)
+        add_counter("jit.fallbacks")
+        return None
+    add_counter("jit.runs")
+    interp.stats = InterpStats(statements=n, loads=ld, stores=st)
+    return interp.stats
+
+
+def try_trace_jit(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: ArrayStorage,
+    hierarchy,
+    address_map,
+    max_statements: int,
+    coalesce: bool,
+) -> int | None:
+    """Run the traced replay through generated code if possible.
+
+    On success the access stream has been fed into *hierarchy* (flushed)
+    and the access count is returned.  On None the caller must rebuild
+    the hierarchy (a faulted partial replay pollutes its counters) and
+    take the interpreter path.
+    """
+    if not jit_enabled():
+        return None
+    mode = "trace" if coalesce and hierarchy.levels else "trace_raw"
+    compiled = get_compiled(kernel, mode)
+    if compiled is None:
+        return None
+    # Construction validates parameter/storage bindings, raising the
+    # canonical SimulationError before any generated code runs.
+    interp = Interpreter(kernel, params, arrays, None, max_statements)
+    flats = _flat_planes(interp)
+    if flats is None:
+        return None
+    aff = {
+        key: address_map.resolver(*key) for key in compiled.plane_keys
+    }
+    if mode == "trace":
+        level1 = hierarchy.levels[0]
+        touch, line_bytes = level1.touch_mru, level1.spec.line_bytes
+    else:
+        touch, line_bytes = None, 1
+    int_params = {name: int(value) for name, value in interp.params.items()}
+    snapshot = _snapshot(flats)
+    try:
+        with span("jit.exec", kernel=kernel.name, mode=mode):
+            with _errstate(interp):
+                _, ld, st = compiled.fn(
+                    flats,
+                    _dims(interp),
+                    int_params,
+                    max_statements,
+                    aff,
+                    hierarchy.access,
+                    touch,
+                    line_bytes,
+                )
+    except _FALLBACK_EXCEPTIONS:
+        _restore(flats, snapshot)
+        add_counter("jit.fallbacks")
+        return None
+    add_counter("jit.traces")
+    hierarchy.flush()
+    return ld + st

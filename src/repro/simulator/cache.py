@@ -30,11 +30,6 @@ class CacheStats:
         """Fraction of accesses that missed."""
         return self.misses / self.accesses if self.accesses else 0.0
 
-    @property
-    def miss_bytes(self) -> int:
-        """Bytes fetched from the next level (excluding writebacks)."""
-        return 0  # overridden via Cache.miss_traffic_bytes
-
 
 class Cache:
     """One set-associative, LRU, write-back, write-allocate cache."""

@@ -139,61 +139,81 @@ def trace_kernel(
     access-at-a-time replay (the cross-validation suite checks this on
     every registered kernel); only the Python work per unit-stride access
     shrinks.
+
+    When the IR→Python specializing compiler supports the kernel (see
+    :mod:`repro.jit`), the whole replay — interpretation, address
+    resolution, and coalescing — runs as one generated function with
+    identical counters; ``REPRO_NO_JIT=1`` forces the interpreter path.
     """
     with span("trace", kernel=kernel.name, machine=machine.name):
         with span("trace.layout"):
             address_map = AddressMap(kernel, params)
             hierarchy = CacheHierarchy(machine)
-        count = 0
 
-        if coalesce and hierarchy.levels:
-            line_bytes = hierarchy.levels[0].spec.line_bytes
-            level1 = hierarchy.levels[0]
-            resolve = address_map.address
-            # Pending run state: line id, its first address/write flag, and
-            # the count / write-OR of the follow-on same-line accesses.
-            pending = None  # (line, first_address, first_write, extra, rest_write)
-
-            def on_access(
-                array: str, array_field: str | None, linear: int, is_write: bool
-            ):
-                nonlocal count, pending
-                count += 1
-                address = resolve(array, array_field, linear)
-                line = address // line_bytes
-                if pending is not None:
-                    if line == pending[0]:
-                        pending[3] += 1
-                        pending[4] = pending[4] or is_write
-                        return
-                    hierarchy.access(pending[1], pending[2])
-                    if pending[3]:
-                        level1.touch_mru(pending[1], pending[3], pending[4])
-                pending = [line, address, is_write, 0, False]
-
-            def drain() -> None:
-                nonlocal pending
-                if pending is not None:
-                    hierarchy.access(pending[1], pending[2])
-                    if pending[3]:
-                        level1.touch_mru(pending[1], pending[3], pending[4])
-                    pending = None
-
-        else:
-
-            def on_access(
-                array: str, array_field: str | None, linear: int, is_write: bool
-            ):
-                nonlocal count
-                count += 1
-                hierarchy.access(
-                    address_map.address(array, array_field, linear), is_write
-                )
-
-            def drain() -> None:
-                return None
+        from repro.jit.executor import try_trace_jit  # lazy: avoids a cycle
 
         with span("trace.replay"):
+            accesses = try_trace_jit(
+                kernel, params, arrays, hierarchy, address_map,
+                max_statements, coalesce,
+            )
+            if accesses is not None:
+                return TraceResult(hierarchy=hierarchy, accesses=accesses)
+            # Generated replay unavailable (unsupported kernel,
+            # REPRO_NO_JIT=1, non-viewable storage) or rolled back on a
+            # fault; a partial replay has already touched the counters,
+            # so rebuild the hierarchy and interpret.
+            hierarchy = CacheHierarchy(machine)
+            count = 0
+
+            if coalesce and hierarchy.levels:
+                line_bytes = hierarchy.levels[0].spec.line_bytes
+                level1 = hierarchy.levels[0]
+                resolve = address_map.address
+                # Pending run state: line id, its first address/write flag,
+                # and the count / write-OR of the follow-on same-line
+                # accesses.
+                pending = None  # (line, first_addr, first_write, extra, rest_write)
+
+                def on_access(
+                    array: str, array_field: str | None, linear: int, is_write: bool
+                ):
+                    nonlocal count, pending
+                    count += 1
+                    address = resolve(array, array_field, linear)
+                    line = address // line_bytes
+                    if pending is not None:
+                        if line == pending[0]:
+                            pending[3] += 1
+                            pending[4] = pending[4] or is_write
+                            return
+                        hierarchy.access(pending[1], pending[2])
+                        if pending[3]:
+                            level1.touch_mru(pending[1], pending[3], pending[4])
+                    pending = [line, address, is_write, 0, False]
+
+                def drain() -> None:
+                    nonlocal pending
+                    if pending is not None:
+                        hierarchy.access(pending[1], pending[2])
+                        if pending[3]:
+                            level1.touch_mru(pending[1], pending[3], pending[4])
+                        pending = None
+
+            else:
+
+                def on_access(
+                    array: str, array_field: str | None, linear: int, is_write: bool
+                ):
+                    nonlocal count
+                    count += 1
+                    hierarchy.access(
+                        address_map.address(array, array_field, linear), is_write
+                    )
+
+                def drain() -> None:
+                    return None
+
             run_kernel(kernel, params, arrays, on_access, max_statements)
             drain()
             hierarchy.flush()

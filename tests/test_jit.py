@@ -1,0 +1,375 @@
+"""Cross-validation of the IR→Python specializing compiler.
+
+Generated-code execution must be unobservable apart from speed: every
+test here runs a kernel both ways — through the compiled function and
+through the tree-walking interpreter (``no_jit()``) — and requires
+byte-identical outputs, equal ``InterpStats``, identical cache counters
+at every level, and identical faults, warnings, and error context.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NumericFaultError, SimulationError
+from repro.ir import F32, F64, I64, KernelBuilder
+from repro.ir.interp import Interpreter, run_kernel, zeros_for
+from repro.jit import (
+    clear_code_cache,
+    get_compiled,
+    jit_enabled,
+    no_jit,
+    try_run_jit,
+)
+from repro.kernels.registry import BENCHMARK_CLASSES, all_benchmarks, get_benchmark
+from repro.machines import CORE_I7_X980
+from repro.observability.tracer import tracing
+from repro.robustness.numeric import NumericFaultWarning, numeric_policy
+from repro.simulator.trace import trace_kernel
+
+from tests.test_property_crossvalidation import (
+    _assert_trace_counters_equal,
+    random_affine_kernel,
+)
+
+VARIANTS = ("naive", "optimized", "ninja")
+
+
+def _assert_storage_equal(expected, actual, context) -> None:
+    assert set(expected) == set(actual), context
+    for name in expected:
+        a, b = expected[name], actual[name]
+        if isinstance(a, dict):
+            for array_field in a:
+                np.testing.assert_array_equal(
+                    a[array_field], b[array_field],
+                    err_msg=f"{context}: {name}.{array_field}",
+                )
+        else:
+            np.testing.assert_array_equal(a, b, err_msg=f"{context}: {name}")
+
+
+def _run_both(kernel, params, make_storage, **kwargs):
+    """(interpreted storage+stats, generated storage+stats) for one run."""
+    slow = make_storage()
+    with no_jit():
+        slow_stats = run_kernel(kernel, params, slow, **kwargs)
+    fast = make_storage()
+    with tracing() as tracer:
+        fast_stats = run_kernel(kernel, params, fast, **kwargs)
+    # Under REPRO_NO_JIT=1 (the CI parity leg) both runs interpret; the
+    # comparisons below still hold, only the non-vacuousness check moves.
+    if jit_enabled():
+        assert tracer.counters.get("jit.runs") == 1, (
+            "kernel unexpectedly fell back to the interpreter: "
+            f"{kernel.name}: {tracer.counters.as_dict()}"
+        )
+        assert tracer.counters.get("jit.fallbacks") == 0
+    return (slow, slow_stats), (fast, fast_stats)
+
+
+class TestRunParity:
+    """run_kernel: generated execution ≡ interpretation, bit for bit."""
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_registered_kernels(self, bench, variant):
+        params = bench.test_params()
+        rng = np.random.default_rng(20120609)
+        problem = bench.make_problem(params, rng)
+        for phase in bench.phases(variant, params):
+            (slow, s1), (fast, s2) = _run_both(
+                phase.kernel, phase.params,
+                lambda: bench.bind(variant, problem, dict(params)),
+            )
+            assert s1 == s2, phase.kernel.name
+            _assert_storage_equal(slow, fast, phase.kernel.name)
+
+    @pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+    def test_functional_outputs_identical(self, bench):
+        """The full functional harness (multi-phase, repeated passes)
+        produces byte-identical canonical outputs under both executors."""
+        with no_jit():
+            slow, _ = bench.run_functional("optimized")
+        fast, _ = bench.run_functional("optimized")
+        np.testing.assert_array_equal(slow, fast)
+
+    @given(random_affine_kernel())
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_kernels(self, case):
+        kernel, params = case
+
+        def make_storage():
+            storage = zeros_for(kernel, params)
+            storage["src"] += 1.0
+            return storage
+
+        (slow, s1), (fast, s2) = _run_both(kernel, params, make_storage)
+        assert s1 == s2
+        _assert_storage_equal(slow, fast, kernel.name)
+
+    def test_registered_kernels_actually_compile(self):
+        """Guards the parity suite against becoming vacuous: every
+        registered kernel must be supported by the code generator."""
+        for bench in all_benchmarks():
+            for variant in VARIANTS:
+                for phase in bench.phases(variant, bench.test_params()):
+                    for mode in ("run", "trace", "trace_raw"):
+                        assert get_compiled(phase.kernel, mode) is not None, (
+                            bench.name, variant, phase.kernel.name, mode,
+                        )
+
+
+class TestTraceParity:
+    """trace_kernel: identical cache counters at every level."""
+
+    @pytest.mark.parametrize(
+        "bench_name", [cls.name for cls in BENCHMARK_CLASSES]
+    )
+    @pytest.mark.parametrize("coalesce", [True, False], ids=["coalesced", "raw"])
+    def test_registered_kernels(self, bench_name, coalesce):
+        bench = get_benchmark(bench_name)
+        params = bench.test_params()
+        for variant in VARIANTS:
+            for phase in bench.phases(variant, params):
+                storage_slow = bench.trace_storage(phase)
+                with no_jit():
+                    slow = trace_kernel(
+                        phase.kernel, phase.params, storage_slow,
+                        CORE_I7_X980, coalesce=coalesce,
+                    )
+                storage_fast = bench.trace_storage(phase)
+                with tracing() as tracer:
+                    fast = trace_kernel(
+                        phase.kernel, phase.params, storage_fast,
+                        CORE_I7_X980, coalesce=coalesce,
+                    )
+                if jit_enabled():
+                    assert tracer.counters.get("jit.traces") == 1, (
+                        phase.kernel.name, tracer.counters.as_dict(),
+                    )
+                context = (phase.kernel.name, variant, coalesce)
+                _assert_trace_counters_equal(slow, fast, context)
+                _assert_storage_equal(storage_slow, storage_fast, context)
+
+    @pytest.mark.parametrize("coalesce", [True, False], ids=["coalesced", "raw"])
+    @given(random_affine_kernel())
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_kernels(self, coalesce, case):
+        kernel, params = case
+        storage_slow = zeros_for(kernel, params)
+        with no_jit():
+            slow = trace_kernel(
+                kernel, params, storage_slow, CORE_I7_X980, coalesce=coalesce
+            )
+        storage_fast = zeros_for(kernel, params)
+        fast = trace_kernel(
+            kernel, params, storage_fast, CORE_I7_X980, coalesce=coalesce
+        )
+        _assert_trace_counters_equal(slow, fast, params)
+        _assert_storage_equal(storage_slow, storage_fast, params)
+
+
+def _ratio_kernel(dtype, op="/"):
+    builder = KernelBuilder("ratio")
+    n = builder.param("n")
+    num = builder.array("num", dtype, (n,))
+    den = builder.array("den", dtype, (n,))
+    out = builder.array("out", dtype, (n,))
+    with builder.loop("i", n) as i:
+        if op == "/":
+            builder.assign(out[i], num[i] / den[i])
+        else:
+            builder.assign(out[i], num[i] // den[i])
+    return builder.build()
+
+
+def _ratio_storage(dtype, num, den):
+    return {
+        "num": np.full(4, num, dtype=dtype.numpy),
+        "den": np.full(4, den, dtype=dtype.numpy),
+        "out": np.zeros(4, dtype=dtype.numpy),
+    }
+
+
+class TestFaultParity:
+    """Faults must be indistinguishable: same exception type, message,
+    and context fields, with storage unchanged by the rolled-back
+    generated attempt."""
+
+    def _fault_both(self, kernel, params, make_storage, numeric):
+        def one(path):
+            storage = make_storage()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                try:
+                    if path == "jit":
+                        run_kernel(kernel, params, storage, numeric=numeric)
+                    else:
+                        with no_jit():
+                            run_kernel(kernel, params, storage, numeric=numeric)
+                    outcome = "ok"
+                except NumericFaultError as exc:
+                    outcome = (
+                        str(exc), exc.kernel, exc.op, exc.statement, exc.indices
+                    )
+            return outcome, [str(w.message) for w in caught], storage
+        slow_outcome, slow_warnings, slow = one("interp")
+        fast_outcome, fast_warnings, fast = one("jit")
+        assert slow_outcome == fast_outcome
+        assert slow_warnings == fast_warnings
+        for name in slow:
+            np.testing.assert_array_equal(slow[name], fast[name])
+        return slow_outcome
+
+    @pytest.mark.parametrize("policy", ["raise", "warn", "ignore"])
+    def test_float_divide_by_zero(self, policy):
+        outcome = self._fault_both(
+            _ratio_kernel(F32), {"n": 4},
+            lambda: _ratio_storage(F32, 1.0, 0.0), policy,
+        )
+        if policy == "raise":
+            assert outcome[1:] == ("ratio", "/", 2, {"i": 0})
+
+    @pytest.mark.parametrize("policy", ["raise", "warn", "ignore"])
+    def test_integer_divide_by_zero_always_raises(self, policy):
+        outcome = self._fault_both(
+            _ratio_kernel(I64, op="//"), {"n": 4},
+            lambda: _ratio_storage(I64, 1, 0), policy,
+        )
+        assert outcome != "ok"
+        assert outcome[2] == "//"
+
+    def test_lbm_zero_storage_context_parity(self):
+        """The PR 4 regression fixture: full NumericFaultError context."""
+        bench = get_benchmark("lbm")
+        phase = bench.phases("naive", bench.test_params())[0]
+        def one(jit: bool):
+            storage = zeros_for(phase.kernel, phase.params)
+            try:
+                if jit:
+                    run_kernel(
+                        phase.kernel, phase.params, storage, numeric="raise"
+                    )
+                else:
+                    with no_jit():
+                        run_kernel(
+                            phase.kernel, phase.params, storage,
+                            numeric="raise",
+                        )
+            except NumericFaultError as exc:
+                return (str(exc), exc.kernel, exc.op, exc.statement, exc.indices)
+            raise AssertionError("lbm on zeros must fault")
+        assert one(jit=False) == one(jit=True)
+
+    def test_warn_policy_stream_identical(self):
+        """Same warning messages in the same order, once per site."""
+        bench = get_benchmark("lbm")
+        phase = bench.phases("naive", bench.test_params())[0]
+        def one(jit: bool):
+            storage = zeros_for(phase.kernel, phase.params)
+            with numeric_policy("warn"), warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                if jit:
+                    run_kernel(phase.kernel, phase.params, storage)
+                else:
+                    with no_jit():
+                        run_kernel(phase.kernel, phase.params, storage)
+            assert all(
+                issubclass(w.category, NumericFaultWarning) for w in caught
+            )
+            return [str(w.message) for w in caught], storage
+        slow_warnings, slow = one(jit=False)
+        fast_warnings, fast = one(jit=True)
+        assert slow_warnings == fast_warnings
+        assert len(slow_warnings) > 0
+        _assert_storage_equal(slow, fast, "lbm warn")
+
+    def test_fault_rolls_back_and_counts(self):
+        """A generated-code fault restores storage before the interpreter
+        reruns, and is visible as a jit.fallbacks counter."""
+        kernel = _ratio_kernel(F32)
+        storage = _ratio_storage(F32, 1.0, 0.0)
+        interp = Interpreter(kernel, {"n": 4}, storage, numeric="raise")
+        with tracing() as tracer:
+            assert try_run_jit(interp) is None
+        expected_fallbacks = 1 if jit_enabled() else 0
+        assert tracer.counters.get("jit.fallbacks") == expected_fallbacks
+        np.testing.assert_array_equal(storage["out"], np.zeros(4, np.float32))
+
+    def test_step_budget_message_identical(self):
+        kernel = _ratio_kernel(F32)
+        storage = lambda: _ratio_storage(F32, 1.0, 2.0)
+        def one(jit: bool):
+            with pytest.raises(SimulationError) as info:
+                if jit:
+                    run_kernel(kernel, {"n": 4}, storage(), max_statements=3)
+                else:
+                    with no_jit():
+                        run_kernel(
+                            kernel, {"n": 4}, storage(), max_statements=3
+                        )
+            return str(info.value)
+        assert one(jit=False) == one(jit=True)
+
+
+class TestKnobs:
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        assert not jit_enabled()
+        kernel = _ratio_kernel(F32)
+        storage = _ratio_storage(F32, 1.0, 2.0)
+        with tracing() as tracer:
+            run_kernel(kernel, {"n": 4}, storage)
+        assert tracer.counters.get("jit.runs") == 0
+
+    def test_no_jit_nests(self):
+        ambient = jit_enabled()  # False under the REPRO_NO_JIT=1 CI leg
+        with no_jit():
+            assert not jit_enabled()
+            with no_jit():
+                assert not jit_enabled()
+            assert not jit_enabled()
+        assert jit_enabled() == ambient
+
+    def test_compile_cache_hits(self):
+        kernel = _ratio_kernel(F64)
+        clear_code_cache()
+        with tracing() as tracer:
+            first = get_compiled(kernel, "run")
+            second = get_compiled(kernel, "run")
+        assert first is second is not None
+        assert tracer.counters.get("jit.compiles") == 1
+
+    def test_generated_source_is_attached(self):
+        compiled = get_compiled(_ratio_kernel(F32), "run")
+        assert compiled is not None
+        assert "def _jit(" in compiled.source
+        assert compiled.fn.__code__.co_filename == "<jit:ratio:run>"
+
+
+class TestUnsupportedShapes:
+    """Kernels the generator must refuse (interpreter semantics would be
+    hard to reproduce) still run correctly via the interpreter."""
+
+    def test_mangle_collision_falls_back(self):
+        """Array "a" with field "x" and plain array "a__x" would collide
+        in the generated namespace; the generator refuses and the
+        interpreter takes over with identical results."""
+        builder = KernelBuilder("collide")
+        n = builder.param("n")
+        rec = builder.array("a", F32, (n,), fields=("x",))
+        plain = builder.array("a__x", F32, (n,))
+        with builder.loop("i", n) as i:
+            builder.assign(plain[i], rec[i].x + 1.0)
+        kernel = builder.build()
+        assert get_compiled(kernel, "run") is None
+        storage = zeros_for(kernel, {"n": 4})
+        with tracing() as tracer:
+            run_kernel(kernel, {"n": 4}, storage)
+        assert tracer.counters.get("jit.runs") == 0
+        np.testing.assert_array_equal(
+            storage["a__x"], np.ones(4, np.float32)
+        )
