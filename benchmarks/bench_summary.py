@@ -2,10 +2,15 @@
 
 Besides asserting the headline claims, this target parses them into
 ``BENCH_summary.json`` — the perf-trajectory record (mean/max naive gap,
-residual, generation trend) that downstream tracking diffs across PRs.
+residual, generation trend) that downstream tracking diffs across PRs —
+plus the cycle-accounting closure audit: the worst ledger residual the
+run observed, asserted below the hard ``CLOSURE_RTOL`` guarantee.
 """
 
 from conftest import write_bench_json
+
+from repro.engine import get_config
+from repro.observability import CLOSURE_RTOL
 
 
 def _parse_x(cell: str) -> float:
@@ -23,6 +28,7 @@ def test_summary(artifact):
         for step in by_claim["gap across generations"][2].split(" -> ")
     ]
     mic_residual = _parse_x(by_claim["MIC residual"][2])
+    audit = get_config().report()["accounting"]
     write_bench_json(
         "summary",
         {
@@ -32,7 +38,11 @@ def test_summary(artifact):
                 "residual_gap": residual,
                 "generation_trend": trend,
                 "mic_residual": mic_residual,
+                "closure_points": audit.get("points", 0),
+                "worst_closure_residual": audit.get("worst_residual_rel", 0.0),
+                "worst_closure_point": audit.get("worst_point"),
             }
         },
     )
     assert 18.0 <= mean <= 32.0
+    assert audit.get("worst_residual_rel", 0.0) <= CLOSURE_RTOL

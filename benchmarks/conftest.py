@@ -24,9 +24,11 @@ The harness runs under an engine session (see :mod:`repro.engine`):
 * ``REPRO_TASK_TIMEOUT=SECONDS`` / ``REPRO_TASK_RETRIES=N`` — per-task
   timeout and bounded retries for the fan-out (docs/ROBUSTNESS.md).
 
-Each ``BENCH_<id>.json`` gains an ``engine`` block: jobs, memo hit/miss
-(and quarantine) counters, fault-recovery events, and per-task
-wall-clock timings for the run.
+Each ``BENCH_<id>.json`` gains an ``engine`` block (jobs, memo hit/miss
+and quarantine counters, fault-recovery events, per-task wall-clock
+timings) and an ``accounting`` block — the run's cycle-ledger closure
+audit: points audited, worst closure residual (and which point produced
+it), and summed seconds per ledger category.
 """
 
 from __future__ import annotations
@@ -124,6 +126,7 @@ def artifact(benchmark, engine):
         print()
         print(result.render())
         if _artifacts_enabled():
+            report = engine.report()
             write_bench_json(
                 experiment_id,
                 {
@@ -132,11 +135,13 @@ def artifact(benchmark, engine):
                     "version": __version__,
                     "wall_s": wall_s,
                     "spans": len(tracer.spans),
-                    "engine": engine.report(),
+                    "engine": report,
+                    "accounting": report["accounting"],
                     "headers": list(result.headers),
                     "rows": [list(row) for row in result.rows],
                     "paper_claims": list(result.paper_claims),
                     "measured_claims": list(result.measured_claims),
+                    "appendix": list(result.appendix),
                 },
             )
             trace_path = (

@@ -1,6 +1,13 @@
 """Analysis layer: gap measurement, breakdowns, roofline, effort model."""
 
-from repro.analysis.breakdown import COMPONENTS, GapBreakdown, breakdown
+from repro.analysis.breakdown import (
+    COMPONENTS,
+    GapBreakdown,
+    accounting_appendix,
+    breakdown,
+    cycle_story,
+    ladder_accounting,
+)
 from repro.analysis.effort import EffortPoint, effort_curve, productivity_ratio
 from repro.analysis.gap import (
     LADDER_RUNGS,
@@ -39,12 +46,15 @@ __all__ = [
     "RungResult",
     "ScalingPoint",
     "SuiteGaps",
+    "accounting_appendix",
     "attainable_gflops",
     "breakdown",
     "clear_ladder_cache",
+    "cycle_story",
     "effort_curve",
     "format_table",
     "geometric_mean",
+    "ladder_accounting",
     "measure_ladder",
     "measure_suite",
     "place",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.gap import Ladder
+from repro.observability.accounting import CycleLedger
 
 COMPONENTS = ("threading", "vectorization", "algorithmic", "ninja_extras")
 
@@ -61,3 +62,50 @@ def breakdown(ladder: Ladder) -> GapBreakdown:
         algorithmic=ladder.speedup("autovec", "traditional"),
         ninja_extras=ladder.speedup("traditional", "ninja"),
     )
+
+
+def ladder_accounting(ladder: Ladder) -> dict[str, CycleLedger]:
+    """Per-rung cycle ledgers of one ladder (rungs lacking one skipped).
+
+    Each ledger decomposes that rung's runtime exactly — the stacked
+    "where did the cycles go" view of the same data ``breakdown``
+    summarizes multiplicatively.
+    """
+    return {
+        label: rung.ledger
+        for label, rung in ladder.rungs.items()
+        if rung.ledger is not None
+    }
+
+
+def _ledger_story(ledger: CycleLedger) -> str:
+    """``"issue.fp_div 87% + stall.DRAM 9%"`` — a rung's top charges."""
+    top = ledger.top(2)
+    if not top:
+        return "idle"
+    return " + ".join(
+        f"{name} {ledger.share(name) * 100.0:.0f}%" for name, _s in top
+    )
+
+
+def cycle_story(ladder: Ladder, frm: str, to: str) -> str:
+    """One line explaining a rung transition through the cycle ledgers.
+
+    Names where the *frm* rung's cycles went and where the *to* rung's
+    go, so a gap row can explain its own delta ("the serial cycles were
+    divide-issue; the ninja cycles are DRAM bandwidth").
+    """
+    lo, hi = ladder.rungs[frm].ledger, ladder.rungs[to].ledger
+    if lo is None or hi is None:
+        return f"{ladder.benchmark}: (no ledger)"
+    return (
+        f"{ladder.benchmark}: {frm} = {_ledger_story(lo)} -> "
+        f"{to} = {_ledger_story(hi)}"
+    )
+
+
+def accounting_appendix(ladders, frm: str, to: str) -> tuple[str, ...]:
+    """Cycle-ledger appendix lines for a gap report over many ladders."""
+    lines = [f"where did the cycles go ({frm} -> {to}):"]
+    lines += [cycle_story(ladder, frm, to) for ladder in ladders]
+    return tuple(lines)

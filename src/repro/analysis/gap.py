@@ -30,6 +30,7 @@ from repro.engine.sim import cached_simulate
 from repro.errors import ExperimentError
 from repro.kernels.base import Benchmark
 from repro.machines.spec import MachineSpec
+from repro.observability.accounting import CycleLedger
 from repro.simulator import SimResult
 
 #: (rung label, source variant, compiler options) in evaluation order.
@@ -46,7 +47,13 @@ RUNG_LABELS = tuple(label for label, _v, _o in LADDER_RUNGS)
 
 @dataclass(frozen=True)
 class RungResult:
-    """One benchmark at one rung on one machine."""
+    """One benchmark at one rung on one machine.
+
+    ``ledger`` is the rung's aggregated cycle-accounting ledger: the
+    per-phase ledgers scaled by their phase counts and summed, so its
+    categories sum to ``time_s`` with the same closure guarantee as a
+    single simulation's ledger (sequential composition is additive).
+    """
 
     label: str
     variant: str
@@ -56,6 +63,7 @@ class RungResult:
     dram_bytes: float
     bottleneck: str
     threads: int
+    ledger: CycleLedger | None = None
 
     @property
     def gflops(self) -> float:
@@ -133,6 +141,7 @@ def run_rung(
     used_threads = 0
     bottleneck_time = -1.0
     bottleneck = "compute"
+    phase_ledgers: list[CycleLedger] = []
     for phase in benchmark.phases(variant, params):
         result: SimResult = cached_simulate(
             phase.kernel, options, machine, phase.params,
@@ -144,6 +153,8 @@ def run_rung(
         total_flops += result.flops * phase.count
         total_dram += result.traffic_bytes[-1] * phase.count
         used_threads = max(used_threads, result.threads)
+        if result.ledger is not None:
+            phase_ledgers.append(result.ledger.scaled(phase.count))
         if result.time_s * phase.count > bottleneck_time:
             bottleneck_time = result.time_s * phase.count
             bottleneck = result.bottleneck
@@ -156,6 +167,7 @@ def run_rung(
         dram_bytes=total_dram,
         bottleneck=bottleneck,
         threads=used_threads,
+        ledger=CycleLedger.merge(phase_ledgers) if phase_ledgers else None,
     )
 
 

@@ -43,6 +43,11 @@ class EngineConfig:
             pool whose every task would be a memo hit.
         faults: recovery counters (quarantines aside, which live on the
             cache stats): timeouts, retries, pool deaths, fallbacks.
+        accounting: the session's cycle-accounting audit — every ledger
+            that passes through :func:`~repro.engine.sim.cached_simulate`
+            folds in here: points audited, the worst closure residual
+            (and which point produced it), and summed seconds per
+            category across the whole session.
     """
 
     jobs: int = 1
@@ -52,6 +57,7 @@ class EngineConfig:
     task_log: list[dict] = field(default_factory=list)
     prewarmed: set = field(default_factory=set)
     faults: dict = field(default_factory=dict)
+    accounting: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -69,6 +75,21 @@ class EngineConfig:
         """Record one fault/recovery event (also a tracer counter)."""
         self.faults[name] = self.faults.get(name, 0) + 1
         add_counter(f"engine.fault.{name}")
+
+    def record_ledger(self, point: str, ledger) -> None:
+        """Fold one result's :class:`CycleLedger` into the session audit."""
+        if ledger is None:
+            return
+        acct = self.accounting
+        acct["points"] = acct.get("points", 0) + 1
+        acct["time_s"] = acct.get("time_s", 0.0) + ledger.time_s
+        residual = ledger.residual_rel
+        if residual >= acct.get("worst_residual_rel", -1.0):
+            acct["worst_residual_rel"] = residual
+            acct["worst_point"] = point
+        categories = acct.setdefault("category_seconds", {})
+        for name, seconds in ledger.categories.items():
+            categories[name] = categories.get(name, 0.0) + seconds
 
     def log_task(self, record: dict) -> None:
         """Append one task record (bounded; oldest entries drop first)."""
@@ -92,6 +113,10 @@ class EngineConfig:
             ),
             "memo": memo,
             "faults": dict(self.faults),
+            "accounting": {
+                name: (dict(value) if isinstance(value, dict) else value)
+                for name, value in self.accounting.items()
+            },
             "tasks": list(self.task_log),
         }
 
@@ -99,6 +124,7 @@ class EngineConfig:
         """Clear the task log and memo/fault counters (entries stay on disk)."""
         self.task_log.clear()
         self.faults.clear()
+        self.accounting.clear()
         if self.cache is not None:
             self.cache.stats = type(self.cache.stats)()
 

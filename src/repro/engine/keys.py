@@ -41,7 +41,8 @@ from repro.machines.spec import MachineSpec
 
 #: Bump to invalidate every existing cache entry on a format change.
 #: 2: entries gained the checksum envelope ({"sha256", "payload"}).
-MEMO_SCHEMA = 2
+#: 3: profiles carry the cycle-accounting ledger; from_dict is strict.
+MEMO_SCHEMA = 3
 
 #: Model subpackages whose source participates in the code fingerprint.
 _CODE_SUBPACKAGES = ("ir", "compiler", "simulator", "machines", "jit")

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import CacheCorruptionError
-from repro.observability.tracer import add_counter
+from repro.observability.tracer import add_counter, span
 
 #: Name of the sub-directory corrupt entries are moved into.
 QUARANTINE_DIR = "quarantine"
@@ -140,25 +140,44 @@ class MemoCache:
         self.stats.puts += 1
         add_counter("engine.memo.put")
 
+    def reject(self, key: str, exc: Exception) -> None:
+        """Quarantine an entry whose *payload* failed deserialization.
+
+        The checksum envelope only proves the bytes are what ``put``
+        wrote; a payload from a different schema (or tampered before the
+        checksum was stamped) passes :meth:`get` and then fails
+        ``from_dict`` with a :class:`~repro.errors.RobustnessError`.  The
+        caller hands the entry back here: it is moved aside like any
+        other corruption mode, and the provisional hit :meth:`get`
+        counted retroactively becomes a miss so the stats match what the
+        caller actually did (recompute).
+        """
+        self._quarantine(self._path(key), key, exc)
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self.stats.errors += 1
+        add_counter("engine.memo.error")
+
     def _quarantine(self, path: Path, key: str, exc: Exception) -> None:
         """Move a corrupt entry aside; never lets it be read again."""
-        target = self.quarantine_root / path.name
-        try:
-            target.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target)
-        except FileNotFoundError:
-            return  # lost a race with another reader's quarantine: fine
-        except OSError as move_exc:
-            # Can't preserve the evidence; at minimum stop serving it.
+        with span("engine.memo.quarantine", key=key, reason=str(exc)[:120]):
+            target = self.quarantine_root / path.name
             try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                raise CacheCorruptionError(
-                    f"memo entry {key} is corrupt ({exc}) and could not be "
-                    f"quarantined or removed: {move_exc}"
-                ) from move_exc
-        self.stats.quarantined += 1
-        add_counter("engine.memo.quarantine")
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except FileNotFoundError:
+                return  # lost a race with another reader's quarantine: fine
+            except OSError as move_exc:
+                # Can't preserve the evidence; at minimum stop serving it.
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    raise CacheCorruptionError(
+                        f"memo entry {key} is corrupt ({exc}) and could not "
+                        f"be quarantined or removed: {move_exc}"
+                    ) from move_exc
+            self.stats.quarantined += 1
+            add_counter("engine.memo.quarantine")
 
     def clear(self) -> None:
         """Delete every entry (the directory itself survives)."""

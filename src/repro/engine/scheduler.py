@@ -226,11 +226,16 @@ def _run_parallel(
                                 task=task.name, attempts=attempts[i],
                             ) from None
                         config.count_fault("task_retry")
-                        backoff(attempts[i])
-                        # The hung attempt is abandoned (it still holds a
-                        # worker until its sleep/loop ends); a fresh
-                        # submission races it through the memo store.
-                        futures[i] = pool.submit(_execute_task, task)  # type: ignore[union-attr]
+                        with span(
+                            "engine.task.retry",
+                            task=task.name, attempt=attempts[i],
+                            cause="timeout",
+                        ):
+                            backoff(attempts[i])
+                            # The hung attempt is abandoned (it still holds
+                            # a worker until its sleep/loop ends); a fresh
+                            # submission races it through the memo store.
+                            futures[i] = pool.submit(_execute_task, task)  # type: ignore[union-attr]
                     except BrokenProcessPool:
                         pool_deaths += 1
                         config.count_fault("pool_broken")
@@ -247,8 +252,13 @@ def _run_parallel(
                                 task=task.name, attempts=attempts[i],
                             ) from None
                         config.count_fault("task_retry")
-                        backoff(pool_deaths)
-                        start_pool()
+                        with span(
+                            "engine.task.retry",
+                            task=task.name, attempt=attempts[i],
+                            cause="pool_broken",
+                        ):
+                            backoff(pool_deaths)
+                            start_pool()
                     except ReproError:
                         # Deterministic library errors (bad workload,
                         # inconsistent machine spec) are not transient:
@@ -264,13 +274,19 @@ def _run_parallel(
                                 task=task.name, attempts=attempts[i],
                             ) from exc
                         config.count_fault("task_retry")
-                        backoff(attempts[i])
-                        futures[i] = pool.submit(_execute_task, task)  # type: ignore[union-attr]
+                        with span(
+                            "engine.task.retry",
+                            task=task.name, attempt=attempts[i],
+                            cause="task_error",
+                        ):
+                            backoff(attempts[i])
+                            futures[i] = pool.submit(_execute_task, task)  # type: ignore[union-attr]
                 if records[i] is None:
                     # Serial degradation: the pool kept dying, so the
                     # rest of the grid computes in-process (memoized,
                     # hence still byte-identical).
-                    record = _execute_task(task)
+                    with span("engine.task.serial_fallback", task=task.name):
+                        record = _execute_task(task)
                     record["fallback"] = "serial"
                     records[i] = record
                 if task_span is not None:

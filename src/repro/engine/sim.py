@@ -19,6 +19,7 @@ from repro.compiler.compiled import CompiledKernel
 from repro.compiler.options import CompilerOptions
 from repro.engine.config import get_config
 from repro.engine.keys import sim_memo_key
+from repro.errors import RobustnessError
 from repro.ir.kernel import Kernel
 from repro.machines.spec import MachineSpec
 from repro.observability.tracer import span
@@ -61,21 +62,38 @@ def cached_simulate(
             across phases of one rung (same scheme ``run_rung`` used
             before the engine existed).
     """
-    cache = get_config().cache
+    config = get_config()
+    point = f"{kernel.name}|{options.label}|{machine.name}"
+    cache = config.cache
     if cache is None:
-        return simulate(
+        result = simulate(
             _compiled(kernel, options, machine, compiled_cache),
             machine, params, threads,
         )
+        config.record_ledger(point, result.ledger)
+        return result
     started = time.perf_counter()
     key = sim_memo_key(
         kernel, params, options, machine, simulator="analytic", threads=threads
     )
     cached = cache.get(key)
     if cached is not None:
-        result = SimResult.from_dict(cached)
-        _log_point(kernel, options, machine, "hit", started)
-        return result
+        try:
+            with span(
+                "engine.memo.hit",
+                kernel=kernel.name, rung=options.label, machine=machine.name,
+            ):
+                result = SimResult.from_dict(cached)
+        except RobustnessError as exc:
+            # A checksum-valid entry whose payload no longer matches the
+            # result schema (stale schema, pre-checksum tamper): treat it
+            # as corruption — quarantine and recompute below.
+            cache.reject(key, exc)
+            config.count_fault("memo_schema_reject")
+        else:
+            config.record_ledger(point, result.ledger)
+            _log_point(kernel, options, machine, "hit", started)
+            return result
     with span(
         "engine.point",
         kernel=kernel.name, rung=options.label, machine=machine.name,
@@ -85,6 +103,7 @@ def cached_simulate(
             machine, params, threads,
         )
     cache.put(key, result.to_dict())
+    config.record_ledger(point, result.ledger)
     _log_point(kernel, options, machine, "miss", started)
     return result
 

@@ -43,12 +43,31 @@ class ExperimentError(ReproError):
     """An experiment harness was configured incorrectly."""
 
 
+class AccountingError(ReproError):
+    """The cycle-accounting ledger violated its conservation law.
+
+    Raised at :class:`~repro.observability.accounting.CycleLedger`
+    construction when the attributed categories do not sum to the
+    reported runtime within tolerance — always a model bug, never a
+    user error, in the same spirit as ``SimProfile.validate``.
+    """
+
+
 class RobustnessError(ReproError):
     """Base class for fault-tolerance failures (cache, workers, numerics).
 
     Raised only when the robustness layer has *exhausted* its recovery
     options — transparent recoveries (quarantine + recompute, task retry,
     serial fallback) are counted, not raised.
+    """
+
+
+class ResultSchemaError(RobustnessError):
+    """A serialized result/profile dict has missing or unknown fields.
+
+    Raised by the ``from_dict`` deserializers instead of a raw
+    ``KeyError``/``TypeError`` so the memo cache can quarantine such
+    entries like any other corruption mode.
     """
 
 

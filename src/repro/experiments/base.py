@@ -28,6 +28,9 @@ class ExperimentResult:
         paper_claims: what the paper reports for this artifact.
         measured_claims: the corresponding measured headline values.
         notes: caveats / substitutions.
+        appendix: extra explanatory lines rendered after the claims —
+            the gap figures use this for their cycle-accounting
+            decomposition ("where did the cycles go" per benchmark).
     """
 
     experiment_id: str
@@ -37,6 +40,7 @@ class ExperimentResult:
     paper_claims: tuple[str, ...] = ()
     measured_claims: tuple[str, ...] = ()
     notes: str = ""
+    appendix: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-serializable form (for downstream tooling)."""
@@ -48,6 +52,7 @@ class ExperimentResult:
             "paper_claims": list(self.paper_claims),
             "measured_claims": list(self.measured_claims),
             "notes": self.notes,
+            "appendix": list(self.appendix),
         }
 
     def render(self) -> str:
@@ -64,6 +69,8 @@ class ExperimentResult:
             parts.append("measured: " + "; ".join(self.measured_claims))
         if self.notes:
             parts.append(f"note: {self.notes}")
+        if self.appendix:
+            parts.extend(self.appendix)
         return "\n".join(parts)
 
 

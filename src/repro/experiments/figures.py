@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis import (
+    accounting_appendix,
     breakdown,
     effort_curve,
     geometric_mean,
@@ -54,6 +55,7 @@ def fig1_ninja_gap() -> ExperimentResult:
             f"average {suite.mean_ninja_gap:.1f}X",
             f"up to {suite.max_ninja_gap:.1f}X",
         ),
+        appendix=accounting_appendix(suite.ladders, "serial", "ninja"),
     )
 
 
@@ -131,6 +133,7 @@ def fig4_algorithmic() -> ExperimentResult:
 def fig5_simd_efficiency() -> ExperimentResult:
     """Figure 5: what the vectorizer does per benchmark (vec-report view)."""
     rows = []
+    ladders = []
     benchmarks = all_benchmarks()
     prewarm_ladders(benchmarks, [CORE_I7_X980])
     for bench in benchmarks:
@@ -152,6 +155,7 @@ def fig5_simd_efficiency() -> ExperimentResult:
             # Surface the innermost refusal, the line icc would print.
             reason = report_n.decisions[-1].reason[:46]
         ladder = measure_ladder(bench, CORE_I7_X980)
+        ladders.append(ladder)
         simd_gain = ladder.speedup("parallel", "traditional")
         lanes = max((plan.lanes for plan in plans_o.values()), default=1)
         rows.append(
@@ -179,6 +183,7 @@ def fig5_simd_efficiency() -> ExperimentResult:
             "every optimized variant vectorizes except mergesort, whose "
             "SIMD merge network is modelled as branch-free scalar code",
         ),
+        appendix=accounting_appendix(ladders, "parallel", "traditional"),
     )
 
 
@@ -187,10 +192,12 @@ def fig7_effort() -> ExperimentResult:
     """Figure 7: performance vs programming effort."""
     rows = []
     ratios = []
+    ladders = []
     benchmarks = all_benchmarks()
     prewarm_ladders(benchmarks, [CORE_I7_X980])
     for bench in benchmarks:
         ladder = measure_ladder(bench, CORE_I7_X980)
+        ladders.append(ladder)
         points = effort_curve(bench, ladder)
         by_label = {point.label: point for point in points}
         ratios.append(productivity_ratio(points))
@@ -219,4 +226,5 @@ def fig7_effort() -> ExperimentResult:
             f"traditional rung is {geometric_mean(ratios):.0f}x more "
             "productive per line than ninja code",
         ),
+        appendix=accounting_appendix(ladders, "traditional", "ninja"),
     )

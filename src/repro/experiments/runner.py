@@ -11,6 +11,7 @@ Usage::
     ninja-gap ladder blackscholes          # one benchmark's effort ladder
     ninja-gap ladder nbody --machine mic   # ... on another machine
     ninja-gap ladder nbody --profile       # ... with bottleneck attribution
+    ninja-gap ladder nbody --accounting    # ... with the cycle ledger
     ninja-gap report nbody                 # vectorization reports per rung
     ninja-gap report nbody --json          # ... as structured JSON
     ninja-gap --version
@@ -50,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--json", action="store_true", help="emit the artifact as JSON"
     )
+    _add_accounting_flag(run)
     _add_profile_flags(run)
     _add_engine_flags(run)
     run_all = sub.add_parser("all", help="run every artifact")
@@ -66,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the ladder (with per-rung profiles) as JSON",
     )
+    _add_accounting_flag(ladder)
     _add_profile_flags(ladder)
     _add_engine_flags(ladder)
     report = sub.add_parser(
@@ -81,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the vectorization reports as structured JSON",
     )
     return parser
+
+
+def _add_accounting_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--accounting", action="store_true",
+        help="print the cycle-accounting ledger (where did the cycles go) "
+        "with its closure residual; with --json, add an 'accounting' block",
+    )
 
 
 def _add_profile_flags(sub: argparse.ArgumentParser) -> None:
@@ -204,10 +215,10 @@ def _print_ladder(data: dict, profile: bool) -> None:
         )
 
 
-def _ladder_json(data: dict) -> dict:
+def _ladder_json(data: dict, accounting: bool = False) -> dict:
     ladder = data["ladder"]
     parts = data["breakdown"]
-    return {
+    payload = {
         "benchmark": data["benchmark"],
         "machine": data["machine"],
         "ninja_gap": ladder.ninja_gap,
@@ -230,6 +241,14 @@ def _ladder_json(data: dict) -> dict:
             for label, rung in ladder.rungs.items()
         },
     }
+    if accounting:
+        from repro.analysis import ladder_accounting
+
+        payload["accounting"] = {
+            label: ledger.to_dict()
+            for label, ledger in ladder_accounting(ladder).items()
+        }
+    return payload
 
 
 def _print_reports(benchmark_name: str, machine_name: str, as_json: bool) -> int:
@@ -283,6 +302,38 @@ def _finish_profiled(tracer, profile: bool, trace_out: str | None) -> None:
         print(f"wrote Chrome trace ({len(tracer.spans)} spans) to {trace_out}")
 
 
+def _accounting_summary(engine) -> dict:
+    """The engine's session-wide closure audit (JSON-shaped)."""
+    return dict(engine.report()["accounting"])
+
+
+def _print_accounting(data: dict, engine) -> None:
+    """Ladder cycle-accounting tables + the session closure audit line."""
+    from repro.analysis import ladder_accounting
+    from repro.observability import render_ladder_accounting, render_ledger
+
+    ladder = data["ladder"]
+    ledgers = ladder_accounting(ladder)
+    print()
+    print(
+        render_ladder_accounting(
+            ledgers,
+            title=f"cycle accounting by rung: {data['benchmark']} on "
+            f"{data['machine']}",
+        )
+    )
+    for label, ledger in ledgers.items():
+        print()
+        print(render_ledger(ledger, title=f"{label}: where did the cycles go"))
+    audit = _accounting_summary(engine)
+    if audit:
+        print(
+            f"\nclosure audit: {audit.get('points', 0)} points, worst "
+            f"residual {audit.get('worst_residual_rel', 0.0):.2e} rel "
+            f"({audit.get('worst_point', '-')})"
+        )
+
+
 def _engine_line(engine) -> str:
     """One-line memo/jobs summary for ``--profile`` output."""
     report = engine.report()
@@ -331,10 +382,20 @@ def _dispatch(args, engine) -> int:
         with tracing(enabled=enabled) as tracer:
             result = run_experiment(args.experiment)
         if args.json:
-            print(json.dumps(result.to_dict(), indent=2))
+            payload = result.to_dict()
+            if args.accounting:
+                payload["accounting"] = _accounting_summary(engine)
+            print(json.dumps(payload, indent=2))
         else:
             print(result.render())
             print(f"({time.perf_counter() - started:.1f}s)")
+            if args.accounting:
+                audit = _accounting_summary(engine)
+                print(
+                    f"closure audit: {audit.get('points', 0)} points, worst "
+                    f"residual {audit.get('worst_residual_rel', 0.0):.2e} rel "
+                    f"({audit.get('worst_point', '-')})"
+                )
         if args.profile:
             print(_engine_line(engine))
         _finish_profiled(tracer, args.profile, args.trace_out)
@@ -346,9 +407,11 @@ def _dispatch(args, engine) -> int:
         with tracing(enabled=enabled) as tracer:
             data = _ladder_data(args.benchmark, args.machine)
         if args.json:
-            print(json.dumps(_ladder_json(data), indent=2))
+            print(json.dumps(_ladder_json(data, args.accounting), indent=2))
         else:
             _print_ladder(data, profile=args.profile)
+            if args.accounting:
+                _print_accounting(data, engine)
         if args.profile and not args.json:
             print(_engine_line(engine))
             print()

@@ -15,11 +15,14 @@ Three pieces, deliberately small:
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and counter glossary.
 """
 
+from repro.observability.accounting import CLOSURE_RTOL, CycleLedger
 from repro.observability.counters import Counters
 from repro.observability.profile import CacheLevelProfile, SimProfile
 from repro.observability.report import (
     render_bottlenecks,
     render_counters,
+    render_ladder_accounting,
+    render_ledger,
     render_profile,
     render_spans,
 )
@@ -41,8 +44,10 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "CLOSURE_RTOL",
     "CacheLevelProfile",
     "Counters",
+    "CycleLedger",
     "JsonlSink",
     "SimProfile",
     "Span",
@@ -52,6 +57,8 @@ __all__ = [
     "get_tracer",
     "render_bottlenecks",
     "render_counters",
+    "render_ladder_accounting",
+    "render_ledger",
     "render_profile",
     "render_spans",
     "set_tracer",

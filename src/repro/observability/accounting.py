@@ -1,0 +1,254 @@
+"""Exact cycle-accounting ledger: where did the cycles go, provably.
+
+A :class:`CycleLedger` decomposes one simulated runtime into named
+categories such that **every second the analytic model charges is
+attributed to exactly one category**, with a conservation law enforced at
+construction: the categories sum to ``time_s`` within ``CLOSURE_RTOL``
+relative tolerance, or construction raises
+:class:`~repro.errors.AccountingError` (the same spirit as
+``SimProfile.validate``'s traffic conservation, but hard-enforced).
+
+The categories (canonical order, all present even when zero):
+
+========================= ====================================================
+category                  what it charges
+========================= ====================================================
+``issue.<port>``          throughput-limited body cycles whose binding
+                          resource is execution port ``<port>``
+``issue.frontend``        body cycles bound by decode/issue width instead
+                          of any single port
+``reduction.chain``       the excess of a reduction loop's carried-dependence
+                          latency bound over its throughput bound
+``branch.mispredict``     branch misprediction penalty cycles
+``loop.control``          kernel setup plus per-entry loop overhead
+                          (induction setup, remainder handling)
+``stall.<level>``         exposed data-dependent-access latency served by
+                          cache level ``<level>`` (post-MLP, post-SMT)
+``stall.DRAM``            ditto, served by DRAM
+``parallel.imbalance``    load-imbalance inflation of the parallel region
+``parallel.barrier``      OpenMP fork/join barrier cycles
+``bandwidth.<boundary>``  time the binding bandwidth boundary exposes
+                          *beyond* the overlapped compute time (zero for
+                          every non-binding boundary)
+========================= ====================================================
+
+The model composes time as ``max(compute, per-boundary bandwidth)``; the
+ledger linearizes that honestly: compute categories sum to
+``compute_time_s``, and when a bandwidth boundary binds, the slack
+``time_s - compute_time_s`` is charged to that boundary alone (the other
+boundaries' traffic is fully overlapped and exposes nothing).
+
+Ledgers are pure functions of the model: they are byte-identical across
+execution backends (JIT or interpreter — neither participates in the
+analytic model) and across memo-cache cold/warm runs (floats serialize
+via ``repr``, so the JSON round trip is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import AccountingError, ResultSchemaError
+
+#: Relative closure tolerance: |sum(categories) - time_s| <= rtol * time_s.
+CLOSURE_RTOL = 1e-9
+
+#: Top-level category groups, in reporting order.
+GROUPS = (
+    "issue", "reduction", "branch", "loop", "stall", "parallel", "bandwidth",
+)
+
+
+def require_fields(
+    data: Mapping, required: Iterable[str], derived: Iterable[str],
+    context: str,
+) -> None:
+    """Validate a serialized dict's key set before deserializing it.
+
+    *required* keys must be present; *derived* keys are tolerated (they
+    are recomputed, not read); anything else is unknown.  Violations
+    raise :class:`~repro.errors.ResultSchemaError` with the offending
+    field names, so the memo cache can quarantine the entry instead of
+    crashing on a raw ``KeyError``.
+    """
+    if not isinstance(data, Mapping):
+        raise ResultSchemaError(
+            f"{context}: expected an object, got {type(data).__name__}"
+        )
+    required = set(required)
+    missing = required - set(data)
+    if missing:
+        raise ResultSchemaError(
+            f"{context}: missing fields {sorted(missing)}"
+        )
+    unknown = set(data) - required - set(derived)
+    if unknown:
+        raise ResultSchemaError(
+            f"{context}: unknown fields {sorted(unknown)}"
+        )
+
+
+@dataclass(frozen=True)
+class CycleLedger:
+    """An exact decomposition of one simulated runtime.
+
+    Attributes:
+        time_s: the runtime being decomposed (``SimResult.time_s``).
+        frequency_hz: core frequency, for seconds↔cycles conversion.
+        categories: seconds per category, canonical order, every charged
+            cycle in exactly one category.  Sums to ``time_s`` within
+            :data:`CLOSURE_RTOL` — enforced at construction.
+    """
+
+    time_s: float
+    frequency_hz: float
+    categories: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- conservation --------------------------------------------------------
+    @property
+    def total_s(self) -> float:
+        """Sum of all category charges."""
+        return sum(self.categories.values())
+
+    @property
+    def residual_s(self) -> float:
+        """Signed closure residual: ``time_s - sum(categories)``."""
+        return self.time_s - self.total_s
+
+    @property
+    def residual_rel(self) -> float:
+        """Closure residual relative to ``time_s`` (0 for a zero ledger)."""
+        scale = max(abs(self.time_s), 1e-300)
+        return abs(self.residual_s) / scale
+
+    def validate(self, rtol: float = CLOSURE_RTOL) -> None:
+        """Enforce the conservation law; raises :class:`AccountingError`."""
+        for name, seconds in self.categories.items():
+            if not (seconds >= 0.0):  # catches NaN too
+                raise AccountingError(
+                    f"cycle ledger category {name!r} is negative or NaN: "
+                    f"{seconds!r}"
+                )
+        if self.residual_rel > rtol:
+            raise AccountingError(
+                f"cycle ledger does not close: categories sum to "
+                f"{self.total_s!r} s but time_s is {self.time_s!r} s "
+                f"(relative residual {self.residual_rel:.3e} > {rtol:.0e})"
+            )
+
+    # -- views ---------------------------------------------------------------
+    def cycles(self, name: str) -> float:
+        """One category's charge converted back to core cycles."""
+        return self.categories[name] * self.frequency_hz
+
+    def share(self, name: str) -> float:
+        """One category's fraction of the runtime."""
+        if self.time_s <= 0:
+            return 0.0
+        return self.categories[name] / self.time_s
+
+    def grouped(self) -> dict[str, float]:
+        """Seconds per top-level group (``issue``, ``stall``, ...)."""
+        out: dict[str, float] = {}
+        for name, seconds in self.categories.items():
+            group = name.split(".", 1)[0]
+            out[group] = out.get(group, 0.0) + seconds
+        return out
+
+    @property
+    def dominant(self) -> str:
+        """The single category with the largest charge."""
+        if not self.categories:
+            return "none"
+        return max(self.categories, key=self.categories.get)  # type: ignore[arg-type]
+
+    def top(self, n: int = 5) -> list[tuple[str, float]]:
+        """The *n* largest nonzero categories as (name, seconds)."""
+        ranked = sorted(
+            ((name, s) for name, s in self.categories.items() if s > 0),
+            key=lambda kv: -kv[1],
+        )
+        return ranked[:n]
+
+    # -- arithmetic ----------------------------------------------------------
+    def scaled(self, factor: float) -> "CycleLedger":
+        """This ledger repeated *factor* times (phase counts)."""
+        if factor < 0:
+            raise AccountingError(f"ledger scale factor must be >= 0: {factor}")
+        return CycleLedger(
+            time_s=self.time_s * factor,
+            frequency_hz=self.frequency_hz,
+            categories={
+                name: seconds * factor
+                for name, seconds in self.categories.items()
+            },
+        )
+
+    @staticmethod
+    def merge(ledgers: Iterable["CycleLedger"]) -> "CycleLedger":
+        """Sum of several ledgers (phases of a rung run back to back).
+
+        Sequential composition is additive, so the merged ledger closes
+        whenever its parts do (residuals add, scales add).
+        """
+        ledgers = list(ledgers)
+        if not ledgers:
+            raise AccountingError("cannot merge zero cycle ledgers")
+        categories: dict[str, float] = {}
+        time_s = 0.0
+        for ledger in ledgers:
+            time_s += ledger.time_s
+            for name, seconds in ledger.categories.items():
+                categories[name] = categories.get(name, 0.0) + seconds
+        return CycleLedger(
+            time_s=time_s,
+            frequency_hz=ledgers[0].frequency_hz,
+            categories=categories,
+        )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form; the round trip is bit-exact."""
+        return {
+            "time_s": self.time_s,
+            "frequency_hz": self.frequency_hz,
+            "categories": dict(self.categories),
+            "residual_rel": self.residual_rel,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CycleLedger":
+        """Rebuild from :meth:`to_dict` output (``residual_rel`` is
+        derived); re-validates closure, so a tampered ledger cannot
+        deserialize."""
+        require_fields(
+            data,
+            required=("time_s", "frequency_hz", "categories"),
+            derived=("residual_rel",),
+            context="CycleLedger",
+        )
+        if not isinstance(data["categories"], Mapping):
+            raise ResultSchemaError(
+                "CycleLedger: 'categories' is not an object"
+            )
+        try:
+            return CycleLedger(
+                time_s=data["time_s"],
+                frequency_hz=data["frequency_hz"],
+                categories={
+                    str(name): float(seconds)
+                    for name, seconds in data["categories"].items()
+                },
+            )
+        except AccountingError as exc:
+            # A stored ledger that no longer closes was tampered with on
+            # disk: a corruption mode, so the memo cache must quarantine.
+            raise ResultSchemaError(f"CycleLedger: {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise ResultSchemaError(
+                f"CycleLedger: malformed field values: {exc}"
+            ) from exc

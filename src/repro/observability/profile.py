@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.observability.accounting import CycleLedger, require_fields
+
 
 @dataclass(frozen=True)
 class CacheLevelProfile:
@@ -69,7 +71,21 @@ class CacheLevelProfile:
 
     @staticmethod
     def from_dict(data: dict) -> "CacheLevelProfile":
-        """Rebuild from :meth:`to_dict` output (``hit_rate`` is derived)."""
+        """Rebuild from :meth:`to_dict` output (``hit_rate`` is derived).
+
+        Missing or unknown fields raise
+        :class:`~repro.errors.ResultSchemaError` so corrupted memo
+        entries quarantine instead of crashing deserialization.
+        """
+        require_fields(
+            data,
+            required=(
+                "name", "accesses", "hits", "misses", "traffic_bytes",
+                "time_s", "utilization",
+            ),
+            derived=("hit_rate",),
+            context="CacheLevelProfile",
+        )
         return CacheLevelProfile(
             name=data["name"],
             accesses=data["accesses"],
@@ -101,6 +117,10 @@ class SimProfile:
             by vectorized code (0 for pure unit-stride kernels).
         compute_utilization: compute-time over wall-clock fraction.
         counters: any extra named statistics (extensible).
+        ledger: the exact cycle-accounting ledger — every charged cycle
+            attributed to one category, categories summing to the
+            owning result's ``time_s`` (see
+            :class:`~repro.observability.accounting.CycleLedger`).
     """
 
     port_cycles: Mapping[str, float]
@@ -111,6 +131,7 @@ class SimProfile:
     gather_elements: float
     compute_utilization: float = 0.0
     counters: Mapping[str, float] = field(default_factory=dict)
+    ledger: CycleLedger | None = None
 
     @property
     def bottleneck_port(self) -> str:
@@ -160,6 +181,7 @@ class SimProfile:
             "gather_elements": self.gather_elements,
             "compute_utilization": self.compute_utilization,
             "counters": dict(self.counters),
+            "ledger": self.ledger.to_dict() if self.ledger else None,
         }
 
     @staticmethod
@@ -168,8 +190,21 @@ class SimProfile:
 
         Derived keys (``bottleneck_port``) are recomputed, so the round
         trip ``SimProfile.from_dict(p.to_dict()).to_dict() == p.to_dict()``
-        is exact — the memo cache's parity guarantee.
+        is exact — the memo cache's parity guarantee.  Missing or
+        unknown fields raise :class:`~repro.errors.ResultSchemaError`
+        so corrupted memo entries quarantine instead of crashing.
         """
+        require_fields(
+            data,
+            required=(
+                "port_cycles", "cache_levels", "mem_accesses",
+                "lane_utilization", "mask_density", "gather_elements",
+                "compute_utilization", "counters", "ledger",
+            ),
+            derived=("bottleneck_port",),
+            context="SimProfile",
+        )
+        ledger_data = data["ledger"]
         return SimProfile(
             port_cycles=dict(data["port_cycles"]),
             cache_levels=tuple(
@@ -182,4 +217,8 @@ class SimProfile:
             gather_elements=data["gather_elements"],
             compute_utilization=data["compute_utilization"],
             counters=dict(data["counters"]),
+            ledger=(
+                CycleLedger.from_dict(ledger_data)
+                if ledger_data is not None else None
+            ),
         )

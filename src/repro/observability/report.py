@@ -130,6 +130,69 @@ def render_profile(result) -> str:
     return "\n".join(parts)
 
 
+def render_ledger(ledger, title: str | None = None, min_share: float = 0.0005) -> str:
+    """Cycle-accounting table for one :class:`CycleLedger`.
+
+    One row per non-trivial category (share above *min_share*), largest
+    first, followed by the conservation line: the category sum, the
+    modelled time, and the closure residual the ledger guarantees to be
+    below :data:`~repro.observability.accounting.CLOSURE_RTOL`.
+    """
+    rows = [
+        (name, fmt_seconds(seconds), f"{ledger.share(name) * 100:.1f}%")
+        for name, seconds in ledger.top(len(ledger.categories))
+        if ledger.share(name) >= min_share
+    ]
+    if not rows:
+        rows = [("(idle)", fmt_seconds(0.0), "0.0%")]
+    table = format_table(
+        ("category", "time", "share"), rows,
+        title=title or "cycle accounting",
+    )
+    closure = (
+        f"closure: sum {fmt_seconds(ledger.total_s)} vs "
+        f"time {fmt_seconds(ledger.time_s)} "
+        f"(residual {ledger.residual_rel:.2e} rel)"
+    )
+    return f"{table}\n{closure}"
+
+
+def render_ladder_accounting(
+    ledgers: "dict[str, object]", title: str | None = None
+) -> str:
+    """Stacked decomposition across ladder rungs (rung × group table).
+
+    *ledgers* maps rung label to :class:`CycleLedger` (the shape
+    :func:`repro.analysis.breakdown.ladder_accounting` returns).  Groups
+    are the category prefixes (``issue``, ``stall``, ``bandwidth``...);
+    the last columns restate the total and the dominant single category,
+    so each rung's row explains where its cycles went.
+    """
+    if not ledgers:
+        return "(no ledgers collected)"
+    groups: list[str] = []
+    for ledger in ledgers.values():
+        for group in ledger.grouped():
+            if group not in groups:
+                groups.append(group)
+    rows = []
+    for label, ledger in ledgers.items():
+        grouped = ledger.grouped()
+        rows.append(
+            (
+                label,
+                *(fmt_seconds(grouped.get(group, 0.0)) for group in groups),
+                fmt_seconds(ledger.time_s),
+                ledger.dominant,
+            )
+        )
+    return format_table(
+        ("rung", *groups, "total", "dominant"),
+        rows,
+        title=title or "cycle accounting by rung",
+    )
+
+
 def render_bottlenecks(results: Iterable, title: str | None = None) -> str:
     """Bottleneck attribution across many results (kernel × rung table).
 

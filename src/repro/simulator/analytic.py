@@ -39,8 +39,9 @@ from repro.compiler.compiled import AccessPattern, CompiledKernel, CompiledLoop
 from repro.compiler.opcount import FLOP_CLASSES
 from repro.errors import SimulationError
 from repro.ir.evaluate import eval_int_expr
+from repro.machines.ops import PORTS
 from repro.machines.spec import MachineSpec
-from repro.simulator.core import price_ops, reduction_chain_cycles
+from repro.simulator.core import PricedBundle, price_ops, reduction_chain_cycles
 from repro.simulator.streams import (
     ResolvedStream,
     random_miss_rate,
@@ -151,6 +152,20 @@ class ChipTotals:
     vector_useful_lanes: float = 0.0
     #: per-lane gather/scatter element accesses issued by vector code.
     gather_elements: float = 0.0
+    #: cycle charges by ledger category (see
+    #: :mod:`repro.observability.accounting`), split by scope: parallel
+    #: charges divide over cores at composition time, serial ones do not.
+    #: Every cycle added to ``serial_cycles``/``parallel_cycles``/
+    #: ``*_stall_cycles`` is also attributed to exactly one category here.
+    serial_cat_cycles: dict[str, float] = field(default_factory=dict)
+    parallel_cat_cycles: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, category: str, cycles: float, parallel: bool) -> None:
+        """Attribute *cycles* to one ledger category in one scope."""
+        if cycles <= 0.0:
+            return
+        bucket = self.parallel_cat_cycles if parallel else self.serial_cat_cycles
+        bucket[category] = bucket.get(category, 0.0) + cycles
 
     def add_port_cycles(self, cycles: Mapping[str, float], scale: float) -> None:
         """Accumulate one priced bundle's port occupancy, scaled."""
@@ -159,6 +174,24 @@ class ChipTotals:
                 self.port_cycles[port] = (
                     self.port_cycles.get(port, 0.0) + busy * scale
                 )
+
+
+def _issue_category(bundle: PricedBundle) -> str:
+    """The ledger category a priced bundle's issue cycles belong to.
+
+    The bundle's cycles are ``max(port bound, issue-width bound)``; the
+    whole charge goes to the binding resource: the first port (in
+    :data:`~repro.machines.ops.PORTS` order, for determinism) achieving
+    the port maximum, or ``issue.frontend`` when the decode/issue-width
+    bound exceeds every port.
+    """
+    port_max = max(bundle.port_cycles.values(), default=0.0)
+    if bundle.cycles > port_max:
+        return "issue.frontend"
+    for port in PORTS:
+        if bundle.port_cycles.get(port, 0.0) == port_max:
+            return f"issue.{port}"
+    return "issue.frontend"  # pragma: no cover - PORTS covers every key
 
 
 class AnalyticModel:
@@ -291,6 +324,8 @@ class AnalyticModel:
             issue_width=self.machine.core.issue_width,
         )
         self.totals.serial_cycles += bundle.cycles
+        # Setup runs once before any loop: control overhead, not issue.
+        self.totals.charge("loop.control", bundle.cycles, parallel=False)
         self.totals.instructions += bundle.instructions
         self.totals.add_port_cycles(bundle.port_cycles, 1.0)
 
@@ -305,10 +340,13 @@ class AnalyticModel:
         chain = reduction_chain_cycles(
             loop.reduction_ops, self.isa, vector, loop.accumulators
         )
-        cycles_per_body = max(bundle.cycles * inefficiency, chain)
-        cycles_per_body += (
+        issue_per_body = bundle.cycles * inefficiency
+        chain_excess = max(issue_per_body, chain) - issue_per_body
+        mispredict_per_body = (
             loop.branch_mispredicts * self.machine.core.branch_mispredict_cycles
         )
+        cycles_per_body = max(bundle.cycles * inefficiency, chain)
+        cycles_per_body += mispredict_per_body
         entry_bundle = price_ops(
             loop.per_entry_ops, self.isa, vector=vector,
             issue_width=self.machine.core.issue_width,
@@ -323,6 +361,22 @@ class AnalyticModel:
             self.totals.parallel_cycles += cycles
         else:
             self.totals.serial_cycles += cycles
+        # Ledger attribution: every cycle charged above lands in exactly
+        # one category (issue-vs-chain is a max, so only the chain's
+        # *excess* over the throughput bound is serialization).
+        scope = node.parallel_scope
+        self.totals.charge(
+            _issue_category(bundle), node.body_execs * issue_per_body, scope
+        )
+        self.totals.charge(
+            "reduction.chain", node.body_execs * chain_excess, scope
+        )
+        self.totals.charge(
+            "branch.mispredict", node.body_execs * mispredict_per_body, scope
+        )
+        self.totals.charge(
+            "loop.control", node.entries * entry_bundle.cycles, scope
+        )
         if loop.parallel:
             self.totals.parallel_entries += node.entries
         self.totals.instructions += instructions
@@ -550,14 +604,19 @@ class AnalyticModel:
             self.totals.traffic_bytes[level] += misses * self.line * write_factor
             self.totals.level_misses[level] += misses
             prev_misses = misses
+        stall_cats: dict[str, float] = {}
         stalls = self._random_stalls(
-            accesses, stream, decl, node, merged, shared_stream
+            accesses, stream, decl, node, merged, shared_stream, stall_cats
         )
         stalls /= self._mlp
         if node.parallel_scope:
             self.totals.parallel_stall_cycles += stalls
         else:
             self.totals.serial_stall_cycles += stalls
+        for category, cycles in stall_cats.items():
+            self.totals.charge(
+                category, cycles / self._mlp, node.parallel_scope
+            )
 
     def _random_stalls(
         self,
@@ -567,8 +626,15 @@ class AnalyticModel:
         node: _Node,
         merged: _MergedStream,
         shared_stream: bool,
+        categories: dict[str, float] | None = None,
     ) -> float:
-        """Latency cycles exposed by one random stream (before MLP)."""
+        """Latency cycles exposed by one random stream (before MLP).
+
+        When *categories* is given, the same cycles are also attributed
+        by the level that serves them (``stall.<level>`` for hits at
+        cache level 1+, ``stall.DRAM`` for misses all the way out) — the
+        per-level split the cycle ledger reports.
+        """
         spatial = (
             spatial_miss_factor(stream.byte_stride, self.line)
             if decl.skew == "spatial"
@@ -592,9 +658,18 @@ class AnalyticModel:
                 ) * spatial
             misses = min(misses, prev_misses)
             hits_at_next = prev_misses - misses if level > 0 else 0.0
-            stalls += hits_at_next * cache.latency_cycles
+            served_here = hits_at_next * cache.latency_cycles
+            stalls += served_here
+            if categories is not None and served_here > 0.0:
+                name = f"stall.{cache.name}"
+                categories[name] = categories.get(name, 0.0) + served_here
             prev_misses = misses
-        stalls += prev_misses * self.machine.dram_latency_cycles
+        dram_stalls = prev_misses * self.machine.dram_latency_cycles
+        stalls += dram_stalls
+        if categories is not None and dram_stalls > 0.0:
+            categories["stall.DRAM"] = (
+                categories.get("stall.DRAM", 0.0) + dram_stalls
+            )
         return stalls
 
     def _write_factor(self, is_write: bool) -> float:

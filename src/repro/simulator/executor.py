@@ -22,7 +22,9 @@ from typing import Mapping
 
 from repro.compiler.compiled import CompiledKernel
 from repro.errors import SimulationError
+from repro.machines.ops import PORTS
 from repro.machines.spec import MachineSpec
+from repro.observability.accounting import CycleLedger
 from repro.observability.profile import CacheLevelProfile, SimProfile
 from repro.observability.tracer import span
 from repro.simulator.analytic import AnalyticModel, ChipTotals
@@ -137,8 +139,12 @@ def _compose(
     bottleneck = max(components, key=components.get)  # type: ignore[arg-type]
     time_s = max(components.values())
 
+    ledger = _build_ledger(
+        machine, totals, compute_time, time_s, barrier, bottleneck,
+        cores_used, smt_hiding,
+    )
     profile = _build_profile(machine, totals, level_times, compute_time, time_s,
-                             barrier)
+                             barrier, ledger)
     return SimResult(
         kernel_name=compiled.kernel.name,
         options_label=compiled.options.label,
@@ -156,6 +162,76 @@ def _compose(
     )
 
 
+def _boundary_names(machine: MachineSpec) -> list[str]:
+    """Bandwidth-boundary names, innermost first (mirrors level_times)."""
+    names = []
+    for level in range(len(machine.caches)):
+        if level + 1 < len(machine.caches):
+            names.append(machine.caches[level + 1].name)
+        else:
+            names.append("DRAM")
+    return names
+
+
+def _build_ledger(
+    machine: MachineSpec,
+    totals: ChipTotals,
+    compute_time: float,
+    time_s: float,
+    barrier_cycles: float,
+    bottleneck: str,
+    cores_used: int,
+    smt_hiding: float,
+) -> CycleLedger:
+    """Linearize the composed time into the exact cycle ledger.
+
+    Serial charges convert straight to seconds; parallel charges divide
+    over the cores in use (stall charges additionally by the SMT hiding
+    factor, matching ``_compose``), the imbalance inflation and barrier
+    become their own categories, and the slack between the binding
+    bandwidth boundary and the overlapped compute time is charged to
+    that boundary alone.  Construction enforces closure against
+    ``time_s`` (see :mod:`repro.observability.accounting`).
+    """
+    freq = machine.core.frequency_hz
+    categories: dict[str, float] = {}
+    for port in PORTS:
+        categories[f"issue.{port}"] = 0.0
+    categories["issue.frontend"] = 0.0
+    categories["reduction.chain"] = 0.0
+    categories["branch.mispredict"] = 0.0
+    categories["loop.control"] = 0.0
+    for cache in machine.caches[1:]:
+        categories[f"stall.{cache.name}"] = 0.0
+    categories["stall.DRAM"] = 0.0
+    categories["parallel.imbalance"] = 0.0
+    categories["parallel.barrier"] = 0.0
+    for boundary in _boundary_names(machine):
+        categories[f"bandwidth.{boundary}"] = 0.0
+
+    for name, cycles in totals.serial_cat_cycles.items():
+        categories[name] += cycles / freq
+    parallel_base_cycles = 0.0
+    for name, cycles in totals.parallel_cat_cycles.items():
+        if name.startswith("stall."):
+            cycles /= smt_hiding
+        cycles /= cores_used
+        parallel_base_cycles += cycles
+        categories[name] += cycles / freq
+    categories["parallel.imbalance"] += (
+        parallel_base_cycles * (IMBALANCE_FACTOR - 1.0) / freq
+    )
+    categories["parallel.barrier"] += barrier_cycles / freq
+    if bottleneck != "compute":
+        # A bandwidth-bound run: the binding boundary exposes the slack
+        # beyond the fully overlapped compute time; every other boundary
+        # overlaps completely and exposes nothing.
+        categories[f"bandwidth.{bottleneck}"] += time_s - compute_time
+    return CycleLedger(
+        time_s=time_s, frequency_hz=freq, categories=categories
+    )
+
+
 def _build_profile(
     machine: MachineSpec,
     totals: ChipTotals,
@@ -163,6 +239,7 @@ def _build_profile(
     compute_time: float,
     time_s: float,
     barrier_cycles: float,
+    ledger: CycleLedger,
 ) -> SimProfile:
     """Package the model's internal counters into a :class:`SimProfile`.
 
@@ -197,6 +274,7 @@ def _build_profile(
         mask_density=1.0 - lane_utilization if slots > 0 else 0.0,
         gather_elements=totals.gather_elements,
         compute_utilization=compute_time / time_s if time_s > 0 else 0.0,
+        ledger=ledger,
         counters={
             "cycles.serial": totals.serial_cycles,
             "cycles.parallel": totals.parallel_cycles,

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ResultSchemaError
+from repro.observability.accounting import CycleLedger, require_fields
 from repro.observability.profile import SimProfile
 from repro.units import fmt_seconds
 
@@ -53,6 +55,11 @@ class SimResult:
         return self.flops / self.time_s / 1e9
 
     @property
+    def ledger(self) -> CycleLedger | None:
+        """The cycle-accounting ledger (lives on the profile)."""
+        return self.profile.ledger if self.profile is not None else None
+
+    @property
     def dram_bandwidth_bytes_per_s(self) -> float:
         """Achieved DRAM bandwidth."""
         if self.time_s <= 0 or not self.traffic_bytes:
@@ -91,23 +98,51 @@ class SimResult:
         ``SimResult.from_dict(r.to_dict()).to_dict() == r.to_dict()``
         bit for bit — the property the engine's memo cache relies on
         (derived fields like ``gflops`` are recomputed, not stored).
+
+        Missing or unknown fields — a memo entry written by a different
+        schema, or hand-tampered on disk — raise
+        :class:`~repro.errors.ResultSchemaError` (a
+        :class:`~repro.errors.RobustnessError`) instead of a raw
+        ``KeyError``/``TypeError``, so the memo cache quarantines such
+        entries like any other corruption mode.
         """
-        profile_data = data.get("profile")
-        return SimResult(
-            kernel_name=data["kernel"],
-            options_label=data["rung"],
-            machine_name=data["machine"],
-            threads=int(data["threads"]),
-            time_s=data["time_s"],
-            compute_time_s=data["compute_time_s"],
-            level_times_s=tuple(data["level_times_s"]),
-            traffic_bytes=tuple(data["traffic_bytes"]),
-            flops=data["flops"],
-            elements=data["elements"],
-            instructions=data["instructions"],
-            bottleneck=data["bottleneck"],
-            profile=SimProfile.from_dict(profile_data) if profile_data else None,
+        require_fields(
+            data,
+            required=(
+                "kernel", "rung", "machine", "threads", "time_s",
+                "compute_time_s", "level_times_s", "traffic_bytes",
+                "flops", "elements", "instructions", "bottleneck",
+                "profile",
+            ),
+            derived=("gflops", "dram_bandwidth_bytes_per_s"),
+            context="SimResult",
         )
+        profile_data = data["profile"]
+        try:
+            return SimResult(
+                kernel_name=data["kernel"],
+                options_label=data["rung"],
+                machine_name=data["machine"],
+                threads=int(data["threads"]),
+                time_s=data["time_s"],
+                compute_time_s=data["compute_time_s"],
+                level_times_s=tuple(data["level_times_s"]),
+                traffic_bytes=tuple(data["traffic_bytes"]),
+                flops=data["flops"],
+                elements=data["elements"],
+                instructions=data["instructions"],
+                bottleneck=data["bottleneck"],
+                profile=(
+                    SimProfile.from_dict(profile_data)
+                    if profile_data else None
+                ),
+            )
+        except ResultSchemaError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ResultSchemaError(
+                f"SimResult: malformed field values: {exc}"
+            ) from exc
 
     def describe(self) -> str:
         """One-line summary for logs and examples."""

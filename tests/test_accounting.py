@@ -1,0 +1,248 @@
+"""The cycle-accounting ledger: exact closure, everywhere, provably.
+
+The tentpole guarantee under test: for **every** (kernel, rung, machine)
+grid point the analytic model prices, the ledger's categories sum to
+``time_s`` within ``CLOSURE_RTOL`` relative tolerance — enforced at
+construction, asserted here across the full benchmark × ladder × preset
+matrix (MIC included).  Plus the identity guarantees: ledgers are
+byte-identical between the JIT and interpreter execution backends and
+across memo-cache cold/warm runs, and deserialization is strict (schema
+violations quarantine instead of crashing).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.gap import LADDER_RUNGS, run_rung
+from repro.engine import engine_session, sim_memo_key
+from repro.engine.sim import cached_simulate
+from repro.errors import AccountingError, ResultSchemaError, RobustnessError
+from repro.jit import no_jit
+from repro.kernels import all_benchmarks, get_benchmark
+from repro.machines import get_machine
+from repro.machines.ops import PORTS
+from repro.machines.presets import PRESETS
+from repro.observability import CLOSURE_RTOL, CycleLedger, tracing
+from repro.simulator import SimResult
+
+
+def _ledger_bytes(ledger: CycleLedger) -> str:
+    """Canonical byte form for identity assertions."""
+    return json.dumps(ledger.to_dict(), sort_keys=True)
+
+
+def _expected_categories(machine) -> set:
+    names = {f"issue.{port}" for port in PORTS}
+    names |= {
+        "issue.frontend", "reduction.chain", "branch.mispredict",
+        "loop.control", "stall.DRAM", "parallel.imbalance",
+        "parallel.barrier",
+    }
+    names |= {f"stall.{cache.name}" for cache in machine.caches[1:]}
+    for level in range(len(machine.caches)):
+        if level + 1 < len(machine.caches):
+            names.add(f"bandwidth.{machine.caches[level + 1].name}")
+        else:
+            names.add("bandwidth.DRAM")
+    return names
+
+
+class TestClosureMatrix:
+    """Every benchmark × rung × machine closes exactly."""
+
+    @pytest.mark.parametrize("machine_name", sorted(PRESETS))
+    def test_full_matrix_closure(self, machine_name):
+        machine = PRESETS[machine_name]
+        expected = _expected_categories(machine)
+        for bench in all_benchmarks():
+            compiled: dict = {}
+            for label, variant, options in LADDER_RUNGS:
+                collected: list[SimResult] = []
+                rung = run_rung(
+                    bench, variant, options, machine,
+                    label=label, _cache=compiled, collect=collected,
+                )
+                assert collected, f"{bench.name}/{label}: no phases ran"
+                for result in collected:
+                    ledger = result.ledger
+                    assert ledger is not None, (
+                        f"{bench.name}/{label} on {machine_name}: no ledger"
+                    )
+                    # Construction already enforces closure; assert it
+                    # independently so a validate() regression cannot hide.
+                    assert ledger.residual_rel <= CLOSURE_RTOL
+                    assert set(ledger.categories) == expected
+                    assert all(s >= 0.0 for s in ledger.categories.values())
+                # The rung aggregate (phases scaled + merged) closes too.
+                assert rung.ledger is not None
+                assert rung.ledger.residual_rel <= CLOSURE_RTOL
+                assert rung.ledger.time_s == pytest.approx(
+                    rung.time_s, rel=1e-12
+                )
+
+
+class TestBackendAndMemoIdentity:
+    """Ledgers are byte-identical across backends and cache temperature."""
+
+    def test_jit_vs_interpreter_identity(self):
+        machine = get_machine("westmere")
+        for bench in all_benchmarks():
+            for label, variant, options in (
+                LADDER_RUNGS[0], LADDER_RUNGS[-1]
+            ):
+                jit_rung = run_rung(
+                    bench, variant, options, machine, label=label
+                )
+                with no_jit():
+                    interp_rung = run_rung(
+                        bench, variant, options, machine, label=label
+                    )
+                assert jit_rung.ledger is not None
+                assert _ledger_bytes(jit_rung.ledger) == _ledger_bytes(
+                    interp_rung.ledger
+                ), f"{bench.name}/{label}: backend changed the ledger"
+
+    def test_memo_cold_warm_identity(self, tmp_path):
+        bench = get_benchmark("blackscholes")
+        machine = get_machine("westmere")
+        label, variant, options = LADDER_RUNGS[-1]
+        uncached = run_rung(bench, variant, options, machine, label=label)
+        with engine_session(cache_dir=str(tmp_path / "memo")) as cfg:
+            cold = run_rung(bench, variant, options, machine, label=label)
+            assert cfg.cache.stats.puts > 0
+            warm = run_rung(bench, variant, options, machine, label=label)
+            assert cfg.cache.stats.hits > 0
+            audit = cfg.report()["accounting"]
+            assert audit["points"] > 0
+            assert audit["worst_residual_rel"] <= CLOSURE_RTOL
+        assert (
+            _ledger_bytes(uncached.ledger)
+            == _ledger_bytes(cold.ledger)
+            == _ledger_bytes(warm.ledger)
+        )
+
+    def test_round_trip_is_exact(self):
+        bench = get_benchmark("nbody")
+        machine = get_machine("westmere")
+        phase = next(iter(bench.phases("naive", bench.paper_params())))
+        result = cached_simulate(
+            phase.kernel, LADDER_RUNGS[0][2], machine, phase.params
+        )
+        rebuilt = SimResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert _ledger_bytes(rebuilt.ledger) == _ledger_bytes(result.ledger)
+
+
+class TestLedgerArithmetic:
+    def test_scaled_and_merge_preserve_closure(self):
+        machine = get_machine("westmere")
+        bench = get_benchmark("blackscholes")
+        rung = run_rung(bench, "naive", LADDER_RUNGS[0][2], machine)
+        ledger = rung.ledger
+        tripled = ledger.scaled(3)
+        assert tripled.time_s == pytest.approx(ledger.time_s * 3, rel=1e-12)
+        merged = CycleLedger.merge([ledger, tripled, ledger.scaled(0)])
+        assert merged.residual_rel <= CLOSURE_RTOL
+        assert merged.time_s == pytest.approx(ledger.time_s * 4, rel=1e-12)
+
+    def test_negative_scale_rejected(self):
+        ledger = CycleLedger(time_s=1.0, frequency_hz=1e9,
+                             categories={"issue.alu": 1.0})
+        with pytest.raises(AccountingError):
+            ledger.scaled(-1)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(AccountingError):
+            CycleLedger.merge([])
+
+    def test_construction_enforces_closure(self):
+        with pytest.raises(AccountingError):
+            CycleLedger(time_s=1.0, frequency_hz=1e9,
+                        categories={"issue.alu": 0.5})
+        with pytest.raises(AccountingError):
+            CycleLedger(time_s=1.0, frequency_hz=1e9,
+                        categories={"issue.alu": 1.0, "stall.DRAM": -0.0001})
+
+
+class TestStrictDeserialization:
+    """Schema violations raise ResultSchemaError (a RobustnessError)."""
+
+    def _result_dict(self):
+        bench = get_benchmark("blackscholes")
+        machine = get_machine("westmere")
+        phase = next(iter(bench.phases("naive", bench.paper_params())))
+        return cached_simulate(
+            phase.kernel, LADDER_RUNGS[0][2], machine, phase.params
+        ).to_dict()
+
+    def test_missing_field_rejected(self):
+        data = self._result_dict()
+        del data["time_s"]
+        with pytest.raises(ResultSchemaError, match="missing"):
+            SimResult.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = self._result_dict()
+        data["bogus_field"] = 1
+        with pytest.raises(ResultSchemaError, match="unknown"):
+            SimResult.from_dict(data)
+
+    def test_schema_error_is_robustness_error(self):
+        assert issubclass(ResultSchemaError, RobustnessError)
+
+    def test_tampered_ledger_rejected(self):
+        data = self._result_dict()
+        ledger = data["profile"]["ledger"]
+        first = next(iter(ledger["categories"]))
+        ledger["categories"][first] += max(1e-3, ledger["time_s"])
+        with pytest.raises(ResultSchemaError, match="close"):
+            SimResult.from_dict(data)
+
+    def test_malformed_values_rejected(self):
+        data = self._result_dict()
+        data["time_s"] = "not-a-number"
+        data["level_times_s"] = None
+        with pytest.raises(ResultSchemaError):
+            SimResult.from_dict(data)
+
+
+class TestMemoQuarantine:
+    """A checksum-valid entry with a stale/tampered payload quarantines."""
+
+    def _key_and_point(self, machine):
+        bench = get_benchmark("blackscholes")
+        phase = next(iter(bench.phases("naive", bench.paper_params())))
+        label, variant, options = LADDER_RUNGS[0]
+        key = sim_memo_key(
+            phase.kernel, phase.params, options, machine,
+            simulator="analytic", threads=None,
+        )
+        return phase, options, key
+
+    def test_schema_reject_quarantines_and_recomputes(self, tmp_path):
+        machine = get_machine("westmere")
+        with engine_session(cache_dir=str(tmp_path / "memo")) as cfg:
+            phase, options, key = self._key_and_point(machine)
+            # A well-checksummed entry whose payload is from another world.
+            cfg.cache.put(key, {"bogus": 1})
+            with tracing() as tracer:
+                result = cached_simulate(
+                    phase.kernel, options, machine, phase.params
+                )
+            assert result.ledger is not None
+            assert result.ledger.residual_rel <= CLOSURE_RTOL
+            assert cfg.cache.stats.quarantined == 1
+            assert cfg.faults.get("memo_schema_reject") == 1
+            names = {span.name for span in tracer.spans}
+            assert "engine.memo.quarantine" in names
+            # The recompute re-published a good entry: a second read hits.
+            with tracing() as tracer2:
+                again = cached_simulate(
+                    phase.kernel, options, machine, phase.params
+                )
+            assert "engine.memo.hit" in {s.name for s in tracer2.spans}
+            assert _ledger_bytes(again.ledger) == _ledger_bytes(result.ledger)
