@@ -59,7 +59,12 @@ from repro.machines import (
     get_machine,
 )
 from repro.observability import SimProfile, Tracer, tracing
-from repro.simulator import SimResult, simulate, trace_kernel
+from repro.simulator import (
+    MultiCoreHierarchy,
+    SimResult,
+    simulate,
+    trace_kernel,
+)
 
 
 def _read_version() -> str:
@@ -96,6 +101,7 @@ __all__ = [
     "MIC_KNF",
     "MachineSpec",
     "MemoCache",
+    "MultiCoreHierarchy",
     "ReproError",
     "RungResult",
     "SimProfile",

@@ -37,10 +37,12 @@ from repro.engine.keys import (
     fingerprint,
     kernel_fingerprint,
     sim_memo_key,
+    storage_digest,
+    trace_memo_key,
 )
 from repro.engine.memo import MemoCache, MemoStats, default_cache_dir
 from repro.engine.scheduler import GridTask, preset_name, run_grid
-from repro.engine.sim import cached_simulate
+from repro.engine.sim import TraceSummary, cached_simulate, cached_trace
 
 __all__ = [
     "EngineConfig",
@@ -48,7 +50,9 @@ __all__ = [
     "MEMO_SCHEMA",
     "MemoCache",
     "MemoStats",
+    "TraceSummary",
     "cached_simulate",
+    "cached_trace",
     "code_fingerprint",
     "configure",
     "default_cache_dir",
@@ -60,4 +64,6 @@ __all__ = [
     "run_grid",
     "set_config",
     "sim_memo_key",
+    "storage_digest",
+    "trace_memo_key",
 ]

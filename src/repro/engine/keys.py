@@ -42,7 +42,9 @@ from repro.machines.spec import MachineSpec
 #: Bump to invalidate every existing cache entry on a format change.
 #: 2: entries gained the checksum envelope ({"sha256", "payload"}).
 #: 3: profiles carry the cycle-accounting ledger; from_dict is strict.
-MEMO_SCHEMA = 3
+#: 4: trace profiles gained the "trace.threads" counter (multi-core
+#:    bulk replay), so cached trace results from schema 3 lack it.
+MEMO_SCHEMA = 4
 
 #: Model subpackages whose source participates in the code fingerprint.
 _CODE_SUBPACKAGES = ("ir", "compiler", "simulator", "machines", "jit")
@@ -131,6 +133,61 @@ def sim_memo_key(
         "options": fingerprint(options),
         "machine": fingerprint(machine),
         "threads": threads,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def storage_digest(storage: Mapping) -> str:
+    """SHA-256 of trace input arrays (name-sorted; record storages fold
+    their field planes).
+
+    Trace replay is data-dependent — gather kernels follow index arrays,
+    so two traces of the same kernel over different contents produce
+    different counters.  A trace memo key must therefore cover the exact
+    array bytes, not just shapes and parameters.
+    """
+    import numpy as np
+
+    digest = hashlib.sha256()
+    for name in sorted(storage):
+        plane = storage[name]
+        if isinstance(plane, Mapping):
+            for field_name in sorted(plane):
+                arr = np.ascontiguousarray(plane[field_name])
+                header = f"{name}.{field_name}|{arr.dtype.str}|{arr.shape}"
+                digest.update(header.encode("utf-8"))
+                digest.update(arr.tobytes())
+        else:
+            arr = np.ascontiguousarray(plane)
+            digest.update(f"{name}|{arr.dtype.str}|{arr.shape}".encode("utf-8"))
+            digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def trace_memo_key(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    machine: MachineSpec,
+    threads: int,
+    storage_sha: str,
+    version: str | None = None,
+) -> str:
+    """SHA-256 memo key for one trace-driven replay.
+
+    Mirrors :func:`sim_memo_key` minus compiler options (the trace runs
+    the source kernel) plus the storage content digest.
+    """
+    payload = {
+        "schema": MEMO_SCHEMA,
+        "version": version if version is not None else _package_version(),
+        "code": code_fingerprint(),
+        "simulator": "trace",
+        "kernel": kernel_fingerprint(kernel),
+        "params": {name: int(params[name]) for name in sorted(params)},
+        "machine": fingerprint(machine),
+        "threads": threads,
+        "storage": storage_sha,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

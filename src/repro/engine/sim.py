@@ -12,18 +12,21 @@ the uncached pipeline's.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.compiler import compile_kernel
 from repro.compiler.compiled import CompiledKernel
 from repro.compiler.options import CompilerOptions
 from repro.engine.config import get_config
-from repro.engine.keys import sim_memo_key
+from repro.engine.keys import sim_memo_key, storage_digest, trace_memo_key
 from repro.errors import RobustnessError
 from repro.ir.kernel import Kernel
 from repro.machines.spec import MachineSpec
+from repro.observability.accounting import require_fields
+from repro.observability.profile import SimProfile
 from repro.observability.tracer import span
-from repro.simulator import SimResult, simulate
+from repro.simulator import SimResult, simulate, trace_kernel
 
 
 def _compiled(
@@ -106,6 +109,131 @@ def cached_simulate(
     config.record_ledger(point, result.ledger)
     _log_point(kernel, options, machine, "miss", started)
     return result
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Serializable result of one memoized trace-driven replay.
+
+    Everything the experiments consume from a
+    :class:`~repro.simulator.trace.TraceResult` minus the live hierarchy
+    and storage side effects: exact counters in the shared profile shape
+    plus the DRAM headline.
+    """
+
+    accesses: int
+    threads: int
+    dram_bytes: int
+    profile: SimProfile
+
+    def to_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "threads": self.threads,
+            "dram_bytes": self.dram_bytes,
+            "profile": self.profile.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TraceSummary":
+        require_fields(
+            data,
+            required=("accesses", "threads", "dram_bytes", "profile"),
+            derived=(),
+            context="TraceSummary",
+        )
+        return TraceSummary(
+            accesses=int(data["accesses"]),
+            threads=int(data["threads"]),
+            dram_bytes=int(data["dram_bytes"]),
+            profile=SimProfile.from_dict(data["profile"]),
+        )
+
+
+def _storage_copy(storage: Mapping) -> dict:
+    """Deep copy of trace storage (record storages copy per field)."""
+    return {
+        name: (
+            {field: arr.copy() for field, arr in plane.items()}
+            if isinstance(plane, Mapping)
+            else plane.copy()
+        )
+        for name, plane in storage.items()
+    }
+
+
+def cached_trace(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    machine: MachineSpec,
+    storage: Mapping,
+    threads: int = 1,
+    max_statements: int = 50_000_000,
+) -> TraceSummary:
+    """Trace-driven replay of one kernel, consulting the memo cache.
+
+    Unlike a raw :func:`trace_kernel` call, *storage* is treated as a
+    read-only input: the replay runs on a deep copy, so a memo hit (which
+    runs nothing) and a miss behave identically.  The key covers the
+    storage contents — trace counters are data-dependent (gather kernels
+    follow index arrays), so shapes and parameters alone would alias
+    distinct traces.
+    """
+
+    def compute() -> TraceSummary:
+        result = trace_kernel(
+            kernel, params, _storage_copy(storage), machine,
+            max_statements=max_statements, threads=threads,
+        )
+        return TraceSummary(
+            accesses=result.accesses,
+            threads=threads,
+            dram_bytes=result.hierarchy.total_dram_bytes(),
+            profile=result.profile(),
+        )
+
+    config = get_config()
+    cache = config.cache
+    if cache is None:
+        return compute()
+    started = time.perf_counter()
+    key = trace_memo_key(
+        kernel, params, machine, threads, storage_digest(storage)
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        try:
+            with span(
+                "engine.memo.hit",
+                kernel=kernel.name, rung="trace", machine=machine.name,
+            ):
+                summary = TraceSummary.from_dict(cached)
+        except RobustnessError as exc:
+            cache.reject(key, exc)
+            config.count_fault("memo_schema_reject")
+        else:
+            _log_trace_point(kernel, machine, "hit", started)
+            return summary
+    with span(
+        "engine.point", kernel=kernel.name, rung="trace", machine=machine.name
+    ):
+        summary = compute()
+    cache.put(key, summary.to_dict())
+    _log_trace_point(kernel, machine, "miss", started)
+    return summary
+
+
+def _log_trace_point(
+    kernel: Kernel, machine: MachineSpec, memo: str, started: float
+) -> None:
+    get_config().log_task(
+        {
+            "task": f"{kernel.name}|trace|{machine.name}",
+            "kind": "trace",
+            "memo": memo,
+            "wall_s": time.perf_counter() - started,
+        }
+    )
 
 
 def _log_point(

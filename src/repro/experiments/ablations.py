@@ -12,7 +12,8 @@ from repro.experiments.base import ExperimentResult, register
 from repro.kernels import Stencil, get_benchmark
 from repro.machines import CORE_I7_X980, MIC_KNF
 from repro.machines.ops import OpClass, OpCost, OpCostTable
-from repro.simulator import simulate, trace_kernel
+from repro.engine import cached_trace
+from repro.simulator import simulate
 
 #: Benchmarks whose naive code needs gathers to vectorize.
 _GATHER_BOUND = (
@@ -134,11 +135,11 @@ def abl_cache_models() -> ExperimentResult:
         phase = bench.phases("naive", params)[0]
         problem = bench.make_problem(params, rng)
         storage = bench.bind("naive", problem, params)
-        traced = trace_kernel(
-            phase.kernel, phase.params, storage, CORE_I7_X980,
+        traced = cached_trace(
+            phase.kernel, phase.params, CORE_I7_X980, storage,
             max_statements=50_000_000,
         )
-        traced_dram = traced.hierarchy.total_dram_bytes()
+        traced_dram = traced.dram_bytes
         compiled = compile_kernel(phase.kernel, options, CORE_I7_X980)
         analytic = simulate(compiled, CORE_I7_X980, phase.params, threads=1)
         ratio = analytic.traffic_bytes[-1] / max(1, traced_dram)

@@ -15,6 +15,19 @@ directly into loop induction variables.  Three modes share one emitter:
   :mod:`repro.simulator.trace`).
 * ``"trace_raw"`` — one ``hierarchy.access`` call per element access
   (the ``coalesce=False`` replay).
+* ``"stream"`` — decoupled address-stream materialization: array
+  accesses are not fed into a hierarchy at all; instead the generated
+  code emits the kernel's exact byte-address stream (program order) as
+  numpy ``int64`` arrays through an ``_emit`` sink, for bulk replay by
+  ``CacheHierarchy.access_run`` / the multi-core merge.  A loop whose
+  per-iteration access stream is a static list of affine sites — every
+  vectorized loop, and any straight-line scalar body whose subscripts
+  are all affine in the induction variable — emits one
+  ``(extent, n_sites)`` address matrix per execution (raveled
+  iteration-major, which *is* program order) plus a per-site write
+  pattern the sink tiles.  Everything else (checked subscripts, sites
+  under an ``If``) falls back to a per-access ``_emit1`` call, which
+  preserves ordering because chunks are concatenated in emission order.
 
 Counter exactness is load-bearing: the generated code must reproduce the
 tree-walking interpreter bit for bit — outputs, ``InterpStats``, and the
@@ -70,7 +83,7 @@ __all__ = [
 ]
 
 #: Compile modes.
-MODES = ("run", "trace", "trace_raw")
+MODES = ("run", "trace", "trace_raw", "stream")
 
 #: Max cached (kernel, mode) entries before LRU eviction.
 _CACHE_CAP = 256
@@ -94,6 +107,11 @@ class _NotAffine(Exception):
 
 class _VecFail(Exception):
     """The loop body cannot be vectorized exactly; use the scalar loop."""
+
+
+class _StreamFail(Exception):
+    """A loop body hit a non-affine (checked) access site during a
+    stream-mode bulk trial; re-emit with per-access ``_emit1`` calls."""
 
 
 #: Marks a scalar temp whose post-loop value the generated code does not
@@ -127,6 +145,50 @@ def _arange_i64(n: int) -> np.ndarray:
     return np.arange(n, dtype=np.int64)
 
 
+#: Single-slot caches for :func:`_stream_matrix`.  Stream emissions
+#: inside an outer loop repeat the same (n, bases, slopes) — or the same
+#: slopes with shifting bases — every entry, so each slot almost always
+#: hits after the first iteration.  Returned arrays are READ-ONLY by
+#: contract: the ``_emit`` sink may only copy them (the executor does).
+_SMAT_FULL: list = [None, None]  # (n, bases, slopes) -> flat stream
+_SMAT_PROD: list = [None, None]  # (n, slopes) -> flat slopes*iteration
+_SMAT_TILE: list = [None, None]  # (n, bases) -> flat tiled bases
+
+
+def _stream_matrix(n: int, bases: tuple, slopes: tuple) -> np.ndarray:
+    """Program-order flat address stream for *k* affine sites over an
+    *n*-iteration loop.
+
+    Element ``i*k + c`` is ``bases[c] + slopes[c] * i`` — iteration-major,
+    exactly the interpreter's per-iteration program order.  The heavy
+    parts are cached across calls: the slope-by-iteration product per
+    (n, slopes) and the tiled bases per (n, bases), combined by one
+    contiguous add (a (k,)-broadcast over an (n, k) matrix would outer-
+    loop n times over a k-element inner loop, which is far slower).  The
+    result itself is cached too, so a loop re-entered with unchanged
+    affine coefficients pays one tuple compare.  Callers must treat the
+    returned array as read-only.
+    """
+    key = (n, bases, slopes)
+    if _SMAT_FULL[0] == key:
+        return _SMAT_FULL[1]
+    prod_key = (n, slopes)
+    if _SMAT_PROD[0] != prod_key:
+        iters = np.arange(n, dtype=np.int64)
+        _SMAT_PROD[1] = (
+            iters[:, None] * np.array(slopes, dtype=np.int64)
+        ).reshape(-1)
+        _SMAT_PROD[0] = prod_key
+    tile_key = (n, bases)
+    if _SMAT_TILE[0] != tile_key:
+        _SMAT_TILE[1] = np.tile(np.array(bases, dtype=np.int64), n)
+        _SMAT_TILE[0] = tile_key
+    flat = _SMAT_PROD[1] + _SMAT_TILE[1]
+    _SMAT_FULL[0] = key
+    _SMAT_FULL[1] = flat
+    return flat
+
+
 _BASE_GLOBALS = {
     "np": np,
     "_i64": np.int64,
@@ -143,6 +205,7 @@ _BASE_GLOBALS = {
     "_erf": math.erf,
     "_where": np.where,
     "_arange": _arange_i64,
+    "_smat": _stream_matrix,
 }
 
 #: Float unary math ops sharing the ``_t(_fn(v))`` shape.
@@ -251,8 +314,15 @@ class _Codegen:
         assert mode in MODES
         self.kernel = kernel
         self.mode = mode
-        self.trace = mode in ("trace", "trace_raw")
+        self.trace = mode in ("trace", "trace_raw", "stream")
         self.coalesce = mode == "trace"
+        self.stream = mode == "stream"
+        #: (site id, is_write) collected during a stream bulk trial, or
+        #: None when no trial is active.
+        self._bulk_sites: list[tuple[int, bool]] | None = None
+        #: site id of the most recently emitted affine site (stream mode
+        #: pairs it with the _emit_access that follows immediately).
+        self._last_affine_site: int | None = None
         self._decls = {d.name: d for d in kernel.arrays}
         self._tmp = 0
         self._site = 0
@@ -323,7 +393,9 @@ class _Codegen:
         self.emit_block(self.kernel.body, body, 1)
 
         args = "_arrs, _dims, _params, _max"
-        if self.trace:
+        if self.stream:
+            args += ", _aff, _emit, _emit1"
+        elif self.trace:
             args += ", _aff, _acc, _tch, _LB"
         out.append(f"def _jit({args}):")
         for param in self.kernel.params:
@@ -447,6 +519,8 @@ class _Codegen:
 
         if self._try_vectorize(stmt, ext, out, ind):
             return
+        if self._try_stream_bulk(stmt, ext, out, ind):
+            return
 
         ctx = _LoopCtx(var=var, ext_name=ext, head=[], cond_depth=self._cond_depth)
         self._loops.append(ctx)
@@ -569,6 +643,7 @@ class _Codegen:
             ctx.head.append(pad + f"_AD{s} = OF_{mangled} + _B{s} * SR_{mangled}")
             ctx.head.append(pad + f"_AS{s} = _A{s} * SR_{mangled}")
             addr = f"_AD{s} + _AS{s} * L_{ctx.var}"
+        self._last_affine_site = s
         return plane, lin, addr
 
     def _base_indent(self) -> int:
@@ -584,6 +659,9 @@ class _Codegen:
         out: list[str],
         ind: int,
     ) -> tuple[str, str, str]:
+        if self._bulk_sites is not None:
+            raise _StreamFail()  # non-affine site aborts the bulk trial
+        self._last_affine_site = None
         pad = "    " * ind
         lin = "0"
         for k, sub in enumerate(subs):
@@ -606,6 +684,15 @@ class _Codegen:
     def _emit_access(self, addr: str, is_write: bool, out: list[str], ind: int) -> None:
         """Inline the trace replay for one access (program order)."""
         pad = "    " * ind
+        if self.stream:
+            if self._bulk_sites is not None:
+                # Affine site inside a bulk trial: recorded, not emitted —
+                # the post-loop address matrix covers it.
+                assert self._last_affine_site is not None
+                self._bulk_sites.append((self._last_affine_site, is_write))
+                return
+            out.append(pad + f"_emit1({addr}, {is_write})")
+            return
         if not self.coalesce:
             out.append(pad + f"_acc({addr}, {is_write})")
             return
@@ -621,6 +708,79 @@ class _Codegen:
         out.append(pad + "        if _px: _tch(_pa, _px, _pw)")
         out.append(
             pad + f"    _pl = _li; _pa = _ad; _pv = {is_write}; _px = 0; _pw = False"
+        )
+
+    # -- stream-mode bulk emission ----------------------------------------
+    def _try_stream_bulk(self, stmt: For, ext: str, out: list[str], ind: int) -> bool:
+        """Stream mode: emit *stmt* with the compute loop decoupled from
+        a post-loop bulk address block, if provably exact.
+
+        Eligible bodies are straight-line (``Decl``/``Assign`` only) with
+        every access site affine in the induction variable: the
+        per-iteration access stream is then one static site list, so the
+        raveled ``(extent, n_sites)`` affine address matrix reproduces the
+        interpreter's program-order stream exactly.  Any checked site
+        aborts the trial (:class:`_StreamFail`) and the loop re-emits
+        with per-access ``_emit1`` calls instead.
+        """
+        if not self.stream or self._bulk_sites is not None:
+            return False
+        if not all(isinstance(s, (Decl, Assign)) for s in stmt.body):
+            return False
+        snapshot = dict(self.scalar_types)
+        ctx = _LoopCtx(
+            var=stmt.var, ext_name=ext, head=[], cond_depth=self._cond_depth
+        )
+        self._loops.append(ctx)
+        self._bulk_sites = []
+        body: list[str] = []
+        try:
+            self.emit_block(stmt.body, body, ind + 1)
+        except _StreamFail:
+            self.scalar_types = snapshot
+            return False
+        finally:
+            sites = self._bulk_sites
+            self._bulk_sites = None
+            self._loops.pop()
+        pad = "    " * ind
+        out.extend(ctx.head)
+        out.append(pad + f"for L_{stmt.var} in range({ext}):")
+        if any(f"LV_{stmt.var}" in line for line in body):
+            body.insert(
+                0, "    " * (ind + 1) + f"LV_{stmt.var} = _i64(L_{stmt.var})"
+            )
+        out.extend(body)
+        self._emit_stream_block(sites, ext, out, ind)
+        return True
+
+    def _emit_stream_block(
+        self,
+        sites: list[tuple[int, bool]],
+        ext: str,
+        out: list[str],
+        ind: int,
+        guard: bool = True,
+    ) -> None:
+        """Emit one bulk address matrix for a static affine site list.
+
+        Column *k* is site *k*'s affine address sequence over the loop;
+        the C-order ravel is iteration-major — exactly the interpreter's
+        per-iteration program order — and the write pattern tuple lets
+        the sink tile the per-site write flags.
+        """
+        if not sites:
+            return
+        pad = "    " * ind
+        if guard:
+            out.append(pad + f"if {ext} > 0:")
+            pad += "    "
+        bases = ", ".join(f"_AD{site}" for site, _ in sites)
+        slopes = ", ".join(f"_AS{site}" for site, _ in sites)
+        pattern = tuple(bool(is_write) for _, is_write in sites)
+        out.append(
+            pad + f"_emit(_smat({ext}, ({bases},), ({slopes},)), "
+            f"{pattern!r})"
         )
 
     # -- affine analysis ------------------------------------------------
@@ -855,12 +1015,20 @@ class _Codegen:
                     pad1 + f"_AD{site} = OF_{mangled} + _B{site} * SR_{mangled}"
                 )
                 out.append(pad1 + f"_AS{site} = _A{site} * SR_{mangled}")
-            var = stmt.var
-            out.append(pad1 + f"for L_{var} in range({ext}):")
-            for site, _, is_write in vec.access_order:
-                self._emit_access(
-                    f"_AD{site} + _AS{site} * L_{var}", is_write, out, ind + 2
+            if self.stream:
+                # Already inside the `if ext > 0` compute guard.
+                self._emit_stream_block(
+                    [(site, w) for site, _, w in vec.access_order],
+                    ext, out, ind + 1, guard=False,
                 )
+            else:
+                var = stmt.var
+                out.append(pad1 + f"for L_{var} in range({ext}):")
+                for site, _, is_write in vec.access_order:
+                    self._emit_access(
+                        f"_AD{site} + _AS{site} * L_{var}",
+                        is_write, out, ind + 2,
+                    )
         self.vectorized_loops += 1
         return True
 

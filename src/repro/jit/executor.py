@@ -31,7 +31,13 @@ from repro.ir.kernel import Kernel
 from repro.jit.codegen import BoundsFault, BudgetExceeded, get_compiled
 from repro.observability.tracer import add_counter, span
 
-__all__ = ["jit_enabled", "no_jit", "try_run_jit", "try_trace_jit"]
+__all__ = [
+    "jit_enabled",
+    "no_jit",
+    "try_run_jit",
+    "try_trace_jit",
+    "try_trace_stream",
+]
 
 #: Every fault generated code may raise where the interpreter defines the
 #: canonical behaviour.  ``ArithmeticError`` covers FloatingPointError,
@@ -201,3 +207,104 @@ def try_trace_jit(
     add_counter("jit.traces")
     hierarchy.flush()
     return ld + st
+
+
+def stream_enabled() -> bool:
+    """True when the stream-mode decoupled replay is allowed.
+
+    ``REPRO_NO_STREAM=1`` forces the previous per-access replay paths
+    (benchmarks use it as the baseline; bisection too), independently of
+    ``REPRO_NO_JIT``.
+    """
+    return jit_enabled() and os.environ.get("REPRO_NO_STREAM") != "1"
+
+
+def try_trace_stream(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: ArrayStorage,
+    address_map,
+    max_statements: int,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Execute *kernel* via generated code, materializing its exact
+    byte-address stream instead of walking a hierarchy per access.
+
+    Returns ``(addrs, writes)`` — int64 addresses and bool write flags in
+    program order — with the kernel's outputs written to *arrays*, or
+    None when the stream path is unavailable (unsupported kernel,
+    ``REPRO_NO_JIT=1``/``REPRO_NO_STREAM=1``, non-viewable storage) or
+    the generated code faulted and rolled back.
+    """
+    if not stream_enabled():
+        return None
+    compiled = get_compiled(kernel, "stream")
+    if compiled is None:
+        return None
+    # Construction validates parameter/storage bindings, raising the
+    # canonical SimulationError before any generated code runs.
+    interp = Interpreter(kernel, params, arrays, None, max_statements)
+    flats = _flat_planes(interp)
+    if flats is None:
+        return None
+    aff = {
+        key: address_map.resolver(*key) for key in compiled.plane_keys
+    }
+    int_params = {name: int(value) for name, value in interp.params.items()}
+    chunks: list[tuple] = []
+
+    def _emit(flat: np.ndarray, pattern: tuple) -> None:
+        chunks.append((flat, pattern))
+
+    def _emit1(addr, is_write: bool) -> None:
+        chunks.append((int(addr), bool(is_write)))
+
+    snapshot = _snapshot(flats)
+    try:
+        with span("jit.exec", kernel=kernel.name, mode="stream"):
+            with _errstate(interp):
+                _, ld, st = compiled.fn(
+                    flats,
+                    _dims(interp),
+                    int_params,
+                    max_statements,
+                    aff,
+                    _emit,
+                    _emit1,
+                )
+    except _FALLBACK_EXCEPTIONS:
+        _restore(flats, snapshot)
+        add_counter("jit.fallbacks")
+        return None
+    total = sum(
+        chunk[0].shape[0] if isinstance(chunk[0], np.ndarray) else 1
+        for chunk in chunks
+    )
+    if total != ld + st:
+        # Internal inconsistency; never an answer — roll back.
+        _restore(flats, snapshot)
+        add_counter("jit.fallbacks")
+        return None
+    addrs = np.empty(total, dtype=np.int64)
+    writes = np.empty(total, dtype=bool)
+    pos = 0
+    # Chunks emitted by the same loop share (pattern, length); tile each
+    # distinct combination once.
+    tiled: dict[tuple, np.ndarray] = {}
+    for payload, meta in chunks:
+        if isinstance(payload, np.ndarray):
+            n = payload.shape[0]
+            addrs[pos:pos + n] = payload
+            key = (meta, n)
+            flags = tiled.get(key)
+            if flags is None:
+                flags = tiled[key] = np.tile(
+                    np.asarray(meta, dtype=bool), n // len(meta)
+                )
+            writes[pos:pos + n] = flags
+            pos += n
+        else:
+            addrs[pos] = payload
+            writes[pos] = meta
+            pos += 1
+    add_counter("jit.streams")
+    return addrs, writes

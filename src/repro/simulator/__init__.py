@@ -5,6 +5,11 @@ from repro.simulator.analytic import AnalyticModel, ChipTotals
 from repro.simulator.cache import Cache, CacheHierarchy, CacheStats
 from repro.simulator.core import PricedBundle, price_ops, reduction_chain_cycles
 from repro.simulator.executor import BARRIER_CYCLES, IMBALANCE_FACTOR, simulate
+from repro.simulator.multicore import (
+    MultiCoreHierarchy,
+    TraceSegment,
+    split_for_threads,
+)
 from repro.simulator.result import SimResult
 from repro.simulator.streams import (
     ResolvedStream,
@@ -24,11 +29,14 @@ __all__ = [
     "CacheStats",
     "ChipTotals",
     "IMBALANCE_FACTOR",
+    "MultiCoreHierarchy",
     "PricedBundle",
     "ResolvedStream",
     "SimResult",
     "TraceResult",
+    "TraceSegment",
     "price_ops",
+    "split_for_threads",
     "random_miss_rate",
     "reduction_chain_cycles",
     "resolve_stream",

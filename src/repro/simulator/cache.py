@@ -11,9 +11,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.machines.spec import CacheSpec, MachineSpec
 from repro.observability.profile import CacheLevelProfile
+
+# Scratch buffers for the bulk replay path, grown to the largest run seen.
+# Fresh multi-megabyte allocations per run are dominated by page faults,
+# not compute; reuse makes the per-access numpy cost flat.  The buffers
+# never escape ``Cache._run`` (results derived from them are materialized
+# with ``tolist``/fancy-indexing before the next run can overwrite them).
+_scratch_lines = np.empty(0, dtype=np.int64)
+_scratch_lead = np.empty(0, dtype=bool)
+
+
+def _scratch(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-run scratch views: an int64 line buffer and a bool lead buffer."""
+    global _scratch_lines, _scratch_lead
+    if _scratch_lines.shape[0] < n:
+        _scratch_lines = np.empty(n, dtype=np.int64)
+        _scratch_lead = np.empty(n, dtype=bool)
+    return _scratch_lines[:n], _scratch_lead[:n]
 
 
 @dataclass
@@ -43,9 +62,25 @@ class Cache:
         self._line_bytes = spec.line_bytes
         self._num_sets = spec.num_sets
         self._associativity = spec.associativity
-        self._sets: list[dict[int, bool]] = [
-            {} for _ in range(spec.num_sets)
-        ]  # tag -> dirty, insertion order is LRU order (dict preserves it)
+        # Bulk-path geometry: for power-of-two line size / set count the
+        # divide/modulo per element becomes a shift/mask (addresses are
+        # guaranteed non-negative after the run's bounds check).
+        self._line_shift = (
+            spec.line_bytes.bit_length() - 1
+            if spec.line_bytes & (spec.line_bytes - 1) == 0
+            else None
+        )
+        self._set_shift = (
+            spec.num_sets.bit_length() - 1
+            if spec.num_sets & (spec.num_sets - 1) == 0
+            else None
+        )
+        # tag -> dirty per set; insertion order is LRU order (dict
+        # preserves it).  Sets start as None and materialize on first
+        # touch: large last-level caches have thousands of sets and a
+        # short trace touches few, so eager construction would dominate
+        # per-trace cost.
+        self._sets: list[dict[int, bool] | None] = [None] * spec.num_sets
 
     def access(self, address: int, is_write: bool) -> bool:
         """Access one byte address; returns True on hit.
@@ -61,6 +96,10 @@ class Cache:
         ways = self._sets[set_index]
         stats = self.stats
         stats.accesses += 1
+        if ways is None:
+            self._sets[set_index] = {tag: is_write}
+            stats.misses += 1
+            return False
         if tag in ways:
             stats.hits += 1
             if is_write:
@@ -78,6 +117,107 @@ class Cache:
         ways[tag] = is_write
         return False
 
+    def access_run(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Replay a whole address run; returns the per-access hit mask.
+
+        Counter-exact to calling :meth:`access` element by element (the
+        cross-validation suite enforces it): line/set/tag derivation and
+        the consecutive-same-line coalescing run in numpy, and the
+        residual Python loop walks only the compacted unique-line stream
+        — one dict probe per line transition, so Python-level work scales
+        with misses and transitions, not accesses.
+
+        Follow-on accesses inside one same-line run are guaranteed MRU
+        hits (the leader just touched the line), so only the run's
+        write-OR matters for the dirty bit — exactly the
+        :meth:`touch_mru` contract.  The per-access negative-address
+        guard is paid once as a vectorized bounds check over the run.
+        """
+        hit_mask = np.ones(addrs.shape[0], dtype=bool)
+        miss_pos = self._run(addrs, writes)
+        if miss_pos.shape[0]:
+            hit_mask[miss_pos] = False
+        return hit_mask
+
+    def _run(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Bulk-replay core: returns the miss *positions* into the run.
+
+        :meth:`access_run` expands them into a hit mask;
+        :class:`CacheHierarchy` gathers the next level's stream from them
+        directly (a small fancy-index instead of a full-length boolean
+        mask).
+        """
+        n = addrs.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        lines, lead = _scratch(n)
+        if self._line_shift is not None:
+            np.right_shift(addrs, self._line_shift, out=lines)
+        else:
+            np.floor_divide(addrs, self._line_bytes, out=lines)
+        lead[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=lead[1:])
+        starts = np.flatnonzero(lead)
+        if starts.shape[0] == n:
+            leaders = lines
+            run_write = writes
+        else:
+            # Net run dirty bit = OR of the run's write flags, segment-wise.
+            run_write = np.bitwise_or.reduceat(writes, starts)
+            leaders = lines[starts]
+        # Negative-address guard, paid on the compacted leaders: a
+        # negative address has a negative line (arithmetic shift and
+        # floor division agree on that), and every run's line is its
+        # leader's line.
+        if int(leaders.min()) < 0:
+            bad = int(addrs[int(np.argmax(addrs < 0))])
+            raise SimulationError(f"negative address {bad}")
+        if self._set_shift is not None:
+            set_ids = (leaders & (self._num_sets - 1)).tolist()
+            tags = (leaders >> self._set_shift).tolist()
+        else:
+            set_ids = (leaders % self._num_sets).tolist()
+            tags = (leaders // self._num_sets).tolist()
+        run_w = run_write.tolist()
+        # With no coalescing the leader positions are just 0..n-1; skip
+        # materializing them as Python ints.
+        positions = range(n) if leaders is lines else starts.tolist()
+        sets = self._sets
+        assoc = self._associativity
+        writebacks = 0
+        miss_pos: list[int] = []
+        miss_append = miss_pos.append
+        for pos, set_id, tag, w in zip(positions, set_ids, tags, run_w):
+            ways = sets[set_id]
+            if ways is None:
+                sets[set_id] = {tag: w}
+                miss_append(pos)
+            elif tag in ways:
+                if w:
+                    ways.pop(tag)
+                    ways[tag] = True  # move to MRU position, now dirty
+                else:
+                    dirty = ways.pop(tag)
+                    ways[tag] = dirty  # move to MRU position
+            else:
+                miss_append(pos)
+                if len(ways) >= assoc:
+                    if ways.pop(next(iter(ways))):
+                        writebacks += 1
+                ways[tag] = w
+        stats = self.stats
+        misses = len(miss_pos)
+        stats.accesses += n
+        stats.hits += n - misses
+        stats.misses += misses
+        stats.writebacks += writebacks
+        return np.array(miss_pos, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Drop all counters and resident lines (fresh-cache state)."""
+        self.stats = CacheStats()
+        self._sets = [None] * self._num_sets
+
     def touch_mru(self, address: int, count: int, is_write: bool) -> None:
         """Apply *count* guaranteed hits to the line holding *address*.
 
@@ -90,7 +230,7 @@ class Cache:
         line = address // self._line_bytes
         ways = self._sets[line % self._num_sets]
         tag = line // self._num_sets
-        if tag not in ways:
+        if ways is None or tag not in ways:
             raise SimulationError(
                 f"touch_mru on non-resident line {line} (address {address})"
             )
@@ -103,6 +243,8 @@ class Cache:
         """Write back all dirty lines (end-of-run accounting); returns count."""
         flushed = 0
         for ways in self._sets:
+            if not ways:
+                continue
             for tag, dirty in ways.items():
                 if dirty:
                     flushed += 1
@@ -145,6 +287,32 @@ class CacheHierarchy:
         # Inclusive refill is implicit: the miss walk above already
         # allocated the line in every level it missed in.
         del hit_level, address
+
+    def access_run(self, addrs: np.ndarray, writes: np.ndarray) -> int:
+        """Replay a whole address run level by level; returns its length.
+
+        Exactly equivalent to calling :meth:`access` per element: each
+        level's counters are a pure function of its own access stream,
+        and level *i+1*'s stream is level *i*'s miss stream in order — so
+        replaying a level's whole run before descending reproduces the
+        interleaved per-access walk bit for bit (inclusive refill is
+        implicit, exactly as in :meth:`access`).
+        """
+        addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=bool)
+        total = int(addrs.shape[0])
+        for cache in self.levels:
+            if addrs.shape[0] == 0:
+                break
+            miss_pos = cache._run(addrs, writes)
+            addrs = addrs[miss_pos]
+            writes = writes[miss_pos]
+        return total
+
+    def reset(self) -> None:
+        """Reset every level to fresh-cache state (counters and contents)."""
+        for cache in self.levels:
+            cache.reset()
 
     def flush(self) -> None:
         """Flush dirty lines in every level."""

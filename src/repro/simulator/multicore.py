@@ -1,0 +1,408 @@
+"""Multi-core trace replay: per-thread private caches, shared-level merge.
+
+A multi-threaded run of a ``parallel`` kernel is modelled as one private
+cache hierarchy instance per thread (the ``shared=False`` prefix of the
+machine's cache levels) in front of a single instance of each shared
+level (the ``shared=True`` suffix).  The parallel iteration split is
+OpenMP static scheduling: thread *t* of *T* executes the contiguous
+chunk ``[t*E//T, (t+1)*E//T)`` of the outermost ``parallel`` loop;
+statements outside parallel loops run on thread 0, with a barrier
+between segments.
+
+Interleave policy (deterministic, reproducible):
+
+* Private levels see exactly their own thread's access stream, in
+  program order.  Their counters are therefore independent of how the
+  threads' streams interleave in time.
+* Shared levels see the private-level miss streams merged by ascending
+  ``(position-in-thread-stream, thread id)`` — round-robin: one access
+  from each thread in thread order, then the next position.  This is the
+  reference order :meth:`MultiCoreHierarchy.access_interleaved` walks
+  per access, and the order the bulk path reproduces with one
+  ``np.lexsort`` over the surviving accesses.
+
+The bulk fast path (:meth:`MultiCoreHierarchy.access_streams`) is exact
+by construction: private replay per thread is order-preserving, the
+private miss sets do not depend on the interleave, and the lexsort key
+equals the reference round-robin order — so every cache instance sees
+the identical access sequence either way (docs/MODEL.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.evaluate import eval_int_expr
+from repro.ir.expr import (
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Load,
+    Logical,
+    Select,
+    UnOp,
+    VarRef,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt
+from repro.machines.spec import MachineSpec
+from repro.observability.profile import CacheLevelProfile
+from repro.simulator.cache import Cache
+
+__all__ = ["MultiCoreHierarchy", "TraceSegment", "split_for_threads"]
+
+
+class MultiCoreHierarchy:
+    """Per-thread private cache levels feeding single shared instances.
+
+    Duck-types the :class:`~repro.simulator.cache.CacheHierarchy` surface
+    :class:`~repro.simulator.trace.TraceResult` consumes (``flush``,
+    ``traffic_bytes``, ``level_profiles``, ``total_dram_bytes``), with
+    counters aggregated across instances per level — conservation holds
+    in aggregate (level *i+1* accesses equal level *i* misses summed over
+    instances).
+    """
+
+    def __init__(self, machine: MachineSpec, threads: int):
+        if threads < 1:
+            raise SimulationError(f"threads must be >= 1, got {threads}")
+        if threads > machine.total_threads:
+            raise SimulationError(
+                f"machine {machine.name} supports {machine.total_threads} "
+                f"threads, got {threads}"
+            )
+        shared_flags = [spec.shared for spec in machine.caches]
+        split = shared_flags.index(True) if True in shared_flags else len(shared_flags)
+        if not all(shared_flags[split:]):
+            raise SimulationError(
+                f"machine {machine.name}: private cache level outside a "
+                "shared level is not modellable"
+            )
+        self.machine = machine
+        self.threads = threads
+        self._private_specs = machine.caches[:split]
+        self._shared_specs = machine.caches[split:]
+        self._private = [
+            [Cache(spec) for spec in self._private_specs]
+            for _ in range(threads)
+        ]
+        self._shared = [Cache(spec) for spec in self._shared_specs]
+
+    # -- replay ---------------------------------------------------------
+    def access(self, tid: int, address: int, is_write: bool) -> int:
+        """One per-access walk on thread *tid*; returns the hit level
+        index (``len(machine.caches)`` means DRAM)."""
+        level = 0
+        for cache in self._private[tid]:
+            if cache.access(address, is_write):
+                return level
+            level += 1
+        for cache in self._shared:
+            if cache.access(address, is_write):
+                return level
+            level += 1
+        return level
+
+    def access_interleaved(self, streams) -> int:
+        """Reference per-access replay of one parallel phase.
+
+        *streams* is an iterable of ``(tid, addrs, writes)``.  Accesses
+        are walked round-robin: position 0 of every thread in thread
+        order, then position 1, and so on — the canonical deterministic
+        interleave the bulk path must reproduce.  Returns the total
+        access count.
+        """
+        ordered = sorted(streams, key=lambda s: s[0])
+        total = 0
+        longest = max((len(s[1]) for s in ordered), default=0)
+        for pos in range(longest):
+            for tid, addrs, writes in ordered:
+                if pos < len(addrs):
+                    self.access(tid, int(addrs[pos]), bool(writes[pos]))
+                    total += 1
+        return total
+
+    def access_streams(self, streams) -> int:
+        """Bulk replay of one parallel phase; counter-exact to
+        :meth:`access_interleaved` on the same streams.
+
+        Private levels replay each thread's stream independently with
+        the numpy bulk path; the accesses surviving all private levels
+        are merged by ``np.lexsort`` on ``(position, tid)`` — exactly
+        the round-robin order — and replayed through the shared levels
+        in bulk.  Returns the total access count.
+        """
+        total = 0
+        leftover_a: list[np.ndarray] = []
+        leftover_w: list[np.ndarray] = []
+        leftover_p: list[np.ndarray] = []
+        leftover_t: list[np.ndarray] = []
+        for tid, addrs, writes in sorted(streams, key=lambda s: s[0]):
+            addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+            writes = np.ascontiguousarray(writes, dtype=bool)
+            total += int(addrs.shape[0])
+            pos = np.arange(addrs.shape[0], dtype=np.int64)
+            for cache in self._private[tid]:
+                if addrs.shape[0] == 0:
+                    break
+                miss_pos = cache._run(addrs, writes)
+                addrs = addrs[miss_pos]
+                writes = writes[miss_pos]
+                pos = pos[miss_pos]
+            if addrs.shape[0]:
+                leftover_a.append(addrs)
+                leftover_w.append(writes)
+                leftover_p.append(pos)
+                leftover_t.append(
+                    np.full(addrs.shape[0], tid, dtype=np.int64)
+                )
+        if leftover_a and self._shared:
+            addrs = np.concatenate(leftover_a)
+            writes = np.concatenate(leftover_w)
+            order = np.lexsort(
+                (np.concatenate(leftover_t), np.concatenate(leftover_p))
+            )
+            addrs = addrs[order]
+            writes = writes[order]
+            for cache in self._shared:
+                if addrs.shape[0] == 0:
+                    break
+                miss_pos = cache._run(addrs, writes)
+                addrs = addrs[miss_pos]
+                writes = writes[miss_pos]
+        return total
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        """Flush dirty lines in every instance of every level."""
+        for row in self._private:
+            for cache in row:
+                cache.flush_dirty()
+        for cache in self._shared:
+            cache.flush_dirty()
+
+    def reset(self) -> None:
+        """Reset every instance to fresh-cache state."""
+        for row in self._private:
+            for cache in row:
+                cache.reset()
+        for cache in self._shared:
+            cache.reset()
+
+    # -- aggregated counters --------------------------------------------
+    def _instances(self, level: int) -> list[Cache]:
+        if level < len(self._private_specs):
+            return [row[level] for row in self._private]
+        return [self._shared[level - len(self._private_specs)]]
+
+    def level_profiles(self) -> tuple[CacheLevelProfile, ...]:
+        """Per-level counters summed across instances, innermost first."""
+        profiles = []
+        for level, spec in enumerate(self.machine.caches):
+            caches = self._instances(level)
+            misses = sum(c.stats.misses for c in caches)
+            profiles.append(
+                CacheLevelProfile(
+                    name=spec.name,
+                    accesses=float(sum(c.stats.accesses for c in caches)),
+                    hits=float(sum(c.stats.hits for c in caches)),
+                    misses=float(misses),
+                    traffic_bytes=float(misses * spec.line_bytes),
+                )
+            )
+        return tuple(profiles)
+
+    def traffic_bytes(self) -> tuple[int, ...]:
+        """Per-level fetched bytes (aggregate misses x line), innermost
+        first."""
+        return tuple(
+            sum(c.miss_traffic_bytes for c in self._instances(level))
+            for level in range(len(self.machine.caches))
+        )
+
+    def total_dram_bytes(self, include_writebacks: bool = True) -> int:
+        """Bytes exchanged with DRAM by the outermost level's instances."""
+        last = self._instances(len(self.machine.caches) - 1)
+        total = sum(c.miss_traffic_bytes for c in last)
+        if include_writebacks:
+            total += sum(c.writeback_bytes for c in last)
+        return total
+
+
+# -- parallel iteration split -------------------------------------------
+@dataclass(frozen=True)
+class TraceSegment:
+    """One barrier-delimited phase of a threaded run.
+
+    ``thread_kernels`` holds ``(tid, kernel)`` pairs: a serial segment is
+    a single kernel on thread 0; a parallel segment has one chunk kernel
+    per thread with non-empty work.
+    """
+
+    kind: str  # "serial" | "parallel"
+    thread_kernels: tuple[tuple[int, Kernel], ...]
+
+
+def split_for_threads(
+    kernel: Kernel, params, threads: int
+) -> list[TraceSegment]:
+    """Split *kernel*'s top-level body into threaded trace segments.
+
+    Each top-level ``For`` with ``pragma.parallel`` becomes a parallel
+    segment of per-thread chunk kernels (OpenMP static: thread *t* runs
+    iterations ``[t*E//T, (t+1)*E//T)``, rewritten as a zero-based loop
+    with the induction variable shifted by the chunk base).  Runs of
+    other statements become serial segments on thread 0.  Segments are
+    barriers: they execute, and replay, strictly in order.
+
+    Parallel loops nested below the top level are not split — they run
+    inside their serial segment on thread 0 (the registered kernels all
+    parallelize an outermost loop).
+    """
+    segments: list[TraceSegment] = []
+    serial: list[Stmt] = []
+    serial_id = 0
+
+    def flush_serial() -> None:
+        nonlocal serial_id
+        if serial:
+            sub = replace(
+                kernel,
+                name=f"{kernel.name}__serial{serial_id}",
+                body=tuple(serial),
+            )
+            segments.append(TraceSegment("serial", ((0, sub),)))
+            serial_id += 1
+            serial.clear()
+
+    for stmt in kernel.body:
+        if isinstance(stmt, For) and stmt.pragma.parallel and threads > 1:
+            flush_serial()
+            chunks = _chunk_parallel_loop(kernel, stmt, params, threads)
+            if chunks:
+                segments.append(TraceSegment("parallel", chunks))
+        else:
+            serial.append(stmt)
+    flush_serial()
+    return segments
+
+
+def _chunk_parallel_loop(
+    kernel: Kernel, stmt: For, params, threads: int
+) -> tuple[tuple[int, Kernel], ...]:
+    extent = eval_int_expr(stmt.extent, dict(params))
+    chunks: list[tuple[int, Kernel]] = []
+    for tid in range(threads):
+        lo = tid * extent // threads
+        hi = (tid + 1) * extent // threads
+        if hi <= lo:
+            continue
+        body = stmt.body
+        if lo:
+            shift = BinOp(
+                "+",
+                VarRef(stmt.var, stmt.var_dtype),
+                Const(lo, stmt.var_dtype),
+                stmt.var_dtype,
+            )
+            body = tuple(
+                _subst_stmt(sub, stmt.var, shift) for sub in stmt.body
+            )
+        chunk = For(
+            var=stmt.var,
+            extent=Const(hi - lo, stmt.extent.dtype),
+            body=body,
+            pragma=stmt.pragma,
+        )
+        chunks.append(
+            (
+                tid,
+                replace(
+                    kernel,
+                    name=f"{kernel.name}__t{tid}of{threads}",
+                    body=(chunk,),
+                ),
+            )
+        )
+    return tuple(chunks)
+
+
+def _subst_expr(expr: Expr, var: str, repl: Expr) -> Expr:
+    """*expr* with every ``VarRef(var)`` replaced by *repl*."""
+    if isinstance(expr, VarRef):
+        return repl if expr.name == var else expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Load):
+        return replace(
+            expr,
+            index=tuple(_subst_expr(sub, var, repl) for sub in expr.index),
+        )
+    if isinstance(expr, (BinOp, Compare)):
+        return replace(
+            expr,
+            lhs=_subst_expr(expr.lhs, var, repl),
+            rhs=_subst_expr(expr.rhs, var, repl),
+        )
+    if isinstance(expr, UnOp):
+        return replace(expr, operand=_subst_expr(expr.operand, var, repl))
+    if isinstance(expr, Logical):
+        return replace(
+            expr,
+            operands=tuple(
+                _subst_expr(op, var, repl) for op in expr.operands
+            ),
+        )
+    if isinstance(expr, Select):
+        return replace(
+            expr,
+            cond=_subst_expr(expr.cond, var, repl),
+            if_true=_subst_expr(expr.if_true, var, repl),
+            if_false=_subst_expr(expr.if_false, var, repl),
+        )
+    raise SimulationError(
+        f"cannot rewrite {type(expr).__name__} for the thread split"
+    )
+
+
+def _subst_stmt(stmt: Stmt, var: str, repl: Expr) -> Stmt:
+    if isinstance(stmt, Decl):
+        return replace(stmt, init=_subst_expr(stmt.init, var, repl))
+    if isinstance(stmt, Assign):
+        target = stmt.target
+        if not isinstance(target, ScalarTarget):
+            target = replace(
+                target,
+                index=tuple(
+                    _subst_expr(sub, var, repl) for sub in target.index
+                ),
+            )
+        return replace(
+            stmt, target=target, value=_subst_expr(stmt.value, var, repl)
+        )
+    if isinstance(stmt, For):
+        if stmt.var == var:  # inner rebinding shadows; stop substituting
+            return replace(stmt, extent=_subst_expr(stmt.extent, var, repl))
+        return replace(
+            stmt,
+            extent=_subst_expr(stmt.extent, var, repl),
+            body=tuple(_subst_stmt(sub, var, repl) for sub in stmt.body),
+        )
+    if isinstance(stmt, If):
+        return replace(
+            stmt,
+            cond=_subst_expr(stmt.cond, var, repl),
+            then_body=tuple(
+                _subst_stmt(sub, var, repl) for sub in stmt.then_body
+            ),
+            else_body=tuple(
+                _subst_stmt(sub, var, repl) for sub in stmt.else_body
+            ),
+        )
+    raise SimulationError(
+        f"cannot rewrite {type(stmt).__name__} for the thread split"
+    )

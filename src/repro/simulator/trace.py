@@ -12,11 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
+from repro.errors import SimulationError
 from repro.ir.interp import ArrayStorage, run_kernel
 from repro.ir.kernel import Kernel
 from repro.observability.profile import SimProfile
 from repro.observability.tracer import span
 from repro.simulator.cache import CacheHierarchy
+from repro.simulator.multicore import MultiCoreHierarchy, split_for_threads
 
 #: Pad between arrays so distinct arrays never share a cache line.
 _ARRAY_PAD = 4096
@@ -91,10 +95,16 @@ class AddressMap:
 
 @dataclass
 class TraceResult:
-    """Outcome of a traced interpretation."""
+    """Outcome of a traced interpretation.
 
-    hierarchy: CacheHierarchy
+    ``hierarchy`` is a :class:`CacheHierarchy` for single-threaded runs
+    and a :class:`~repro.simulator.multicore.MultiCoreHierarchy` (same
+    counter surface, aggregated across instances) when ``threads > 1``.
+    """
+
+    hierarchy: CacheHierarchy | MultiCoreHierarchy
     accesses: int
+    threads: int = 1
 
     def traffic_bytes(self) -> tuple[int, ...]:
         """Per-level fetched bytes."""
@@ -113,7 +123,10 @@ class TraceResult:
             lane_utilization=1.0,
             mask_density=0.0,
             gather_elements=0.0,
-            counters={"trace.accesses": float(self.accesses)},
+            counters={
+                "trace.accesses": float(self.accesses),
+                "trace.threads": float(self.threads),
+            },
         )
 
 
@@ -124,35 +137,69 @@ def trace_kernel(
     machine,
     max_statements: int = 20_000_000,
     coalesce: bool = True,
+    threads: int = 1,
+    bulk: bool = True,
 ) -> TraceResult:
     """Interpret *kernel* and replay its address stream through *machine*'s
-    cache hierarchy (single-core view).
+    cache hierarchy.
 
     The interpreter also produces the kernel's real outputs in *arrays*,
     so one call both checks semantics and measures locality.
 
-    With ``coalesce=True`` (the default), consecutive accesses landing on
-    the same L1 line are buffered into a stride run: the first access
-    walks the hierarchy normally, and the remaining ``n - 1`` — which are
-    L1 hits on the just-touched MRU line by construction — are applied as
-    one batched counter update.  The counters are exactly those of the
-    access-at-a-time replay (the cross-validation suite checks this on
-    every registered kernel); only the Python work per unit-stride access
-    shrinks.
+    With ``threads > 1`` the kernel's top-level ``parallel`` loops are
+    split into OpenMP-static per-thread chunks and replayed through a
+    :class:`~repro.simulator.multicore.MultiCoreHierarchy` — private
+    levels per thread, shared levels merged with the deterministic
+    round-robin interleave (docs/MODEL.md).  ``bulk=False`` forces the
+    per-access reference replay (cross-validation baseline).
+
+    Single-threaded, with ``coalesce=True`` (the default), consecutive
+    accesses landing on the same L1 line are buffered into a stride run:
+    the first access walks the hierarchy normally, and the remaining
+    ``n - 1`` — which are L1 hits on the just-touched MRU line by
+    construction — are applied as one batched counter update.  The
+    counters are exactly those of the access-at-a-time replay (the
+    cross-validation suite checks this on every registered kernel); only
+    the Python work per unit-stride access shrinks.
 
     When the IR→Python specializing compiler supports the kernel (see
-    :mod:`repro.jit`), the whole replay — interpretation, address
-    resolution, and coalescing — runs as one generated function with
-    identical counters; ``REPRO_NO_JIT=1`` forces the interpreter path.
+    :mod:`repro.jit`), the replay runs decoupled: generated code
+    materializes the exact address stream as numpy arrays and
+    :meth:`CacheHierarchy.access_run` replays it in bulk, with identical
+    counters.  ``REPRO_NO_STREAM=1`` falls back to the previous
+    per-access generated replay; ``REPRO_NO_JIT=1`` forces the
+    interpreter path.
     """
+    if threads < 1:
+        raise SimulationError(f"threads must be >= 1, got {threads}")
+    if threads > 1:
+        return _trace_multicore(
+            kernel, params, arrays, machine, threads, max_statements, bulk
+        )
     with span("trace", kernel=kernel.name, machine=machine.name):
         with span("trace.layout"):
             address_map = AddressMap(kernel, params)
             hierarchy = CacheHierarchy(machine)
 
-        from repro.jit.executor import try_trace_jit  # lazy: avoids a cycle
+        # Lazy import: avoids a cycle.
+        from repro.jit.executor import try_trace_jit, try_trace_stream
 
         with span("trace.replay"):
+            if coalesce and bulk:
+                # Decoupled fast path: materialize the exact address
+                # stream, replay it in bulk.  Gated on ``coalesce`` so
+                # ``coalesce=False`` stays a genuinely per-access
+                # reference for cross-validation.
+                stream = try_trace_stream(
+                    kernel, params, arrays, address_map, max_statements
+                )
+                if stream is not None:
+                    addrs, writes = stream
+                    hierarchy.access_run(addrs, writes)
+                    hierarchy.flush()
+                    return TraceResult(
+                        hierarchy=hierarchy, accesses=int(addrs.shape[0])
+                    )
             accesses = try_trace_jit(
                 kernel, params, arrays, hierarchy, address_map,
                 max_statements, coalesce,
@@ -162,8 +209,8 @@ def trace_kernel(
             # Generated replay unavailable (unsupported kernel,
             # REPRO_NO_JIT=1, non-viewable storage) or rolled back on a
             # fault; a partial replay has already touched the counters,
-            # so rebuild the hierarchy and interpret.
-            hierarchy = CacheHierarchy(machine)
+            # so reset the hierarchy and interpret.
+            hierarchy.reset()
             count = 0
 
             if coalesce and hierarchy.levels:
@@ -218,3 +265,130 @@ def trace_kernel(
             drain()
             hierarchy.flush()
         return TraceResult(hierarchy=hierarchy, accesses=count)
+
+
+def _trace_multicore(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: ArrayStorage,
+    machine,
+    threads: int,
+    max_statements: int,
+    bulk: bool,
+) -> TraceResult:
+    """Threaded trace: split, generate per-thread streams, replay.
+
+    The fast path generates every segment's per-thread address streams
+    through the JIT's stream mode and replays them with the bulk
+    private/shared cascade.  If any segment is unsupported (or faults),
+    storage is restored, the hierarchy reset, and the whole kernel
+    re-runs with interpreter-generated streams — replayed in bulk when
+    ``bulk`` (still exact) or per access round-robin otherwise (the
+    reference the cross-validation suite compares against).
+    """
+    with span(
+        "trace", kernel=kernel.name, machine=machine.name, threads=threads
+    ):
+        with span("trace.layout"):
+            address_map = AddressMap(kernel, params)
+            hierarchy = MultiCoreHierarchy(machine, threads)
+            segments = split_for_threads(kernel, params, threads)
+
+        with span("trace.replay"):
+            if bulk:
+                snapshot = _storage_snapshot(arrays)
+                total = _replay_multicore_jit(
+                    segments, params, arrays, hierarchy, address_map,
+                    max_statements,
+                )
+                if total is not None:
+                    hierarchy.flush()
+                    return TraceResult(
+                        hierarchy=hierarchy, accesses=total, threads=threads
+                    )
+                # A later segment may have rolled back after earlier
+                # segments mutated storage and replayed counters.
+                _storage_restore(arrays, snapshot)
+                hierarchy.reset()
+            total = 0
+            for segment in segments:
+                streams = []
+                for tid, segment_kernel in segment.thread_kernels:
+                    addrs, writes = _interpret_stream(
+                        segment_kernel, params, arrays, address_map,
+                        max_statements,
+                    )
+                    streams.append((tid, addrs, writes))
+                if bulk:
+                    total += hierarchy.access_streams(streams)
+                else:
+                    total += hierarchy.access_interleaved(streams)
+            hierarchy.flush()
+        return TraceResult(hierarchy=hierarchy, accesses=total, threads=threads)
+
+
+def _replay_multicore_jit(
+    segments, params, arrays, hierarchy, address_map, max_statements
+) -> int | None:
+    """Generate and bulk-replay every segment via the JIT stream mode;
+    None if any segment cannot (caller restores storage and counters)."""
+    from repro.jit.executor import try_trace_stream
+
+    total = 0
+    for segment in segments:
+        streams = []
+        for tid, segment_kernel in segment.thread_kernels:
+            got = try_trace_stream(
+                segment_kernel, params, arrays, address_map, max_statements
+            )
+            if got is None:
+                return None
+            streams.append((tid, got[0], got[1]))
+        total += hierarchy.access_streams(streams)
+    return total
+
+
+def _interpret_stream(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: ArrayStorage,
+    address_map: AddressMap,
+    max_statements: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One kernel's exact address stream via the interpreter (slow,
+    canonical; also produces the kernel's outputs in *arrays*)."""
+    addrs: list[int] = []
+    writes: list[bool] = []
+    resolve = address_map.address
+
+    def on_access(
+        array: str, array_field: str | None, linear: int, is_write: bool
+    ) -> None:
+        addrs.append(resolve(array, array_field, linear))
+        writes.append(is_write)
+
+    run_kernel(kernel, params, arrays, on_access, max_statements)
+    return (
+        np.array(addrs, dtype=np.int64),
+        np.array(writes, dtype=bool),
+    )
+
+
+def _storage_snapshot(arrays: ArrayStorage) -> dict:
+    return {
+        name: (
+            {field: plane.copy() for field, plane in value.items()}
+            if isinstance(value, dict)
+            else value.copy()
+        )
+        for name, value in arrays.items()
+    }
+
+
+def _storage_restore(arrays: ArrayStorage, snapshot: dict) -> None:
+    for name, value in arrays.items():
+        if isinstance(value, dict):
+            for field, plane in value.items():
+                np.copyto(plane, snapshot[name][field])
+        else:
+            np.copyto(value, snapshot[name])

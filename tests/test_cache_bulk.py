@@ -1,0 +1,136 @@
+"""Unit tests for the numpy bulk cache-replay path.
+
+``Cache.access_run`` / ``CacheHierarchy.access_run`` must be
+counter-exact to per-element ``access`` calls — same hit masks, same
+stats, same resident set state, same flush behaviour, same errors.
+The property-based layout/thread sweep lives in
+``test_property_crossvalidation.py``; this file pins the primitive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machines import CORE_I7_X980, MIC_KNF
+from repro.simulator.cache import Cache, CacheHierarchy
+
+
+def _random_run(rng, n_max=600, addr_space=8192, repeat_max=5, write_p=0.4):
+    n = int(rng.integers(1, n_max))
+    addrs = rng.integers(0, addr_space, n).astype(np.int64)
+    # Inject consecutive same-line runs so coalescing actually exercises.
+    addrs = np.repeat(addrs, rng.integers(1, repeat_max, n))
+    writes = rng.random(addrs.shape[0]) < write_p
+    return addrs, writes
+
+
+def _stats_tuple(cache):
+    s = cache.stats
+    return (s.accesses, s.hits, s.misses, s.writebacks)
+
+
+class TestCacheAccessRun:
+    def test_hit_mask_and_counters_match_per_access(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            addrs, writes = _random_run(rng)
+            ref, bulk = (
+                Cache(CORE_I7_X980.caches[0]),
+                Cache(CORE_I7_X980.caches[0]),
+            )
+            expected = np.array(
+                [
+                    ref.access(int(a), bool(w))
+                    for a, w in zip(addrs, writes)
+                ]
+            )
+            got = bulk.access_run(addrs, writes)
+            np.testing.assert_array_equal(expected, got)
+            assert _stats_tuple(ref) == _stats_tuple(bulk)
+            assert ref._sets == bulk._sets
+            assert ref.flush_dirty() == bulk.flush_dirty()
+
+    def test_split_runs_are_equivalent(self):
+        """Partitioning a stream into arbitrary runs never changes
+        counters (a run split mid-line still coalesces correctly)."""
+        rng = np.random.default_rng(12)
+        addrs, writes = _random_run(rng, n_max=400)
+        whole = Cache(CORE_I7_X980.caches[0])
+        split = Cache(CORE_I7_X980.caches[0])
+        whole.access_run(addrs, writes)
+        cut = int(rng.integers(1, addrs.shape[0]))
+        split.access_run(addrs[:cut], writes[:cut])
+        split.access_run(addrs[cut:], writes[cut:])
+        assert _stats_tuple(whole) == _stats_tuple(split)
+        assert whole._sets == split._sets
+
+    def test_empty_run(self):
+        cache = Cache(CORE_I7_X980.caches[0])
+        mask = cache.access_run(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        )
+        assert mask.shape == (0,)
+        assert _stats_tuple(cache) == (0, 0, 0, 0)
+
+    def test_single_line_run_is_one_miss_then_hits(self):
+        cache = Cache(CORE_I7_X980.caches[0])
+        addrs = np.array([128, 132, 136, 140], dtype=np.int64)
+        writes = np.array([False, False, True, False])
+        mask = cache.access_run(addrs, writes)
+        np.testing.assert_array_equal(mask, [False, True, True, True])
+        assert _stats_tuple(cache) == (4, 3, 1, 0)
+        # The run's write-OR marked the line dirty.
+        assert cache.flush_dirty() == 1
+
+    def test_negative_address_matches_per_access_error(self):
+        addrs = np.array([64, 128, -72, 12], dtype=np.int64)
+        writes = np.zeros(4, dtype=bool)
+        ref = Cache(CORE_I7_X980.caches[0])
+        with pytest.raises(SimulationError) as per_access:
+            for a, w in zip(addrs, writes):
+                ref.access(int(a), bool(w))
+        bulk = Cache(CORE_I7_X980.caches[0])
+        with pytest.raises(SimulationError) as vectorized:
+            bulk.access_run(addrs, writes)
+        assert str(per_access.value) == str(vectorized.value)
+        assert "-72" in str(vectorized.value)
+
+    def test_reset_restores_fresh_state(self):
+        cache = Cache(CORE_I7_X980.caches[0])
+        addrs = np.arange(0, 4096, 4, dtype=np.int64)
+        cache.access_run(addrs, np.ones(addrs.shape[0], dtype=bool))
+        cache.reset()
+        assert _stats_tuple(cache) == (0, 0, 0, 0)
+        assert cache.flush_dirty() == 0
+        fresh = Cache(CORE_I7_X980.caches[0])
+        assert cache._sets == fresh._sets
+
+
+class TestHierarchyAccessRun:
+    @pytest.mark.parametrize("machine", [CORE_I7_X980, MIC_KNF])
+    def test_counters_match_per_access(self, machine):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            addrs, writes = _random_run(rng, addr_space=1 << 16)
+            ref, bulk = CacheHierarchy(machine), CacheHierarchy(machine)
+            for a, w in zip(addrs.tolist(), writes.tolist()):
+                ref.access(a, w)
+            total = bulk.access_run(addrs, writes)
+            assert total == addrs.shape[0]
+            ref.flush()
+            bulk.flush()
+            for cache_ref, cache_bulk in zip(ref.levels, bulk.levels):
+                assert _stats_tuple(cache_ref) == _stats_tuple(cache_bulk), (
+                    cache_ref.spec.name
+                )
+            assert ref.total_dram_bytes() == bulk.total_dram_bytes()
+            assert ref.traffic_bytes() == bulk.traffic_bytes()
+
+    def test_reset_resets_every_level(self):
+        hierarchy = CacheHierarchy(CORE_I7_X980)
+        addrs = np.arange(0, 1 << 15, 4, dtype=np.int64)
+        hierarchy.access_run(addrs, np.ones(addrs.shape[0], dtype=bool))
+        hierarchy.reset()
+        for cache in hierarchy.levels:
+            assert _stats_tuple(cache) == (0, 0, 0, 0)
+        assert hierarchy.total_dram_bytes() == 0

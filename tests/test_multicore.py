@@ -1,0 +1,253 @@
+"""Multi-core trace replay: hierarchy semantics, iteration split, and
+fast-path exactness.
+
+The deterministic interleave contract (docs/MODEL.md): private levels
+see their own thread's stream in program order; shared levels see the
+private miss streams merged round-robin by (position, thread id).  The
+bulk path must reproduce the per-access reference walk bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import F32, KernelBuilder
+from repro.ir.interp import run_kernel, zeros_for
+from repro.jit.executor import no_jit
+from repro.kernels import get_benchmark
+from repro.machines import CORE_I7_X980
+from repro.simulator import (
+    MultiCoreHierarchy,
+    split_for_threads,
+    trace_kernel,
+)
+
+
+def _level_counters(hierarchy):
+    return tuple(
+        (p.name, p.accesses, p.hits, p.misses, p.traffic_bytes)
+        for p in hierarchy.level_profiles()
+    )
+
+
+def _random_streams(rng, threads, n_max=400):
+    streams = []
+    for tid in range(threads):
+        n = int(rng.integers(1, n_max))
+        addrs = np.repeat(
+            rng.integers(0, 1 << 14, n).astype(np.int64),
+            rng.integers(1, 4, n),
+        )
+        writes = rng.random(addrs.shape[0]) < 0.35
+        streams.append((tid, addrs, writes))
+    return streams
+
+
+class TestMultiCoreHierarchy:
+    def test_thread_count_validation(self):
+        with pytest.raises(SimulationError):
+            MultiCoreHierarchy(CORE_I7_X980, 0)
+        with pytest.raises(SimulationError):
+            MultiCoreHierarchy(
+                CORE_I7_X980, CORE_I7_X980.total_threads + 1
+            )
+
+    def test_private_levels_are_per_thread(self):
+        hierarchy = MultiCoreHierarchy(CORE_I7_X980, 2)
+        # Same line on both threads: each private L1 takes its own miss.
+        hierarchy.access(0, 64, False)
+        hierarchy.access(1, 64, False)
+        profiles = hierarchy.level_profiles()
+        assert profiles[0].accesses == 2
+        assert profiles[0].misses == 2
+        # The shared last level sees both misses but only misses once.
+        assert profiles[-1].accesses == 2
+        assert profiles[-1].misses == 1
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_streams_match_interleaved_reference(self, threads):
+        rng = np.random.default_rng(17)
+        for _ in range(8):
+            streams = _random_streams(rng, threads)
+            ref = MultiCoreHierarchy(CORE_I7_X980, threads)
+            fast = MultiCoreHierarchy(CORE_I7_X980, threads)
+            total_ref = ref.access_interleaved(streams)
+            total_fast = fast.access_streams(streams)
+            assert total_ref == total_fast
+            ref.flush()
+            fast.flush()
+            assert _level_counters(ref) == _level_counters(fast)
+            assert ref.total_dram_bytes() == fast.total_dram_bytes()
+
+    def test_ragged_streams(self):
+        """Threads with very different stream lengths still merge
+        exactly (the round-robin reference skips exhausted threads)."""
+        streams = [
+            (0, np.arange(0, 64 * 50, 64, dtype=np.int64), np.zeros(50, bool)),
+            (1, np.array([0], dtype=np.int64), np.ones(1, bool)),
+            (2, np.arange(0, 64 * 9, 32, dtype=np.int64), np.zeros(18, bool)),
+        ]
+        ref = MultiCoreHierarchy(CORE_I7_X980, 3)
+        fast = MultiCoreHierarchy(CORE_I7_X980, 3)
+        ref.access_interleaved(streams)
+        fast.access_streams(streams)
+        ref.flush()
+        fast.flush()
+        assert _level_counters(ref) == _level_counters(fast)
+
+    def test_reset(self):
+        hierarchy = MultiCoreHierarchy(CORE_I7_X980, 2)
+        hierarchy.access(0, 0, True)
+        hierarchy.access(1, 64, True)
+        hierarchy.reset()
+        for profile in hierarchy.level_profiles():
+            assert profile.accesses == 0
+        assert hierarchy.total_dram_bytes() == 0
+
+
+def _parallel_scale_kernel():
+    builder = KernelBuilder("mc_scale")
+    n = builder.param("n")
+    x = builder.array("x", F32, (n,))
+    with builder.loop("i", n, parallel=True) as i:
+        builder.assign(x[i], x[i] * 2.0 + 1.0)
+    return builder.build()
+
+
+def _mixed_kernel():
+    """Serial prologue + parallel loop + serial epilogue."""
+    builder = KernelBuilder("mc_mixed")
+    n = builder.param("n")
+    x = builder.array("x", F32, (n,))
+    y = builder.array("y", F32, (n,))
+    builder.assign(y[0], 3.0)
+    with builder.loop("i", n, parallel=True) as i:
+        builder.assign(x[i], x[i] + y[0])
+    builder.assign(y[1], x[0])
+    return builder.build()
+
+
+class TestSplitForThreads:
+    def test_chunks_cover_iteration_space(self):
+        kernel = _parallel_scale_kernel()
+        for threads in (2, 3, 4):
+            for extent in (7, 8, 64):
+                segments = split_for_threads(
+                    kernel, {"n": extent}, threads
+                )
+                assert len(segments) == 1
+                seg = segments[0]
+                assert seg.kind == "parallel"
+                # Chunk extents sum to the full iteration space and the
+                # rewritten chunks reproduce the original outputs.
+                sizes = []
+                storage = zeros_for(kernel, {"n": extent})
+                storage["x"] += 1.0
+                for tid, chunk in seg.thread_kernels:
+                    assert chunk.name == f"mc_scale__t{tid}of{threads}"
+                    loop = chunk.body[0]
+                    sizes.append(int(loop.extent.value))
+                    with no_jit():
+                        run_kernel(chunk, {"n": extent}, storage)
+                assert sum(sizes) == extent
+                reference = zeros_for(kernel, {"n": extent})
+                reference["x"] += 1.0
+                with no_jit():
+                    run_kernel(kernel, {"n": extent}, reference)
+                np.testing.assert_array_equal(storage["x"], reference["x"])
+
+    def test_serial_statements_stay_on_thread_zero(self):
+        kernel = _mixed_kernel()
+        segments = split_for_threads(kernel, {"n": 16}, 4)
+        kinds = [segment.kind for segment in segments]
+        assert kinds == ["serial", "parallel", "serial"]
+        for segment in (segments[0], segments[2]):
+            ((tid, sub),) = segment.thread_kernels
+            assert tid == 0
+            assert "__serial" in sub.name
+
+    def test_single_thread_never_splits(self):
+        kernel = _parallel_scale_kernel()
+        segments = split_for_threads(kernel, {"n": 64}, 1)
+        assert len(segments) == 1
+        assert segments[0].kind == "serial"
+        assert segments[0].thread_kernels[0][1].body == kernel.body
+
+    def test_empty_chunks_skipped(self):
+        kernel = _parallel_scale_kernel()
+        segments = split_for_threads(kernel, {"n": 2}, 4)
+        (segment,) = segments
+        # Only 2 of the 4 threads get non-empty chunks.
+        assert len(segment.thread_kernels) == 2
+
+
+class TestTraceKernelMultiCore:
+    @pytest.mark.parametrize("threads", [2, 4])
+    def test_fast_path_matches_reference(self, threads):
+        kernel = _mixed_kernel()
+        params = {"n": 257}
+
+        def storage():
+            s = zeros_for(kernel, params)
+            s["x"] += 1.0
+            return s
+
+        s_ref, s_fast = storage(), storage()
+        with no_jit():
+            ref = trace_kernel(
+                kernel, params, s_ref, CORE_I7_X980,
+                threads=threads, bulk=False,
+            )
+        fast = trace_kernel(
+            kernel, params, s_fast, CORE_I7_X980, threads=threads
+        )
+        assert ref.accesses == fast.accesses
+        assert ref.threads == fast.threads == threads
+        assert _level_counters(ref.hierarchy) == _level_counters(
+            fast.hierarchy
+        )
+        assert (
+            ref.hierarchy.total_dram_bytes()
+            == fast.hierarchy.total_dram_bytes()
+        )
+        assert ref.profile().to_dict() == fast.profile().to_dict()
+        fast.profile().validate()
+        for name in s_ref:
+            np.testing.assert_array_equal(s_ref[name], s_fast[name])
+
+    @pytest.mark.parametrize("bench_name", ["conv2d", "stencil", "nbody"])
+    def test_registered_kernels(self, bench_name):
+        bench = get_benchmark(bench_name)
+        params = bench.test_params()
+        for phase in bench.phases("naive", params):
+            s_ref = bench.trace_storage(phase)
+            s_fast = bench.trace_storage(phase)
+            with no_jit():
+                ref = trace_kernel(
+                    phase.kernel, phase.params, s_ref, CORE_I7_X980,
+                    threads=4, bulk=False,
+                )
+            fast = trace_kernel(
+                phase.kernel, phase.params, s_fast, CORE_I7_X980, threads=4
+            )
+            assert ref.accesses == fast.accesses
+            assert _level_counters(ref.hierarchy) == _level_counters(
+                fast.hierarchy
+            ), phase.kernel.name
+            assert ref.profile().to_dict() == fast.profile().to_dict()
+
+    def test_invalid_thread_count(self):
+        kernel = _parallel_scale_kernel()
+        storage = zeros_for(kernel, {"n": 8})
+        with pytest.raises(SimulationError):
+            trace_kernel(
+                kernel, {"n": 8}, storage, CORE_I7_X980, threads=0
+            )
+
+    def test_threads_counter_in_profile(self):
+        kernel = _parallel_scale_kernel()
+        storage = zeros_for(kernel, {"n": 64})
+        result = trace_kernel(
+            kernel, {"n": 64}, storage, CORE_I7_X980, threads=2
+        )
+        assert result.profile().counters["trace.threads"] == 2.0

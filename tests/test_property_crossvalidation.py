@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.compiler import CompilerOptions, compile_kernel
 from repro.ir import F32, KernelBuilder
 from repro.ir.interp import zeros_for
+from repro.jit.executor import no_jit
 from repro.kernels.registry import BENCHMARK_CLASSES
 from repro.machines import CORE_I7_X980
 from repro.simulator import simulate, trace_kernel
@@ -156,3 +157,123 @@ class TestCoalescedReplayParity:
                 CORE_I7_X980, coalesce=True,
             )
             _assert_trace_counters_equal(slow, fast, phase.kernel.name)
+
+
+@st.composite
+def record_layout_kernel(draw):
+    """A record-array (AOS or SOA) kernel with a drawn write mix.
+
+    Covers the layouts whose address arithmetic differs most — AOS
+    interleaves fields per element (stride = record size), SOA packs
+    each field plane contiguously — combined with read-modify-write,
+    cross-field, and mixed read/write patterns, under an optionally
+    parallel loop so the same cases exercise the multi-core split.
+    """
+    n_elems = draw(st.integers(64, 512))
+    layout = draw(st.sampled_from(["aos", "soa"]))
+    mix = draw(st.sampled_from(["rmw", "cross", "mixed"]))
+    parallel = draw(st.booleans())
+    stride = draw(st.sampled_from([1, 1, 2]))
+
+    b = KernelBuilder("rand_rec")
+    n = b.param("n")
+    pts = b.array(
+        "pts", F32, (n_elems * stride + 4,),
+        fields=("x", "y", "z"), layout=layout,
+    )
+    out = b.array("out", F32, (n,))
+    with b.loop("i", n, parallel=parallel) as i:
+        p = pts[i * stride]
+        if mix == "rmw":
+            # Read-modify-write of one field per element.
+            b.assign(p.x, p.x * 1.5 + 2.0)
+            b.assign(out[i], p.x)
+        elif mix == "cross":
+            # Read fields x/y, write field z (RFO on a line never read
+            # first under AOS-with-stride).
+            b.assign(p.z, p.x + p.y)
+            b.assign(out[i], p.z)
+        else:
+            # Mixed: reduction over all fields plus a field update.
+            acc = b.let("acc", 0.0, F32)
+            b.inc(acc, p.x + p.y + p.z)
+            b.assign(p.y, acc)
+            b.assign(out[i], acc)
+    kernel = b.build()
+    return kernel, {"n": n_elems}
+
+
+def _filled_storage(kernel, params):
+    storage = zeros_for(kernel, params)
+    for plane in storage.values():
+        if isinstance(plane, dict):
+            for k, field in enumerate(plane.values()):
+                field += 1.0 + 0.25 * k
+        else:
+            plane += 1.0
+    return storage
+
+
+def _storage_equal(a, b) -> None:
+    for name in a:
+        if isinstance(a[name], dict):
+            for field in a[name]:
+                np.testing.assert_array_equal(
+                    a[name][field], b[name][field], err_msg=f"{name}.{field}"
+                )
+        else:
+            np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+
+
+def _multicore_counters(result):
+    return tuple(
+        (p.name, p.accesses, p.hits, p.misses, p.traffic_bytes)
+        for p in result.hierarchy.level_profiles()
+    )
+
+
+class TestLayoutAndThreadParity:
+    """Bulk replay is exact across layouts, write mixes and thread counts.
+
+    Reference for one thread is the per-access interpreter walk
+    (``coalesce=False``); for multiple threads it is the per-access
+    multi-core replay (``bulk=False``) under ``no_jit`` so neither side
+    of the comparison depends on the other fast path.
+    """
+
+    @given(record_layout_kernel())
+    @settings(max_examples=20, deadline=None)
+    def test_single_thread_bulk_parity(self, case):
+        kernel, params = case
+        storage_slow = _filled_storage(kernel, params)
+        storage_fast = _filled_storage(kernel, params)
+        with no_jit():
+            slow = trace_kernel(
+                kernel, params, storage_slow, CORE_I7_X980, coalesce=False
+            )
+        fast = trace_kernel(kernel, params, storage_fast, CORE_I7_X980)
+        _assert_trace_counters_equal(slow, fast, params)
+        _storage_equal(storage_slow, storage_fast)
+
+    @given(record_layout_kernel(), st.sampled_from([2, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_multicore_bulk_parity(self, case, threads):
+        kernel, params = case
+        storage_slow = _filled_storage(kernel, params)
+        storage_fast = _filled_storage(kernel, params)
+        with no_jit():
+            slow = trace_kernel(
+                kernel, params, storage_slow, CORE_I7_X980,
+                threads=threads, bulk=False,
+            )
+        fast = trace_kernel(
+            kernel, params, storage_fast, CORE_I7_X980, threads=threads
+        )
+        assert slow.accesses == fast.accesses, params
+        assert _multicore_counters(slow) == _multicore_counters(fast), params
+        assert (
+            slow.hierarchy.total_dram_bytes()
+            == fast.hierarchy.total_dram_bytes()
+        )
+        assert slow.profile().to_dict() == fast.profile().to_dict(), params
+        _storage_equal(storage_slow, storage_fast)
