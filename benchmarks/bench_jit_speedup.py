@@ -18,7 +18,12 @@ issue's acceptance floor (>= 10x on both headlines) is asserted here.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -195,3 +200,123 @@ def test_jit_speedup(benchmark):
 
     assert run_speedup >= FLOOR, ratios
     assert trace_speedup >= FLOOR, ratios
+
+
+#: Stand-alone child for the persistent-store latency table: compiles the
+#: two bench kernels in every mode against REPRO_CODE_CACHE_DIR, timing
+#: each `get_compiled` call (compile-or-load, whichever the store gives).
+_STORE_CHILD = '''\
+import json, sys, time
+from repro.ir import F32, KernelBuilder
+from repro.jit import active_store, get_compiled
+from repro.observability.tracer import tracing
+
+def saxpy():
+    b = KernelBuilder("jit_bench_saxpy")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    y = b.array("y", F32, (n,))
+    with b.loop("i", n) as i:
+        b.assign(y[i], x[i] * 2.5 + y[i])
+    return b.build()
+
+def stencil5():
+    b = KernelBuilder("jit_bench_stencil5")
+    n = b.param("n")
+    m = b.param("m")
+    src = b.array("src", F32, (n,))
+    dst = b.array("dst", F32, (n,))
+    with b.loop("i", m) as i:
+        b.assign(
+            dst[i + 2],
+            (src[i] + src[i + 1] + src[i + 2] + src[i + 3] + src[i + 4])
+            * 0.2,
+        )
+    return b.build()
+
+per_entry = {}
+with tracing() as tracer:
+    started = time.perf_counter()
+    for kernel in (saxpy(), stencil5()):
+        for mode in ("run", "trace", "trace_raw", "stream"):
+            t0 = time.perf_counter()
+            assert get_compiled(kernel, mode) is not None
+            per_entry[f"{kernel.name}:{mode}"] = time.perf_counter() - t0
+    total_s = time.perf_counter() - started
+print(json.dumps({
+    "total_s": total_s,
+    "per_entry_s": per_entry,
+    "compiles": tracer.counters.get("jit.compiles"),
+    "store": active_store().stats.as_dict(),
+}))
+'''
+
+
+def test_code_store_warm_process(benchmark, tmp_path):
+    """Cold vs warm *process* compile latency through the persistent store.
+
+    Two separate interpreter processes share one fresh code-cache
+    directory: the first compiles and writes every entry, the second must
+    load-and-exec each one — ``jit.compiles == 0`` (the warm-start
+    acceptance criterion) — and the per-entry wall times land in
+    ``BENCH_jit.json`` as the cold/warm latency table.
+    """
+    script = tmp_path / "store_child.py"
+    script.write_text(_STORE_CHILD, encoding="utf-8")
+    code_dir = tmp_path / "code"
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+
+    def run_child():
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir)
+        env["REPRO_CODE_CACHE_DIR"] = str(code_dir)
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    holder = {}
+
+    def measure():
+        holder["cold"] = run_child()
+        holder["warm"] = run_child()
+        return holder
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    cold, warm = holder["cold"], holder["warm"]
+
+    n_entries = len(cold["per_entry_s"])
+    assert cold["compiles"] == n_entries
+    assert cold["store"]["writes"] == n_entries
+    assert warm["compiles"] == 0  # zero recompiles in the warm process
+    assert warm["store"]["hits"] == n_entries
+    assert warm["store"]["writes"] == 0
+
+    table = {
+        entry: {
+            "cold_compile_s": cold["per_entry_s"][entry],
+            "warm_load_s": warm["per_entry_s"][entry],
+        }
+        for entry in sorted(cold["per_entry_s"])
+    }
+    payload = {
+        "code_store": {
+            "entries": n_entries,
+            "cold_total_s": cold["total_s"],
+            "warm_total_s": warm["total_s"],
+            "warm_compiles": warm["compiles"],
+            "warm_hits": warm["store"]["hits"],
+            "per_entry": table,
+        }
+    }
+    write_bench_json("jit", payload)
+
+    print("\ncode store: {} entries | cold {:.1f} ms -> warm {:.1f} ms".format(
+        n_entries, cold["total_s"] * 1e3, warm["total_s"] * 1e3,
+    ))
+    for entry, row in table.items():
+        print("  {:<28} compile {:7.2f} ms | load {:7.2f} ms".format(
+            entry, row["cold_compile_s"] * 1e3, row["warm_load_s"] * 1e3,
+        ))

@@ -22,6 +22,7 @@ from typing import Iterator
 
 from repro.engine.memo import MemoCache, default_cache_dir
 from repro.errors import ReproError
+from repro.jit.store import CodeStore, restore_store, set_store, snapshot_store
 from repro.observability.tracer import add_counter
 
 
@@ -32,6 +33,9 @@ class EngineConfig:
     Attributes:
         jobs: process-pool width for grid fan-out (1 = in-process serial).
         cache: the active memo cache, or ``None`` when memoization is off.
+        code_store: the persistent JIT code store this session installed
+            (also the process-global :func:`repro.jit.store.active_store`),
+            or ``None`` when generated sources stay in-memory only.
         task_timeout: per-task wall-clock budget in seconds for pool
             fan-out, or ``None`` for no timeout.
         task_retries: bounded retries per grid task after a timeout,
@@ -52,6 +56,7 @@ class EngineConfig:
 
     jobs: int = 1
     cache: MemoCache | None = None
+    code_store: CodeStore | None = None
     task_timeout: float | None = None
     task_retries: int = 2
     task_log: list[dict] = field(default_factory=list)
@@ -106,12 +111,17 @@ class EngineConfig:
             for record in self.task_log:
                 for name, value in record.get("worker_memo", {}).items():
                     memo[name] = memo.get(name, 0) + value
+        code = None
+        if self.code_store is not None:
+            code = {"dir": str(self.code_store.root)}
+            code.update(self.code_store.stats.as_dict())
         return {
             "jobs": self.jobs,
             "cache_dir": (
                 str(self.cache.root) if self.cache is not None else None
             ),
             "memo": memo,
+            "code_store": code,
             "faults": dict(self.faults),
             "accounting": {
                 name: (dict(value) if isinstance(value, dict) else value)
@@ -127,6 +137,8 @@ class EngineConfig:
         self.accounting.clear()
         if self.cache is not None:
             self.cache.stats = type(self.cache.stats)()
+        if self.code_store is not None:
+            self.code_store.stats = type(self.code_store.stats)()
 
 
 _ACTIVE = EngineConfig()
@@ -171,12 +183,37 @@ def _env_task_retries() -> int:
         ) from None
 
 
+def _resolve_code_store(
+    memo: MemoCache | None, code_cache_dir: str | None, code_cache: bool
+) -> CodeStore | None:
+    """The persistent JIT code store a session should install.
+
+    Precedence: an explicit *code_cache_dir* wins, then the
+    ``REPRO_CODE_CACHE_DIR`` environment knob, then a ``code/`` directory
+    **beside the memo cache** (sharing its lifetime and isolation — the
+    common case).  ``code_cache=False``, or no memo cache to sit beside,
+    turns persistence off for the session.
+    """
+    if not code_cache:
+        return None
+    if code_cache_dir:
+        return CodeStore(code_cache_dir)
+    env = os.environ.get("REPRO_CODE_CACHE_DIR", "").strip()
+    if env:
+        return CodeStore(env)
+    if memo is not None:
+        return CodeStore(memo.root / "code")
+    return None
+
+
 def configure(
     jobs: int = 1,
     cache_dir: str | None = None,
     cache: bool = True,
     task_timeout: float | None = None,
     task_retries: int | None = None,
+    code_cache_dir: str | None = None,
+    code_cache: bool = True,
 ) -> EngineConfig:
     """Build and install an :class:`EngineConfig`; returns the previous one.
 
@@ -184,6 +221,12 @@ def configure(
     :func:`~repro.engine.memo.default_cache_dir`).  With ``cache=False``
     memoization is off — unless ``jobs > 1``, which needs a store to move
     worker results, so an ephemeral directory is used instead.
+
+    The persistent JIT code store follows the memo cache: it lives at
+    *code_cache_dir* (default: ``REPRO_CODE_CACHE_DIR``, else ``code/``
+    beside the memo cache), and ``code_cache=False`` disables it.  It is
+    installed process-globally via :func:`repro.jit.store.set_store`;
+    :func:`engine_session` restores the previous store on exit.
 
     ``task_timeout`` and ``task_retries`` default to the
     ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES`` environment knobs
@@ -194,10 +237,13 @@ def configure(
         memo = MemoCache(cache_dir or default_cache_dir())
     elif jobs > 1:
         memo = MemoCache(tempfile.mkdtemp(prefix="ninja-gap-memo-"))
+    store = _resolve_code_store(memo, code_cache_dir, code_cache)
+    set_store(store)
     return set_config(
         EngineConfig(
             jobs=jobs,
             cache=memo,
+            code_store=store,
             task_timeout=(
                 task_timeout if task_timeout is not None
                 else _env_task_timeout()
@@ -217,14 +263,19 @@ def engine_session(
     cache: bool = True,
     task_timeout: float | None = None,
     task_retries: int | None = None,
+    code_cache_dir: str | None = None,
+    code_cache: bool = True,
 ) -> Iterator[EngineConfig]:
     """Install an engine config for a ``with`` block; restores the previous
     config (library default: serial, uncached) on exit."""
+    store_token = snapshot_store()
     previous = configure(
         jobs=jobs, cache_dir=cache_dir, cache=cache,
         task_timeout=task_timeout, task_retries=task_retries,
+        code_cache_dir=code_cache_dir, code_cache=code_cache,
     )
     try:
         yield get_config()
     finally:
         set_config(previous)
+        restore_store(store_token)

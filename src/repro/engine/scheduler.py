@@ -100,9 +100,17 @@ def preset_name(machine: MachineSpec) -> str | None:
     return None
 
 
-def _init_worker(cache_dir: str | None) -> None:
-    """Pool initializer: point the worker at the shared memo cache."""
-    configure(jobs=1, cache_dir=cache_dir, cache=cache_dir is not None)
+def _init_worker(cache_dir: str | None, code_cache_dir: str | None = None) -> None:
+    """Pool initializer: point the worker at the shared memo cache and
+    the shared JIT code store (workers load generated sources the parent
+    — or a sibling — already compiled, instead of recompiling)."""
+    configure(
+        jobs=1,
+        cache_dir=cache_dir,
+        cache=cache_dir is not None,
+        code_cache_dir=code_cache_dir,
+        code_cache=code_cache_dir is not None,
+    )
 
 
 def _execute_task(task: GridTask) -> dict:
@@ -174,6 +182,9 @@ def _run_parallel(
 ) -> None:
     """Fault-tolerant pool fan-out; fills *records* in task order."""
     cache_dir = str(config.cache.root) if config.cache is not None else None
+    code_cache_dir = (
+        str(config.code_store.root) if config.code_store is not None else None
+    )
     timeout = config.task_timeout
     retries = config.task_retries
     attempts = [0] * len(tasks)
@@ -190,7 +201,7 @@ def _run_parallel(
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(todo)),
             initializer=_init_worker,
-            initargs=(cache_dir,),
+            initargs=(cache_dir, code_cache_dir),
         )
         futures = {i: pool.submit(_execute_task, tasks[i]) for i in todo}
 

@@ -120,6 +120,17 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
         help="disable the simulation memo cache for this invocation",
     )
     sub.add_argument(
+        "--code-cache-dir", metavar="PATH", default=None,
+        help="persistent JIT code-store directory for generated kernel "
+        "sources (default: $REPRO_CODE_CACHE_DIR, or code/ beside the "
+        "memo cache)",
+    )
+    sub.add_argument(
+        "--no-code-cache", action="store_true",
+        help="disable the persistent JIT code store for this invocation "
+        "(generated code is still compiled, once per process)",
+    )
+    sub.add_argument(
         "--task-timeout", type=float, default=None, metavar="SECONDS",
         help="per-task wall-clock budget for parallel grid tasks "
         "(default: $REPRO_TASK_TIMEOUT, or no timeout)",
@@ -345,6 +356,14 @@ def _engine_line(engine) -> str:
     )
     if memo.get("quarantined"):
         line += f" quarantined={memo['quarantined']}"
+    code = report.get("code_store")
+    if code:
+        line += (
+            f" code hits={code.get('hits', 0)}"
+            f" misses={code.get('misses', 0)}"
+        )
+        if code.get("quarantined"):
+            line += f" code-quarantined={code['quarantined']}"
     if report["faults"]:
         events = ", ".join(
             f"{name}={count}" for name, count in sorted(report["faults"].items())
@@ -365,6 +384,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache=hasattr(args, "no_cache") and not args.no_cache,
         task_timeout=getattr(args, "task_timeout", None),
         task_retries=getattr(args, "retries", None),
+        code_cache_dir=getattr(args, "code_cache_dir", None),
+        code_cache=not getattr(args, "no_code_cache", False),
     ) as engine:
         return _dispatch(args, engine)
 

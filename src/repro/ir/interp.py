@@ -202,7 +202,14 @@ class Interpreter:
                     int(self._eval(sub, env)) for sub in stmt.target.index
                 )
                 linear = self._linear_index(decl, idx)
-                self._flat(decl, stmt.target.array_field)[linear] = value
+                flat = self._flats[(decl.name, stmt.target.array_field)]
+                if flat is None:
+                    # Non-viewable plane: a flat reshape is a copy, so a
+                    # flat store would be silently lost — write through
+                    # the nd index instead.
+                    self._plane(decl, stmt.target.array_field)[idx] = value
+                else:
+                    flat[linear] = value
                 self.stats.stores += 1
                 if self.on_access is not None:
                     self.on_access(decl.name, stmt.target.array_field, linear, True)

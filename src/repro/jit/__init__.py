@@ -7,6 +7,10 @@ folded into induction variables, inline trace coalescing, and a
 vectorized fast path for branch-free innermost loops), and
 :mod:`repro.jit.executor` swaps it in behind :func:`run_kernel` /
 :func:`trace_kernel` with bit-identical outputs, counters, and errors.
+:mod:`repro.jit.store` persists the generated sources across processes
+(keyed by the engine code fingerprint; ``REPRO_CODE_CACHE_DIR`` or the
+engine session's ``code_cache_dir`` activates it), so warm processes and
+pool workers load-and-``exec`` instead of recompiling.
 Set ``REPRO_NO_JIT=1`` to force the interpreter everywhere.
 """
 
@@ -17,14 +21,28 @@ from repro.jit.codegen import (
     get_compiled,
 )
 from repro.jit.executor import jit_enabled, no_jit, try_run_jit, try_trace_jit
+from repro.jit.store import (
+    CodeStore,
+    CodeStoreStats,
+    active_store,
+    code_store_key,
+    restore_store,
+    set_store,
+)
 
 __all__ = [
+    "CodeStore",
+    "CodeStoreStats",
     "CompiledKernel",
     "Unsupported",
+    "active_store",
     "clear_code_cache",
+    "code_store_key",
     "get_compiled",
     "jit_enabled",
     "no_jit",
+    "restore_store",
+    "set_store",
     "try_run_jit",
     "try_trace_jit",
 ]

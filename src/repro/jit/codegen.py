@@ -71,6 +71,7 @@ from repro.ir.expr import (
 from repro.ir.kernel import ArrayDecl, Kernel
 from repro.ir.stmt import Assign, Decl, For, If, ScalarTarget, Stmt, StoreTarget
 from repro.ir.types import DType
+from repro.jit.store import active_store
 from repro.observability.tracer import add_counter, span
 
 __all__ = [
@@ -285,6 +286,32 @@ def _mul(a: str, b: str) -> str:
     return f"({a}) * ({b})"
 
 
+def _kernel_plane_keys(kernel: Kernel) -> list[tuple[str, str | None]]:
+    """Storage-plane keys in declaration order (shared with the store
+    path, which revalidates loaded entries against the live kernel)."""
+    keys: list[tuple[str, str | None]] = []
+    for decl in kernel.arrays:
+        for field in decl.fields or (None,):
+            keys.append((decl.name, field))
+    return keys
+
+
+def _const_literal(value) -> str:
+    """Python literal reconstructing *value* exactly inside a generated
+    source (``repr`` of floats round-trips; non-finite floats have no
+    literal spelling)."""
+    if isinstance(value, (bool, np.bool_)):
+        return repr(bool(value))
+    if isinstance(value, (int, np.integer)):
+        return repr(int(value))
+    v = float(value)
+    if math.isnan(v):
+        return 'float("nan")'
+    if math.isinf(v):
+        return 'float("inf")' if v > 0 else 'float("-inf")'
+    return repr(v)
+
+
 @dataclass
 class _LoopCtx:
     """Emission state for one active ``For``."""
@@ -331,10 +358,18 @@ class _Codegen:
         self._cond_depth = 0
         #: name -> np.dtype | _PYINT | None (unknown) | _POISON
         self.scalar_types: dict[str, object] = {}
-        self.globals: dict[str, object] = dict(_BASE_GLOBALS)
+        #: prelude definitions making the source self-contained (emitted
+        #: above ``def _jit`` so a disk-loaded source rebuilds the exact
+        #: same objects from ``_BASE_GLOBALS`` alone): global name ->
+        #: numpy dtype name for scalar constructors, np.dtype name for
+        #: dtype objects, and a full RHS expression for constants.
+        self._types: dict[str, str] = {}
+        self._dts: dict[str, str] = {}
+        self._const_defs: dict[str, str] = {}
         self._consts: dict[tuple[str, str], str] = {}
         self.vectorized_loops = 0
         self._validate_names()
+        self._assign_plane_names()
 
     # -- setup ----------------------------------------------------------
     def _validate_names(self) -> None:
@@ -345,32 +380,43 @@ class _Codegen:
         for name in names:
             if not _NAME_RE.match(name):
                 raise Unsupported(f"unmangleable identifier {name!r}")
-        # Record planes mangle field separators with "__"; reject the rare
-        # collision (array "p__x" vs record "p" field "x").
-        mangled = [self._plane_name(k) for k in self._plane_keys()]
-        if len(set(mangled)) != len(mangled):
-            raise Unsupported("array/field name mangling collision")
+
+    def _assign_plane_names(self) -> None:
+        """Assign each plane key a unique generated identifier.
+
+        Record planes mangle field separators with ``"__"``, so an array
+        ``p__x`` and a record ``p`` with field ``x`` would both want
+        ``A_p__x``.  Collisions resolve by deterministic rename in
+        declaration order (``A_p__x``, ``A_p__x__2``, ``A_p__x__3``, …):
+        the identifier is private to the generated source — every real
+        lookup (``_arrs``/``_aff``) still uses the true key tuple.
+        """
+        self._plane_ids: dict[tuple[str, str | None], str] = {}
+        taken: set[str] = set()
+        for key in self._plane_keys():
+            name, field = key
+            base = f"A_{name}" if field is None else f"A_{name}__{field}"
+            candidate, n = base, 1
+            while candidate in taken:
+                n += 1
+                candidate = f"{base}__{n}"
+            taken.add(candidate)
+            self._plane_ids[key] = candidate
 
     def _plane_keys(self) -> list[tuple[str, str | None]]:
-        keys: list[tuple[str, str | None]] = []
-        for decl in self.kernel.arrays:
-            for field in decl.fields or (None,):
-                keys.append((decl.name, field))
-        return keys
+        return _kernel_plane_keys(self.kernel)
 
-    @staticmethod
-    def _plane_name(key: tuple[str, str | None]) -> str:
-        name, field = key
-        return f"A_{name}" if field is None else f"A_{name}__{field}"
+    def _plane_name(self, key: tuple[str, str | None]) -> str:
+        return self._plane_ids[key]
 
     def _tname(self, dtype: DType) -> str:
         name = f"_t_{dtype.name}"
-        self.globals[name] = dtype.numpy.type
+        self._types[name] = dtype.numpy.name
         return name
 
     def _dtname(self, dt: np.dtype) -> str:
         name = f"_dt_{dt.name}"
-        self.globals[name] = dt
+        self._dts[name] = dt.name
         return name
 
     def _const(self, expr: Const) -> str:
@@ -379,8 +425,22 @@ class _Codegen:
         if name is None:
             name = f"_c{len(self._consts)}"
             self._consts[key] = name
-            self.globals[name] = expr.dtype.numpy.type(expr.value)
+            tname = self._tname(expr.dtype)
+            self._const_defs[name] = f"{tname}({_const_literal(expr.value)})"
         return name
+
+    def _prelude(self) -> list[str]:
+        """Module-level definitions the generated function body uses."""
+        lines = [
+            f"{name} = np.dtype({np_name!r}).type"
+            for name, np_name in self._types.items()
+        ]
+        lines.extend(
+            f"{name} = np.dtype({dt_name!r})"
+            for name, dt_name in self._dts.items()
+        )
+        lines.extend(f"{name} = {rhs}" for name, rhs in self._const_defs.items())
+        return lines
 
     def tmp(self) -> str:
         self._tmp += 1
@@ -427,8 +487,15 @@ class _Codegen:
             out.append("        _acc(_pa, _pv)")
             out.append("        if _px: _tch(_pa, _px, _pw)")
         out.append("    return (_n, _ld, _st)")
+        # Prepend the prelude last: emission populates it.  The result is
+        # self-contained over ``_BASE_GLOBALS`` — byte-identical and
+        # re-``exec``-able in any process, which is what lets the
+        # persistent code store load sources instead of recompiling.
+        prelude = self._prelude()
+        if prelude:
+            out = prelude + [""] + out
         source = "\n".join(out) + "\n"
-        namespace = dict(self.globals)
+        namespace = dict(_BASE_GLOBALS)
         exec(  # noqa: S102 - the source is generated from validated IR
             compile(source, f"<jit:{self.kernel.name}:{self.mode}>", "exec"),
             namespace,
@@ -1430,24 +1497,112 @@ class _Vectorizer:
 _CACHE: OrderedDict[tuple[Kernel, str], CompiledKernel | None] = OrderedDict()
 
 
+def _store_payload(
+    kernel: Kernel, mode: str, compiled: CompiledKernel | None
+) -> dict:
+    """JSON payload persisting one compilation (or "unsupported") result."""
+    payload = {"kernel": kernel.name, "mode": mode}
+    if compiled is None:
+        payload["unsupported"] = True
+        return payload
+    payload["unsupported"] = False
+    payload["source"] = compiled.source
+    payload["plane_keys"] = [list(k) for k in compiled.plane_keys]
+    payload["vectorized_loops"] = compiled.vectorized_loops
+    return payload
+
+
+def _materialize(
+    payload: dict, kernel: Kernel, mode: str
+) -> CompiledKernel | None:
+    """Rebuild a :class:`CompiledKernel` from a store payload.
+
+    Every field is validated against the live kernel before the source is
+    ``exec``ed — a payload that survived the store's checksum but doesn't
+    describe *this* (kernel, mode) compilation raises ``ValueError`` and
+    the caller quarantines the entry and recompiles.
+    """
+    if payload.get("kernel") != kernel.name or payload.get("mode") != mode:
+        raise ValueError("code entry describes a different kernel/mode")
+    unsupported = payload.get("unsupported")
+    if not isinstance(unsupported, bool):
+        raise ValueError("code entry has no unsupported flag")
+    if unsupported:
+        return None
+    source = payload.get("source")
+    if not isinstance(source, str) or "def _jit(" not in source:
+        raise ValueError("code entry has no generated function source")
+    raw_keys = payload.get("plane_keys")
+    if not isinstance(raw_keys, list):
+        raise ValueError("code entry has no plane keys")
+    plane_keys = tuple(
+        (k[0], k[1]) if isinstance(k, list) and len(k) == 2 else None
+        for k in raw_keys
+    )
+    if plane_keys != tuple(_kernel_plane_keys(kernel)):
+        raise ValueError("code entry plane keys do not match the kernel")
+    vec = payload.get("vectorized_loops")
+    if not isinstance(vec, int) or isinstance(vec, bool):
+        raise ValueError("code entry has no vectorized-loop count")
+    namespace = dict(_BASE_GLOBALS)
+    exec(  # noqa: S102 - checksummed + validated store payload
+        compile(source, f"<jit:{kernel.name}:{mode}>", "exec"),
+        namespace,
+    )
+    fn = namespace.get("_jit")
+    if not callable(fn):
+        raise ValueError("code entry source did not define _jit")
+    return CompiledKernel(
+        kernel_name=kernel.name,
+        mode=mode,
+        fn=fn,
+        source=source,
+        plane_keys=plane_keys,
+        vectorized_loops=vec,
+    )
+
+
 def get_compiled(kernel: Kernel, mode: str) -> CompiledKernel | None:
     """Compile (or fetch) the generated function for (kernel, mode).
 
     Returns None when the kernel is unsupported; the result — including
     the None — is cached, so repeated runs of one kernel pay compilation
-    once per process.
+    once per process.  When a persistent code store is active
+    (:func:`repro.jit.store.active_store`), the source is loaded from disk
+    when present — a store hit costs one ``exec`` and no ``jit.compiles``
+    — and freshly compiled results are written back for the next process.
     """
     key = (kernel, mode)
     if key in _CACHE:
         _CACHE.move_to_end(key)
         return _CACHE[key]
-    with span("jit.compile", kernel=kernel.name, mode=mode):
-        try:
-            compiled: CompiledKernel | None = _Codegen(kernel, mode).compile()
-            add_counter("jit.compiles")
-        except Unsupported:
-            compiled = None
-            add_counter("jit.unsupported")
+    store = active_store()
+    skey = ""
+    compiled: CompiledKernel | None = None
+    loaded = False
+    if store is not None:
+        skey = store.key(kernel, mode)
+        payload = store.get(skey)
+        if payload is not None:
+            try:
+                with span("jit.store.load", kernel=kernel.name, mode=mode):
+                    compiled = _materialize(payload, kernel, mode)
+                loaded = True
+            except Exception as exc:
+                store.reject(skey, exc)
+    if not loaded:
+        with span("jit.compile", kernel=kernel.name, mode=mode):
+            try:
+                compiled = _Codegen(kernel, mode).compile()
+                add_counter("jit.compiles")
+            except Unsupported:
+                compiled = None
+                add_counter("jit.unsupported")
+        if store is not None:
+            try:
+                store.put(skey, _store_payload(kernel, mode, compiled))
+            except OSError:
+                pass  # persistence is best-effort; the compile stands
     _CACHE[key] = compiled
     while len(_CACHE) > _CACHE_CAP:
         _CACHE.popitem(last=False)
@@ -1455,5 +1610,6 @@ def get_compiled(kernel: Kernel, mode: str) -> CompiledKernel | None:
 
 
 def clear_code_cache() -> None:
-    """Drop every cached compilation (tests)."""
+    """Drop every cached compilation in this process (tests).  The
+    persistent store, if any, is untouched — use ``CodeStore.clear``."""
     _CACHE.clear()

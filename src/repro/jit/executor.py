@@ -78,13 +78,39 @@ def no_jit():
 
 def _flat_planes(
     interp: Interpreter,
-) -> dict[tuple[str, str | None], np.ndarray] | None:
-    """The interpreter's cached 1-D plane views, or None if any plane is
-    not viewable (generated stores through a reshape copy would be lost)."""
-    flats = interp._flats
-    if any(flat is None for flat in flats.values()):
-        return None
-    return flats
+) -> tuple[
+    dict[tuple[str, str | None], np.ndarray],
+    dict[tuple[str, str | None], np.ndarray],
+]:
+    """1-D planes for generated code: ``(flats, copied)``.
+
+    Viewable planes pass through as the interpreter's cached views;
+    generated stores land in the caller's storage directly.  A
+    non-viewable plane (a strided or transposed storage view whose
+    ``reshape(-1)`` cannot share memory) is **copied in** as a fresh
+    C-order flat — the caller must copy it back out (:func:`_copy_out`)
+    after a *successful* run, and must not after a fault (the original
+    plane was never written, so rollback is free for it)."""
+    flats: dict[tuple[str, str | None], np.ndarray] = {}
+    copied: dict[tuple[str, str | None], np.ndarray] = {}
+    for key, flat in interp._flats.items():
+        if flat is None:
+            plane = interp._plane(interp.kernel.array(key[0]), key[1])
+            flats[key] = plane.reshape(-1)  # non-viewable: this is a copy
+            copied[key] = plane
+        else:
+            flats[key] = flat
+    return flats, copied
+
+
+def _copy_out(
+    flats: Mapping[tuple[str, str | None], np.ndarray],
+    copied: Mapping[tuple[str, str | None], np.ndarray],
+) -> None:
+    """Publish generated-code results from copied-in flats back into the
+    caller's non-viewable planes."""
+    for key, plane in copied.items():
+        np.copyto(plane, flats[key].reshape(plane.shape))
 
 
 def _dims(interp: Interpreter) -> dict[str, tuple[int, ...]]:
@@ -129,9 +155,7 @@ def try_run_jit(interp: Interpreter) -> InterpStats | None:
     compiled = get_compiled(interp.kernel, "run")
     if compiled is None:
         return None
-    flats = _flat_planes(interp)
-    if flats is None:
-        return None
+    flats, copied = _flat_planes(interp)
     params = {name: int(value) for name, value in interp.params.items()}
     snapshot = _snapshot(flats)
     try:
@@ -144,6 +168,7 @@ def try_run_jit(interp: Interpreter) -> InterpStats | None:
         _restore(flats, snapshot)
         add_counter("jit.fallbacks")
         return None
+    _copy_out(flats, copied)
     add_counter("jit.runs")
     interp.stats = InterpStats(statements=n, loads=ld, stores=st)
     return interp.stats
@@ -174,9 +199,7 @@ def try_trace_jit(
     # Construction validates parameter/storage bindings, raising the
     # canonical SimulationError before any generated code runs.
     interp = Interpreter(kernel, params, arrays, None, max_statements)
-    flats = _flat_planes(interp)
-    if flats is None:
-        return None
+    flats, copied = _flat_planes(interp)
     aff = {
         key: address_map.resolver(*key) for key in compiled.plane_keys
     }
@@ -204,6 +227,7 @@ def try_trace_jit(
         _restore(flats, snapshot)
         add_counter("jit.fallbacks")
         return None
+    _copy_out(flats, copied)
     add_counter("jit.traces")
     hierarchy.flush()
     return ld + st
@@ -232,8 +256,8 @@ def try_trace_stream(
     Returns ``(addrs, writes)`` — int64 addresses and bool write flags in
     program order — with the kernel's outputs written to *arrays*, or
     None when the stream path is unavailable (unsupported kernel,
-    ``REPRO_NO_JIT=1``/``REPRO_NO_STREAM=1``, non-viewable storage) or
-    the generated code faulted and rolled back.
+    ``REPRO_NO_JIT=1``/``REPRO_NO_STREAM=1``) or the generated code
+    faulted and rolled back.
     """
     if not stream_enabled():
         return None
@@ -243,9 +267,7 @@ def try_trace_stream(
     # Construction validates parameter/storage bindings, raising the
     # canonical SimulationError before any generated code runs.
     interp = Interpreter(kernel, params, arrays, None, max_statements)
-    flats = _flat_planes(interp)
-    if flats is None:
-        return None
+    flats, copied = _flat_planes(interp)
     aff = {
         key: address_map.resolver(*key) for key in compiled.plane_keys
     }
@@ -284,6 +306,7 @@ def try_trace_stream(
         _restore(flats, snapshot)
         add_counter("jit.fallbacks")
         return None
+    _copy_out(flats, copied)
     addrs = np.empty(total, dtype=np.int64)
     writes = np.empty(total, dtype=bool)
     pos = 0

@@ -1,0 +1,301 @@
+"""Persistent, cross-process store for generated JIT sources.
+
+The IR→Python compiler (:mod:`repro.jit.codegen`) lowers each
+(kernel, mode) pair once per process.  This module makes that work
+cross-process: every generated source (and every "unsupported" verdict)
+lands on disk as a JSON entry keyed by a SHA-256 over the kernel
+fingerprint, the compile mode, the code fingerprint of the model source
+trees (:func:`repro.engine.keys.code_fingerprint`, which already covers
+``repro/jit``), and the store schema — so ``--jobs N`` workers and
+repeat runs load-and-``exec`` instead of recompiling, and any change to
+the generator invalidates every stale entry by construction.
+
+The on-disk format mirrors the engine's memo cache
+(:mod:`repro.engine.memo`): one file per entry, sharded by the first two
+key digits, written atomically (temp file + ``os.replace``), wrapped in
+a checksum envelope.  Reads are **self-healing**: a truncated, garbage,
+or checksum-mismatched entry — and an entry whose checksummed payload
+still fails to ``exec`` back into a function — is moved to
+``<store-dir>/quarantine/`` and reported as a miss, so the caller
+transparently recompiles and rewrites it.  Corrupt bytes are therefore
+never executed.
+
+The active store resolves in precedence order: an explicit
+:func:`set_store` installation (what :func:`repro.engine.configure`
+does — by default the store lives *beside* the memo cache, under
+``<memo-dir>/code``), else the ``REPRO_CODE_CACHE_DIR`` environment
+variable, else no store (in-memory compile cache only — the exact
+pre-store behaviour).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CacheCorruptionError
+from repro.observability.tracer import add_counter, span
+
+__all__ = [
+    "CODE_SCHEMA",
+    "CodeStore",
+    "CodeStoreStats",
+    "active_store",
+    "code_store_key",
+    "default_code_cache_dir",
+    "restore_store",
+    "set_store",
+    "snapshot_store",
+]
+
+#: Name of the sub-directory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Bump to invalidate every existing code-store entry on a format change.
+CODE_SCHEMA = 1
+
+
+@dataclass
+class CodeStoreStats:
+    """Hit/miss accounting for one :class:`CodeStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+            "quarantined": self.quarantined,
+        }
+
+
+def _payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical payload JSON (what :meth:`put` stores)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def code_store_key(kernel, mode: str) -> str:
+    """SHA-256 store key for one (kernel fingerprint, mode) compilation.
+
+    Parameters are deliberately absent: generated functions take them at
+    call time, so one entry serves every workload of a kernel.  The code
+    fingerprint covers ``repro/jit`` itself, so any change to the
+    generator (or the IR/simulator model it mirrors) produces fresh keys
+    and the stale entries are simply never read again.
+    """
+    # Lazy: repro.engine.keys pulls in the compiler/machines packages,
+    # which must not become import-time dependencies of the jit package.
+    from repro import __version__
+    from repro.engine.keys import code_fingerprint, kernel_fingerprint
+
+    payload = {
+        "schema": CODE_SCHEMA,
+        "version": __version__,
+        "code": code_fingerprint(),
+        "kernel": kernel_fingerprint(kernel),
+        "mode": mode,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CodeStore:
+    """A content-addressed key → generated-source entry store on disk."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.stats = CodeStoreStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Where corrupt entries end up."""
+        return self.root / QUARANTINE_DIR
+
+    def key(self, kernel, mode: str) -> str:
+        """Store key for (kernel, mode); see :func:`code_store_key`."""
+        return code_store_key(kernel, mode)
+
+    def get(self, key: str) -> dict | None:
+        """Look one entry up; ``None`` (and a miss) when absent.
+
+        A present-but-corrupt entry (unparseable, wrong shape, checksum
+        mismatch) is quarantined and reported as a miss.  The returned
+        payload has passed the checksum; the caller still validates it
+        semantically (and ``exec``s it) and hands failures back to
+        :meth:`reject`.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            add_counter("jit.store.miss")
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("code entry is not an object")
+            payload = envelope["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("code payload is not an object")
+            stored = envelope["sha256"]
+            actual = _payload_checksum(payload)
+            if stored != actual:
+                raise ValueError(
+                    f"code checksum mismatch: stored {stored!r:.20} != "
+                    f"computed {actual!r:.20}"
+                )
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, key, exc)
+            self.stats.errors += 1
+            self.stats.misses += 1
+            add_counter("jit.store.error")
+            add_counter("jit.store.miss")
+            return None
+        self.stats.hits += 1
+        add_counter("jit.store.hit")
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store one entry atomically (safe under concurrent writers)."""
+        with span("jit.store.write", key=key[:12]):
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            envelope = {"sha256": _payload_checksum(payload), "payload": payload}
+            tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+            tmp.write_text(json.dumps(envelope), encoding="utf-8")
+            os.replace(tmp, path)
+            self.stats.writes += 1
+            add_counter("jit.store.write")
+
+    def reject(self, key: str, exc: Exception) -> None:
+        """Quarantine an entry whose *payload* failed materialization.
+
+        The checksum envelope only proves the bytes are what ``put``
+        wrote; a payload from a foreign schema, or tampered before the
+        checksum was stamped, passes :meth:`get` and then fails source
+        validation or ``exec``.  The caller hands the entry back here:
+        it is moved aside like any other corruption mode, and the
+        provisional hit :meth:`get` counted retroactively becomes a miss
+        so the stats match what the caller actually did (recompile).
+        """
+        self._quarantine(self._path(key), key, exc)
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self.stats.errors += 1
+        add_counter("jit.store.error")
+
+    def _quarantine(self, path: Path, key: str, exc: Exception) -> None:
+        """Move a corrupt entry aside; never lets it be read again."""
+        with span("jit.store.quarantine", key=key, reason=str(exc)[:120]):
+            target = self.quarantine_root / path.name
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except FileNotFoundError:
+                return  # lost a race with another reader's quarantine: fine
+            except OSError as move_exc:
+                # Can't preserve the evidence; at minimum stop serving it.
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    raise CacheCorruptionError(
+                        f"code entry {key} is corrupt ({exc}) and could not "
+                        f"be quarantined or removed: {move_exc}"
+                    ) from move_exc
+            self.stats.quarantined += 1
+            add_counter("jit.store.quarantined")
+
+    def clear(self) -> None:
+        """Delete every entry (the directory itself survives)."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        # Two-character shards only: the quarantine dir never counts.
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:
+        return f"CodeStore({str(self.root)!r}, {self.stats})"
+
+
+def default_code_cache_dir() -> Path:
+    """Where the code store lives unless told otherwise.
+
+    ``REPRO_CODE_CACHE_DIR`` wins; otherwise the XDG cache home (or
+    ``~/.cache``) under ``ninja-gap/code`` — beside the memo cache's
+    ``ninja-gap/memo`` default.
+    """
+    override = os.environ.get("REPRO_CODE_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "ninja-gap" / "code"
+
+
+#: (explicitly configured?, the configured store).  When not explicitly
+#: configured, :func:`active_store` falls back to ``REPRO_CODE_CACHE_DIR``.
+_OVERRIDE: tuple[bool, CodeStore | None] = (False, None)
+
+#: Env-resolved stores, one per directory (stats survive repeat lookups).
+_ENV_STORES: dict[str, CodeStore] = {}
+
+
+def set_store(store: CodeStore | None):
+    """Install *store* as the active code store (``None`` disables
+    persistence outright, env fallback included); returns an opaque
+    token for :func:`restore_store`."""
+    global _OVERRIDE
+    previous = _OVERRIDE
+    _OVERRIDE = (True, store)
+    return previous
+
+
+def snapshot_store():
+    """The current configuration token (for save/restore around a scope)."""
+    return _OVERRIDE
+
+
+def restore_store(token) -> None:
+    """Reinstall a configuration token from :func:`set_store` /
+    :func:`snapshot_store`."""
+    global _OVERRIDE
+    _OVERRIDE = token
+
+
+def active_store() -> CodeStore | None:
+    """The store :func:`repro.jit.codegen.get_compiled` consults, if any.
+
+    An explicit :func:`set_store` wins (including an explicit ``None``);
+    otherwise ``REPRO_CODE_CACHE_DIR`` materializes a store on demand;
+    otherwise persistence is off.
+    """
+    configured, store = _OVERRIDE
+    if configured:
+        return store
+    path = os.environ.get("REPRO_CODE_CACHE_DIR", "").strip()
+    if not path:
+        return None
+    store = _ENV_STORES.get(path)
+    if store is None:
+        store = _ENV_STORES[path] = CodeStore(path)
+    return store

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.ir import F32, I32, KernelBuilder, select, sqrt
+from repro.jit.store import restore_store, snapshot_store
 
 
 def build_saxpy(parallel: bool = True, simd: bool = False):
@@ -107,6 +108,15 @@ def _isolated_memo_cache(tmp_path, monkeypatch):
     cache directory (the CLI, ``engine_session()`` defaults) lands in a
     fresh tmp dir instead of the user's ``~/.cache``."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+    # And keep the persistent JIT code store off unless a test opts in:
+    # an ambient REPRO_CODE_CACHE_DIR would leak generated sources across
+    # tests (and runs) through the env fallback of `active_store()`, and
+    # a bare `configure()` call (unlike `engine_session`) installs the
+    # store process-globally without restoring it.
+    monkeypatch.delenv("REPRO_CODE_CACHE_DIR", raising=False)
+    token = snapshot_store()
+    yield
+    restore_store(token)
 
 
 @pytest.fixture

@@ -1,17 +1,23 @@
 """Fault-injection helpers shared by the robustness tests and CI.
 
-Two families:
+Three families:
 
 * **cache corruption** — damage a live :class:`~repro.engine.memo.MemoCache`
   entry in every way a disk can (truncation, garbage bytes, checksum
   tamper, wrong JSON shape) and let the self-healing reader prove it
   quarantines + recomputes;
+* **code-store corruption** — the same damage applied to the persistent
+  JIT code store (:class:`~repro.jit.store.CodeStore`), plus a
+  ``bad_source`` mode whose checksum *validates* but whose payload can no
+  longer materialize — proving the loader's exec-guard rejects it instead
+  of executing garbage;
 * **worker faults** — thin wrappers over
   :mod:`repro.robustness.faults` plans (kill/hang/error inside pool
   workers, armed in the parent and inherited across ``fork``).
 
-These are deliberately *helpers*, not tests: ``tests/test_robustness.py``
-and the CI ``robustness`` job compose scenarios from them.
+These are deliberately *helpers*, not tests: ``tests/test_robustness.py``,
+``tests/test_jit_store.py`` and the CI ``robustness`` job compose
+scenarios from them.
 """
 
 from __future__ import annotations
@@ -20,10 +26,15 @@ import json
 from pathlib import Path
 
 from repro.engine.memo import MemoCache
+from repro.jit.store import CodeStore, _payload_checksum
 from repro.robustness.faults import FaultPlan, install_fault
 
 #: Every way `corrupt_entry` can damage a cache file.
 CORRUPTION_MODES = ("truncate", "garbage", "tamper", "wrong_shape")
+
+#: Code-store entries additionally survive a checksum-valid payload whose
+#: source cannot load (quarantined by the reader's exec guard).
+CODE_CORRUPTION_MODES = CORRUPTION_MODES + ("bad_source",)
 
 
 def entry_paths(cache: MemoCache) -> list[Path]:
@@ -61,6 +72,37 @@ def corrupt_all_entries(cache: MemoCache, mode: str = "tamper") -> int:
     paths = entry_paths(cache)
     for path in paths:
         corrupt_entry(path, mode)
+    return len(paths)
+
+
+def code_entry_paths(store: CodeStore) -> list[Path]:
+    """All live entry files of *store*, sorted (quarantine excluded)."""
+    return sorted(store.root.glob("??/*.json"))
+
+
+def corrupt_code_entry(path: Path, mode: str) -> Path:
+    """Damage one code-store entry; shares the generic modes and adds
+    ``bad_source``: the payload's generated source is replaced with
+    unparseable text and the checksum **restamped**, so the envelope
+    validates but materialization must fail — the reader's last line of
+    defence (reject + quarantine + recompile) rather than its first.
+    """
+    if mode != "bad_source":
+        return corrupt_entry(path, mode)
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    payload = envelope["payload"]
+    payload["unsupported"] = False
+    payload["source"] = "def _jit(:\n    this is not python\n"
+    envelope["sha256"] = _payload_checksum(payload)
+    path.write_text(json.dumps(envelope), encoding="utf-8")
+    return path
+
+
+def corrupt_all_code_entries(store: CodeStore, mode: str = "tamper") -> int:
+    """Damage every live entry of *store*; returns how many."""
+    paths = code_entry_paths(store)
+    for path in paths:
+        corrupt_code_entry(path, mode)
     return len(paths)
 
 

@@ -354,26 +354,115 @@ class TestKnobs:
         assert compiled.fn.__code__.co_filename == "<jit:ratio:run>"
 
 
-class TestUnsupportedShapes:
-    """Kernels the generator must refuse (interpreter semantics would be
-    hard to reproduce) still run correctly via the interpreter."""
+class TestClosedGaps:
+    """Regression tests for shapes that used to raise ``Unsupported``:
+    name-mangling collisions and non-viewable storage now stay on the
+    generated-code path with exact parity and zero ``jit.unsupported``."""
 
-    def test_mangle_collision_falls_back(self):
-        """Array "a" with field "x" and plain array "a__x" would collide
-        in the generated namespace; the generator refuses and the
-        interpreter takes over with identical results."""
+    @staticmethod
+    def _colliding_kernel():
+        """Array "a" with field "x" and plain array "a__x" both want the
+        generated identifier ``A_a__x``."""
         builder = KernelBuilder("collide")
         n = builder.param("n")
         rec = builder.array("a", F32, (n,), fields=("x",))
         plain = builder.array("a__x", F32, (n,))
         with builder.loop("i", n) as i:
             builder.assign(plain[i], rec[i].x + 1.0)
-        kernel = builder.build()
-        assert get_compiled(kernel, "run") is None
-        storage = zeros_for(kernel, {"n": 4})
+        return builder.build()
+
+    def test_mangle_collision_compiles_by_rename(self):
+        """The collision resolves by deterministic rename — both planes
+        compile, run, and match the interpreter exactly."""
+        kernel = self._colliding_kernel()
         with tracing() as tracer:
-            run_kernel(kernel, {"n": 4}, storage)
-        assert tracer.counters.get("jit.runs") == 0
+            compiled = get_compiled(kernel, "run")
+        assert compiled is not None
+        assert tracer.counters.get("jit.unsupported", 0) == 0
+        # The renamed identifiers are unique and keyed to the true planes.
+        names = [compiled.source.partition(f" = _arrs[{key!r}]")[0].split()[-1]
+                 for key in compiled.plane_keys]
+        assert len(set(names)) == len(names)
+
+        def make_storage():
+            storage = zeros_for(kernel, {"n": 4})
+            storage["a"]["x"] += np.float32(2.0)
+            return storage
+
+        (slow, s1), (fast, s2) = _run_both(kernel, {"n": 4}, make_storage)
+        assert s1 == s2
+        _assert_storage_equal(slow, fast, kernel.name)
         np.testing.assert_array_equal(
-            storage["a__x"], np.ones(4, np.float32)
+            fast["a__x"], np.full(4, 3.0, np.float32)
         )
+
+    def test_mangle_collision_all_modes_supported(self):
+        kernel = self._colliding_kernel()
+        with tracing() as tracer:
+            for mode in ("run", "trace", "trace_raw", "stream"):
+                assert get_compiled(kernel, mode) is not None, mode
+        assert tracer.counters.get("jit.unsupported", 0) == 0
+
+    @staticmethod
+    def _scale_kernel():
+        builder = KernelBuilder("strided")
+        n = builder.param("n")
+        data = builder.array("data", F64, (n, n))
+        with builder.loop("i", n) as i:
+            with builder.loop("j", n) as j:
+                builder.assign(data[i, j], data[i, j] * 2.0 + 1.0)
+        return builder.build()
+
+    @pytest.mark.parametrize(
+        "view", ["transposed", "column-slice"],
+    )
+    def test_non_viewable_storage_stays_compiled(self, view):
+        """A transposed or column-sliced plane has no 1-D view; the
+        executor copies it in and out around generated execution instead
+        of falling back to the interpreter."""
+        kernel = self._scale_kernel()
+        n = 4
+
+        def make_storage():
+            if view == "transposed":
+                base = np.arange(n * n, dtype=np.float64).reshape(n, n)
+                plane = base.T
+            else:
+                base = np.arange(n * (n + 2), dtype=np.float64)
+                plane = base.reshape(n, n + 2)[:, :n]
+            assert not np.shares_memory(plane.reshape(-1), plane)
+            return {"data": plane}, base
+
+        slow_storage, _ = make_storage()
+        with no_jit():
+            s1 = run_kernel(kernel, {"n": n}, slow_storage)
+        fast_storage, fast_base = make_storage()
+        with tracing() as tracer:
+            s2 = run_kernel(kernel, {"n": n}, fast_storage)
+        if jit_enabled():
+            assert tracer.counters.get("jit.runs") == 1, (
+                tracer.counters.as_dict()
+            )
+        assert tracer.counters.get("jit.unsupported", 0) == 0
+        assert s1 == s2
+        np.testing.assert_array_equal(
+            slow_storage["data"], fast_storage["data"]
+        )
+        # The writes really landed in the caller's strided base buffer.
+        assert fast_base.flat[0] == slow_storage["data"].reshape(-1)[0]
+
+    def test_non_viewable_storage_fault_rolls_back(self):
+        """A faulting kernel on copied-in planes must leave the caller's
+        storage untouched (rollback is the no-copy-out path)."""
+        builder = KernelBuilder("strided_fault")
+        n = builder.param("n")
+        data = builder.array("data", F64, (n, n))
+        with builder.loop("i", n) as i:
+            with builder.loop("j", n) as j:
+                builder.assign(data[i, j], data[i, j] / 0.0)
+        kernel = builder.build()
+        base = np.ones((4, 4), dtype=np.float64)
+        plane = base.T
+        with pytest.raises(NumericFaultError):
+            run_kernel(kernel, {"n": 4}, {"data": plane})
+        np.testing.assert_array_equal(base, np.ones((4, 4)))

@@ -1,0 +1,374 @@
+"""Persistent cross-process JIT code store (:mod:`repro.jit.store`).
+
+Three layers of guarantees:
+
+* **roundtrip** — a warm store serves byte-identical generated sources
+  with zero ``jit.compiles``, including the "unsupported" verdicts;
+* **self-healing** — every corruption mode (torn write, bit rot, checksum
+  tamper, wrong shape, and a checksum-*valid* payload whose source cannot
+  load) quarantines the entry and recompiles transparently, producing
+  byte-identical results; corrupt bytes are never executed;
+* **cross-process** — a second process over the same store directory
+  reports ``jit.compiles == 0`` (the warm-start acceptance criterion),
+  and mutating a file under ``repro/jit`` changes the code fingerprint,
+  so every stale entry misses and the kernel recompiles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_saxpy
+from tests.fault_injection import (
+    CODE_CORRUPTION_MODES,
+    code_entry_paths,
+    corrupt_all_code_entries,
+)
+
+from repro.engine import engine_session
+from repro.ir import F32, KernelBuilder
+from repro.ir.interp import run_kernel
+from repro.jit import (
+    CodeStore,
+    active_store,
+    clear_code_cache,
+    get_compiled,
+    jit_enabled,
+    no_jit,
+    restore_store,
+    set_store,
+)
+from repro.jit.codegen import MODES
+from repro.jit.store import code_store_key
+from repro.observability.tracer import tracing
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A fresh persistent store installed as the process-global one."""
+    clear_code_cache()
+    store = CodeStore(tmp_path / "code")
+    token = set_store(store)
+    yield store
+    restore_store(token)
+    clear_code_cache()
+
+
+def _warm_store(store):
+    """Point ``active_store()`` at a *new* CodeStore over the same
+    directory — a second process in miniature (fresh stats, no in-memory
+    compile cache, same disk)."""
+    clear_code_cache()
+    fresh = CodeStore(store.root)
+    set_store(fresh)
+    return fresh
+
+
+def _build_unsupported():
+    """A kernel the generator provably rejects: a scalar temp read after
+    a vectorized loop (its post-loop value is not tracked)."""
+    b = KernelBuilder("postread")
+    n = b.param("n")
+    x = b.array("x", F32, (n,))
+    out = b.array("out", F32, (1,))
+    t = b.let("t", 0.0, F32)
+    with b.loop("i", n) as i:
+        b.assign(t, x[i] * 2.0)
+    b.assign(out[0], t)
+    return b.build()
+
+
+class TestStoreRoundtrip:
+    """Cold compile → disk → warm load, byte for byte."""
+
+    def test_cold_writes_then_warm_hits(self, store):
+        kernel = build_saxpy()
+        with tracing() as cold:
+            baseline = {m: get_compiled(kernel, m) for m in MODES}
+        assert all(c is not None for c in baseline.values())
+        assert cold.counters.get("jit.compiles") == len(MODES)
+        assert store.stats.writes == len(MODES)
+        assert store.stats.misses == len(MODES)
+        assert len(store) == len(MODES)
+
+        warm_store = _warm_store(store)
+        with tracing() as warm:
+            reloaded = {m: get_compiled(build_saxpy(), m) for m in MODES}
+        assert warm.counters.get("jit.compiles") == 0
+        assert warm.counters.get("jit.store.hit") == len(MODES)
+        assert warm_store.stats.hits == len(MODES)
+        assert warm_store.stats.writes == 0
+        for mode in MODES:
+            assert reloaded[mode].source == baseline[mode].source
+            assert reloaded[mode].plane_keys == baseline[mode].plane_keys
+            assert (
+                reloaded[mode].vectorized_loops
+                == baseline[mode].vectorized_loops
+            )
+
+    def test_unsupported_verdict_is_persisted(self, store):
+        kernel = _build_unsupported()
+        with tracing() as cold:
+            assert get_compiled(kernel, "run") is None
+        assert cold.counters.get("jit.unsupported") == 1
+        assert len(store) == 1  # the negative verdict is an entry too
+
+        warm_store = _warm_store(store)
+        with tracing() as warm:
+            assert get_compiled(_build_unsupported(), "run") is None
+        # The warm process neither compiles nor re-derives the verdict.
+        assert warm.counters.get("jit.compiles") == 0
+        assert warm.counters.get("jit.unsupported") == 0
+        assert warm_store.stats.hits == 1
+
+    def test_warm_loaded_function_runs_identically(self, store, rng):
+        n = 64
+        kernel = build_saxpy()
+        x = rng.standard_normal(n, dtype=np.float32)
+        y = rng.standard_normal(n, dtype=np.float32)
+
+        with no_jit():
+            expected = {"x": x.copy(), "y": y.copy()}
+            expected_stats = run_kernel(kernel, {"n": n}, expected)
+        cold = {"x": x.copy(), "y": y.copy()}
+        cold_stats = run_kernel(kernel, {"n": n}, cold)
+
+        _warm_store(store)
+        warm = {"x": x.copy(), "y": y.copy()}
+        with tracing() as tracer:
+            warm_stats = run_kernel(build_saxpy(), {"n": n}, warm)
+        if jit_enabled():
+            assert tracer.counters.get("jit.compiles") == 0
+            assert tracer.counters.get("jit.runs") == 1
+        np.testing.assert_array_equal(warm["y"], expected["y"])
+        np.testing.assert_array_equal(warm["y"], cold["y"])
+        assert warm_stats == expected_stats == cold_stats
+
+    def test_key_is_parameter_free_but_kernel_and_mode_sensitive(self):
+        saxpy = build_saxpy()
+        key = code_store_key(saxpy, "run")
+        assert key == code_store_key(build_saxpy(), "run")  # deterministic
+        assert key != code_store_key(saxpy, "trace")
+        assert key != code_store_key(_build_unsupported(), "run")
+
+    def test_store_off_without_opt_in(self):
+        # conftest clears REPRO_CODE_CACHE_DIR, and no session installed
+        # a store: the library default stays in-memory only.
+        assert active_store() is None
+
+
+class TestCorruptionSelfHealing:
+    """Every way the disk can lie must end in quarantine + recompile."""
+
+    @pytest.mark.parametrize("mode", CODE_CORRUPTION_MODES)
+    def test_corrupt_entries_quarantine_and_recompile(self, store, mode):
+        kernel = build_saxpy()
+        baseline = {m: get_compiled(kernel, m).source for m in MODES}
+        n_entries = len(store)
+        assert n_entries == len(MODES)
+
+        assert corrupt_all_code_entries(store, mode) == n_entries
+        warm_store = _warm_store(store)
+        with tracing() as tracer:
+            reloaded = {m: get_compiled(build_saxpy(), m).source for m in MODES}
+
+        # Byte-identical regenerated sources; the damage was invisible.
+        assert reloaded == baseline
+        # Every entry was quarantined, missed, and recompiled + rewritten.
+        assert warm_store.stats.quarantined == n_entries
+        assert warm_store.stats.hits == 0
+        assert warm_store.stats.misses == n_entries
+        assert warm_store.stats.errors == n_entries
+        assert warm_store.stats.writes == n_entries
+        assert tracer.counters.get("jit.store.quarantined") == n_entries
+        assert tracer.counters.get("jit.compiles") == n_entries
+        # The store healed in place and kept the evidence aside.
+        assert len(warm_store) == n_entries
+        quarantined = list(warm_store.quarantine_root.glob("*.json"))
+        assert len(quarantined) == n_entries
+
+    def test_quarantined_entry_is_never_served_again(self, store):
+        kernel = build_saxpy()
+        get_compiled(kernel, "run")
+        corrupt_all_code_entries(store, "tamper")
+
+        warm_store = _warm_store(store)
+        get_compiled(build_saxpy(), "run")  # quarantines + heals
+        again = CodeStore(store.root)
+        set_store(again)
+        clear_code_cache()
+        with tracing() as tracer:
+            get_compiled(build_saxpy(), "run")
+        assert again.stats.hits == 1
+        assert again.stats.quarantined == 0
+        assert tracer.counters.get("jit.compiles") == 0
+        assert warm_store.stats.quarantined == 1
+
+    def test_unwritable_store_is_best_effort(self, store):
+        # put() failing with OSError must not break compilation.
+        shutil.rmtree(store.root, ignore_errors=True)
+        store.root.parent.chmod(0o500)
+        try:
+            with tracing() as tracer:
+                compiled = get_compiled(build_saxpy(), "run")
+            assert compiled is not None
+            assert tracer.counters.get("jit.compiles") == 1
+        finally:
+            store.root.parent.chmod(0o700)
+
+
+class TestEngineIntegration:
+    """The session wiring: store beside the memo cache, knobs, report."""
+
+    def test_session_store_lives_beside_memo_cache(self, tmp_path):
+        clear_code_cache()
+        memo_dir = tmp_path / "memo-session"
+        with engine_session(cache_dir=str(memo_dir)) as config:
+            assert config.code_store is not None
+            assert config.code_store.root == memo_dir / "code"
+            assert active_store() is config.code_store
+            get_compiled(build_saxpy(), "run")
+            report = config.report()
+        assert report["code_store"]["dir"] == str(memo_dir / "code")
+        assert report["code_store"]["writes"] == 1
+        assert active_store() is None  # session restored the previous state
+        clear_code_cache()
+
+    def test_session_explicit_dir_and_opt_out(self, tmp_path):
+        code_dir = tmp_path / "explicit-code"
+        with engine_session(cache=False, code_cache_dir=str(code_dir)) as c:
+            assert c.code_store is not None
+            assert c.code_store.root == code_dir
+        with engine_session(cache=False) as config:
+            # No memo cache to sit beside and no explicit dir: stay
+            # hermetic (in-memory only), exactly the pre-store default.
+            assert config.code_store is None
+            assert active_store() is None
+        with engine_session(
+            cache_dir=str(tmp_path / "memo"), code_cache=False
+        ) as config:
+            assert config.code_store is None
+            assert active_store() is None
+
+    def test_env_knob_activates_store(self, tmp_path, monkeypatch):
+        code_dir = tmp_path / "env-code"
+        monkeypatch.setenv("REPRO_CODE_CACHE_DIR", str(code_dir))
+        store = active_store()
+        assert store is not None
+        assert store.root == code_dir
+
+    def test_reset_stats_clears_store_counters(self, tmp_path):
+        clear_code_cache()
+        with engine_session(cache_dir=str(tmp_path / "memo-r")) as config:
+            get_compiled(build_saxpy(), "run")
+            assert config.code_store.stats.writes == 1
+            config.reset_stats()
+            assert config.code_store.stats.writes == 0
+            assert len(config.code_store) == 1  # entries stay on disk
+        clear_code_cache()
+
+
+#: Stand-alone child: compiles one kernel in the requested modes and
+#: prints its compile counters + store stats as JSON.  The code store is
+#: picked up from REPRO_CODE_CACHE_DIR via the env fallback.
+_CHILD = '''\
+import json, sys
+from repro.ir import F32, KernelBuilder
+from repro.jit import active_store, get_compiled
+from repro.observability.tracer import tracing
+
+b = KernelBuilder("xproc_saxpy")
+n = b.param("n")
+x = b.array("x", F32, (n,))
+y = b.array("y", F32, (n,))
+with b.loop("i", n) as i:
+    b.assign(y[i], 2.0 * x[i] + y[i])
+kernel = b.build()
+
+modes = sys.argv[1].split(",")
+with tracing() as tracer:
+    sources = {}
+    for mode in modes:
+        compiled = get_compiled(kernel, mode)
+        sources[mode] = None if compiled is None else compiled.source
+store = active_store()
+print(json.dumps({
+    "compiles": tracer.counters.get("jit.compiles"),
+    "unsupported": tracer.counters.get("jit.unsupported"),
+    "store": None if store is None else store.stats.as_dict(),
+    "entries": None if store is None else len(store),
+    "sources": sources,
+}))
+'''
+
+
+def _run_child(script, code_dir, modes, pythonpath=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pythonpath if pythonpath is not None else SRC_DIR)
+    env["REPRO_CODE_CACHE_DIR"] = str(code_dir)
+    proc = subprocess.run(
+        [sys.executable, str(script), modes],
+        capture_output=True, text=True, env=env, timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+class TestCrossProcess:
+    """The acceptance criterion, for real: separate interpreter processes
+    sharing one store directory."""
+
+    def test_second_process_compiles_nothing(self, tmp_path):
+        script = tmp_path / "child.py"
+        script.write_text(_CHILD, encoding="utf-8")
+        code_dir = tmp_path / "code"
+        modes = ",".join(MODES)
+
+        cold = _run_child(script, code_dir, modes)
+        assert cold["compiles"] == len(MODES)
+        assert cold["store"]["writes"] == len(MODES)
+        assert cold["store"]["hits"] == 0
+
+        warm = _run_child(script, code_dir, modes)
+        assert warm["compiles"] == 0  # zero jit.compiles in a warm process
+        assert warm["unsupported"] == 0
+        assert warm["store"]["hits"] == len(MODES)
+        assert warm["store"]["writes"] == 0
+        assert warm["sources"] == cold["sources"]  # byte-identical sources
+
+    def test_code_change_invalidates_store(self, tmp_path):
+        # Run the children against a private copy of the package so the
+        # mutation cannot touch the real tree.
+        pkgs = tmp_path / "pkgs"
+        shutil.copytree(SRC_DIR / "repro", pkgs / "repro")
+        script = tmp_path / "child.py"
+        script.write_text(_CHILD, encoding="utf-8")
+        code_dir = tmp_path / "code"
+
+        first = _run_child(script, code_dir, "run", pythonpath=pkgs)
+        assert first["compiles"] == 1
+        warm = _run_child(script, code_dir, "run", pythonpath=pkgs)
+        assert warm["compiles"] == 0
+
+        # Any edit under repro/jit changes the code fingerprint, hence
+        # every store key: old entries are simply never read again.
+        codegen = pkgs / "repro" / "jit" / "codegen.py"
+        codegen.write_text(
+            codegen.read_text(encoding="utf-8") + "\n# invalidation probe\n",
+            encoding="utf-8",
+        )
+        stale = _run_child(script, code_dir, "run", pythonpath=pkgs)
+        assert stale["compiles"] == 1  # recompiled under the new fingerprint
+        assert stale["store"]["misses"] == 1
+        assert stale["store"]["hits"] == 0
+        assert stale["entries"] == 2  # old + new entries coexist
