@@ -64,7 +64,12 @@ class CompilerOptions:
 
     @property
     def label(self) -> str:
-        """Short human label for report columns."""
+        """Short human label for report columns.
+
+        Every report-visible field shows up: ``unroll`` as ``ur`` and a
+        non-default ``min_vector_profit`` as ``vp=<threshold>``, so two
+        distinct swept configurations can never collide in a table column.
+        """
         if self.ninja:
             return "ninja"
         parts = []
@@ -76,12 +81,17 @@ class CompilerOptions:
             parts.append("simd")
         if self.fast_math:
             parts.append("fm")
+        if self.unroll:
+            parts.append("ur")
         if self.assume_aligned:
             parts.append("align")
         if self.streaming_stores:
             parts.append("nt")
         if self.software_prefetch:
             parts.append("pf")
+        default_profit = type(self).__dataclass_fields__["min_vector_profit"].default
+        if self.min_vector_profit != default_profit:
+            parts.append(f"vp={self.min_vector_profit:g}")
         return "+".join(parts) if parts else "serial"
 
     @property

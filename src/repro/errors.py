@@ -43,6 +43,11 @@ class ExperimentError(ReproError):
     """An experiment harness was configured incorrectly."""
 
 
+class TuneError(ReproError):
+    """The autotuner was configured incorrectly (unknown strategy, empty
+    or oversized search space, invalid budget/seed)."""
+
+
 class AccountingError(ReproError):
     """The cycle-accounting ledger violated its conservation law.
 

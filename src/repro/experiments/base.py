@@ -119,5 +119,6 @@ def _load_all() -> None:
         mic,
         tables as table_experiments,
         trend,
+        tuning,
         workloads,
     )

@@ -14,6 +14,9 @@ Usage::
     ninja-gap ladder nbody --accounting    # ... with the cycle ledger
     ninja-gap report nbody                 # vectorization reports per rung
     ninja-gap report nbody --json          # ... as structured JSON
+    ninja-gap tune stencil                 # beam-search flags x knobs
+    ninja-gap tune lbm --strategy random --budget 128 --tune-seed 7
+    ninja-gap tune conv2d --jobs 4 --json  # batched through the pool
     ninja-gap --version
 """
 
@@ -83,6 +86,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the vectorization reports as structured JSON",
     )
+    tune = sub.add_parser(
+        "tune", help="search the optimization space for one benchmark"
+    )
+    tune.add_argument("benchmark", help="benchmark name (e.g. stencil)")
+    tune.add_argument(
+        "--machine", default="westmere",
+        help="machine name or alias (default: westmere)",
+    )
+    tune.add_argument(
+        "--variant", default="optimized",
+        choices=("naive", "optimized"),
+        help="source variant to tune (default: optimized)",
+    )
+    tune.add_argument(
+        "--strategy", default="beam",
+        choices=("exhaustive", "random", "beam", "hillclimb"),
+        help="search strategy (default: beam)",
+    )
+    tune.add_argument(
+        "--budget", type=int, default=64, metavar="N",
+        help="maximum distinct evaluations (default: 64)",
+    )
+    tune.add_argument(
+        "--tune-seed", type=int, default=None, metavar="SEED",
+        help="search seed (default: $REPRO_TUNE_SEED, else a fixed seed)",
+    )
+    tune.add_argument(
+        "--json", action="store_true",
+        help="emit the search result (frontier included) as JSON",
+    )
+    _add_profile_flags(tune)
+    _add_engine_flags(tune)
     return parser
 
 
@@ -345,6 +380,48 @@ def _print_accounting(data: dict, engine) -> None:
         )
 
 
+def _run_tune(args, engine) -> int:
+    """The ``tune`` subcommand: search one benchmark, print the outcome."""
+    from repro.analysis import format_table
+    from repro.kernels import get_benchmark
+    from repro.machines import get_machine
+    from repro.observability import tracing
+    from repro.tune import SEARCH_HEADERS, frontier_lines, search_rows, tune_benchmark
+
+    enabled = args.profile or bool(args.trace_out)
+    with tracing(enabled=enabled) as tracer:
+        result = tune_benchmark(
+            get_benchmark(args.benchmark),
+            get_machine(args.machine),
+            variant=args.variant,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.tune_seed,
+        )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(
+            format_table(
+                SEARCH_HEADERS, search_rows([result]),
+                title=f"tuned {result.benchmark} ({result.variant}) on "
+                f"{result.machine}",
+            )
+        )
+        print()
+        print("\n".join(frontier_lines(result)))
+        print(
+            f"\nseed {result.seed}, space {result.space_size}, "
+            f"{result.evaluations} evaluations -> {result.simulations} "
+            f"simulations, {result.batches} batches, "
+            f"memo hit rate {result.cache_hit_rate:.0%}"
+        )
+    if args.profile:
+        print(_engine_line(engine))
+    _finish_profiled(tracer, args.profile, args.trace_out)
+    return 0
+
+
 def _engine_line(engine) -> str:
     """One-line memo/jobs summary for ``--profile`` output."""
     report = engine.report()
@@ -451,6 +528,8 @@ def _dispatch(args, engine) -> int:
         return 0
     if args.command == "report":
         return _print_reports(args.benchmark, args.machine, args.json)
+    if args.command == "tune":
+        return _run_tune(args, engine)
     assert args.command == "all"
     for experiment_id in experiment_ids():
         started = time.perf_counter()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Mapping
 
 import numpy as np
@@ -28,6 +29,39 @@ from repro.ir.interp import ArrayStorage, run_kernel, zeros_for
 from repro.ir.kernel import Kernel
 
 VARIANT_NAMES = ("naive", "optimized", "ninja")
+
+
+@dataclass(frozen=True)
+class TunableParam:
+    """One structural knob of a benchmark the autotuner may search.
+
+    The knob is a workload parameter :meth:`Benchmark.phases` interprets —
+    a tile edge, a block size, an unroll window.  ``default`` is the value
+    the benchmark uses when the parameter is absent (it must appear in
+    ``values``), so the untuned point is always part of the search space.
+
+    Attributes:
+        name: parameter key (``"tile"``, ``"by"``, ``"ux"``).
+        values: candidate settings in ascending order, pre-filtered to be
+            valid for the workload they were derived from (divisibility
+            constraints included).
+        default: the setting equivalent to not tuning the knob.
+        description: one-line meaning for reports and docs.
+    """
+
+    name: str
+    values: tuple[int, ...]
+    default: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise WorkloadError(f"tunable {self.name}: needs candidate values")
+        if self.default not in self.values:
+            raise WorkloadError(
+                f"tunable {self.name}: default {self.default} is not among "
+                f"its candidate values {self.values}"
+            )
 
 
 @dataclass(frozen=True)
@@ -62,7 +96,18 @@ class Benchmark(abc.ABC):
     #: one-line description of the paper's algorithmic change (§4).
     paper_change: str = ""
     #: programming-effort proxy: source lines touched per variant.
-    loc_deltas: Mapping[str, int] = {"naive": 0, "optimized": 40, "ninja": 400}
+    #: Frozen to an immutable mapping (here and in every subclass, see
+    #: ``__init_subclass__``) so no tuner or experiment can mutate the
+    #: effort numbers behind every instance's back.
+    loc_deltas: Mapping[str, int] = MappingProxyType(
+        {"naive": 0, "optimized": 40, "ninja": 400}
+    )
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        declared = cls.__dict__.get("loc_deltas")
+        if isinstance(declared, dict):
+            cls.loc_deltas = MappingProxyType(dict(declared))
 
     def __init__(self) -> None:
         self._kernel_cache: dict[str, Kernel] = {}
@@ -86,6 +131,18 @@ class Benchmark(abc.ABC):
     def phases(self, variant: str, params: Mapping[str, int]) -> tuple[Phase, ...]:
         """The invocation plan for one run (single phase by default)."""
         return (Phase(self.kernel(variant), dict(params)),)
+
+    def tunables(
+        self, variant: str, params: Mapping[str, int]
+    ) -> tuple[TunableParam, ...]:
+        """Structural knobs :meth:`phases` interprets for this workload.
+
+        The autotuner (:mod:`repro.tune`) crosses these with the compiler
+        option axes.  Values must be pre-filtered for *params* (e.g. a
+        tile edge must divide the problem size); the default, no knobs,
+        means only compiler options are searched.
+        """
+        return ()
 
     def trace_storage(self, phase: Phase) -> ArrayStorage:
         """Storage that is *numerically safe* to interpret for tracing.

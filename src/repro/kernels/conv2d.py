@@ -15,10 +15,13 @@ import numpy as np
 
 from repro.ir import F32, KernelBuilder
 from repro.ir.interp import ArrayStorage
-from repro.kernels.base import Benchmark
+from repro.kernels.base import Benchmark, Phase, TunableParam
 
 #: Filter diameter (the paper's 5x5 window).
 K = 5
+
+#: Candidate row-loop unroll windows (1 = no explicit unroll pragma).
+_UNROLL_CANDIDATES = (1, 2, 4, 8)
 
 
 class Conv2D(Benchmark):
@@ -53,7 +56,7 @@ class Conv2D(Benchmark):
                 b.assign(out[y, x], acc)
         return b.build()
 
-    def _build_unrolled(self, name: str):
+    def _build_unrolled(self, name: str, ux: int = 1):
         b = KernelBuilder(name, doc="5x5 taps register-blocked")
         h = b.param("h")
         w = b.param("w")
@@ -61,13 +64,41 @@ class Conv2D(Benchmark):
         coef = b.array("coef", F32, (K, K))
         out = b.array("out", F32, (h, w))
         with b.loop("y", h, parallel=True) as y:
-            with b.loop("x", w, simd=True) as x:
+            with b.loop("x", w, simd=True, unroll=ux) as x:
                 acc = b.let("acc", 0.0, F32)
                 for ky in range(K):
                     for kx in range(K):
                         b.inc(acc, img[y + ky, x + kx] * coef[ky, kx])
                 b.assign(out[y, x], acc)
         return b.build()
+
+    def phases(self, variant, params):
+        """Single phase; a ``ux`` param > 1 pins an unroll window on the
+        register-blocked row loop (an unroll pragma the ``unroll`` compiler
+        flag honors)."""
+        params = dict(params)
+        ux = int(params.pop("ux", 1))
+        if ux == 1 or variant == "naive":
+            return (Phase(self.kernel(variant), params),)
+        cache_key = f"{variant}_u{ux}"
+        if cache_key not in self._kernel_cache:
+            base = "conv2d_unrolled" if variant == "optimized" else "conv2d_ninja"
+            self._kernel_cache[cache_key] = self._build_unrolled(
+                f"{base}_u{ux}", ux=ux
+            )
+        return (Phase(self._kernel_cache[cache_key], params),)
+
+    def tunables(self, variant, params):
+        if variant == "naive":
+            return ()
+        return (
+            TunableParam(
+                name="ux",
+                values=_UNROLL_CANDIDATES,
+                default=1,
+                description="row-loop unroll window (pragma unroll)",
+            ),
+        )
 
     def paper_params(self) -> dict[str, int]:
         return {"h": 2048, "w": 2048}

@@ -12,12 +12,16 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.errors import WorkloadError
 from repro.ir import F32, KernelBuilder, sqrt
 from repro.ir.interp import ArrayStorage
-from repro.kernels.base import Benchmark
+from repro.kernels.base import Benchmark, Phase, TunableParam
 
 #: Softening term keeping r² away from zero.
 _EPS = 0.01
+
+#: Candidate j-tile edges (0 = untiled); filtered per workload.
+_TILE_CANDIDATES = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
 
 
 def _force_body(b: KernelBuilder, xi, yi, zi, xj, yj, zj, mj, ax, ay, az) -> None:
@@ -102,6 +106,38 @@ class NBody(Benchmark):
                 b.assign(acc[i].ay, acc[i].ay + ay)
                 b.assign(acc[i].az, acc[i].az + az)
         return b.build()
+
+    def phases(self, variant, params):
+        """Single phase; a non-zero ``tile`` param switches the SOA
+        variants to the j-tiled kernel (the ``abl_nbody_tile`` knob)."""
+        params = dict(params)
+        tile = int(params.pop("tile", 0))
+        if tile == 0 or variant == "naive":
+            return (Phase(self.kernel(variant), params),)
+        if params["n"] % tile != 0:
+            raise WorkloadError(
+                f"nbody: tile {tile} does not divide n={params['n']}"
+            )
+        if "tiled" not in self._kernel_cache:
+            self._kernel_cache["tiled"] = self.build_tiled()
+        params["tile"] = tile
+        return (Phase(self._kernel_cache["tiled"], params),)
+
+    def tunables(self, variant, params):
+        if variant == "naive":
+            return ()
+        n = int(params["n"])
+        tiles = tuple(t for t in _TILE_CANDIDATES if t < n and n % t == 0)
+        if not tiles:
+            return ()
+        return (
+            TunableParam(
+                name="tile",
+                values=(0,) + tiles,
+                default=0,
+                description="j-loop tile edge (0 = untiled sweep)",
+            ),
+        )
 
     def paper_params(self) -> dict[str, int]:
         return {"n": 16384}

@@ -16,10 +16,13 @@ import numpy as np
 
 from repro.ir import F32, KernelBuilder
 from repro.ir.interp import ArrayStorage
-from repro.kernels.base import Benchmark
+from repro.kernels.base import Benchmark, TunableParam
 
 C_CENTER = 0.4
 C_NEIGHBOR = 0.1
+
+#: Candidate 2.5D block edges; filtered to divisors of n-2 per workload.
+_BLOCK_CANDIDATES = (4, 8, 16, 32, 64, 128, 256)
 
 
 class Stencil(Benchmark):
@@ -90,6 +93,28 @@ class Stencil(Benchmark):
             params.setdefault("by", self.BLOCK)
             params.setdefault("bx", self.BLOCK)
         return (Phase(self.kernel(variant), params),)
+
+    def tunables(self, variant, params):
+        if variant == "naive":
+            return ()
+        interior = int(params["n"]) - 2
+        values = tuple(
+            v for v in _BLOCK_CANDIDATES if v <= interior and interior % v == 0
+        )
+        tunables = []
+        for name in ("by", "bx"):
+            default = int(params.get(name, self.BLOCK))
+            if default not in values:
+                continue
+            tunables.append(
+                TunableParam(
+                    name=name,
+                    values=values,
+                    default=default,
+                    description=f"2.5D block edge along {name[1]}",
+                )
+            )
+        return tuple(tunables)
 
     def paper_params(self) -> dict[str, int]:
         return {"n": 514}

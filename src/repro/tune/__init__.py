@@ -1,0 +1,63 @@
+"""repro.tune — autotuning over the optimization space.
+
+The paper walks a *fixed* effort ladder; this package asks what a search
+over the same traditional toolchain finds: compiler-flag combinations ×
+per-kernel structural knobs, explored by deterministic strategies and
+evaluated in batches through the engine's memoized scheduler.
+
+Layers (each its own module):
+
+* :mod:`~repro.tune.space` — declarative axes, assignments, candidates;
+* :mod:`~repro.tune.strategies` — exhaustive / random / beam / hillclimb;
+* :mod:`~repro.tune.evaluate` — batched, deduped engine evaluation;
+* :mod:`~repro.tune.search` — orchestration, frontier, seeding;
+* :mod:`~repro.tune.report` — tables and appendix renderings.
+"""
+
+from repro.tune.evaluate import BatchEvaluator
+from repro.tune.report import (
+    SEARCH_HEADERS,
+    frontier_lines,
+    search_rows,
+    summary_claims,
+)
+from repro.tune.search import (
+    DEFAULT_SEED,
+    TunePoint,
+    TuneResult,
+    pareto_frontier,
+    resolve_seed,
+    tune_benchmark,
+)
+from repro.tune.space import (
+    Assignment,
+    Axis,
+    Candidate,
+    SearchSpace,
+    option_axes,
+    space_for,
+)
+from repro.tune.strategies import STRATEGIES, SearchTrace, run_strategy
+
+__all__ = [
+    "Assignment",
+    "Axis",
+    "BatchEvaluator",
+    "Candidate",
+    "DEFAULT_SEED",
+    "SEARCH_HEADERS",
+    "STRATEGIES",
+    "SearchSpace",
+    "SearchTrace",
+    "TunePoint",
+    "TuneResult",
+    "frontier_lines",
+    "option_axes",
+    "pareto_frontier",
+    "resolve_seed",
+    "run_strategy",
+    "search_rows",
+    "space_for",
+    "summary_claims",
+    "tune_benchmark",
+]

@@ -1,0 +1,143 @@
+"""Batched candidate evaluation through the engine.
+
+The evaluator is the bridge between a search strategy (which thinks in
+assignments) and the simulation engine (which thinks in memoized grid
+points).  Each generation of proposals is:
+
+1. **deduped against history** — assignments this evaluator has already
+   measured return their recorded time without touching the engine;
+2. **deduped by memo key** — two distinct candidates whose phases hash to
+   the same :func:`~repro.engine.keys.sim_memo_key` tuple (e.g. a knob
+   whose pragma the current flags ignore) cost one simulation, not two;
+3. **fanned out** — when an engine session is active (``jobs > 1``, memo
+   cache, preset machine) the unique points go through
+   :func:`~repro.engine.scheduler.run_grid` as one wide batch; the
+   parent then assembles results serially through the same memoized
+   :func:`~repro.analysis.gap.run_rung` path, so parallel evaluation is
+   byte-identical to serial and every revisit is a cache hit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.config import get_config
+from repro.engine.keys import sim_memo_key
+from repro.engine.scheduler import GridTask, preset_name, run_grid
+from repro.kernels.base import Benchmark
+from repro.machines.spec import MachineSpec
+from repro.observability.tracer import add_counter, span
+from repro.tune.space import Assignment, Candidate, SearchSpace
+
+
+class BatchEvaluator:
+    """Callable evaluator bound to one (benchmark, variant, machine).
+
+    Attributes (after use):
+        evaluations: assignment measurements requested across all batches
+            (the number strategies *think* they paid for).
+        simulations: grid points actually issued after both dedup layers.
+        batches: how many generations the strategies proposed.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        benchmark: Benchmark,
+        variant: str,
+        machine: MachineSpec,
+        params: Mapping[str, int] | None = None,
+        threads: int | None = None,
+    ) -> None:
+        self.space = space
+        self.benchmark = benchmark
+        self.variant = variant
+        self.machine = machine
+        self.params = dict(params or benchmark.paper_params())
+        self.threads = threads
+        self.evaluations = 0
+        self.simulations = 0
+        self.batches = 0
+        self._times: dict[Assignment, float] = {}
+        self._by_key: dict[tuple[str, ...], float] = {}
+        self._preset = preset_name(machine)
+
+    def merged_params(self, candidate: Candidate) -> dict[str, int]:
+        """The workload params with the candidate's knobs applied."""
+        merged = dict(self.params)
+        merged.update(dict(candidate.settings))
+        return merged
+
+    def _memo_keys(
+        self, candidate: Candidate, merged: Mapping[str, int]
+    ) -> tuple[str, ...]:
+        """The candidate's per-phase memo keys (its simulation identity)."""
+        return tuple(
+            sim_memo_key(
+                phase.kernel, phase.params, candidate.options,
+                self.machine, threads=self.threads,
+            )
+            for phase in self.benchmark.phases(self.variant, merged)
+        )
+
+    def _measure(self, candidate: Candidate, merged: Mapping[str, int]) -> float:
+        from repro.analysis.gap import run_rung
+
+        rung = run_rung(
+            self.benchmark, self.variant, candidate.options, self.machine,
+            label=candidate.label, params=merged, threads=self.threads,
+        )
+        return rung.time_s
+
+    def __call__(
+        self, assignments: Sequence[Assignment]
+    ) -> dict[Assignment, float]:
+        """Measure a batch; returns simulated seconds per assignment."""
+        self.batches += 1
+        self.evaluations += len(assignments)
+        fresh = [a for a in assignments if a not in self._times]
+        plans: list[tuple[Assignment, Candidate, dict, tuple[str, ...]]] = []
+        issue: list[tuple[Candidate, dict, tuple[str, ...]]] = []
+        claimed: set[tuple[str, ...]] = set()
+        for assignment in fresh:
+            candidate = self.space.candidate(assignment)
+            merged = self.merged_params(candidate)
+            keys = self._memo_keys(candidate, merged)
+            plans.append((assignment, candidate, merged, keys))
+            if keys not in self._by_key and keys not in claimed:
+                claimed.add(keys)
+                issue.append((candidate, merged, keys))
+        with span(
+            "tune.batch",
+            benchmark=self.benchmark.name, proposed=len(assignments),
+            fresh=len(fresh), simulated=len(issue),
+        ):
+            config = get_config()
+            if (
+                len(issue) > 1
+                and config.jobs > 1
+                and config.cache is not None
+                and self._preset is not None
+            ):
+                # Populate the memo store in parallel; the serial assembly
+                # below then runs entirely on cache hits.
+                run_grid([
+                    GridTask(
+                        benchmark=self.benchmark.name,
+                        label=f"tune:{candidate.label}",
+                        variant=self.variant,
+                        options=candidate.options,
+                        machine=self._preset,
+                        params=tuple(sorted(merged.items())),
+                        threads=self.threads,
+                    )
+                    for candidate, merged, _keys in issue
+                ])
+            for candidate, merged, keys in issue:
+                self._by_key[keys] = self._measure(candidate, merged)
+            self.simulations += len(issue)
+        for assignment, _candidate, _merged, keys in plans:
+            self._times[assignment] = self._by_key[keys]
+        add_counter("tune.evaluations", float(len(fresh)))
+        add_counter("tune.simulations", float(len(issue)))
+        return {a: self._times[a] for a in assignments}

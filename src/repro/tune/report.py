@@ -1,0 +1,89 @@
+"""Render search outcomes: search-vs-ladder tables and frontier lines.
+
+The questions a tuning run answers, in table form:
+
+* **search vs best fixed rung** — for each benchmark, did the searched
+  configuration beat the best *fixed* non-ninja ladder point, by how
+  much, and how much of the remaining ninja gap did it close?
+* **effort frontier** — among everything evaluated, which configurations
+  are Pareto-optimal in (modelled programmer effort, simulated time)?
+  This is the paper's Fig. 5 effort-benefit story with the rung set
+  replaced by a searched set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.tune.search import TuneResult
+
+#: Columns of :func:`search_rows`.
+SEARCH_HEADERS: tuple[str, ...] = (
+    "benchmark", "strategy", "evals", "sims", "best config",
+    "searched (ms)", "fixed trad (ms)", "speedup", "gap to ninja",
+)
+
+
+def _verdict(result: TuneResult) -> str:
+    if result.best.time_s < result.traditional_time * (1 - 1e-9):
+        return "better"
+    return "matched"
+
+
+def search_rows(
+    results: Sequence[TuneResult],
+) -> tuple[tuple[object, ...], ...]:
+    """One row per benchmark for the search-vs-fixed-rung table."""
+    return tuple(
+        (
+            result.benchmark,
+            result.strategy,
+            result.evaluations,
+            result.simulations,
+            result.best.label,
+            round(result.best.time_s * 1e3, 3),
+            round(result.traditional_time * 1e3, 3),
+            f"{result.speedup_vs_traditional:.2f}x",
+            f"{result.gap_to_ninja:.2f}x",
+        )
+        for result in results
+    )
+
+
+def summary_claims(results: Sequence[TuneResult]) -> tuple[str, ...]:
+    """Headline sentences for the experiment's measured_claims."""
+    wins = sum(1 for r in results if _verdict(r) == "better")
+    at_least = sum(
+        1 for r in results
+        if r.best.time_s <= r.traditional_time * (1 + 1e-9)
+    )
+    best = max(results, key=lambda r: r.speedup_vs_traditional)
+    evals = sum(r.evaluations for r in results)
+    sims = sum(r.simulations for r in results)
+    return (
+        f"search matches or beats the fixed traditional rung on "
+        f"{at_least}/{len(results)} kernels ({wins} strictly better)",
+        f"largest win: {best.benchmark} "
+        f"{best.speedup_vs_traditional:.2f}x over the fixed rung "
+        f"({best.best.label})",
+        f"{evals} evaluations cost {sims} simulations "
+        f"({evals - sims} deduped/cached)",
+    )
+
+
+def frontier_lines(result: TuneResult) -> list[str]:
+    """Appendix lines: one benchmark's effort-vs-time Pareto frontier."""
+    lines = [
+        f"{result.benchmark}: effort/time frontier "
+        f"({result.evaluations} evaluated, space {result.space_size}, "
+        f"strategy {result.strategy}, seed {result.seed})"
+    ]
+    ninja = result.ladder_times["ninja"]
+    for point in result.frontier:
+        marker = " <- best" if point.time_s == result.best.time_s else ""
+        lines.append(
+            f"  {point.effort_lines:>4} lines  "
+            f"{point.time_s * 1e3:9.3f} ms  "
+            f"{point.time_s / ninja:5.2f}x ninja  {point.label}{marker}"
+        )
+    return lines

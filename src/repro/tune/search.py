@@ -1,0 +1,229 @@
+"""Search orchestration: tune one benchmark, report frontier + context.
+
+:func:`tune_benchmark` wires the layers together — builds the space for
+the benchmark's variant and workload, runs one strategy through a
+:class:`~repro.tune.evaluate.BatchEvaluator`, then situates the winner
+against the paper's fixed effort ladder: which rung the searched
+configuration beats, at what modelled programmer effort, and what the
+effort-vs-time Pareto frontier of everything evaluated looks like.
+
+Seeding: ``seed=None`` resolves ``REPRO_TUNE_SEED`` then
+:data:`DEFAULT_SEED`, so unseeded CLI/CI runs are still bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.engine.config import get_config
+from repro.errors import TuneError
+from repro.kernels.base import Benchmark
+from repro.machines.spec import MachineSpec
+from repro.observability.tracer import add_counter, span
+from repro.tune.evaluate import BatchEvaluator
+from repro.tune.space import Assignment, SearchSpace, space_for
+from repro.tune.strategies import SearchTrace, run_strategy
+
+#: Default search seed (the paper's publication date) — fixed so CI and
+#: unseeded CLI runs reproduce bit-identically.
+DEFAULT_SEED = 20120609
+
+
+def resolve_seed(seed: int | None = None) -> int:
+    """*seed*, else ``REPRO_TUNE_SEED``, else :data:`DEFAULT_SEED`."""
+    if seed is not None:
+        return int(seed)
+    raw = os.environ.get("REPRO_TUNE_SEED", "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            raise TuneError(
+                f"REPRO_TUNE_SEED must be an integer, got {raw!r}"
+            ) from None
+    return DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class TunePoint:
+    """One evaluated configuration, situated on the effort axis."""
+
+    assignment: Assignment
+    label: str
+    time_s: float
+    effort_lines: int
+    flips: int
+
+    def to_dict(self) -> dict:
+        return {
+            "assignment": list(self.assignment),
+            "label": self.label,
+            "time_s": self.time_s,
+            "effort_lines": self.effort_lines,
+            "flips": self.flips,
+        }
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Everything one search run found, ready for tables and JSON."""
+
+    benchmark: str
+    variant: str
+    machine: str
+    strategy: str
+    seed: int
+    budget: int
+    space_size: int
+    best: TunePoint
+    frontier: tuple[TunePoint, ...]
+    ladder_times: Mapping[str, float]
+    evaluations: int
+    simulations: int
+    batches: int
+    generations: tuple[dict, ...]
+    memo: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def traditional_time(self) -> float:
+        """The best *fixed* non-ninja rung — the bar search must clear."""
+        return min(
+            time for label, time in self.ladder_times.items()
+            if label != "ninja"
+        )
+
+    @property
+    def speedup_vs_traditional(self) -> float:
+        """Searched winner vs the best fixed non-ninja rung (>1 = win)."""
+        return self.traditional_time / self.best.time_s
+
+    @property
+    def gap_to_ninja(self) -> float:
+        """Searched winner vs ninja (1.0 = gap closed)."""
+        return self.best.time_s / self.ladder_times["ninja"]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Memo hits over lookups during the search (parent process)."""
+        hits = self.memo.get("hits", 0)
+        misses = self.memo.get("misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "variant": self.variant,
+            "machine": self.machine,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "space_size": self.space_size,
+            "best": self.best.to_dict(),
+            "frontier": [point.to_dict() for point in self.frontier],
+            "ladder_times": dict(self.ladder_times),
+            "traditional_time_s": self.traditional_time,
+            "speedup_vs_traditional": self.speedup_vs_traditional,
+            "gap_to_ninja": self.gap_to_ninja,
+            "evaluations": self.evaluations,
+            "simulations": self.simulations,
+            "batches": self.batches,
+            "generations": [dict(g) for g in self.generations],
+            "memo": dict(self.memo),
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+def pareto_frontier(points: Sequence[TunePoint]) -> tuple[TunePoint, ...]:
+    """The effort-vs-time Pareto frontier, cheapest-effort first.
+
+    A point survives iff no other point is at most as expensive on both
+    axes and strictly better on one.
+    """
+    ordered = sorted(points, key=lambda p: (p.effort_lines, p.time_s, p.label))
+    frontier: list[TunePoint] = []
+    best_time = float("inf")
+    for point in ordered:
+        if point.time_s < best_time:
+            frontier.append(point)
+            best_time = point.time_s
+    return tuple(frontier)
+
+
+def _as_points(
+    space: SearchSpace,
+    trace: SearchTrace,
+    base_loc: int,
+) -> list[TunePoint]:
+    return [
+        TunePoint(
+            assignment=assignment,
+            label=space.candidate(assignment).label,
+            time_s=time,
+            effort_lines=space.effort_lines(assignment, base_loc),
+            flips=space.flips(assignment),
+        )
+        for assignment, time in sorted(trace.evaluated.items())
+    ]
+
+
+def tune_benchmark(
+    benchmark: Benchmark,
+    machine: MachineSpec,
+    variant: str = "optimized",
+    strategy: str = "beam",
+    budget: int = 64,
+    seed: int | None = None,
+    params: Mapping[str, int] | None = None,
+    threads: int | None = None,
+) -> TuneResult:
+    """Search the optimization space for one benchmark on one machine."""
+    from repro.analysis.gap import measure_ladder
+
+    seed = resolve_seed(seed)
+    space = space_for(benchmark, variant, dict(params or benchmark.paper_params()))
+    evaluator = BatchEvaluator(
+        space, benchmark, variant, machine, params=params, threads=threads
+    )
+    config = get_config()
+    before = (
+        config.cache.stats.snapshot() if config.cache is not None else None
+    )
+    with span(
+        "tune.search",
+        benchmark=benchmark.name, machine=machine.name,
+        strategy=strategy, budget=budget, seed=seed,
+        space=space.size(),
+    ):
+        trace = run_strategy(strategy, space, evaluator, budget, seed)
+        ladder = measure_ladder(benchmark, machine, params)
+    memo = (
+        config.cache.stats.since(before)
+        if config.cache is not None and before is not None
+        else {}
+    )
+    base_loc = int(benchmark.loc_deltas[variant])
+    points = _as_points(space, trace, base_loc)
+    by_assignment = {point.assignment: point for point in points}
+    add_counter("tune.searches")
+    return TuneResult(
+        benchmark=benchmark.name,
+        variant=variant,
+        machine=machine.name,
+        strategy=strategy,
+        seed=seed,
+        budget=budget,
+        space_size=space.size(),
+        best=by_assignment[trace.best],
+        frontier=pareto_frontier(points),
+        ladder_times={
+            label: rung.time_s for label, rung in ladder.rungs.items()
+        },
+        evaluations=evaluator.evaluations,
+        simulations=evaluator.simulations,
+        batches=evaluator.batches,
+        generations=tuple(trace.generations),
+        memo=memo,
+    )

@@ -1,0 +1,239 @@
+"""Declarative search space: compiler-option axes × structural tunables.
+
+The paper's effort ladder walks five hand-picked rungs; the tuner instead
+searches the cross product of
+
+* **option axes** — the individually toggleable compiler knobs a build
+  system can flip for free: ``fast_math``, ``unroll``, the ninja extras
+  (``assume_aligned``, ``streaming_stores``, ``software_prefetch``), and
+  a small grid of auto-vectorizer profitability thresholds
+  (``min_vector_profit``);
+* **param axes** — the per-kernel structural knobs the benchmark's
+  :meth:`~repro.kernels.base.Benchmark.phases` interprets, declared via
+  :meth:`~repro.kernels.base.Benchmark.tunables` (NBody's j-tile, the
+  stencil's 2.5D block edges, conv2d's unroll window).
+
+An **assignment** is one point of the space as a tuple of value indices
+(one per axis, in axis order) — hashable, ordered, and trivially
+enumerable, which keeps every strategy deterministic.  The *baseline*
+assignment reproduces the fixed ``traditional`` rung exactly, so any
+search that evaluates its seed population can only match or beat the
+ladder.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.compiler.options import CompilerOptions
+from repro.errors import TuneError
+from repro.kernels.base import Benchmark
+
+#: One point of the space: the chosen value index per axis, in axis order.
+Assignment = tuple[int, ...]
+
+#: Auto-vectorizer profitability thresholds the space offers.  1.2 is the
+#: conservative icc-like default; lower values accept "inefficient" loops.
+PROFIT_GRID: tuple[float, ...] = (1.2, 1.0, 0.8)
+
+#: Flags every searched configuration keeps on — the non-negotiable
+#: traditional-toolchain baseline (OpenMP + vectorizer + pragma simd).
+BASE_OPTIONS = CompilerOptions(
+    enable_openmp=True, auto_vectorize=True, honor_simd_pragma=True
+)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One searchable dimension.
+
+    Attributes:
+        name: a :class:`CompilerOptions` field (``kind="option"``) or a
+            benchmark tunable parameter (``kind="param"``).
+        values: candidate values in declaration order.
+        default: index into ``values`` of the traditional-baseline value.
+        kind: ``"option"`` or ``"param"``.
+    """
+
+    name: str
+    values: tuple
+    default: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise TuneError(f"axis {self.name}: no candidate values")
+        if len(set(self.values)) != len(self.values):
+            raise TuneError(f"axis {self.name}: duplicate candidate values")
+        if not 0 <= self.default < len(self.values):
+            raise TuneError(
+                f"axis {self.name}: default index {self.default} out of "
+                f"range for {len(self.values)} values"
+            )
+        if self.kind not in ("option", "param"):
+            raise TuneError(f"axis {self.name}: unknown kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A concrete configuration: compiler options + structural settings.
+
+    ``settings`` holds only the param-axis values that differ from their
+    defaults — the benchmark's :meth:`phases` treats an absent knob and
+    its default value identically, so this keeps equal configurations
+    structurally equal (and their memo keys identical).
+    """
+
+    options: CompilerOptions
+    settings: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Report label: options label plus any non-default knobs."""
+        knobs = ",".join(f"{name}={value}" for name, value in self.settings)
+        return f"{self.options.label}[{knobs}]" if knobs else self.options.label
+
+
+def option_axes(
+    profit_grid: Sequence[float] = PROFIT_GRID,
+) -> tuple[Axis, ...]:
+    """The compiler-option dimensions, defaults matching ``traditional``."""
+    return (
+        Axis("fast_math", (False, True), default=1, kind="option"),
+        Axis("unroll", (False, True), default=1, kind="option"),
+        Axis("assume_aligned", (False, True), default=0, kind="option"),
+        Axis("streaming_stores", (False, True), default=0, kind="option"),
+        Axis("software_prefetch", (False, True), default=0, kind="option"),
+        Axis("min_vector_profit", tuple(profit_grid), default=0, kind="option"),
+    )
+
+
+class SearchSpace:
+    """An ordered cross product of axes with assignment arithmetic."""
+
+    def __init__(
+        self, axes: Sequence[Axis], base: CompilerOptions = BASE_OPTIONS
+    ) -> None:
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise TuneError(f"duplicate axis names: {sorted(names)}")
+        if base.ninja:
+            raise TuneError(
+                "the search space models traditional effort; ninja code "
+                "generation cannot be its base"
+            )
+        self.axes: tuple[Axis, ...] = tuple(axes)
+        self.base = base
+        if not self.axes:
+            raise TuneError("search space needs at least one axis")
+
+    def size(self) -> int:
+        """Total number of assignments."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def baseline(self) -> Assignment:
+        """The assignment reproducing the fixed ``traditional`` rung."""
+        return tuple(axis.default for axis in self.axes)
+
+    def candidate(self, assignment: Assignment) -> Candidate:
+        """Materialize an assignment as options + structural settings."""
+        if len(assignment) != len(self.axes):
+            raise TuneError(
+                f"assignment has {len(assignment)} entries for "
+                f"{len(self.axes)} axes"
+            )
+        changes: dict[str, object] = {}
+        settings: list[tuple[str, int]] = []
+        for axis, index in zip(self.axes, assignment):
+            value = axis.values[index]
+            if axis.kind == "option":
+                changes[axis.name] = value
+            elif index != axis.default:
+                settings.append((axis.name, int(value)))
+        return Candidate(
+            options=self.base.but(**changes), settings=tuple(sorted(settings))
+        )
+
+    def neighbors(self, assignment: Assignment) -> list[Assignment]:
+        """All assignments differing from *assignment* in exactly one axis,
+        in deterministic (axis, value) order."""
+        out: list[Assignment] = []
+        for position, axis in enumerate(self.axes):
+            for index in range(len(axis.values)):
+                if index == assignment[position]:
+                    continue
+                neighbor = list(assignment)
+                neighbor[position] = index
+                out.append(tuple(neighbor))
+        return out
+
+    def sample(self, rng: random.Random, count: int) -> list[Assignment]:
+        """Up to *count* distinct assignments, deterministic under *rng*."""
+        seen: set[Assignment] = set()
+        out: list[Assignment] = []
+        attempts = 0
+        cap = min(count, self.size())
+        while len(out) < cap and attempts < 200 * count:
+            attempts += 1
+            assignment = tuple(
+                rng.randrange(len(axis.values)) for axis in self.axes
+            )
+            if assignment not in seen:
+                seen.add(assignment)
+                out.append(assignment)
+        return out
+
+    def enumerate(self) -> Iterator[Assignment]:
+        """Every assignment, lexicographic in axis order."""
+        ranges = [range(len(axis.values)) for axis in self.axes]
+        yield from itertools.product(*ranges)
+
+    def flips(self, assignment: Assignment) -> int:
+        """How many axes differ from the baseline."""
+        return sum(
+            1 for axis, index in zip(self.axes, assignment)
+            if index != axis.default
+        )
+
+    def effort_lines(self, assignment: Assignment, base_loc: int) -> int:
+        """Source-line effort proxy for one assignment.
+
+        The variant's algorithmic changes cost *base_loc* lines (plus the
+        ladder's two pragma lines, as in :mod:`repro.analysis.effort`);
+        each flipped compiler flag costs one build-file line and each
+        structural knob moved off its default costs two (a constant and
+        the parameter plumbing).  Search itself adds zero programmer
+        lines — that is the point.
+        """
+        lines = base_loc + 2
+        for axis, index in zip(self.axes, assignment):
+            if index == axis.default:
+                continue
+            lines += 1 if axis.kind == "option" else 2
+        return lines
+
+
+def space_for(
+    benchmark: Benchmark,
+    variant: str,
+    params: Mapping[str, int],
+    profit_grid: Sequence[float] = PROFIT_GRID,
+) -> SearchSpace:
+    """The full search space for one (benchmark, variant, workload)."""
+    axes = list(option_axes(profit_grid))
+    for tunable in benchmark.tunables(variant, params):
+        axes.append(
+            Axis(
+                name=tunable.name,
+                values=tuple(tunable.values),
+                default=tunable.values.index(tunable.default),
+                kind="param",
+            )
+        )
+    return SearchSpace(axes)

@@ -1,0 +1,220 @@
+"""Deterministic search strategies over a :class:`SearchSpace`.
+
+Every strategy consumes a *batched evaluator* — a callable mapping a list
+of assignments to their simulated times — and produces a
+:class:`SearchTrace`.  Strategies only ever *propose* batches; the
+evaluator dedupes against everything already measured and fans the rest
+through the engine, so generation-structured proposals (beam fronts,
+hill-climbing neighborhoods) turn into a handful of wide, cache-friendly
+grid submissions instead of thousands of serial simulations.
+
+Determinism contract: given the same space, seed, and budget, every
+strategy proposes the same batches in the same order and returns the
+same winner.  All randomness flows through one ``random.Random(seed)``;
+ties are broken by ``(time, assignment)`` so equal-cost configurations
+resolve identically across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import TuneError
+from repro.tune.space import Assignment, SearchSpace
+
+#: Batched evaluator: assignments -> simulated seconds for each.
+Evaluator = Callable[[Sequence[Assignment]], Mapping[Assignment, float]]
+
+#: Names accepted by :func:`run_strategy`.
+STRATEGIES = ("exhaustive", "random", "beam", "hillclimb")
+
+#: Beam width for ``beam``; seed-population size shares the budget.
+BEAM_WIDTH = 4
+
+#: Random restarts for ``hillclimb`` (in addition to the baseline start).
+HILL_RESTARTS = 3
+
+#: Hard cap on generations — budget exhaustion is the normal exit.
+MAX_GENERATIONS = 32
+
+
+@dataclass
+class SearchTrace:
+    """What one strategy run did and found.
+
+    ``evaluated`` maps every assignment the strategy asked about to its
+    simulated time; ``generations`` records (per batch) how many points
+    the strategy proposed and the best time known afterwards, which is
+    what the convergence plots and the frontier report consume.
+    """
+
+    strategy: str
+    seed: int
+    budget: int
+    best: Assignment
+    best_time: float
+    evaluated: dict[Assignment, float] = field(default_factory=dict)
+    generations: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct points measured."""
+        return len(self.evaluated)
+
+
+class _Run:
+    """Bookkeeping shared by all strategies: budget, memo, generations."""
+
+    def __init__(
+        self, space: SearchSpace, evaluate: Evaluator, budget: int
+    ) -> None:
+        if budget < 1:
+            raise TuneError(f"budget must be >= 1, got {budget}")
+        self.space = space
+        self.evaluate = evaluate
+        self.budget = budget
+        self.times: dict[Assignment, float] = {}
+        self.generations: list[dict[str, float]] = []
+
+    def remaining(self) -> int:
+        return self.budget - len(self.times)
+
+    def measure(self, proposals: Sequence[Assignment]) -> list[Assignment]:
+        """Evaluate up to ``remaining()`` unmeasured proposals as one batch.
+
+        Returns the assignments actually measured this generation (in
+        proposal order), so strategies can inspect just the new points.
+        """
+        fresh: list[Assignment] = []
+        seen: set[Assignment] = set()
+        for assignment in proposals:
+            if assignment in self.times or assignment in seen:
+                continue
+            seen.add(assignment)
+            fresh.append(assignment)
+            if len(fresh) >= self.remaining():
+                break
+        if not fresh:
+            return []
+        measured = self.evaluate(fresh)
+        for assignment in fresh:
+            self.times[assignment] = float(measured[assignment])
+        self.generations.append(
+            {"proposed": float(len(fresh)), "best": self.best()[1]}
+        )
+        return fresh
+
+    def best(self) -> tuple[Assignment, float]:
+        """Current winner; ties broken by assignment order."""
+        if not self.times:
+            raise TuneError("no assignments evaluated")
+        return min(self.times.items(), key=lambda kv: (kv[1], kv[0]))
+
+    def top(self, count: int) -> list[Assignment]:
+        ranked = sorted(self.times.items(), key=lambda kv: (kv[1], kv[0]))
+        return [assignment for assignment, _ in ranked[:count]]
+
+
+def _exhaustive(run: _Run, space: SearchSpace, rng: random.Random) -> None:
+    """Every assignment, lexicographically, bounded by the budget."""
+    if space.size() > run.budget:
+        raise TuneError(
+            f"exhaustive search needs budget >= space size "
+            f"({space.size()}), got {run.budget}; use beam/random instead"
+        )
+    run.measure(list(space.enumerate()))
+
+
+def _random(run: _Run, space: SearchSpace, rng: random.Random) -> None:
+    """The baseline plus a seeded sweep of distinct random points."""
+    run.measure([space.baseline()])
+    run.measure(space.sample(rng, run.remaining()))
+
+
+def _beam(run: _Run, space: SearchSpace, rng: random.Random) -> None:
+    """Beam search: keep the best ``BEAM_WIDTH`` points, expand all their
+    unmeasured single-axis neighbors each generation."""
+    seeds = [space.baseline()]
+    seeds += space.sample(rng, max(0, min(2 * BEAM_WIDTH, run.budget) - 1))
+    run.measure(seeds)
+    for _ in range(MAX_GENERATIONS):
+        if run.remaining() <= 0:
+            break
+        _, incumbent = run.best()
+        frontier: list[Assignment] = []
+        for member in run.top(BEAM_WIDTH):
+            frontier.extend(space.neighbors(member))
+        if not run.measure(frontier):
+            break  # beam closed: every neighbor already measured
+        if run.best()[1] >= incumbent:
+            break  # no strict improvement this generation
+
+
+def _hillclimb(run: _Run, space: SearchSpace, rng: random.Random) -> None:
+    """Multi-start greedy: from the baseline and ``HILL_RESTARTS`` random
+    starts, batch-evaluate the whole neighborhood and move while strictly
+    better."""
+    starts = [space.baseline()] + space.sample(rng, HILL_RESTARTS)
+    run.measure(starts)
+    for start in starts:
+        current = start
+        if current not in run.times:
+            continue  # budget ran out before this start was measured
+        for _ in range(MAX_GENERATIONS):
+            if run.remaining() <= 0:
+                return
+            run.measure(space.neighbors(current))
+            candidates = [
+                n for n in space.neighbors(current) if n in run.times
+            ]
+            if not candidates:
+                break
+            best_neighbor = min(
+                candidates, key=lambda a: (run.times[a], a)
+            )
+            if run.times[best_neighbor] >= run.times[current]:
+                break  # local minimum
+            current = best_neighbor
+
+
+_DISPATCH = {
+    "exhaustive": _exhaustive,
+    "random": _random,
+    "beam": _beam,
+    "hillclimb": _hillclimb,
+}
+
+
+def run_strategy(
+    name: str,
+    space: SearchSpace,
+    evaluate: Evaluator,
+    budget: int,
+    seed: int,
+) -> SearchTrace:
+    """Run one named strategy and return its trace.
+
+    Every strategy measures the baseline (traditional-rung) assignment
+    first, so the winner is never worse than the fixed ladder point.
+    """
+    if name not in _DISPATCH:
+        raise TuneError(
+            f"unknown strategy {name!r}; expected one of {STRATEGIES}"
+        )
+    run = _Run(space, evaluate, budget)
+    rng = random.Random(seed)
+    if name != "exhaustive":
+        run.measure([space.baseline()])
+    _DISPATCH[name](run, space, rng)
+    best, best_time = run.best()
+    return SearchTrace(
+        strategy=name,
+        seed=seed,
+        budget=budget,
+        best=best,
+        best_time=best_time,
+        evaluated=dict(run.times),
+        generations=run.generations,
+    )

@@ -13,6 +13,7 @@ EXPECTED_IDS = {
     "abl_blocking", "abl_cache", "abl_scaling", "abl_treesize",
     "abl_residual", "summary",
     "abl_nbody_tile", "abl_precision", "abl_worksize",
+    "tune_search",
 }
 
 

@@ -1,0 +1,342 @@
+"""Autotuner tests: space/strategy determinism, batched evaluation,
+knob-parametrized kernels, and the memo-key/label invariants the search
+relies on (a flag the key ignored would silently alias distinct
+configurations in the cache)."""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.compiler.options import CompilerOptions
+from repro.engine.keys import sim_memo_key
+from repro.errors import TuneError, WorkloadError
+from repro.kernels import Conv2D, NBody, Stencil
+from repro.kernels.base import Benchmark, TunableParam
+from repro.machines import CORE_I7_X980
+from repro.tune import (
+    BatchEvaluator,
+    SearchSpace,
+    option_axes,
+    pareto_frontier,
+    resolve_seed,
+    run_strategy,
+    space_for,
+    tune_benchmark,
+)
+from repro.tune.search import DEFAULT_SEED, TunePoint
+
+MACHINE = CORE_I7_X980
+
+OPTION_FIELDS = [f.name for f in dataclasses.fields(CompilerOptions)]
+
+
+def _flip(options: CompilerOptions, field: dataclasses.Field):
+    value = getattr(options, field.name)
+    if isinstance(value, bool):
+        return options.but(**{field.name: not value})
+    assert isinstance(value, float)
+    return options.but(**{field.name: value + 0.25})
+
+
+class TestMemoKeyCoversEveryOption:
+    """Flipping ANY single CompilerOptions field must change the memo key
+    — otherwise the tuner's cache would serve one configuration's result
+    for another."""
+
+    @pytest.mark.parametrize("field_name", OPTION_FIELDS)
+    def test_single_field_flip_changes_key(self, field_name):
+        field = CompilerOptions.__dataclass_fields__[field_name]
+        kernel = Stencil().kernel("naive")
+        params = {"n": 10}
+        base = CompilerOptions()
+        flipped = _flip(base, field)
+        assert getattr(flipped, field_name) != getattr(base, field_name)
+        key_base = sim_memo_key(kernel, params, base, MACHINE)
+        key_flip = sim_memo_key(kernel, params, flipped, MACHINE)
+        assert key_base != key_flip, (
+            f"memo key blind to CompilerOptions.{field_name}"
+        )
+
+    def test_structural_knob_changes_key(self):
+        """A tunable that reaches the kernel (different IR) keys apart."""
+        bench = Conv2D()
+        params = dict(bench.test_params())
+        options = CompilerOptions.best_traditional()
+        keys = set()
+        for ux in (1, 2, 4):
+            (phase,) = bench.phases("optimized", dict(params, ux=ux))
+            keys.add(sim_memo_key(phase.kernel, phase.params, options, MACHINE))
+        assert len(keys) == 3
+
+
+class TestOptionLabels:
+    def test_unroll_visible(self):
+        base = CompilerOptions(enable_openmp=True)
+        assert base.label == "par"
+        assert base.but(unroll=True).label == "par+ur"
+
+    def test_profit_threshold_visible_when_non_default(self):
+        base = CompilerOptions(auto_vectorize=True)
+        assert "vp=" not in base.label
+        assert base.but(min_vector_profit=0.8).label == "vec+vp=0.8"
+
+    def test_swept_configurations_never_collide(self):
+        """Every pair of option-axis candidates has a distinct label."""
+        space = SearchSpace(option_axes())
+        labels = [
+            space.candidate(a).options.label for a in space.enumerate()
+        ]
+        assert len(set(labels)) == len(labels)
+
+
+class TestLocDeltasFrozen:
+    def test_base_mapping_immutable(self):
+        with pytest.raises(TypeError):
+            Benchmark.loc_deltas["optimized"] = 1
+
+    def test_subclass_dict_frozen_at_class_creation(self):
+        class Example(Stencil):
+            name = "example"
+            loc_deltas = {"naive": 0, "optimized": 10, "ninja": 100}
+
+        with pytest.raises(TypeError):
+            Example.loc_deltas["ninja"] = 1
+        assert Example().loc_delta("ninja") == 100
+
+    def test_every_registered_benchmark_frozen(self):
+        from repro.kernels import BENCHMARK_CLASSES
+
+        for cls in BENCHMARK_CLASSES:
+            with pytest.raises(TypeError):
+                cls.loc_deltas["optimized"] = -1
+
+
+class TestTunables:
+    def test_declared_defaults_are_untuned_point(self):
+        for cls in (NBody, Stencil, Conv2D):
+            bench = cls()
+            params = bench.test_params()
+            for knob in bench.tunables("optimized", params):
+                assert knob.default in knob.values
+                assert len(set(knob.values)) == len(knob.values)
+
+    def test_naive_variant_has_no_knobs(self):
+        for cls in (NBody, Stencil, Conv2D):
+            bench = cls()
+            assert bench.tunables("naive", bench.test_params()) == ()
+
+    def test_invalid_tunable_rejected(self):
+        with pytest.raises(WorkloadError):
+            TunableParam(name="t", values=(2, 4), default=3)
+        with pytest.raises(WorkloadError):
+            TunableParam(name="t", values=(), default=0)
+
+    @pytest.mark.parametrize("cls", [NBody, Stencil, Conv2D], ids=lambda c: c.name)
+    def test_knob_settings_preserve_semantics(self, cls):
+        """Every candidate knob value computes the same answer."""
+        bench = cls()
+        base_params = bench.test_params()
+        for knob in bench.tunables("optimized", base_params):
+            for value in knob.values:
+                params = dict(base_params)
+                params[knob.name] = value
+                actual, expected = bench.run_functional("optimized", params)
+                np.testing.assert_allclose(
+                    actual, expected, rtol=5e-3, atol=5e-3,
+                    err_msg=f"{bench.name} {knob.name}={value}",
+                )
+
+    def test_nbody_rejects_non_dividing_tile(self):
+        bench = NBody()
+        params = dict(bench.test_params())
+        with pytest.raises(WorkloadError):
+            bench.phases("optimized", dict(params, tile=params["n"] - 1))
+
+
+class TestSearchSpace:
+    def test_baseline_is_fixed_traditional_rung(self):
+        bench = Stencil()
+        space = space_for(bench, "optimized", bench.paper_params())
+        candidate = space.candidate(space.baseline())
+        assert candidate.options == CompilerOptions.best_traditional()
+        assert candidate.settings == ()
+
+    def test_neighbors_differ_in_exactly_one_axis(self):
+        space = SearchSpace(option_axes())
+        base = space.baseline()
+        neighbors = space.neighbors(base)
+        expected = sum(len(axis.values) - 1 for axis in space.axes)
+        assert len(neighbors) == len(set(neighbors)) == expected
+        for neighbor in neighbors:
+            assert sum(a != b for a, b in zip(neighbor, base)) == 1
+
+    def test_sample_deterministic_and_distinct(self):
+        space = SearchSpace(option_axes())
+        first = space.sample(random.Random(7), 20)
+        second = space.sample(random.Random(7), 20)
+        assert first == second
+        assert len(set(first)) == 20
+
+    def test_effort_grows_with_flips(self):
+        space = SearchSpace(option_axes())
+        base = space.baseline()
+        assert space.effort_lines(base, 40) == 42
+        for neighbor in space.neighbors(base):
+            assert space.effort_lines(neighbor, 40) == 43
+
+    def test_bad_spaces_rejected(self):
+        with pytest.raises(TuneError):
+            SearchSpace(())
+        axis = option_axes()[0]
+        with pytest.raises(TuneError):
+            SearchSpace((axis, axis))
+        with pytest.raises(TuneError):
+            SearchSpace(
+                option_axes(), base=CompilerOptions.ninja_options()
+            )
+
+
+def _synthetic_evaluator(space):
+    """Deterministic costs with a unique global optimum off the baseline."""
+    target = tuple(
+        (axis.default + 1) % len(axis.values) for axis in space.axes
+    )
+
+    def evaluate(assignments):
+        return {
+            a: 1.0 + sum((x - t) ** 2 for x, t in zip(a, target))
+            for a in assignments
+        }
+
+    return evaluate, target
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", ["random", "beam", "hillclimb"])
+    def test_deterministic_under_seed(self, name):
+        space = SearchSpace(option_axes())
+        evaluate, _ = _synthetic_evaluator(space)
+        runs = [
+            run_strategy(name, space, evaluate, budget=40, seed=11)
+            for _ in range(2)
+        ]
+        assert runs[0].best == runs[1].best
+        assert runs[0].evaluated == runs[1].evaluated
+        assert runs[0].generations == runs[1].generations
+
+    @pytest.mark.parametrize("name", ["random", "beam", "hillclimb"])
+    def test_never_worse_than_baseline(self, name):
+        space = SearchSpace(option_axes())
+        evaluate, _ = _synthetic_evaluator(space)
+        trace = run_strategy(name, space, evaluate, budget=30, seed=3)
+        baseline_time = evaluate([space.baseline()])[space.baseline()]
+        assert space.baseline() in trace.evaluated
+        assert trace.best_time <= baseline_time
+
+    def test_beam_and_hillclimb_find_adjacent_optimum(self):
+        space = SearchSpace(option_axes())
+        evaluate, target = _synthetic_evaluator(space)
+        for name in ("beam", "hillclimb"):
+            trace = run_strategy(name, space, evaluate, budget=100, seed=5)
+            assert trace.best == target, name
+
+    def test_budget_respected(self):
+        space = SearchSpace(option_axes())
+        evaluate, _ = _synthetic_evaluator(space)
+        trace = run_strategy("beam", space, evaluate, budget=17, seed=1)
+        assert trace.evaluations <= 17
+
+    def test_exhaustive_covers_space_or_refuses(self):
+        space = SearchSpace(option_axes()[:3])
+        evaluate, target = _synthetic_evaluator(space)
+        trace = run_strategy(
+            "exhaustive", space, evaluate, budget=space.size(), seed=0
+        )
+        assert trace.evaluations == space.size()
+        assert trace.best == target
+        with pytest.raises(TuneError):
+            run_strategy(
+                "exhaustive", space, evaluate, budget=space.size() - 1, seed=0
+            )
+
+    def test_unknown_strategy_and_bad_budget(self):
+        space = SearchSpace(option_axes())
+        evaluate, _ = _synthetic_evaluator(space)
+        with pytest.raises(TuneError):
+            run_strategy("annealing", space, evaluate, budget=8, seed=0)
+        with pytest.raises(TuneError):
+            run_strategy("beam", space, evaluate, budget=0, seed=0)
+
+
+class TestBatchEvaluator:
+    def test_revisits_are_free(self):
+        bench = Conv2D()
+        params = bench.test_params()
+        space = space_for(bench, "optimized", params)
+        evaluator = BatchEvaluator(space, bench, "optimized", MACHINE, params)
+        batch = [space.baseline()] + space.neighbors(space.baseline())[:5]
+        first = evaluator(batch)
+        issued = evaluator.simulations
+        second = evaluator(batch)
+        assert first == second
+        assert evaluator.simulations == issued
+        assert evaluator.evaluations == 2 * len(batch)
+
+    def test_matches_direct_run_rung(self):
+        from repro.analysis.gap import run_rung
+
+        bench = Stencil()
+        params = bench.test_params()
+        space = space_for(bench, "optimized", params)
+        evaluator = BatchEvaluator(space, bench, "optimized", MACHINE, params)
+        baseline = space.baseline()
+        time = evaluator([baseline])[baseline]
+        direct = run_rung(
+            bench, "optimized", CompilerOptions.best_traditional(),
+            MACHINE, params=params,
+        )
+        assert time == direct.time_s
+
+
+class TestParetoFrontier:
+    def test_dominated_points_dropped(self):
+        mk = lambda e, t, label: TunePoint((0,), label, t, e, 0)
+        cheap = mk(10, 5.0, "cheap")
+        fast = mk(20, 1.0, "fast")
+        dominated = mk(30, 2.0, "dominated")
+        frontier = pareto_frontier([dominated, fast, cheap])
+        assert frontier == (cheap, fast)
+
+
+class TestTuneBenchmark:
+    def test_beats_or_matches_fixed_rung_and_reproduces(self):
+        bench = Conv2D()
+        params = bench.test_params()
+        first = tune_benchmark(
+            bench, MACHINE, strategy="beam", budget=24, seed=42, params=params
+        )
+        second = tune_benchmark(
+            bench, MACHINE, strategy="beam", budget=24, seed=42, params=params
+        )
+        assert first.best.time_s <= first.traditional_time * (1 + 1e-12)
+        assert first.best.assignment == second.best.assignment
+        assert first.to_dict() == second.to_dict()
+        assert first.frontier[-1].time_s == first.best.time_s
+        assert first.ladder_times["ninja"] <= first.best.time_s * (1 + 1e-12)
+
+    def test_seed_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TUNE_SEED", raising=False)
+        assert resolve_seed(None) == DEFAULT_SEED
+        assert resolve_seed(9) == 9
+        monkeypatch.setenv("REPRO_TUNE_SEED", "123")
+        assert resolve_seed(None) == 123
+        monkeypatch.setenv("REPRO_TUNE_SEED", "not-a-seed")
+        with pytest.raises(TuneError):
+            resolve_seed(None)
+
+    def test_registered_in_experiment_registry(self):
+        from repro.experiments.base import experiment_ids
+
+        assert "tune_search" in experiment_ids()
